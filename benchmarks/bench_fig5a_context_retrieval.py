@@ -1,0 +1,24 @@
+"""Figure 5(a): context retrieval — average LLM calls per BIRD-Ext task.
+
+Paper result: BridgeScope needs >30% fewer LLM calls than PG-MCP−
+(execute_sql only), approaching the best-achievable 3 calls, because
+explicit context tools eliminate hallucinated-schema retries.
+"""
+
+from repro.bench.reporting import render_fig5a
+from repro.bench.runner import experiment_fig5a
+
+
+def test_fig5a_context_retrieval(benchmark, bench_tasks, bench_scale):
+    result = benchmark.pedantic(
+        experiment_fig5a,
+        kwargs={"n_tasks": bench_tasks, "scale": bench_scale},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_fig5a(result))
+    for model, row in result.items():
+        # BridgeScope approaches best-achievable and beats PG-MCP-
+        assert row["bridgescope"] < row["pg-mcp-minus"], model
+        assert row["bridgescope"] <= row["best-achievable"] + 1.0, model

@@ -1,0 +1,24 @@
+"""Figure 5(b): SQL execution accuracy — fine- vs coarse-grained tools.
+
+Paper result: accuracies are comparable, showing action-level tool
+modularization introduces no side effects on task completeness.
+"""
+
+from repro.bench.reporting import render_fig5b
+from repro.bench.runner import experiment_fig5b
+
+
+def test_fig5b_sql_accuracy(benchmark, bench_tasks, bench_scale):
+    result = benchmark.pedantic(
+        experiment_fig5b,
+        kwargs={"n_tasks": bench_tasks, "scale": bench_scale},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_fig5b(result))
+    for model, row in result.items():
+        assert abs(row["bridgescope"] - row["pg-mcp"]) <= 0.15, (
+            f"accuracies should be comparable for {model}"
+        )
+        assert row["bridgescope"] >= 0.6

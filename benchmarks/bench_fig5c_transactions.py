@@ -1,0 +1,23 @@
+"""Figure 5(c): transaction trigger ratio on BIRD-Ext write tasks.
+
+Paper result: agents with explicit begin/commit/rollback tools initiate
+transactions (near-)always; agents with only a generic execute_sql tool
+rarely recognize the need.
+"""
+
+from repro.bench.reporting import render_fig5c
+from repro.bench.runner import experiment_fig5c
+
+
+def test_fig5c_transaction_management(benchmark, bench_tasks, bench_scale):
+    result = benchmark.pedantic(
+        experiment_fig5c,
+        kwargs={"n_tasks": bench_tasks, "scale": bench_scale},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_fig5c(result))
+    for model, row in result.items():
+        assert row["bridgescope"] >= 0.9, model
+        assert row["pg-mcp"] <= 0.3, model

@@ -1,0 +1,29 @@
+"""Figure 6: average LLM calls across privilege roles (feasible and
+infeasible BIRD-Ext tasks).
+
+Paper result: with sufficient privileges the toolkits are comparable; for
+infeasible tasks BridgeScope cuts LLM calls by 23-71% (strongest when a
+read-only user attempts a write: the missing write tool is visible without
+any tool call).
+"""
+
+from repro.bench.reporting import render_fig6
+from repro.bench.runner import experiment_fig6_table1
+
+
+def test_fig6_privilege_aware_calls(benchmark, bench_tasks, bench_scale):
+    result = benchmark.pedantic(
+        experiment_fig6_table1,
+        kwargs={"n_tasks_per_cell": bench_tasks, "scale": bench_scale},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_fig6(result))
+    for model, cells in result.items():
+        for cell in ("(N, write)", "(I, read)", "(I, write)"):
+            stats = cells[cell]
+            reduction = 1 - stats["bridgescope"] / stats["pg-mcp"]
+            assert reduction >= 0.2, (model, cell, reduction)
+        # feasible tasks stay within the same small-call regime
+        assert cells["(A, read)"]["bridgescope"] <= 4.5, model

@@ -1,0 +1,32 @@
+"""Table 1: token usage for BIRD-Ext across privilege roles.
+
+Paper result: similar costs when privileges suffice; 30-82% lower token
+costs with BridgeScope when tasks are infeasible, because privilege
+annotations and missing tools let the LLM abort before executing SQL.
+"""
+
+from repro.bench.reporting import render_table1
+from repro.bench.runner import experiment_fig6_table1
+
+
+def test_table1_token_usage(benchmark, bench_tasks, bench_scale):
+    result = benchmark.pedantic(
+        experiment_fig6_table1,
+        kwargs={"n_tasks_per_cell": bench_tasks, "scale": bench_scale},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table1(result))
+    for model, cells in result.items():
+        for cell in ("(N, write)", "(I, read)", "(I, write)"):
+            stats = cells[cell]
+            saving = 1 - stats["bridgescope_tokens"] / stats["pg-mcp_tokens"]
+            assert saving >= 0.2, (model, cell, saving)
+        # the headline claim: savings reach ~80% somewhere
+    best_saving = max(
+        1 - cells[cell]["bridgescope_tokens"] / cells[cell]["pg-mcp_tokens"]
+        for cells in result.values()
+        for cell in ("(N, write)", "(I, read)", "(I, write)")
+    )
+    assert best_saving >= 0.6, best_saving

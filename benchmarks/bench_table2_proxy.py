@@ -1,0 +1,36 @@
+"""Table 2 + Section 3.4(3): effectiveness of the proxy mechanism (NL2ML).
+
+Paper results:
+* PG-MCP completes no NL2ML task (context window exhausted routing the
+  20,000-row house table through the LLM); BridgeScope and the 20-row
+  PG-MCP-S variant complete everything.
+* BridgeScope needs ~3.4 LLM calls; PG-MCP-S ~5.1 and more tokens.
+* An idealized unlimited-context PG-MCP would still burn >= 2 orders of
+  magnitude more tokens than BridgeScope on pure data transfer.
+"""
+
+from repro.bench.reporting import render_table2
+from repro.bench.runner import experiment_table2
+
+
+def test_table2_proxy_effectiveness(benchmark, housing_rows):
+    result = benchmark.pedantic(
+        experiment_table2,
+        kwargs={"per_level": 10, "housing_rows": housing_rows},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table2(result))
+    cells = result["cells"]
+    for model in ("gpt-4o", "claude-4"):
+        assert cells[(model, "bridgescope")]["completion_rate"] == 1.0
+        assert cells[(model, "pg-mcp")]["completion_rate"] == 0.0
+        assert cells[(model, "pg-mcp-s")]["completion_rate"] == 1.0
+        assert cells[(model, "bridgescope")]["avg_llm_calls"] <= 4.0
+        assert (
+            cells[(model, "pg-mcp-s")]["avg_tokens"]
+            > cells[(model, "bridgescope")]["avg_tokens"]
+        )
+    ratio = result["idealized_pg_mcp_tokens"] / result["bridgescope_avg_tokens"]
+    assert ratio >= 100, f"expected >=2 orders of magnitude, got {ratio:.0f}x"

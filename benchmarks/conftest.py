@@ -1,0 +1,28 @@
+"""Shared configuration for the reproduction benchmarks.
+
+Environment knobs (all optional):
+
+* ``REPRO_BENCH_TASKS`` — tasks per experiment cell (default 25)
+* ``REPRO_BENCH_SCALE`` — database size scale factor (default 0.5)
+* ``REPRO_BENCH_HOUSING_ROWS`` — rows in the NL2ML house table
+  (default 20000, the paper's size)
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_tasks() -> int:
+    return int(os.environ.get("REPRO_BENCH_TASKS", "25"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+
+@pytest.fixture(scope="session")
+def housing_rows() -> int:
+    return int(os.environ.get("REPRO_BENCH_HOUSING_ROWS", "20000"))

@@ -1,0 +1,115 @@
+"""The paper's chain-store scenario (Figures 1 and 3), end to end.
+
+A Brand-A manager's daily workflow:
+
+1. retrieve schema with privilege annotations (brand B is off limits);
+2. atomically insert the day's sales and refunds inside a transaction;
+3. analyze recent sales/refund trends by routing query results directly
+   into the ``trend_analyze`` ML tool through a single proxy call —
+   exactly the proxy unit shown in the paper's Figure 3.
+
+Run with: ``python examples/chain_store.py``
+"""
+
+from repro.core import BridgeScope, MinidbBinding
+from repro.minidb import Database
+from repro.mltools import MLToolServer
+
+
+def build_store() -> Database:
+    db = Database(owner="dba")
+    dba = db.connect("dba")
+    dba.execute(
+        "CREATE TABLE brand_a_items (id INT PRIMARY KEY, name TEXT, category TEXT)"
+    )
+    dba.execute(
+        "CREATE TABLE brand_a_sales (order_id INT PRIMARY KEY, "
+        "item_id INT REFERENCES brand_a_items(id), day INT, amount FLOAT)"
+    )
+    dba.execute(
+        "CREATE TABLE brand_a_refunds (refund_id INT PRIMARY KEY, "
+        "order_id INT REFERENCES brand_a_sales(order_id), day INT, amount FLOAT)"
+    )
+    dba.execute("CREATE TABLE brand_b_sales (order_id INT PRIMARY KEY, amount FLOAT)")
+    dba.execute(
+        "INSERT INTO brand_a_items VALUES (1, 'dress', 'women''s wear'), "
+        "(2, 'boots', 'footwear')"
+    )
+    # ten days of history with a rising sales trend
+    order = 1
+    for day in range(1, 11):
+        for _ in range(2):
+            dba.execute(
+                f"INSERT INTO brand_a_sales VALUES ({order}, 1, {day}, "
+                f"{50.0 + 12.0 * day})"
+            )
+            order += 1
+    dba.execute("INSERT INTO brand_a_refunds VALUES (1, 1, 2, 20.0), (2, 3, 4, 15.0)")
+
+    db.create_user("brand_a_manager")
+    for table in ("brand_a_items", "brand_a_sales", "brand_a_refunds"):
+        dba.execute(f"GRANT ALL ON {table} TO brand_a_manager")
+    return db
+
+
+def main() -> None:
+    db = build_store()
+    bridge = BridgeScope(
+        MinidbBinding.for_user(db, "brand_a_manager"),
+        extra_servers=[MLToolServer()],
+    )
+
+    print("=== 1. schema with privilege annotations ===")
+    schema = bridge.invoke("get_schema").content
+    print(schema)
+    assert "-- Access: False" in schema  # brand_b_sales is visible but locked
+
+    print("\n=== 2. atomic insertion of today's records ===")
+    print(bridge.invoke("begin").render())
+    print(
+        bridge.invoke(
+            "insert",
+            sql="INSERT INTO brand_a_sales VALUES (21, 1, 11, 190.0), "
+            "(22, 2, 11, 185.0)",
+        ).render()
+    )
+    print(
+        bridge.invoke(
+            "insert",
+            sql="INSERT INTO brand_a_refunds VALUES (3, 21, 11, 30.0)",
+        ).render()
+    )
+    print(bridge.invoke("commit").render())
+
+    print("\n=== 3. trend analysis via one proxy call (paper Figure 3) ===")
+    result = bridge.invoke(
+        "proxy",
+        target_tool="trend_analyze",
+        tool_args={
+            "sales": {
+                "__tool__": "select",
+                "__args__": {
+                    "sql": "SELECT SUM(amount) FROM brand_a_sales "
+                    "GROUP BY day ORDER BY day"
+                },
+                "__transform__": "lambda x: x",
+            },
+            "refunds": {
+                "__tool__": "select",
+                "__args__": {
+                    "sql": "SELECT SUM(amount) FROM brand_a_refunds "
+                    "GROUP BY day ORDER BY day"
+                },
+                "__transform__": "lambda x: x",
+            },
+        },
+    )
+    trends = result.content
+    print(f"sales trend:   {trends['sales_trend']} (slope {trends['sales_slope']:.1f})")
+    print(f"refunds trend: {trends['refunds_trend']}")
+    print(f"refund rate:   {trends['refund_rate']:.1%}  alert={trends['alert']}")
+    print(f"\nproxy stats: {bridge.proxy.stats}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Multi-datasource agents: one toolkit vocabulary, many databases.
+
+Section 2.6 of the paper: BridgeScope's database-agnostic design "enables
+LLMs to interact with any data source using a consistent set of tools".
+This example composes two independent databases — a sales warehouse and an
+HR database — behind namespaced BridgeScope instances in a single agent
+registry, and runs a proxy unit whose producers span both sources.
+
+Run with: ``python examples/multi_datasource.py``
+"""
+
+from repro.core import BridgeScope, MinidbBinding, combine_bridges
+from repro.minidb import Database
+from repro.mltools import MLToolServer
+
+
+def build_sales_db() -> Database:
+    db = Database(owner="admin")
+    session = db.connect("admin")
+    session.execute(
+        "CREATE TABLE revenue (month INT PRIMARY KEY, amount FLOAT)"
+    )
+    for month in range(1, 13):
+        session.execute(
+            f"INSERT INTO revenue VALUES ({month}, {100_000 + 7_000 * month})"
+        )
+    return db
+
+
+def build_hr_db() -> Database:
+    db = Database(owner="admin")
+    session = db.connect("admin")
+    session.execute(
+        "CREATE TABLE payroll (month INT PRIMARY KEY, total FLOAT)"
+    )
+    for month in range(1, 13):
+        session.execute(
+            f"INSERT INTO payroll VALUES ({month}, {80_000 + 1_000 * month})"
+        )
+    return db
+
+
+def main() -> None:
+    sales = BridgeScope(
+        MinidbBinding.for_user(build_sales_db(), "admin"), namespace="sales"
+    )
+    hr = BridgeScope(
+        MinidbBinding.for_user(build_hr_db(), "admin"), namespace="hr"
+    )
+    registry = combine_bridges([sales, hr], extra_servers=[MLToolServer()])
+
+    print("unified tool vocabulary across two databases:")
+    for name in registry.tool_names():
+        print(f"  {name}")
+
+    print("\nschemas are retrieved per source:")
+    print(registry.invoke("sales__get_schema").content.splitlines()[1])
+    print(registry.invoke("hr__get_schema").content.splitlines()[1])
+
+    # a cross-source proxy unit: revenue (sales db) and payroll (hr db)
+    # flow directly into trend_analyze without touching the LLM
+    print("\ncross-source margin trend via one proxy call:")
+    result = registry.invoke(
+        "sales__proxy",
+        target_tool="trend_analyze",
+        tool_args={
+            "sales": {
+                "__tool__": "sales__select",
+                "__args__": {"sql": "SELECT amount FROM revenue ORDER BY month"},
+            },
+            "refunds": {
+                "__tool__": "hr__select",
+                "__args__": {"sql": "SELECT total FROM payroll ORDER BY month"},
+            },
+        },
+    )
+    trends = result.content
+    print(f"  revenue trend: {trends['sales_trend']}")
+    print(f"  payroll trend: {trends['refunds_trend']}")
+    print(f"  payroll/revenue ratio: {trends['refund_rate']:.1%}")
+
+
+if __name__ == "__main__":
+    main()

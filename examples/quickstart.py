@@ -1,0 +1,82 @@
+"""Quickstart: BridgeScope over minidb in ~60 lines.
+
+Builds a tiny database, assembles the BridgeScope toolkit for a user, and
+walks through the four functionality groups: context retrieval, SQL
+execution, transactions, and proxy data routing.
+
+Run with: ``python examples/quickstart.py``
+"""
+
+from repro.core import BridgeScope, BridgeScopeConfig, MinidbBinding
+from repro.minidb import Database
+
+
+def main() -> None:
+    # 1. a database with two users ---------------------------------------
+    db = Database(owner="admin")
+    admin = db.connect("admin")
+    admin.execute(
+        "CREATE TABLE products (id INT PRIMARY KEY, name TEXT NOT NULL, "
+        "price FLOAT CHECK (price >= 0))"
+    )
+    admin.execute(
+        "INSERT INTO products VALUES (1, 'laptop', 1200.0), "
+        "(2, 'mouse', 25.0), (3, 'monitor', 300.0)"
+    )
+    db.create_user("app")
+    admin.execute("GRANT SELECT, INSERT, UPDATE ON products TO app")
+
+    # 2. BridgeScope for the 'app' user -----------------------------------
+    bridge = BridgeScope(MinidbBinding.for_user(db, "app"), BridgeScopeConfig())
+    print("tools exposed to 'app':", ", ".join(bridge.tool_names()))
+    print()
+
+    # 3. context retrieval -------------------------------------------------
+    print("--- get_schema ---")
+    print(bridge.invoke("get_schema").render())
+    print()
+    print("--- get_value: discover how 'screen' products are stored ---")
+    print(bridge.invoke("get_value", col="products.name", key="screen", k=2).render())
+    print()
+
+    # 4. SQL execution through fine-grained tools --------------------------
+    print("--- select ---")
+    print(bridge.invoke("select", sql="SELECT name, price FROM products").render())
+    print()
+
+    # DELETE is not exposed (no privilege) and even a smuggled DELETE via
+    # the select tool is intercepted before reaching the database:
+    blocked = bridge.invoke("select", sql="DELETE FROM products")
+    print("smuggled DELETE ->", blocked.render())
+    print()
+
+    # 5. transactional write ------------------------------------------------
+    print("--- transactional price update ---")
+    print(bridge.invoke("begin").render())
+    print(
+        bridge.invoke(
+            "update", sql="UPDATE products SET price = price * 1.1 WHERE id = 2"
+        ).render()
+    )
+    print(bridge.invoke("commit").render())
+    print("new price:", db.connect("admin").scalar("SELECT price FROM products WHERE id = 2"))
+    print()
+
+    # 6. proxy: route query results into another tool without the LLM ------
+    result = bridge.invoke(
+        "proxy",
+        target_tool="select",
+        tool_args={
+            "sql": {
+                "__tool__": "select",
+                "__args__": {"sql": "SELECT 'SELECT COUNT(*) FROM products'"},
+                "__transform__": "lambda rows: rows[0][0]",
+            }
+        },
+    )
+    print("--- proxy (nested select) ---")
+    print(result.render())
+
+
+if __name__ == "__main__":
+    main()

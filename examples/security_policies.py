@@ -1,0 +1,108 @@
+"""Security walkthrough: privileges, policies, and rule-based interception.
+
+Shows the paper's two-level security model (Sections 2.2-2.3):
+
+* database-side privileges decide which SQL tools each user's agent even
+  sees, and annotate the schema so the LLM knows its boundaries;
+* user-side white/black-lists further hide sensitive objects and block
+  dangerous actions (e.g. DROP), independent of database grants;
+* object-level verification intercepts hallucinated/injected SQL before it
+  reaches the engine.
+
+Run with: ``python examples/security_policies.py``
+"""
+
+from repro.core import BridgeScope, BridgeScopeConfig, MinidbBinding, SecurityPolicy
+from repro.minidb import Database
+
+
+def build_db() -> Database:
+    db = Database(owner="dba")
+    dba = db.connect("dba")
+    dba.execute("CREATE TABLE orders (id INT PRIMARY KEY, total FLOAT)")
+    dba.execute("CREATE TABLE customers (id INT PRIMARY KEY, email TEXT)")
+    dba.execute("CREATE TABLE salaries (emp TEXT, pay FLOAT)")
+    dba.execute("INSERT INTO orders VALUES (1, 10.0), (2, 99.0)")
+    dba.execute("INSERT INTO customers VALUES (1, 'a@x.com')")
+    dba.execute("INSERT INTO salaries VALUES ('alice', 9000.0)")
+    db.create_user("analyst")
+    dba.execute("GRANT SELECT ON orders TO analyst")
+    dba.execute("GRANT SELECT (id) ON customers TO analyst")
+    db.create_user("ops")
+    dba.execute("GRANT ALL ON orders TO ops")
+    dba.execute("GRANT ALL ON salaries TO ops")
+    return db
+
+
+def show(title: str, result) -> None:
+    print(f"{title}\n  -> {result.render()}\n")
+
+
+def main() -> None:
+    db = build_db()
+
+    print("=" * 70)
+    print("1. Tool exposure follows database privileges")
+    print("=" * 70)
+    analyst = BridgeScope(MinidbBinding.for_user(db, "analyst"))
+    ops = BridgeScope(MinidbBinding.for_user(db, "ops"))
+    print(f"analyst (read-only) tools: {analyst.tool_names()}")
+    print(f"ops (full CRUD) tools:     {ops.tool_names()}\n")
+
+    print("=" * 70)
+    print("2. Privilege annotations teach the LLM its boundaries")
+    print("=" * 70)
+    print(analyst.invoke("get_schema").content, "\n")
+
+    print("=" * 70)
+    print("3. Object-level verification intercepts violations")
+    print("=" * 70)
+    show(
+        "analyst reads an authorized table",
+        analyst.invoke("select", sql="SELECT COUNT(*) FROM orders"),
+    )
+    show(
+        "analyst probes the salaries table (no grant)",
+        analyst.invoke("select", sql="SELECT * FROM salaries"),
+    )
+    show(
+        "analyst exceeds a column-level grant (email not granted)",
+        analyst.invoke("select", sql="SELECT email FROM customers"),
+    )
+    show(
+        "prompt-injected DELETE smuggled through the select tool",
+        analyst.invoke("select", sql="DELETE FROM orders"),
+    )
+
+    print("=" * 70)
+    print("4. User-side policies restrict the LLM within the user's rights")
+    print("=" * 70)
+    guarded = BridgeScope(
+        MinidbBinding.for_user(db, "ops"),
+        BridgeScopeConfig(
+            policy=SecurityPolicy(
+                object_blacklist=frozenset({"salaries"}),
+                action_blacklist=frozenset({"DROP", "DELETE"}),
+            )
+        ),
+    )
+    print(f"ops-with-policy tools: {guarded.tool_names()}")
+    print("(drop/delete tools are gone; salaries is invisible)\n")
+    show(
+        "policy hides salaries even though ops holds a grant",
+        guarded.invoke("select", sql="SELECT * FROM salaries"),
+    )
+    show(
+        "destructive DROP blocked by the action blacklist",
+        guarded.invoke("create", sql="DROP TABLE orders"),
+    )
+    print("schema the guarded agent sees:")
+    print(guarded.invoke("get_schema").content)
+    print(
+        f"\nverifier audit: {guarded.verifier.verified} verified, "
+        f"{guarded.verifier.rejected} rejected"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""ReAct agent substrate: conversation, traces, and the agent loop."""
+
+from .messages import AgentAction, Conversation, Message
+from .react import AgentView, ReActAgent
+from .trace import RunTrace, ToolCallRecord
+
+__all__ = [
+    "AgentAction",
+    "AgentView",
+    "Conversation",
+    "Message",
+    "ReActAgent",
+    "RunTrace",
+    "ToolCallRecord",
+]

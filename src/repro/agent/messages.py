@@ -1,0 +1,73 @@
+"""Agent conversation messages with token accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..llm.tokenizer import count_tokens
+
+
+@dataclass
+class Message:
+    role: str  # "system" | "user" | "assistant" | "tool"
+    content: str
+    tokens: int = 0
+
+    def __post_init__(self):
+        if not self.tokens:
+            self.tokens = count_tokens(self.content)
+
+
+@dataclass
+class Conversation:
+    """Message history with running token totals."""
+
+    messages: list[Message] = field(default_factory=list)
+
+    def add(self, role: str, content: str) -> Message:
+        message = Message(role, content)
+        self.messages.append(message)
+        return message
+
+    @property
+    def total_tokens(self) -> int:
+        return sum(m.tokens for m in self.messages)
+
+    def render(self) -> str:
+        return "\n".join(f"[{m.role}] {m.content}" for m in self.messages)
+
+
+@dataclass
+class AgentAction:
+    """One decision emitted by the (simulated) LLM."""
+
+    kind: str  # "tool_call" | "final" | "abort"
+    tool: str | None = None
+    args: dict[str, Any] = field(default_factory=dict)
+    text: str = ""
+    #: free-form reasoning the model "wrote" before acting (token cost)
+    reasoning_tokens: int = 0
+
+    @classmethod
+    def call(cls, tool: str, reasoning_tokens: int = 0, **args: Any) -> "AgentAction":
+        return cls("tool_call", tool=tool, args=args, reasoning_tokens=reasoning_tokens)
+
+    @classmethod
+    def final(cls, text: str, reasoning_tokens: int = 0) -> "AgentAction":
+        return cls("final", text=text, reasoning_tokens=reasoning_tokens)
+
+    @classmethod
+    def abort(cls, reason: str, reasoning_tokens: int = 0) -> "AgentAction":
+        return cls("abort", text=reason, reasoning_tokens=reasoning_tokens)
+
+    def render(self) -> str:
+        if self.kind == "tool_call":
+            parts = ", ".join(f"{k}={_shorten(repr(v))}" for k, v in self.args.items())
+            return f"call {self.tool}({parts})"
+        prefix = "FINAL" if self.kind == "final" else "ABORT"
+        return f"{prefix}: {self.text}"
+
+
+def _shorten(text: str, limit: int = 4000) -> str:
+    return text if len(text) <= limit else text[:limit] + "..."

@@ -1,0 +1,141 @@
+"""ReAct agent loop (Yao et al., ICLR 2023) over a tool registry.
+
+The loop is model-agnostic: any *policy* implementing
+``decide(task, view) -> AgentAction`` can drive it — the simulated LLMs in
+:mod:`repro.llm.policy` here, or a real LLM client in production use.
+
+Token accounting mirrors a chat API: every decision charges the full
+current context (system prompt + tool list + history) as input tokens and
+the rendered action (plus hidden reasoning) as output tokens. A context-
+window overflow aborts the run with ``failure_reason="context_overflow"`` —
+this is the mechanism behind PG-MCP's NL2ML failures in Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Protocol
+
+from ..llm.profiles import ModelProfile
+from ..llm.tokenizer import count_tokens
+from ..mcp import ToolCall, ToolRegistry, ToolResult
+from .messages import AgentAction, Conversation
+from .trace import RunTrace, ToolCallRecord
+
+_OBSERVATION_HARD_LIMIT = 2_000_000  # characters; guards pathological payloads
+
+
+@dataclass
+class AgentView:
+    """What the policy may look at when deciding the next action."""
+
+    tool_names: list[str]
+    conversation: Conversation
+    last_result: ToolResult | None
+    last_action: AgentAction | None
+    step: int
+    scratch: dict[str, Any] = field(default_factory=dict)
+
+
+class Policy(Protocol):  # pragma: no cover - typing helper
+    profile: ModelProfile
+
+    def decide(self, task: Any, view: AgentView) -> AgentAction: ...
+
+    def reset(self) -> None: ...
+
+
+class ReActAgent:
+    """Drives task execution: policy decides, registry executes, repeat."""
+
+    def __init__(
+        self,
+        policy: Policy,
+        registry: ToolRegistry,
+        system_prompt: str,
+        toolkit_name: str = "toolkit",
+    ):
+        self.policy = policy
+        self.registry = registry
+        self.system_prompt = system_prompt
+        self.toolkit_name = toolkit_name
+
+    def run(self, task: Any) -> RunTrace:
+        profile = self.policy.profile
+        trace = RunTrace(
+            task_id=getattr(task, "task_id", "task"),
+            model=profile.name,
+            toolkit=self.toolkit_name,
+        )
+        self.policy.reset()
+        conversation = Conversation()
+        conversation.add("system", self.system_prompt)
+        conversation.add("system", self.registry.render_tool_list())
+        conversation.add("user", getattr(task, "description", str(task)))
+
+        view = AgentView(
+            tool_names=self.registry.tool_names(),
+            conversation=conversation,
+            last_result=None,
+            last_action=None,
+            step=0,
+        )
+
+        for step in range(profile.max_steps):
+            view.step = step
+            # ---- one LLM call -------------------------------------------
+            prompt_tokens = conversation.total_tokens
+            if prompt_tokens > profile.context_window:
+                trace.failure_reason = "context_overflow"
+                trace.completed = False
+                return trace
+            action = self.policy.decide(task, view)
+            action.reasoning_tokens = action.reasoning_tokens or profile.reasoning_verbosity
+            trace.llm_calls += 1
+            trace.input_tokens += prompt_tokens
+            rendered_action = action.render()
+            trace.output_tokens += (
+                count_tokens(rendered_action) + action.reasoning_tokens
+            )
+            conversation.add("assistant", rendered_action)
+
+            # ---- act ------------------------------------------------------
+            if action.kind == "final":
+                trace.completed = True
+                trace.final_text = action.text
+                return trace
+            if action.kind == "abort":
+                trace.completed = True
+                trace.aborted = True
+                trace.final_text = action.text
+                return trace
+
+            result = self.registry.call(ToolCall(action.tool, action.args))
+            trace.tool_calls.append(
+                ToolCallRecord(
+                    tool=action.tool,
+                    args=action.args,
+                    ok=not result.is_error,
+                    error_code=result.error_code,
+                )
+            )
+            if not result.is_error:
+                if action.tool == "begin":
+                    trace.began_transaction = True
+                elif action.tool == "commit":
+                    trace.committed = True
+                elif action.tool == "rollback":
+                    trace.rolled_back = True
+                if "rows" in result.metadata or not isinstance(result.content, str):
+                    trace.last_payload = result.metadata.get("rows", result.content)
+
+            observation = result.render()
+            if len(observation) > _OBSERVATION_HARD_LIMIT:
+                observation = observation[:_OBSERVATION_HARD_LIMIT]
+            conversation.add("tool", observation)
+            view.last_result = result
+            view.last_action = action
+
+        trace.failure_reason = "step_limit"
+        trace.completed = False
+        return trace

@@ -1,0 +1,52 @@
+"""Execution traces: everything the benchmarks measure about one task run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class ToolCallRecord:
+    tool: str
+    args: dict[str, Any]
+    ok: bool
+    error_code: str | None = None
+
+
+@dataclass
+class RunTrace:
+    """Metrics of one agent run on one task."""
+
+    task_id: str
+    model: str
+    toolkit: str
+    #: number of LLM invocations (each decision = one call)
+    llm_calls: int = 0
+    #: tokens fed to the LLM across all calls (prompt side, cumulative)
+    input_tokens: int = 0
+    #: tokens emitted by the LLM across all calls
+    output_tokens: int = 0
+    tool_calls: list[ToolCallRecord] = field(default_factory=list)
+    began_transaction: bool = False
+    committed: bool = False
+    rolled_back: bool = False
+    completed: bool = False
+    aborted: bool = False
+    failure_reason: str | None = None
+    final_text: str = ""
+    #: structured payload of the last successful data-bearing tool result
+    last_payload: Any = None
+
+    @property
+    def total_tokens(self) -> int:
+        return self.input_tokens + self.output_tokens
+
+    def tool_sequence(self) -> list[str]:
+        return [record.tool for record in self.tool_calls]
+
+    def used(self, tool: str) -> bool:
+        return any(record.tool == tool for record in self.tool_calls)
+
+    def error_count(self) -> int:
+        return sum(1 for record in self.tool_calls if not record.ok)

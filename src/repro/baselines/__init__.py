@@ -1,0 +1,5 @@
+"""Baseline database toolkits the paper compares against."""
+
+from .pg_mcp import PGMCP, PGMCPMinus, make_sampled_binding
+
+__all__ = ["PGMCP", "PGMCPMinus", "make_sampled_binding"]

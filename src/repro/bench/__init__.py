@@ -1,0 +1,5 @@
+"""Benchmarks and experiment harness for the BridgeScope reproduction."""
+
+from .tasks import DBTask, MLTask, PipelineNode, TrickyValue
+
+__all__ = ["DBTask", "MLTask", "PipelineNode", "TrickyValue"]

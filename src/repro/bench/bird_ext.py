@@ -1,0 +1,478 @@
+"""BIRD-Ext task generation (paper Section 3.1, benchmark 1).
+
+Extends read-only NL2SQL tasks with INSERT/UPDATE/DELETE modifications:
+150 read tasks plus 150 write tasks (50 per modification type), generated
+from templates over the synthetic BIRD database. Each task carries:
+
+* ``gold_sql`` — the correct statement;
+* ``wrong_identifier_sql`` — a plausible hallucination (wrong column name)
+  that fails at the engine, used when the simulated LLM generates SQL
+  without schema knowledge;
+* ``value_miss_sql`` — for tasks with a tricky text predicate, the variant
+  using the NL surface form (runs, silently wrong);
+* ``tricky`` — the NL-vs-stored value pair driving get_value usage.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+
+from .datasets import CATEGORIES, CHARTER_TYPES, REGIONS
+from .tasks import DBTask, TrickyValue
+
+#: NL surface forms the task descriptions use for stored values
+NL_FORMS = {
+    "women's wear": "women",
+    "men's wear": "men",
+    "children's wear": "kids",
+    "sportswear": "sport clothes",
+    "West Coast": "west",
+    "East Coast": "east",
+    "Midwest": "midwest area",
+    "Southern": "south",
+    "directly funded": "direct funding",
+    "locally funded": "local funding",
+    "independent": "independent charter",
+}
+
+#: plausible-but-wrong identifier substitutions (hallucinations)
+_WRONG_IDENTIFIER = {
+    "school_name": "name",
+    "enrollment": "num_students",
+    "avg_math": "math_score",
+    "category": "item_category",
+    "amount": "total_amount",
+    "quantity": "qty",
+    "balance": "account_balance",
+    "region": "area",
+    "county": "county_name",
+    "price": "unit_price",
+    "client_name": "name",
+    "reason": "refund_reason",
+    "item_name": "product_name",
+    "num_takers": "takers",
+    "district": "district_name",
+    "charter_type": "charter",
+}
+
+
+def _q(value: str) -> str:
+    """SQL-quote a string value (doubling embedded quotes)."""
+    return "'" + value.replace("'", "''") + "'"
+
+
+def _corrupt(sql: str, column: str) -> str | None:
+    wrong = _WRONG_IDENTIFIER.get(column)
+    if wrong is None or column not in sql:
+        return None
+    return sql.replace(column, wrong)
+
+
+_THRESHOLD_RE = re.compile(r"(>=|<=|>|<)\s*(\d+)")
+
+
+def _logic_miss(sql: str) -> str | None:
+    """Perturb the first numeric comparison (off-by-a-lot logic slip)."""
+
+    def bump(match: re.Match) -> str:
+        op, number = match.group(1), int(match.group(2))
+        flipped = {">": "<", "<": ">", ">=": "<=", "<=": ">="}[op]
+        return f"{flipped} {number}"
+
+    mutated = _THRESHOLD_RE.sub(bump, sql, count=1)
+    return mutated if mutated != sql else None
+
+
+# --------------------------------------------------------------------------
+# read templates
+# --------------------------------------------------------------------------
+
+
+def _read_templates(rng: random.Random) -> list[dict]:
+    threshold = rng.randint(500, 2500)
+    math_floor = rng.randint(450, 650)
+    amount_floor = rng.randint(50, 400)
+    quantity_floor = rng.randint(2, 6)
+    balance_floor = rng.randint(500, 5000)
+    category = rng.choice(CATEGORIES)
+    region = rng.choice(REGIONS)
+    charter = rng.choice(CHARTER_TYPES)
+    county = rng.choice(["Alameda", "Fresno", "Los Angeles", "Orange", "San Diego"])
+    return [
+        {
+            "description": f"List names of schools with enrollment above {threshold}.",
+            "sql": (
+                "SELECT school_name FROM schools "
+                f"WHERE enrollment > {threshold}"
+            ),
+            "tables": ["schools"],
+            "corrupt_col": "enrollment",
+        },
+        {
+            "description": (
+                f"How many schools are in {county} county?"
+            ),
+            "sql": f"SELECT COUNT(*) FROM schools WHERE county = '{county}'",
+            "tables": ["schools"],
+            "corrupt_col": "county",
+        },
+        {
+            "description": (
+                f"Average math SAT score of schools with enrollment over {threshold}, "
+                "joining scores to schools."
+            ),
+            "sql": (
+                "SELECT AVG(s.avg_math) FROM satscores s "
+                "JOIN schools c ON s.cds_code = c.cds_code "
+                f"WHERE c.enrollment > {threshold}"
+            ),
+            "tables": ["satscores", "schools"],
+            "corrupt_col": "avg_math",
+        },
+        {
+            "description": (
+                f"Names of schools whose average math score exceeds {math_floor}, "
+                "ordered by score descending."
+            ),
+            "sql": (
+                "SELECT c.school_name, s.avg_math FROM schools c "
+                "JOIN satscores s ON s.cds_code = c.cds_code "
+                f"WHERE s.avg_math > {math_floor} ORDER BY s.avg_math DESC"
+            ),
+            "tables": ["schools", "satscores"],
+            "corrupt_col": "avg_math",
+        },
+        {
+            "description": (
+                f"Schools with {NL_FORMS[charter]} charter type and their enrollment."
+            ),
+            "sql": (
+                "SELECT school_name, enrollment FROM schools "
+                f"WHERE charter_type = {_q(charter)}"
+            ),
+            "tables": ["schools"],
+            "corrupt_col": "school_name",
+            "tricky": TrickyValue("schools.charter_type", NL_FORMS[charter], charter),
+        },
+        {
+            "description": (
+                f"Total sales amount for {NL_FORMS[category]} products of brand A."
+            ),
+            "sql": (
+                "SELECT SUM(s.amount) FROM brand_a_sales s "
+                "JOIN brand_a_items i ON s.item_id = i.item_id "
+                f"WHERE i.category = {_q(category)}"
+            ),
+            "tables": ["brand_a_sales", "brand_a_items"],
+            "corrupt_col": "amount",
+            "tricky": TrickyValue("brand_a_items.category", NL_FORMS[category], category),
+        },
+        {
+            "description": (
+                f"Order ids and amounts of brand A sales in the {NL_FORMS[region]} "
+                f"region with amount above {amount_floor}."
+            ),
+            "sql": (
+                "SELECT order_id, amount FROM brand_a_sales "
+                f"WHERE region = {_q(region)} AND amount > {amount_floor}"
+            ),
+            "tables": ["brand_a_sales"],
+            "corrupt_col": "amount",
+            "tricky": TrickyValue("brand_a_sales.region", NL_FORMS[region], region),
+        },
+        {
+            "description": (
+                f"Count brand A orders with at least {quantity_floor} units."
+            ),
+            "sql": (
+                "SELECT COUNT(*) FROM brand_a_sales "
+                f"WHERE quantity >= {quantity_floor}"
+            ),
+            "tables": ["brand_a_sales"],
+            "corrupt_col": "quantity",
+        },
+        {
+            "description": "Items never sold by brand A (no matching sale).",
+            "sql": (
+                "SELECT item_name FROM brand_a_items i WHERE NOT EXISTS "
+                "(SELECT 1 FROM brand_a_sales s WHERE s.item_id = i.item_id)"
+            ),
+            "tables": ["brand_a_items", "brand_a_sales"],
+            "corrupt_col": "item_name" if "item_name" in _WRONG_IDENTIFIER else "category",
+        },
+        {
+            "description": "Refund amounts together with the original sale amounts.",
+            "sql": (
+                "SELECT r.refund_id, r.amount, s.amount FROM brand_a_refunds r "
+                "JOIN brand_a_sales s ON r.order_id = s.order_id"
+            ),
+            "tables": ["brand_a_refunds", "brand_a_sales"],
+            "corrupt_col": "amount",
+        },
+        {
+            "description": (
+                f"Clients whose accounts hold a balance above {balance_floor}."
+            ),
+            "sql": (
+                "SELECT DISTINCT c.client_name FROM clients c "
+                "JOIN accounts a ON a.client_id = c.client_id "
+                f"WHERE a.balance > {balance_floor}"
+            ),
+            "tables": ["clients", "accounts"],
+            "corrupt_col": "balance",
+        },
+        {
+            "description": "Number of accounts per district, largest first.",
+            "sql": (
+                "SELECT c.district, COUNT(*) AS n FROM clients c "
+                "JOIN accounts a ON a.client_id = c.client_id "
+                "GROUP BY c.district ORDER BY n DESC"
+            ),
+            "tables": ["clients", "accounts"],
+            "corrupt_col": "client_name",
+        },
+        {
+            "description": "Average refund amount per refund reason.",
+            "sql": (
+                "SELECT reason, AVG(amount) FROM brand_a_refunds GROUP BY reason"
+            ),
+            "tables": ["brand_a_refunds"],
+            "corrupt_col": "reason",
+        },
+        {
+            "description": (
+                "The five largest brand A orders by amount (id and amount)."
+            ),
+            "sql": (
+                "SELECT order_id, amount FROM brand_a_sales "
+                "ORDER BY amount DESC LIMIT 5"
+            ),
+            "tables": ["brand_a_sales"],
+            "corrupt_col": "amount",
+        },
+        {
+            "description": "Accounts with negative balance and their clients.",
+            "sql": (
+                "SELECT a.account_id, c.client_name FROM accounts a "
+                "JOIN clients c ON c.client_id = a.client_id WHERE a.balance < 0"
+            ),
+            "tables": ["accounts", "clients"],
+            "corrupt_col": "balance",
+        },
+    ]
+
+
+# --------------------------------------------------------------------------
+# write templates
+# --------------------------------------------------------------------------
+
+
+def _insert_templates(rng: random.Random, index: int) -> list[dict]:
+    order_id = 9_000 + index
+    school_id = 9_000 + index
+    refund_id = 9_000 + index
+    client_id = 9_000 + index
+    amount = round(rng.uniform(20.0, 400.0), 2)
+    quantity = rng.randint(1, 6)
+    enrollment = rng.randint(100, 2500)
+    return [
+        {
+            "description": (
+                f"Record a new brand A sale (order {order_id}) of item 1 in the "
+                f"West Coast region: {quantity} units for {amount}."
+            ),
+            "sql": (
+                "INSERT INTO brand_a_sales (order_id, item_id, region, quantity, "
+                f"amount, sale_date) VALUES ({order_id}, 1, 'West Coast', "
+                f"{quantity}, {amount}, '2025-06-01')"
+            ),
+            "tables": ["brand_a_sales"],
+            "corrupt_col": "quantity",
+        },
+        {
+            "description": (
+                f"Register new school {school_id} named 'New Hope Academy' in "
+                f"Fresno county, independent charter, enrollment {enrollment}."
+            ),
+            "sql": (
+                "INSERT INTO schools (cds_code, school_name, county, charter_type, "
+                f"enrollment) VALUES ({school_id}, 'New Hope Academy', 'Fresno', "
+                f"'independent', {enrollment})"
+            ),
+            "tables": ["schools"],
+            "corrupt_col": "school_name",
+        },
+        {
+            "description": (
+                f"Log refund {refund_id} of {amount} against order 1 for a "
+                "damaged item."
+            ),
+            "sql": (
+                "INSERT INTO brand_a_refunds (refund_id, order_id, amount, reason) "
+                f"VALUES ({refund_id}, 1, {amount}, 'damaged')"
+            ),
+            "tables": ["brand_a_refunds"],
+            "corrupt_col": "reason",
+        },
+        {
+            "description": (
+                f"Add client {client_id} 'Acme Holdings' in the north district."
+            ),
+            "sql": (
+                "INSERT INTO clients (client_id, client_name, district) "
+                f"VALUES ({client_id}, 'Acme Holdings', 'north')"
+            ),
+            "tables": ["clients"],
+            "corrupt_col": "client_name",
+        },
+    ]
+
+
+def _update_templates(rng: random.Random, index: int) -> list[dict]:
+    pct = rng.choice([5, 10, 15])
+    factor = round(1 + pct / 100, 2)
+    category = rng.choice(CATEGORIES)
+    region = rng.choice(REGIONS)
+    floor = rng.randint(100, 1500)
+    return [
+        {
+            "description": (
+                f"Raise prices of all {NL_FORMS[category]} items by {pct} percent."
+            ),
+            "sql": (
+                f"UPDATE brand_a_items SET price = price * {factor} "
+                f"WHERE category = {_q(category)}"
+            ),
+            "tables": ["brand_a_items"],
+            "corrupt_col": "price",
+            "tricky": TrickyValue("brand_a_items.category", NL_FORMS[category], category),
+        },
+        {
+            "description": (
+                f"Set quantity to at least 1 for {NL_FORMS[region]} orders "
+                "currently at 0 (data repair)."
+            ),
+            "sql": (
+                "UPDATE brand_a_sales SET quantity = 1 "
+                f"WHERE region = {_q(region)} AND quantity < 1"
+            ),
+            "tables": ["brand_a_sales"],
+            "corrupt_col": "quantity",
+            "tricky": TrickyValue("brand_a_sales.region", NL_FORMS[region], region),
+        },
+        {
+            "description": (
+                f"Mark schools with enrollment under {floor} as independent charter."
+            ),
+            "sql": (
+                "UPDATE schools SET charter_type = 'independent' "
+                f"WHERE enrollment < {floor}"
+            ),
+            "tables": ["schools"],
+            "corrupt_col": "enrollment",
+        },
+        {
+            "description": "Zero out negative account balances (write-off).",
+            "sql": "UPDATE accounts SET balance = 0 WHERE balance < 0",
+            "tables": ["accounts"],
+            "corrupt_col": "balance",
+        },
+    ]
+
+
+def _delete_templates(rng: random.Random, index: int) -> list[dict]:
+    reason = rng.choice(["damaged", "late delivery", "wrong size"])
+    floor = rng.randint(2, 30)
+    return [
+        {
+            "description": f"Remove refunds filed for reason '{reason}'.",
+            "sql": f"DELETE FROM brand_a_refunds WHERE reason = '{reason}'",
+            "tables": ["brand_a_refunds"],
+            "corrupt_col": "reason",
+        },
+        {
+            "description": (
+                f"Delete SAT score rows with fewer than {floor} test takers."
+            ),
+            "sql": f"DELETE FROM satscores WHERE num_takers < {floor}",
+            "tables": ["satscores"],
+            "corrupt_col": "num_takers" if "num_takers" in _WRONG_IDENTIFIER else "avg_math",
+        },
+        {
+            "description": "Delete audit-free clients with no accounts.",
+            "sql": (
+                "DELETE FROM clients WHERE client_id NOT IN "
+                "(SELECT client_id FROM accounts)"
+            ),
+            "tables": ["clients", "accounts"],
+            "corrupt_col": "client_name",
+        },
+        {
+            "description": "Remove brand B sales records below 20 in amount.",
+            "sql": "DELETE FROM brand_b_sales WHERE amount < 20",
+            "tables": ["brand_b_sales"],
+            "corrupt_col": "amount",
+        },
+    ]
+
+
+# --------------------------------------------------------------------------
+# generation
+# --------------------------------------------------------------------------
+
+
+def _task_from_template(template: dict, action: str, task_id: str, seed: int) -> DBTask:
+    sql = template["sql"]
+    tricky: TrickyValue | None = template.get("tricky")
+    value_miss_sql = None
+    if tricky is not None:
+        value_miss_sql = sql.replace(_q(tricky.stored_form), _q(tricky.nl_form))
+        if value_miss_sql == sql:
+            value_miss_sql = None
+    return DBTask(
+        task_id=task_id,
+        description=template["description"],
+        action=action,
+        tables=template["tables"],
+        gold_sql=sql,
+        wrong_identifier_sql=_corrupt(sql, template["corrupt_col"]),
+        value_miss_sql=value_miss_sql,
+        logic_miss_sql=_logic_miss(sql) if action in ("SELECT", "UPDATE") else None,
+        tricky=tricky,
+        seed=seed,
+    )
+
+
+def generate_bird_ext_tasks(
+    seed: int = 0,
+    n_read: int = 150,
+    n_write_each: int = 50,
+) -> list[DBTask]:
+    """The full BIRD-Ext task suite: reads plus the three write families."""
+    rng = random.Random(seed)
+    tasks: list[DBTask] = []
+    for index in range(n_read):
+        templates = _read_templates(rng)
+        template = templates[index % len(templates)]
+        tasks.append(
+            _task_from_template(template, "SELECT", f"read-{index:03d}", seed + index)
+        )
+    makers = [
+        ("INSERT", _insert_templates),
+        ("UPDATE", _update_templates),
+        ("DELETE", _delete_templates),
+    ]
+    for action, maker in makers:
+        for index in range(n_write_each):
+            templates = maker(rng, index)
+            template = templates[index % len(templates)]
+            tasks.append(
+                _task_from_template(
+                    template,
+                    action,
+                    f"{action.lower()}-{index:03d}",
+                    seed + 1_000 + index,
+                )
+            )
+    return tasks

@@ -1,0 +1,95 @@
+"""Command-line front end for the experiment harness.
+
+Regenerate any paper table/figure without pytest::
+
+    python -m repro.bench fig5a --tasks 25 --scale 0.5
+    python -m repro.bench table2 --housing-rows 20000
+    python -m repro.bench all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .reporting import (
+    render_fig5a,
+    render_fig5b,
+    render_fig5c,
+    render_fig6,
+    render_table1,
+    render_table2,
+)
+from .runner import (
+    experiment_fig5a,
+    experiment_fig5b,
+    experiment_fig5c,
+    experiment_fig6_table1,
+    experiment_table2,
+)
+
+EXPERIMENTS = ("fig5a", "fig5b", "fig5c", "fig6", "table1", "table2")
+
+
+def run_experiment(
+    name: str,
+    tasks: int,
+    scale: float,
+    housing_rows: int,
+    models: list[str] | None = None,
+) -> str:
+    """Run one experiment by name and return its rendered report."""
+    if name == "fig5a":
+        return render_fig5a(experiment_fig5a(models, n_tasks=tasks, scale=scale))
+    if name == "fig5b":
+        return render_fig5b(experiment_fig5b(models, n_tasks=tasks, scale=scale))
+    if name == "fig5c":
+        return render_fig5c(experiment_fig5c(models, n_tasks=tasks, scale=scale))
+    if name == "fig6":
+        return render_fig6(
+            experiment_fig6_table1(models, n_tasks_per_cell=tasks, scale=scale)
+        )
+    if name == "table1":
+        return render_table1(
+            experiment_fig6_table1(models, n_tasks_per_cell=tasks, scale=scale)
+        )
+    if name == "table2":
+        return render_table2(
+            experiment_table2(models, per_level=10, housing_rows=housing_rows)
+        )
+    raise ValueError(f"unknown experiment {name!r}; choose from {EXPERIMENTS}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.bench", description=__doc__)
+    parser.add_argument(
+        "experiment",
+        choices=EXPERIMENTS + ("all",),
+        help="which paper result to regenerate",
+    )
+    parser.add_argument("--tasks", type=int, default=25, help="tasks per cell")
+    parser.add_argument("--scale", type=float, default=0.5, help="database scale")
+    parser.add_argument(
+        "--housing-rows", type=int, default=20_000, help="NL2ML table size"
+    )
+    parser.add_argument(
+        "--model",
+        action="append",
+        choices=["gpt-4o", "claude-4"],
+        default=None,
+        help="restrict to one or more simulated models",
+    )
+    args = parser.parse_args(argv)
+
+    names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    for name in names:
+        report = run_experiment(
+            name, args.tasks, args.scale, args.housing_rows, args.model
+        )
+        print(report)
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,271 @@
+"""Synthetic databases for the two benchmarks.
+
+* :func:`build_bird_database` — a multi-domain database standing in for
+  BIRD's: a school district domain, a retail chain domain (the paper's
+  running example), and a small finance domain. Text columns contain
+  planted surface forms ("women's wear") whose NL forms ("women") differ,
+  exercising the get_value code path.
+* :func:`build_housing_database` — the California-housing stand-in: one
+  ``house`` table, 10 columns × 20,000 rows, numeric features plus a
+  categorical ``ocean_proximity``, with a planted linear-ish price
+  structure so regression models fit meaningfully.
+
+Row loading bypasses the SQL layer (direct heap writes after schema
+creation) so per-task database rebuilds stay cheap; constraints hold by
+construction.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from ..minidb import Database
+
+#: the roles simulated in Section 3.3
+ROLE_ADMIN = "admin"
+ROLE_NORMAL = "normal"
+ROLE_IRRELEVANT = "irrelevant"
+
+CATEGORIES = ["women's wear", "men's wear", "children's wear", "sportswear"]
+REGIONS = ["West Coast", "East Coast", "Midwest", "Southern"]
+CHARTER_TYPES = ["directly funded", "locally funded", "independent"]
+OCEAN_PROXIMITY = ["<1H OCEAN", "INLAND", "NEAR OCEAN", "NEAR BAY", "ISLAND"]
+
+
+def _bulk_load(db: Database, table: str, rows: list[dict[str, Any]]) -> None:
+    heap = db.heap(table)
+    for row in rows:
+        heap.insert(row)
+
+
+def build_bird_database(seed: int = 0, scale: float = 1.0) -> Database:
+    """Build the BIRD-Ext substrate database with all three domains."""
+    rng = random.Random(seed)
+    db = Database(owner=ROLE_ADMIN, name="bird_ext")
+    admin = db.connect(ROLE_ADMIN)
+
+    n = lambda base: max(4, int(base * scale))  # noqa: E731 - local scaler
+
+    # ---------------------------------------------------------- schools
+    admin.execute(
+        "CREATE TABLE schools (cds_code INT PRIMARY KEY, school_name TEXT NOT NULL, "
+        "county TEXT, charter_type TEXT, enrollment INT CHECK (enrollment >= 0))"
+    )
+    admin.execute(
+        "CREATE TABLE satscores (score_id INT PRIMARY KEY, cds_code INT NOT NULL "
+        "REFERENCES schools(cds_code), avg_math FLOAT, avg_reading FLOAT, "
+        "num_takers INT)"
+    )
+    counties = ["Alameda", "Fresno", "Los Angeles", "Orange", "San Diego"]
+    school_rows = []
+    for i in range(1, n(60) + 1):
+        school_rows.append(
+            {
+                "cds_code": i,
+                "school_name": f"School {i:03d}",
+                "county": rng.choice(counties),
+                "charter_type": rng.choice(CHARTER_TYPES),
+                "enrollment": rng.randint(80, 3000),
+            }
+        )
+    _bulk_load(db, "schools", school_rows)
+    sat_rows = []
+    for i in range(1, n(50) + 1):
+        sat_rows.append(
+            {
+                "score_id": i,
+                "cds_code": rng.randint(1, n(60)),
+                "avg_math": round(rng.uniform(380.0, 720.0), 1),
+                "avg_reading": round(rng.uniform(380.0, 720.0), 1),
+                "num_takers": rng.randint(10, 400),
+            }
+        )
+    _bulk_load(db, "satscores", sat_rows)
+
+    # ----------------------------------------------------------- retail
+    admin.execute(
+        "CREATE TABLE brand_a_items (item_id INT PRIMARY KEY, item_name TEXT NOT NULL, "
+        "category TEXT, price FLOAT CHECK (price >= 0))"
+    )
+    admin.execute(
+        "CREATE TABLE brand_a_sales (order_id INT PRIMARY KEY, item_id INT NOT NULL "
+        "REFERENCES brand_a_items(item_id), region TEXT, quantity INT, "
+        "amount FLOAT, sale_date DATE)"
+    )
+    admin.execute(
+        "CREATE TABLE brand_a_refunds (refund_id INT PRIMARY KEY, order_id INT "
+        "NOT NULL REFERENCES brand_a_sales(order_id), amount FLOAT, reason TEXT)"
+    )
+    admin.execute(
+        "CREATE TABLE brand_b_sales (order_id INT PRIMARY KEY, amount FLOAT, "
+        "region TEXT)"
+    )
+    item_rows = []
+    for i in range(1, n(40) + 1):
+        item_rows.append(
+            {
+                "item_id": i,
+                "item_name": f"Item-{i:03d}",
+                "category": rng.choice(CATEGORIES),
+                "price": round(rng.uniform(5.0, 250.0), 2),
+            }
+        )
+    _bulk_load(db, "brand_a_items", item_rows)
+    sale_rows = []
+    for i in range(1, n(120) + 1):
+        quantity = rng.randint(1, 8)
+        item = rng.choice(item_rows)
+        sale_rows.append(
+            {
+                "order_id": i,
+                "item_id": item["item_id"],
+                "region": rng.choice(REGIONS),
+                "quantity": quantity,
+                "amount": round(quantity * item["price"], 2),
+                "sale_date": f"2025-{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}",
+            }
+        )
+    _bulk_load(db, "brand_a_sales", sale_rows)
+    refund_rows = []
+    for i in range(1, n(25) + 1):
+        sale = rng.choice(sale_rows)
+        refund_rows.append(
+            {
+                "refund_id": i,
+                "order_id": sale["order_id"],
+                "amount": round(sale["amount"] * rng.uniform(0.2, 1.0), 2),
+                "reason": rng.choice(["damaged", "late delivery", "wrong size"]),
+            }
+        )
+    _bulk_load(db, "brand_a_refunds", refund_rows)
+    _bulk_load(
+        db,
+        "brand_b_sales",
+        [
+            {
+                "order_id": i,
+                "amount": round(rng.uniform(10.0, 400.0), 2),
+                "region": rng.choice(REGIONS),
+            }
+            for i in range(1, n(30) + 1)
+        ],
+    )
+
+    # ---------------------------------------------------------- finance
+    admin.execute(
+        "CREATE TABLE clients (client_id INT PRIMARY KEY, client_name TEXT, "
+        "district TEXT)"
+    )
+    admin.execute(
+        "CREATE TABLE accounts (account_id INT PRIMARY KEY, client_id INT NOT NULL "
+        "REFERENCES clients(client_id), balance FLOAT, opened DATE)"
+    )
+    client_rows = [
+        {
+            "client_id": i,
+            "client_name": f"Client {i:03d}",
+            "district": rng.choice(["north", "south", "east", "west"]),
+        }
+        for i in range(1, n(30) + 1)
+    ]
+    _bulk_load(db, "clients", client_rows)
+    _bulk_load(
+        db,
+        "accounts",
+        [
+            {
+                "account_id": i,
+                "client_id": rng.randint(1, n(30)),
+                "balance": round(rng.uniform(-500.0, 9000.0), 2),
+                "opened": f"202{rng.randint(0, 5)}-{rng.randint(1, 12):02d}-01",
+            }
+            for i in range(1, n(45) + 1)
+        ],
+    )
+
+    # ------------------------------------------- role-irrelevant table
+    admin.execute(
+        "CREATE TABLE audit_log (log_id INT PRIMARY KEY, actor TEXT, note TEXT)"
+    )
+    _bulk_load(
+        db,
+        "audit_log",
+        [
+            {"log_id": i, "actor": "system", "note": f"event {i}"}
+            for i in range(1, 6)
+        ],
+    )
+
+    setup_roles(db)
+    return db
+
+
+def setup_roles(db: Database) -> None:
+    """Create the three Section-3.3 roles and their grants."""
+    admin = db.connect(ROLE_ADMIN)
+    db.create_user(ROLE_NORMAL)
+    db.create_user(ROLE_IRRELEVANT)
+    for table in db.catalog.object_names():
+        if table == "audit_log":
+            continue
+        admin.execute(f"GRANT SELECT ON {table} TO {ROLE_NORMAL}")
+    admin.execute(f"GRANT ALL ON audit_log TO {ROLE_IRRELEVANT}")
+
+
+# --------------------------------------------------------------------------
+# housing
+# --------------------------------------------------------------------------
+
+
+def build_housing_database(seed: int = 0, rows: int = 20_000) -> Database:
+    """The NL2ML substrate: one ``house`` table with ``rows`` rows."""
+    rng = random.Random(seed)
+    db = Database(owner=ROLE_ADMIN, name="housing")
+    admin = db.connect(ROLE_ADMIN)
+    admin.execute(
+        "CREATE TABLE house ("
+        "longitude FLOAT, latitude FLOAT, housing_median_age FLOAT, "
+        "total_rooms FLOAT, total_bedrooms FLOAT, population FLOAT, "
+        "households FLOAT, median_income FLOAT, median_house_value FLOAT, "
+        "ocean_proximity TEXT)"
+    )
+    house_rows = []
+    for _ in range(rows):
+        longitude = rng.uniform(-124.3, -114.3)
+        latitude = rng.uniform(32.5, 42.0)
+        age = float(rng.randint(1, 52))
+        households = float(rng.randint(50, 1800))
+        rooms = households * rng.uniform(3.5, 7.5)
+        bedrooms = rooms * rng.uniform(0.15, 0.3)
+        population = households * rng.uniform(2.0, 4.5)
+        income = max(0.5, rng.lognormvariate(1.2, 0.45))
+        proximity = rng.choices(
+            OCEAN_PROXIMITY, weights=[40, 35, 15, 9, 1], k=1
+        )[0]
+        coast_bonus = {"<1H OCEAN": 45_000, "NEAR OCEAN": 60_000,
+                       "NEAR BAY": 70_000, "ISLAND": 120_000, "INLAND": 0}[proximity]
+        value = (
+            38_000 * income
+            + 900 * age
+            + 18 * (rooms / households) * 1_000
+            + coast_bonus
+            + rng.gauss(0, 18_000)
+        )
+        value = float(min(max(value, 15_000), 500_001))
+        house_rows.append(
+            {
+                "longitude": round(longitude, 2),
+                "latitude": round(latitude, 2),
+                "housing_median_age": age,
+                "total_rooms": round(rooms, 0),
+                "total_bedrooms": round(bedrooms, 0),
+                "population": round(population, 0),
+                "households": households,
+                "median_income": round(income, 4),
+                "median_house_value": round(value, 0),
+                "ocean_proximity": proximity,
+            }
+        )
+    _bulk_load(db, "house", house_rows)
+    return db

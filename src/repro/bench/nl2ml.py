@@ -1,0 +1,135 @@
+"""NL2ML benchmark generation (paper Section 3.1, benchmark 2).
+
+30 tasks over the housing database at three complexity levels (10 each):
+
+* **level 1** — query data, train a model (one proxy-unit layer);
+* **level 2** — additionally normalize between query and training (two);
+* **level 3** — additionally predict house prices with the trained model
+  (three layers).
+
+Each task's gold pipeline is a nested :class:`PipelineNode`; the proxy
+translation and the manual (LLM-routed) translation are both derived from
+the same plan by the policy.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..llm.tokenizer import count_tokens
+from ..minidb import Database
+from .tasks import MLTask, PipelineNode
+
+_FEATURES = [
+    "housing_median_age",
+    "total_rooms",
+    "total_bedrooms",
+    "population",
+    "households",
+    "median_income",
+]
+_TARGET = "median_house_value"
+
+
+def _select_node(rng: random.Random, n_features: int) -> tuple[PipelineNode, list[str]]:
+    features = rng.sample(_FEATURES, n_features)
+    columns = features + [_TARGET]
+    sql = f"SELECT {', '.join(columns)} FROM house"
+    return PipelineNode("select", {"sql": sql}), features
+
+
+def _feature_rows(rng: random.Random, features: list[str], n: int) -> list[list[float]]:
+    ranges = {
+        "housing_median_age": (1, 52),
+        "total_rooms": (200, 10_000),
+        "total_bedrooms": (50, 2_500),
+        "population": (100, 6_000),
+        "households": (50, 1_800),
+        "median_income": (0.5, 12.0),
+    }
+    rows = []
+    for _ in range(n):
+        rows.append(
+            [round(rng.uniform(*ranges[f]), 3) for f in features]
+        )
+    return rows
+
+
+def generate_nl2ml_tasks(seed: int = 0, per_level: int = 10) -> list[MLTask]:
+    rng = random.Random(seed)
+    tasks: list[MLTask] = []
+
+    for index in range(per_level):
+        select, features = _select_node(rng, rng.randint(3, len(_FEATURES)))
+        trainer = rng.choice(["train_linear", "train_forest"])
+        plan = PipelineNode(trainer, {"data": select})
+        tasks.append(
+            MLTask(
+                task_id=f"ml1-{index:02d}",
+                description=(
+                    f"Train a {'linear regression' if trainer == 'train_linear' else 'random forest'} "
+                    f"model predicting {_TARGET} from {', '.join(features)} using "
+                    "the house table, and report its test metrics."
+                ),
+                plan=plan,
+                level=1,
+                seed=seed + index,
+            )
+        )
+
+    for index in range(per_level):
+        select, features = _select_node(rng, rng.randint(3, len(_FEATURES)))
+        normalizer = rng.choice(["zscore_normalize", "minmax_normalize"])
+        trainer = rng.choice(["train_linear", "train_forest"])
+        plan = PipelineNode(
+            trainer, {"data": PipelineNode(normalizer, {"data": select})}
+        )
+        tasks.append(
+            MLTask(
+                task_id=f"ml2-{index:02d}",
+                description=(
+                    f"Extract {', '.join(features)} with {_TARGET} from the house "
+                    f"table, apply {normalizer.replace('_', ' ')}, train a "
+                    f"{trainer.split('_')[1]} model, and report test metrics."
+                ),
+                plan=plan,
+                level=2,
+                seed=seed + 100 + index,
+            )
+        )
+
+    for index in range(per_level):
+        select, features = _select_node(rng, 3)
+        normalizer = rng.choice(["zscore_normalize", "minmax_normalize"])
+        inner = PipelineNode(
+            "train_linear", {"data": PipelineNode(normalizer, {"data": select})}
+        )
+        query_rows = _feature_rows(rng, features, rng.randint(2, 5))
+        plan = PipelineNode("predict", {"model": inner, "features": query_rows})
+        tasks.append(
+            MLTask(
+                task_id=f"ml3-{index:02d}",
+                description=(
+                    f"Train a normalized linear model of {_TARGET} on "
+                    f"{', '.join(features)} from the house table, then predict "
+                    f"prices for {len(query_rows)} new districts."
+                ),
+                plan=plan,
+                level=3,
+                seed=seed + 200 + index,
+            )
+        )
+    return tasks
+
+
+def idealized_pg_mcp_token_cost(db: Database, transfers: int = 2) -> int:
+    """Section 3.4(3): tokens an idealized unlimited-context agent would
+    spend just moving the house table through the LLM ``transfers`` times.
+    """
+    session = db.connect("admin")
+    result = session.execute("SELECT * FROM house")
+    lines = [" | ".join(result.columns)]
+    for row in result.rows:
+        lines.append(" | ".join("NULL" if v is None else str(v) for v in row))
+    rendering = "\n".join(lines)
+    return count_tokens(rendering) * transfers

@@ -1,0 +1,124 @@
+"""Plain-text rendering of experiment results in the paper's layouts."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def render_table(headers: list[str], rows: list[list[Any]], title: str = "") -> str:
+    """Render an aligned text table."""
+    def fmt(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:,.2f}"
+        return str(value)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_fig5a(results: dict[str, dict[str, float]]) -> str:
+    rows = [
+        [model, row["bridgescope"], row["pg-mcp-minus"], row["best-achievable"]]
+        for model, row in results.items()
+    ]
+    return render_table(
+        ["model", "BridgeScope #calls", "PG-MCP- #calls", "best-achievable"],
+        rows,
+        title="Figure 5(a) — context retrieval: average LLM calls per task",
+    )
+
+
+def render_fig5b(results: dict[str, dict[str, float]]) -> str:
+    rows = [
+        [model, row["bridgescope"], row["pg-mcp"]]
+        for model, row in results.items()
+    ]
+    return render_table(
+        ["model", "BridgeScope accuracy", "PG-MCP accuracy"],
+        rows,
+        title="Figure 5(b) — SQL execution accuracy",
+    )
+
+
+def render_fig5c(results: dict[str, dict[str, float]]) -> str:
+    rows = [
+        [model, row["bridgescope"], row["pg-mcp"], row["best-achievable"]]
+        for model, row in results.items()
+    ]
+    return render_table(
+        ["model", "BridgeScope txn ratio", "PG-MCP txn ratio", "best"],
+        rows,
+        title="Figure 5(c) — transaction trigger ratio on write tasks",
+    )
+
+
+def render_fig6(results: dict[str, dict[str, dict[str, float]]]) -> str:
+    blocks = []
+    for model, cells in results.items():
+        rows = [
+            [cell, stats["bridgescope"], stats["pg-mcp"], stats["best"]]
+            for cell, stats in cells.items()
+        ]
+        blocks.append(
+            render_table(
+                ["(user, task)", "BridgeScope #calls", "PG-MCP #calls", "best"],
+                rows,
+                title=f"Figure 6 — average LLM calls ({model})",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def render_table1(results: dict[str, dict[str, dict[str, float]]]) -> str:
+    blocks = []
+    for model, cells in results.items():
+        rows = [
+            [cell, stats["bridgescope_tokens"], stats["pg-mcp_tokens"]]
+            for cell, stats in cells.items()
+        ]
+        blocks.append(
+            render_table(
+                ["(user, task)", "BridgeScope tokens", "PG-MCP tokens"],
+                rows,
+                title=f"Table 1 — token usage for BIRD-Ext ({model})",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def render_table2(results: dict[str, Any]) -> str:
+    rows = []
+    for (model, toolkit), stats in results["cells"].items():
+        rows.append(
+            [
+                model,
+                toolkit,
+                stats["completion_rate"],
+                stats["avg_tokens"],
+                stats["avg_llm_calls"],
+            ]
+        )
+    table = render_table(
+        ["model", "toolkit", "completion", "avg tokens", "avg #LLM calls"],
+        rows,
+        title="Table 2 — effectiveness of the proxy mechanism (NL2ML)",
+    )
+    ideal = results["idealized_pg_mcp_tokens"]
+    bridge = results["bridgescope_avg_tokens"]
+    factor = ideal / bridge if bridge else float("inf")
+    footer = (
+        f"\nIdealized PG-MCP (unlimited context) lower bound: {ideal:,} tokens "
+        f"vs BridgeScope {bridge:,.1f} ({factor:,.0f}x more)"
+    )
+    return table + footer

@@ -1,0 +1,405 @@
+"""Experiment harness: builds toolkits, runs agents on tasks, scores runs.
+
+One function per paper experiment (Figures 5-6, Tables 1-2) returns the
+aggregated numbers; the ``benchmarks/`` targets print them in the paper's
+row/series layout. Every run is seeded from (task, model, toolkit) so the
+whole evaluation is deterministic.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..agent import ReActAgent, RunTrace
+from ..baselines import PGMCP, PGMCPMinus, make_sampled_binding
+from ..core import BridgeScope, BridgeScopeConfig, MinidbBinding
+from ..llm import PROFILES, ModelProfile, SimulatedDataAgentPolicy
+from ..mcp import ToolRegistry, ToolServer
+from ..minidb import Database
+from ..mltools import MLToolServer
+from .bird_ext import generate_bird_ext_tasks
+from .datasets import (
+    ROLE_ADMIN,
+    ROLE_IRRELEVANT,
+    ROLE_NORMAL,
+    build_bird_database,
+    build_housing_database,
+)
+from .nl2ml import generate_nl2ml_tasks, idealized_pg_mcp_token_cost
+from .tasks import DBTask, MLTask
+
+GENERIC_PROMPT = """\
+You are a general-purpose data agent operating in a ReAct loop: reason
+about the user's task, call one tool, observe its result, and repeat until
+the task is complete. You are connected to a database through an MCP
+server. Inspect the schema before writing SQL when a schema tool exists;
+otherwise discover table structure through exploratory queries. Generate
+standard SQL and check execution results carefully — error messages from
+the database indicate what to fix. If the task requires modifying data,
+apply the modifications the user asked for and verify the reported row
+counts look plausible. If a task cannot be completed (for example, the
+database rejects every attempt or required access is missing), stop and
+abort with a clear explanation instead of retrying forever. Report the
+final answer strictly from tool results; never invent data you did not
+retrieve. Keep each tool call to a single SQL statement where possible,
+and prefer precise predicates over broad scans when filtering data.
+"""
+
+TOOLKITS = ("bridgescope", "pg-mcp", "pg-mcp-minus", "pg-mcp-s")
+
+#: theoretical minimum LLM calls (paper Section 3.2/3.3)
+BEST_ACHIEVABLE = {
+    "read": 3,          # context retrieval, SQL execution, finalization
+    "write": 5,         # + begin and commit
+    "abort_no_tool": 1, # missing tool is visible without any call
+    "abort_schema": 2,  # schema retrieval, then abort
+    "ml": 3,            # context retrieval, proxy execution, finalization
+}
+
+
+@dataclass
+class TaskRunResult:
+    trace: RunTrace
+    feasible: bool
+    correct: bool | None  # None for infeasible tasks (accuracy undefined)
+    intercepted: bool = False  # infeasible task aborted without SQL success
+
+
+@dataclass
+class CellStats:
+    """Aggregate over one experiment cell."""
+
+    runs: list[TaskRunResult] = field(default_factory=list)
+
+    def add(self, result: TaskRunResult) -> None:
+        self.runs.append(result)
+
+    @property
+    def n(self) -> int:
+        return len(self.runs)
+
+    @property
+    def avg_llm_calls(self) -> float:
+        return sum(r.trace.llm_calls for r in self.runs) / max(self.n, 1)
+
+    @property
+    def avg_tokens(self) -> float:
+        return sum(r.trace.total_tokens for r in self.runs) / max(self.n, 1)
+
+    @property
+    def accuracy(self) -> float:
+        scored = [r for r in self.runs if r.correct is not None]
+        if not scored:
+            return 0.0
+        return sum(1 for r in scored if r.correct) / len(scored)
+
+    @property
+    def completion_rate(self) -> float:
+        return sum(1 for r in self.runs if r.trace.completed and not r.trace.aborted) / max(self.n, 1)
+
+    @property
+    def transaction_ratio(self) -> float:
+        return sum(
+            1 for r in self.runs if r.trace.began_transaction and r.trace.committed
+        ) / max(self.n, 1)
+
+
+def _seed_for(task_id: str, model: str, toolkit: str) -> int:
+    return zlib.crc32(f"{task_id}|{model}|{toolkit}".encode())
+
+
+# --------------------------------------------------------------------------
+# toolkit assembly
+# --------------------------------------------------------------------------
+
+
+def build_toolkit(
+    name: str,
+    db: Database,
+    user: str,
+    extra_servers: list[ToolServer] | None = None,
+    config: BridgeScopeConfig | None = None,
+) -> tuple[ToolRegistry, str]:
+    """Build (registry, system prompt) for a toolkit flavor."""
+    extras = extra_servers or []
+    if name == "bridgescope":
+        bridge = BridgeScope(
+            MinidbBinding.for_user(db, user),
+            config or BridgeScopeConfig(),
+            extra_servers=extras,
+        )
+        return bridge.registry, bridge.system_prompt()
+    if name == "pg-mcp":
+        binding = MinidbBinding.for_user(db, user)
+        return ToolRegistry([PGMCP(binding), *extras]), GENERIC_PROMPT
+    if name == "pg-mcp-minus":
+        binding = MinidbBinding.for_user(db, user)
+        return ToolRegistry([PGMCPMinus(binding), *extras]), GENERIC_PROMPT
+    if name == "pg-mcp-s":
+        binding = make_sampled_binding(db, user)
+        return ToolRegistry([PGMCP(binding), *extras]), GENERIC_PROMPT
+    raise ValueError(f"unknown toolkit {name!r}")
+
+
+# --------------------------------------------------------------------------
+# single-task execution & scoring
+# --------------------------------------------------------------------------
+
+
+def role_feasible(db: Database, user: str, task: DBTask) -> bool:
+    """Whether ``user`` holds the privileges the task's gold SQL needs."""
+    return all(
+        db.privileges.allows(user, task.action, table) for table in task.tables
+    )
+
+
+def run_db_task(
+    task: DBTask,
+    toolkit: str,
+    profile: ModelProfile,
+    role: str = ROLE_ADMIN,
+    scale: float = 1.0,
+) -> TaskRunResult:
+    """Run one BIRD-Ext task and score it against a parallel oracle DB."""
+    db = build_bird_database(seed=0, scale=scale)
+    oracle = build_bird_database(seed=0, scale=scale)
+    registry, prompt = build_toolkit(toolkit, db, role)
+    policy = SimulatedDataAgentPolicy(
+        profile, seed=_seed_for(task.task_id, profile.name, toolkit)
+    )
+    agent = ReActAgent(policy, registry, prompt, toolkit_name=toolkit)
+    trace = agent.run(task)
+
+    feasible = role_feasible(db, role, task)
+    oracle_session = oracle.connect(ROLE_ADMIN)
+    correct: bool | None = None
+    intercepted = False
+
+    if feasible:
+        if task.write:
+            oracle_session.execute(task.gold_sql)
+            correct = (
+                trace.completed and not trace.aborted and db.snapshot() == oracle.snapshot()
+            )
+        else:
+            gold_rows = sorted(
+                oracle_session.execute(task.gold_sql).rows, key=repr
+            )
+            agent_rows = (
+                sorted(trace.last_payload, key=repr)
+                if isinstance(trace.last_payload, list)
+                else None
+            )
+            correct = (
+                trace.completed
+                and not trace.aborted
+                and agent_rows == gold_rows
+            )
+    else:
+        # for infeasible tasks success = clean interception: aborted, and
+        # the database was not modified
+        intercepted = trace.aborted and db.snapshot() == oracle.snapshot()
+    return TaskRunResult(trace, feasible, correct, intercepted)
+
+
+def run_ml_task(
+    task: MLTask,
+    toolkit: str,
+    profile: ModelProfile,
+    housing_db: Database,
+) -> TaskRunResult:
+    registry, prompt = build_toolkit(
+        toolkit, housing_db, ROLE_ADMIN, extra_servers=[MLToolServer()]
+    )
+    policy = SimulatedDataAgentPolicy(
+        profile, seed=_seed_for(task.task_id, profile.name, toolkit)
+    )
+    agent = ReActAgent(policy, registry, prompt, toolkit_name=toolkit)
+    trace = agent.run(task)
+    completed = trace.completed and not trace.aborted
+    return TaskRunResult(trace, feasible=True, correct=completed)
+
+
+# --------------------------------------------------------------------------
+# experiments
+# --------------------------------------------------------------------------
+
+
+def _profiles(models: list[str] | None) -> list[ModelProfile]:
+    names = models or ["gpt-4o", "claude-4"]
+    return [PROFILES[name] for name in names]
+
+
+def _task_subset(tasks: list[DBTask], limit: int | None) -> list[DBTask]:
+    if limit is None or limit >= len(tasks):
+        return tasks
+    # deterministic stratified subset: round-robin over actions
+    by_action: dict[str, list[DBTask]] = {}
+    for task in tasks:
+        by_action.setdefault(task.action, []).append(task)
+    subset: list[DBTask] = []
+    index = 0
+    while len(subset) < limit:
+        progressed = False
+        for action in sorted(by_action):
+            bucket = by_action[action]
+            if index < len(bucket) and len(subset) < limit:
+                subset.append(bucket[index])
+                progressed = True
+        if not progressed:
+            break
+        index += 1
+    return subset
+
+
+def experiment_fig5a(
+    models: list[str] | None = None,
+    n_tasks: int | None = 40,
+    scale: float = 0.5,
+) -> dict[str, dict[str, float]]:
+    """Context retrieval: avg LLM calls, BridgeScope vs PG-MCP−.
+
+    Uses read tasks (the paper's best-achievable of 3 calls — context
+    retrieval, SQL execution, finalization — describes the read workflow).
+    """
+    reads = [t for t in generate_bird_ext_tasks() if not t.write]
+    tasks = _task_subset(reads, n_tasks)
+    results: dict[str, dict[str, float]] = {}
+    for profile in _profiles(models):
+        row: dict[str, float] = {}
+        for toolkit in ("bridgescope", "pg-mcp-minus"):
+            cell = CellStats()
+            for task in tasks:
+                cell.add(run_db_task(task, toolkit, profile, scale=scale))
+            row[toolkit] = cell.avg_llm_calls
+        row["best-achievable"] = float(BEST_ACHIEVABLE["read"])
+        results[profile.name] = row
+    return results
+
+
+def experiment_fig5b(
+    models: list[str] | None = None,
+    n_tasks: int | None = 40,
+    scale: float = 0.5,
+) -> dict[str, dict[str, float]]:
+    """SQL execution accuracy, BridgeScope vs PG-MCP."""
+    tasks = _task_subset(generate_bird_ext_tasks(), n_tasks)
+    results: dict[str, dict[str, float]] = {}
+    for profile in _profiles(models):
+        row: dict[str, float] = {}
+        for toolkit in ("bridgescope", "pg-mcp"):
+            cell = CellStats()
+            for task in tasks:
+                cell.add(run_db_task(task, toolkit, profile, scale=scale))
+            row[toolkit] = cell.accuracy
+        results[profile.name] = row
+    return results
+
+
+def experiment_fig5c(
+    models: list[str] | None = None,
+    n_tasks: int | None = 30,
+    scale: float = 0.5,
+) -> dict[str, dict[str, float]]:
+    """Transaction trigger ratio on write tasks."""
+    tasks = [
+        t for t in _task_subset(generate_bird_ext_tasks(), None) if t.write
+    ]
+    if n_tasks is not None:
+        tasks = tasks[:n_tasks]
+    results: dict[str, dict[str, float]] = {}
+    for profile in _profiles(models):
+        row: dict[str, float] = {}
+        for toolkit in ("bridgescope", "pg-mcp"):
+            cell = CellStats()
+            for task in tasks:
+                cell.add(run_db_task(task, toolkit, profile, scale=scale))
+            row[toolkit] = cell.transaction_ratio
+        row["best-achievable"] = 1.0
+        results[profile.name] = row
+    return results
+
+
+#: the five (role, task-type) cells of Figure 6 / Table 1
+FIG6_CELLS = [
+    ("A", "read", ROLE_ADMIN, False),
+    ("A", "write", ROLE_ADMIN, True),
+    ("N", "write", ROLE_NORMAL, True),
+    ("I", "read", ROLE_IRRELEVANT, False),
+    ("I", "write", ROLE_IRRELEVANT, True),
+]
+
+
+def experiment_fig6_table1(
+    models: list[str] | None = None,
+    n_tasks_per_cell: int = 20,
+    scale: float = 0.5,
+) -> dict[str, dict[str, dict[str, float]]]:
+    """LLM calls (Fig 6) and token usage (Table 1) across privilege roles.
+
+    Returns ``{model: {cell: {toolkit: value, toolkit+"_tokens": value,
+    "best": value}}}`` with cells keyed like ``"(N, write)"``.
+    """
+    all_tasks = generate_bird_ext_tasks()
+    reads = [t for t in all_tasks if not t.write]
+    writes = [t for t in all_tasks if t.write]
+    results: dict[str, dict[str, dict[str, float]]] = {}
+    for profile in _profiles(models):
+        per_cell: dict[str, dict[str, float]] = {}
+        for label, task_type, role, is_write in FIG6_CELLS:
+            tasks = (writes if is_write else reads)[:n_tasks_per_cell]
+            cell_key = f"({label}, {task_type})"
+            entry: dict[str, float] = {}
+            for toolkit in ("bridgescope", "pg-mcp"):
+                cell = CellStats()
+                for task in tasks:
+                    cell.add(run_db_task(task, toolkit, profile, role=role, scale=scale))
+                entry[toolkit] = cell.avg_llm_calls
+                entry[f"{toolkit}_tokens"] = cell.avg_tokens
+                entry[f"{toolkit}_intercepted"] = sum(
+                    1 for r in cell.runs if r.intercepted
+                ) / max(cell.n, 1)
+            if label == "A":
+                entry["best"] = float(
+                    BEST_ACHIEVABLE["write" if is_write else "read"]
+                )
+            elif label == "N":
+                entry["best"] = float(BEST_ACHIEVABLE["abort_no_tool"])
+            else:
+                entry["best"] = float(BEST_ACHIEVABLE["abort_schema"])
+            per_cell[cell_key] = entry
+        results[profile.name] = per_cell
+    return results
+
+
+def experiment_table2(
+    models: list[str] | None = None,
+    per_level: int = 10,
+    housing_rows: int = 20_000,
+) -> dict[str, Any]:
+    """NL2ML: completion rate, token usage, LLM calls; plus idealized cost."""
+    tasks = generate_nl2ml_tasks(per_level=per_level)
+    housing = build_housing_database(rows=housing_rows)
+    results: dict[str, Any] = {"cells": {}, "idealized_pg_mcp_tokens": 0}
+    for profile in _profiles(models):
+        for toolkit in ("bridgescope", "pg-mcp", "pg-mcp-s"):
+            cell = CellStats()
+            for task in tasks:
+                cell.add(run_ml_task(task, toolkit, profile, housing))
+            results["cells"][(profile.name, toolkit)] = {
+                "completion_rate": cell.completion_rate,
+                "avg_tokens": cell.avg_tokens,
+                "avg_llm_calls": cell.avg_llm_calls,
+            }
+    results["idealized_pg_mcp_tokens"] = idealized_pg_mcp_token_cost(housing)
+    bridgescope_tokens = [
+        stats["avg_tokens"]
+        for (model, toolkit), stats in results["cells"].items()
+        if toolkit == "bridgescope"
+    ]
+    results["bridgescope_avg_tokens"] = sum(bridgescope_tokens) / max(
+        len(bridgescope_tokens), 1
+    )
+    return results

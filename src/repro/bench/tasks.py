@@ -1,0 +1,102 @@
+"""Task structures shared by the benchmarks and the simulated LLM policy.
+
+Every benchmark task carries a *structured intent* alongside its natural-
+language description. The simulated LLM plans from the intent; its failure
+modes (hallucinated identifiers, wrong predicate surface forms) are
+injected by swapping in the pre-computed corrupted variants, which then
+genuinely fail (or silently mislead) against the real engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class TrickyValue:
+    """A predicate value whose NL surface form differs from the stored one."""
+
+    column: str  # qualified "table.column"
+    nl_form: str
+    stored_form: str
+
+
+@dataclass
+class DBTask:
+    """One BIRD-Ext style database task."""
+
+    task_id: str
+    description: str
+    action: str  # SELECT | INSERT | UPDATE | DELETE
+    tables: list[str]
+    gold_sql: str
+    #: variant with a hallucinated identifier (errors at the engine);
+    #: None when the generator could not produce a plausible corruption
+    wrong_identifier_sql: str | None = None
+    #: variant using the NL surface form of a tricky value (runs, but wrong)
+    value_miss_sql: str | None = None
+    #: variant with a subtle logic slip (off-by-one threshold; runs, wrong)
+    logic_miss_sql: str | None = None
+    tricky: TrickyValue | None = None
+    seed: int = 0
+
+    @property
+    def kind(self) -> str:
+        return "db"
+
+    @property
+    def write(self) -> bool:
+        return self.action != "SELECT"
+
+
+@dataclass
+class PipelineNode:
+    """One stage of an NL2ML pipeline; args may nest further nodes."""
+
+    tool: str
+    args: dict[str, Any] = field(default_factory=dict)
+
+    def depth(self) -> int:
+        child_depths = [
+            value.depth()
+            for value in self.args.values()
+            if isinstance(value, PipelineNode)
+        ]
+        return 1 + (max(child_depths) if child_depths else 0)
+
+    def postorder(self) -> list["PipelineNode"]:
+        """Stages in execution order (producers before consumers)."""
+        order: list[PipelineNode] = []
+        for value in self.args.values():
+            if isinstance(value, PipelineNode):
+                order.extend(value.postorder())
+        order.append(self)
+        return order
+
+
+@dataclass
+class MLTask:
+    """One NL2ML task: an NL description plus its gold pipeline plan."""
+
+    task_id: str
+    description: str
+    plan: PipelineNode
+    level: int  # 1..3 proxy-unit nesting layers
+    seed: int = 0
+
+    @property
+    def kind(self) -> str:
+        return "ml"
+
+    @property
+    def write(self) -> bool:
+        return False
+
+    @property
+    def action(self) -> str:
+        return "SELECT"
+
+    @property
+    def tables(self) -> list[str]:
+        return ["house"]

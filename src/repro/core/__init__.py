@@ -1,0 +1,50 @@
+"""BridgeScope core toolkit — the paper's primary contribution.
+
+Assemble the toolkit for a user with::
+
+    from repro.core import BridgeScope, BridgeScopeConfig, MinidbBinding
+
+    binding = MinidbBinding.for_user(db, "manager")
+    bridge = BridgeScope(binding, BridgeScopeConfig())
+    bridge.invoke("get_schema")
+    bridge.invoke("select", sql="SELECT ...")
+"""
+
+from .config import BridgeScopeConfig, SecurityPolicy
+from .context import ContextTools
+from .execution import ExecutionTools
+from .interfaces import AccessFootprint, DatabaseBinding, ObjectInfo, SqlOutcome
+from .minidb_binding import MinidbBinding
+from .prompt import BRIDGESCOPE_PROMPT, build_prompt
+from .proxy import ProxyStats, ProxyTool, ProxyUnit
+from .server import BridgeScope, combine_bridges
+from .similarity import similarity, top_k
+from .transaction import TransactionTools
+from .transforms import TransformError, compile_transform
+from .verification import SecurityViolation, SqlVerifier
+
+__all__ = [
+    "AccessFootprint",
+    "BRIDGESCOPE_PROMPT",
+    "BridgeScope",
+    "BridgeScopeConfig",
+    "ContextTools",
+    "DatabaseBinding",
+    "ExecutionTools",
+    "MinidbBinding",
+    "ObjectInfo",
+    "ProxyStats",
+    "ProxyTool",
+    "ProxyUnit",
+    "SecurityPolicy",
+    "SecurityViolation",
+    "SqlOutcome",
+    "SqlVerifier",
+    "TransactionTools",
+    "TransformError",
+    "build_prompt",
+    "combine_bridges",
+    "compile_transform",
+    "similarity",
+    "top_k",
+]

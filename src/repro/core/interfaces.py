@@ -1,0 +1,101 @@
+"""Database-agnostic interface consumed by the BridgeScope toolkit.
+
+Per Section 2.6 of the paper, every BridgeScope tool is built on "a unified
+set of database interfaces that can be implemented for any database
+system". :class:`DatabaseBinding` is that set. The reference binding wraps
+:mod:`repro.minidb`; tests include a second toy binding to demonstrate
+portability.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class ObjectInfo:
+    """Structured description of one database object (table or view)."""
+
+    name: str
+    kind: str  # "table" | "view"
+    columns: list[dict[str, Any]] = field(default_factory=list)
+    primary_key: list[str] = field(default_factory=list)
+    foreign_keys: list[str] = field(default_factory=list)
+    indexes: list[str] = field(default_factory=list)
+    ddl: str = ""  # normalized CREATE statement
+
+
+@dataclass
+class SqlOutcome:
+    """Uniform result of running SQL through a binding."""
+
+    columns: list[str]
+    rows: list[tuple]
+    rowcount: int
+    status: str
+
+
+@dataclass
+class AccessFootprint:
+    """Static analysis result for one SQL statement (binding-neutral)."""
+
+    action: str
+    accesses: list[tuple[str, str, set[str] | None]]
+    # each entry: (action, object, columns-or-None-for-whole-object)
+    is_transaction_control: bool = False
+    is_ddl: bool = False
+
+
+class DatabaseBinding(abc.ABC):
+    """Everything BridgeScope needs from a database, and nothing more."""
+
+    # ----------------------------------------------------------- execution
+
+    @abc.abstractmethod
+    def run_sql(self, sql: str) -> SqlOutcome:
+        """Execute one SQL statement in this binding's session."""
+
+    @abc.abstractmethod
+    def analyze_sql(self, sql: str) -> AccessFootprint:
+        """Statically analyze a statement without executing it."""
+
+    # ------------------------------------------------------------- catalog
+
+    @abc.abstractmethod
+    def list_objects(self) -> list[str]:
+        """Names of all top-level objects (tables and views), sorted."""
+
+    @abc.abstractmethod
+    def object_info(self, name: str) -> ObjectInfo:
+        """Structured schema details of one object."""
+
+    @abc.abstractmethod
+    def distinct_values(self, table: str, column: str, limit: int) -> list[Any]:
+        """Up to ``limit`` distinct non-NULL values of ``table.column``."""
+
+    # ---------------------------------------------------------- privileges
+
+    @abc.abstractmethod
+    def user_actions_on(self, obj: str) -> set[str]:
+        """Actions the bound user holds on ``obj`` (database-side)."""
+
+    @abc.abstractmethod
+    def user_column_restrictions(self, action: str, obj: str) -> frozenset[str] | None:
+        """Columns the user's grant is limited to; None = whole object."""
+
+    @abc.abstractmethod
+    def all_actions(self) -> tuple[str, ...]:
+        """The database's privilege action vocabulary."""
+
+    # -------------------------------------------------------- transactions
+
+    @abc.abstractmethod
+    def in_transaction(self) -> bool:
+        """Whether the bound session has an open explicit transaction."""
+
+    @property
+    @abc.abstractmethod
+    def user(self) -> str:
+        """The database user this binding operates as."""

@@ -1,0 +1,115 @@
+"""Reference :class:`DatabaseBinding` implementation over minidb."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..minidb import Database, Session, analyze, parse
+from .interfaces import AccessFootprint, DatabaseBinding, ObjectInfo, SqlOutcome
+
+
+class MinidbBinding(DatabaseBinding):
+    """Binds one minidb session (one user) to the BridgeScope interface."""
+
+    def __init__(self, session: Session):
+        self.session = session
+
+    @classmethod
+    def for_user(cls, db: Database, user: str) -> "MinidbBinding":
+        return cls(db.connect(user))
+
+    # ----------------------------------------------------------- execution
+
+    def run_sql(self, sql: str) -> SqlOutcome:
+        result = self.session.execute(sql)
+        return SqlOutcome(
+            columns=result.columns,
+            rows=result.rows,
+            rowcount=result.rowcount,
+            status=result.status,
+        )
+
+    def analyze_sql(self, sql: str) -> AccessFootprint:
+        stmt = parse(sql)
+        analysis = analyze(stmt, self.session.db.catalog)
+        return AccessFootprint(
+            action=analysis.action,
+            accesses=[
+                (a.action, a.obj, a.column_set()) for a in analysis.accesses
+            ],
+            is_transaction_control=analysis.is_transaction_control,
+            is_ddl=analysis.is_ddl,
+        )
+
+    # ------------------------------------------------------------- catalog
+
+    def list_objects(self) -> list[str]:
+        return self.session.db.catalog.object_names()
+
+    def object_info(self, name: str) -> ObjectInfo:
+        catalog = self.session.db.catalog
+        if catalog.has_view(name):
+            view = catalog.view(name)
+            return ObjectInfo(
+                name=view.name,
+                kind="view",
+                ddl=view.describe(),
+            )
+        schema = catalog.table(name)
+        return ObjectInfo(
+            name=schema.name,
+            kind="table",
+            columns=[
+                {
+                    "name": col.name,
+                    "type": str(col.ctype),
+                    "not_null": col.not_null,
+                    "default": col.default if col.has_default else None,
+                }
+                for col in schema.columns
+            ],
+            primary_key=list(schema.primary_key),
+            foreign_keys=[fk.describe() for fk in schema.foreign_keys],
+            indexes=[ix.describe() for ix in catalog.indexes_on(schema.name)],
+            ddl=schema.render_create(),
+        )
+
+    def distinct_values(self, table: str, column: str, limit: int) -> list[Any]:
+        schema = self.session.db.catalog.table(table)
+        schema.column(column)  # validates
+        heap = self.session.db.heap(schema.name)
+        seen: list[Any] = []
+        seen_set: set[Any] = set()
+        for _, row in heap.rows():
+            value = row.get(schema.column(column).name)
+            if value is None or value in seen_set:
+                continue
+            seen_set.add(value)
+            seen.append(value)
+            if len(seen) >= limit:
+                break
+        return seen
+
+    # ---------------------------------------------------------- privileges
+
+    def user_actions_on(self, obj: str) -> set[str]:
+        return self.session.db.privileges.actions_on(self.session.user, obj)
+
+    def user_column_restrictions(self, action: str, obj: str) -> frozenset[str] | None:
+        return self.session.db.privileges.column_restrictions(
+            self.session.user, action, obj
+        )
+
+    def all_actions(self) -> tuple[str, ...]:
+        from ..minidb.privileges import ACTIONS
+
+        return ACTIONS
+
+    # -------------------------------------------------------- transactions
+
+    def in_transaction(self) -> bool:
+        return self.session.in_transaction
+
+    @property
+    def user(self) -> str:
+        return self.session.user

@@ -1,0 +1,228 @@
+"""F4 — The proxy mechanism for inter-tool data transfer (paper Section 2.5).
+
+A *proxy unit* is a triple ⟨p, c, f⟩: data producer(s) *p*, a consumer tool
+*c*, and an adaptation function *f* transforming producer output into the
+consumer's expected input. Units nest recursively — a producer may itself
+be a proxy unit — and the whole hierarchy executes bottom-up inside the
+proxy tool, so bulk data flows tool-to-tool without ever entering the LLM
+context.
+
+Wire format (exactly the paper's Figure 3): the ``proxy`` tool takes
+
+* ``target_tool`` — the consumer tool name *c*;
+* ``tool_args`` — a dict mapping each consumer argument to either a plain
+  literal, or a producer spec::
+
+      {"__tool__": "select",
+       "__args__": {"sql": "SELECT ..."},
+       "__transform__": "lambda x: x"}
+
+  ``__args__`` may itself contain nested producer specs (recursive units),
+  and a list of producer specs yields a list of produced values.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..mcp import (
+    ParamSpec,
+    ToolError,
+    ToolRegistry,
+    ToolResult,
+    ToolServer,
+    ToolSpec,
+)
+from .config import BridgeScopeConfig
+from .transforms import TransformError, compile_transform
+
+PRODUCER_KEY = "__tool__"
+ARGS_KEY = "__args__"
+TRANSFORM_KEY = "__transform__"
+
+
+@dataclass
+class ProxyStats:
+    """Observability counters read by benchmarks and tests."""
+
+    units_executed: int = 0
+    producer_calls: int = 0
+    max_depth: int = 0
+    values_routed: int = 0  # rows/items moved tool-to-tool, LLM-free
+    last_parallel_batch: int = 0
+
+
+@dataclass
+class ProxyUnit:
+    """Parsed, validated form of one proxy unit."""
+
+    target_tool: str
+    tool_args: dict[str, Any] = field(default_factory=dict)
+
+
+class ProxyTool(ToolServer):
+    """The ``proxy`` tool; routes data between any tools in the registry."""
+
+    name = "bridgescope.proxy"
+
+    def __init__(self, registry: ToolRegistry, config: BridgeScopeConfig):
+        super().__init__()
+        self.registry = registry
+        self.config = config
+        self.stats = ProxyStats()
+        self.register(
+            ToolSpec(
+                name="proxy",
+                description=(
+                    "Execute a downstream tool whose inputs are produced by "
+                    "other tools, routing data directly between them without "
+                    "returning it to you. Each argument of target_tool may be "
+                    "a literal, or a producer spec {'__tool__': name, "
+                    "'__args__': {...}, '__transform__': 'lambda x: ...'}. "
+                    "Producer specs nest recursively, and a list of specs "
+                    "produces a list of values. Use this whenever a tool "
+                    "needs data from another tool (especially query results) "
+                    "instead of copying data yourself."
+                ),
+                params=[
+                    ParamSpec("target_tool", "string", "the consumer tool name"),
+                    ParamSpec(
+                        "tool_args",
+                        "object",
+                        "consumer arguments; values may be producer specs",
+                    ),
+                ],
+            ),
+            self._run_proxy,
+        )
+
+    # ------------------------------------------------------------- running
+
+    def _run_proxy(self, target_tool: str, tool_args: dict[str, Any]) -> ToolResult:
+        unit = ProxyUnit(target_tool, tool_args or {})
+        result = self.execute_unit(unit, depth=1)
+        return result
+
+    def execute_unit(self, unit: ProxyUnit, depth: int) -> ToolResult:
+        """Execute one proxy unit (resolving nested units first)."""
+        self.stats.max_depth = max(self.stats.max_depth, depth)
+        if not self.registry.has_tool(unit.target_tool):
+            raise ToolError(
+                f"proxy target tool {unit.target_tool!r} not found",
+                retriable=True,
+            )
+        resolved = self._resolve_args(unit.tool_args, depth)
+        result = self.registry.invoke(unit.target_tool, **resolved)
+        if result.is_error:
+            raise ToolError(
+                f"proxy consumer {unit.target_tool} failed: {result.content}",
+                retriable=True,
+            )
+        self.stats.units_executed += 1
+        return result
+
+    # ---------------------------------------------------------- resolution
+
+    def _resolve_args(self, args: dict[str, Any], depth: int) -> dict[str, Any]:
+        producer_items: list[tuple[str, Any]] = []
+        literal_items: list[tuple[str, Any]] = []
+        for key, value in args.items():
+            if self._is_producer_spec(value) or self._is_producer_list(value):
+                producer_items.append((key, value))
+            else:
+                literal_items.append((key, value))
+
+        resolved = dict(literal_items)
+        if (
+            self.config.parallel_producers
+            and len(producer_items) > 1
+        ):
+            self.stats.last_parallel_batch = len(producer_items)
+            with ThreadPoolExecutor(max_workers=len(producer_items)) as pool:
+                futures = {
+                    key: pool.submit(self._resolve_value, value, depth)
+                    for key, value in producer_items
+                }
+                for key, future in futures.items():
+                    resolved[key] = future.result()
+        else:
+            for key, value in producer_items:
+                resolved[key] = self._resolve_value(value, depth)
+        return resolved
+
+    def _resolve_value(self, value: Any, depth: int) -> Any:
+        if self._is_producer_list(value):
+            return [self._resolve_producer(spec, depth) for spec in value]
+        if self._is_producer_spec(value):
+            return self._resolve_producer(value, depth)
+        return value
+
+    def _resolve_producer(self, spec: dict[str, Any], depth: int) -> Any:
+        self.stats.max_depth = max(self.stats.max_depth, depth)
+        tool_name = spec[PRODUCER_KEY]
+        inner_args = spec.get(ARGS_KEY, {}) or {}
+        if not isinstance(inner_args, dict):
+            raise ToolError("producer __args__ must be an object", retriable=True)
+        resolved_args = self._resolve_args(inner_args, depth + 1)
+
+        if not self.registry.has_tool(tool_name):
+            raise ToolError(
+                f"proxy producer tool {tool_name!r} not found", retriable=True
+            )
+        result = self.registry.invoke(tool_name, **resolved_args)
+        self.stats.producer_calls += 1
+        if result.is_error:
+            raise ToolError(
+                f"proxy producer {tool_name} failed: {result.content}",
+                retriable=True,
+            )
+        value = self._payload_of(result)
+        self._count_routed(value)
+
+        transform_source = spec.get(TRANSFORM_KEY, "")
+        if transform_source:
+            try:
+                transform = compile_transform(str(transform_source))
+                value = transform(value)
+            except TransformError as exc:
+                raise ToolError(
+                    f"transform for producer {tool_name} failed: {exc}",
+                    retriable=True,
+                ) from exc
+        return value
+
+    @staticmethod
+    def _payload_of(result: ToolResult) -> Any:
+        """The structured payload a producer hands downstream.
+
+        Data-bearing tools attach their wire payload in metadata (SQL tools
+        as ``rows``, ML tools as ``payload``); prefer those over the
+        LLM-oriented rendering. Other tools pass content through.
+        """
+        if "payload" in result.metadata:
+            return result.metadata["payload"]
+        if "rows" in result.metadata:
+            return result.metadata["rows"]
+        return result.content
+
+    def _count_routed(self, value: Any) -> None:
+        if isinstance(value, (list, tuple)):
+            self.stats.values_routed += len(value)
+        else:
+            self.stats.values_routed += 1
+
+    # ------------------------------------------------------------- helpers
+
+    @staticmethod
+    def _is_producer_spec(value: Any) -> bool:
+        return isinstance(value, dict) and PRODUCER_KEY in value
+
+    @classmethod
+    def _is_producer_list(cls, value: Any) -> bool:
+        return (
+            isinstance(value, list)
+            and bool(value)
+            and all(cls._is_producer_spec(v) for v in value)
+        )

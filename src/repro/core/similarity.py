@@ -1,0 +1,118 @@
+"""Lightweight semantic similarity for column-exemplar retrieval.
+
+``get_value(col, key, k)`` must rank the values of a column by relevance
+to a task key like ``"women"`` so the LLM discovers the stored surface form
+(``"women's wear"``). Without network access to an embedding model we use a
+blend of lexical signals that behaves well on the synonym/misspelling/
+substring cases the paper motivates:
+
+* character n-gram (trigram) Jaccard similarity — robust to misspellings;
+* token overlap with a small built-in synonym table — catches paraphrases;
+* substring containment bonus — catches ``"women" ⊂ "women's wear"``.
+
+The function is pure and deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+#: tiny domain-general synonym clusters; extendable by callers
+DEFAULT_SYNONYMS: dict[str, frozenset[str]] = {
+    "women": frozenset({"female", "woman", "ladies", "womens"}),
+    "men": frozenset({"male", "man", "mens", "gentlemen"}),
+    "kids": frozenset({"children", "child", "kid", "youth", "juniors"}),
+    "refund": frozenset({"return", "reimbursement", "chargeback"}),
+    "sales": frozenset({"revenue", "orders", "transactions"}),
+    "california": frozenset({"ca", "calif"}),
+    "inland": frozenset({"interior"}),
+    "ocean": frozenset({"sea", "coastal", "bay"}),
+}
+
+
+def _normalize(text: str) -> str:
+    return "".join(ch.lower() if ch.isalnum() else " " for ch in text).strip()
+
+
+def _tokens(text: str) -> set[str]:
+    return set(_normalize(text).split())
+
+
+def _trigrams(text: str) -> set[str]:
+    padded = f"  {_normalize(text)} "
+    if len(padded) < 3:
+        return {padded}
+    return {padded[i : i + 3] for i in range(len(padded) - 2)}
+
+
+def _jaccard(a: set, b: set) -> float:
+    if not a or not b:
+        return 0.0
+    intersection = len(a & b)
+    if intersection == 0:
+        return 0.0
+    return intersection / len(a | b)
+
+
+def _synonym_overlap(
+    key_tokens: set[str], value_tokens: set[str], synonyms: dict[str, frozenset[str]]
+) -> float:
+    """Fraction of key tokens with a direct or synonym match in the value."""
+    if not key_tokens:
+        return 0.0
+    hits = 0
+    for token in key_tokens:
+        if token in value_tokens:
+            hits += 1
+            continue
+        cluster = synonyms.get(token, frozenset())
+        if cluster & value_tokens:
+            hits += 1
+            continue
+        # reverse direction: value token's cluster contains the key token
+        if any(
+            token in synonyms.get(vt, frozenset()) for vt in value_tokens
+        ):
+            hits += 1
+    return hits / len(key_tokens)
+
+
+def similarity(
+    key: str,
+    value: Any,
+    synonyms: dict[str, frozenset[str]] | None = None,
+) -> float:
+    """Relevance score of ``value`` w.r.t. the task ``key``, in [0, 1]."""
+    text = str(value)
+    if not text or not key:
+        return 0.0
+    table = DEFAULT_SYNONYMS if synonyms is None else synonyms
+    key_norm, value_norm = _normalize(key), _normalize(text)
+    if not key_norm or not value_norm:
+        return 0.0
+    if key_norm == value_norm:
+        return 1.0
+    trigram_score = _jaccard(_trigrams(key), _trigrams(text))
+    token_score = _synonym_overlap(_tokens(key), _tokens(text), table)
+    containment = 0.0
+    if key_norm in value_norm or value_norm in key_norm:
+        shorter = min(len(key_norm), len(value_norm))
+        longer = max(len(key_norm), len(value_norm))
+        containment = 0.5 + 0.5 * (shorter / longer)
+    score = max(
+        0.55 * trigram_score + 0.45 * token_score,
+        0.9 * containment,
+    )
+    return min(score, 0.999)  # only exact normalization match scores 1.0
+
+
+def top_k(
+    key: str,
+    values: Iterable[Any],
+    k: int,
+    synonyms: dict[str, frozenset[str]] | None = None,
+) -> list[tuple[Any, float]]:
+    """The ``k`` most relevant values, scored, best first, ties by text."""
+    scored = [(value, similarity(key, value, synonyms)) for value in values]
+    scored.sort(key=lambda pair: (-pair[1], str(pair[0])))
+    return scored[: max(k, 0)]

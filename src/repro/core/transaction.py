@@ -1,0 +1,61 @@
+"""F3 — Explicit transaction management tools (paper Section 2.4).
+
+``begin`` / ``commit`` / ``rollback`` map directly onto the database's
+transaction control; ACID inside the bracket is the engine's job. The tools
+are only exposed when the user could perform at least one write action —
+a read-only agent gets no transaction tools, keeping its tool list minimal.
+"""
+
+from __future__ import annotations
+
+from ..mcp import ToolResult, ToolServer, tool
+from .config import BridgeScopeConfig
+from .interfaces import DatabaseBinding
+
+_WRITE_ACTIONS = {"INSERT", "UPDATE", "DELETE", "CREATE", "DROP", "ALTER"}
+
+
+class TransactionTools(ToolServer):
+    name = "bridgescope.transaction"
+
+    def __init__(self, binding: DatabaseBinding, config: BridgeScopeConfig):
+        self.binding = binding
+        self.config = config
+        super().__init__()
+
+    @classmethod
+    def should_expose(cls, binding: DatabaseBinding, config: BridgeScopeConfig) -> bool:
+        """Transaction tools matter only for users who can write."""
+        policy_writes = {
+            a for a in _WRITE_ACTIONS if config.policy.permits_action(a)
+        }
+        if not policy_writes:
+            return False
+        for obj in binding.list_objects():
+            if not config.policy.permits_object(obj):
+                continue
+            if binding.user_actions_on(obj) & policy_writes:
+                return True
+        return bool(binding.user_actions_on("*") & policy_writes)
+
+    @tool(description=(
+        "Begin a new transaction. Use before a group of data modifications "
+        "that must apply atomically; finish with commit or rollback."
+    ), params=[])
+    def begin(self) -> ToolResult:
+        outcome = self.binding.run_sql("BEGIN")
+        return ToolResult.ok(outcome.status)
+
+    @tool(description="Commit the current transaction, persisting all changes.",
+          params=[])
+    def commit(self) -> ToolResult:
+        outcome = self.binding.run_sql("COMMIT")
+        return ToolResult.ok(outcome.status)
+
+    @tool(description=(
+        "Roll back the current transaction, reverting every change made "
+        "since begin."
+    ), params=[])
+    def rollback(self) -> ToolResult:
+        outcome = self.binding.run_sql("ROLLBACK")
+        return ToolResult.ok(outcome.status)

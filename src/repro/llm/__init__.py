@@ -1,0 +1,27 @@
+"""Simulated LLM substrate: token model, behavior profiles, task policy.
+
+``SimulatedDataAgentPolicy`` is imported lazily (module ``__getattr__``)
+because it depends on :mod:`repro.agent`, which itself uses the tokenizer
+from this package.
+"""
+
+from .profiles import CLAUDE_4, GPT_4O, PROFILES, ModelProfile
+from .tokenizer import count_payload_tokens, count_tokens
+
+__all__ = [
+    "CLAUDE_4",
+    "GPT_4O",
+    "ModelProfile",
+    "PROFILES",
+    "SimulatedDataAgentPolicy",
+    "count_payload_tokens",
+    "count_tokens",
+]
+
+
+def __getattr__(name: str):
+    if name == "SimulatedDataAgentPolicy":
+        from .policy import SimulatedDataAgentPolicy
+
+        return SimulatedDataAgentPolicy
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,511 @@
+"""Simulated LLM policy for data-related tasks.
+
+This is the "model" half of the reproduction's GPT-4o / Claude-4
+substitution. The policy plans from a task's structured intent the way a
+competent tool-using LLM plans from its NL description, with stochastic
+failure modes drawn from a :class:`~repro.llm.profiles.ModelProfile`:
+
+* without a retrieved schema it may hallucinate identifiers (the corrupted
+  SQL then genuinely fails against the engine and triggers retries);
+* without retrieved column exemplars it may use NL surface forms in
+  predicates (silently wrong results — the accuracy signal in Fig 5b);
+* it notices privilege annotations / missing tools only with
+  profile-dependent probability (the interception signal in Fig 6);
+* it brackets writes in transactions reliably only when explicit
+  begin/commit tools exist (Fig 5c);
+* it composes proxy units with profile-dependent skill (Table 2).
+
+The policy is *tool-driven*, not toolkit-driven: it adapts to whatever
+tools are visible, so the same class runs against BridgeScope, PG-MCP,
+PG-MCP−, and PG-MCP-S.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from ..agent.messages import AgentAction
+from ..agent.react import AgentView
+from ..bench.tasks import DBTask, MLTask, PipelineNode
+from .profiles import ModelProfile
+
+_PERMISSION_CODES = {"PermissionDenied", "SecurityViolation"}
+_IDENTIFIER_CODES = {
+    "UnknownTableError",
+    "UnknownColumnError",
+    "CatalogError",
+}
+
+
+class SimulatedDataAgentPolicy:
+    """Drop-in :class:`~repro.agent.react.Policy` for DB and ML tasks."""
+
+    def __init__(self, profile: ModelProfile, seed: int = 0):
+        self.profile = profile
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.st: dict[str, Any] = {}
+
+    def reset(self) -> None:
+        self.st = {
+            "checked_tools": False,
+            "must_abort_missing_tool": False,
+            "schema_requested": False,
+            "schema_seen": False,
+            "schema_text": "",
+            "feasibility_checked": False,
+            "blind_to_privileges": False,
+            "value_requested": False,
+            "values_done": False,
+            "stored_value_known": False,
+            "txn_decided": False,
+            "txn_open": False,
+            "generic_txn": False,
+            "sql_done": False,
+            "sql_attempts": 0,
+            "probe_decided": False,
+            "will_probe": False,
+            "probed_tables": set(),
+            "probe_failures": 0,
+            "last_probe_table": None,
+            "misprobed": set(),
+            "identifier_error": False,
+            "permission_failures": 0,
+            "abort_reason": None,
+            "commit_requested": False,
+            "commit_done": False,
+            # ML state
+            "proxy_attempts": 0,
+            "proxy_done": False,
+            "manual_stage": 0,
+            "stage_outputs": {},  # id(PipelineNode) -> produced payload
+            "pipeline_result": None,
+        }
+
+    # ----------------------------------------------------------- dispatch
+
+    def decide(self, task: Any, view: AgentView) -> AgentAction:
+        self._absorb(task, view)
+        if self.st["abort_reason"]:
+            return AgentAction.abort(self.st["abort_reason"])
+        if isinstance(task, MLTask):
+            return self._decide_ml(task, view)
+        return self._decide_db(task, view)
+
+    # ------------------------------------------------------- observation
+
+    def _absorb(self, task: Any, view: AgentView) -> None:
+        """Fold the previous action's observation into policy state."""
+        action, result = view.last_action, view.last_result
+        if action is None or result is None or action.kind != "tool_call":
+            return
+        st = self.st
+        tool = action.tool
+        if tool in ("get_schema", "get_object"):
+            if not result.is_error:
+                st["schema_seen"] = True
+                st["schema_text"] += "\n\n" + str(result.content)
+            return
+        if tool == "get_value":
+            st["values_done"] = True
+            if not result.is_error and isinstance(task, DBTask) and task.tricky:
+                st["stored_value_known"] = (
+                    repr(task.tricky.stored_form) in str(result.content)
+                    or task.tricky.stored_form in str(result.content)
+                )
+            return
+        if tool == "begin" or (
+            tool == "execute_sql"
+            and str(action.args.get("sql", "")).strip().upper().startswith("BEGIN")
+        ):
+            if not result.is_error:
+                st["txn_open"] = True
+            return
+        if tool == "commit" or (
+            tool == "execute_sql"
+            and str(action.args.get("sql", "")).strip().upper().startswith("COMMIT")
+        ):
+            if not result.is_error:
+                st["commit_done"] = True
+                st["txn_open"] = False
+            return
+        if tool == "proxy":
+            st["proxy_attempts"] += 1
+            if not result.is_error:
+                st["proxy_done"] = True
+                st["pipeline_result"] = result.content
+            return
+        # an exploratory or main SQL execution
+        if st.pop("awaiting_explore", False):
+            st["values_done"] = True
+            st["stored_value_known"] = not result.is_error
+            return
+        if st.pop("awaiting_probe", None) is not None:
+            # a blind schema probe: success teaches this table's columns
+            if not result.is_error and st["last_probe_table"]:
+                st["probed_tables"].add(st["last_probe_table"])
+            else:
+                st["probe_failures"] += 1
+            return
+        if tool in ("select", "insert", "update", "delete", "execute_sql") or (
+            tool in ("create", "drop", "alter")
+        ):
+            if isinstance(task, MLTask):
+                self._absorb_ml_stage(task, result)
+                return
+            if result.is_error:
+                self._absorb_sql_error(result)
+            else:
+                st["sql_done"] = True
+                st["sql_result"] = result
+            return
+        if isinstance(task, MLTask):
+            self._absorb_ml_stage(task, result)
+
+    def _absorb_sql_error(self, result) -> None:
+        st = self.st
+        st["sql_attempts"] += 1
+        code = result.error_code or ""
+        if code in _PERMISSION_CODES:
+            st["permission_failures"] += 1
+            # BridgeScope's verifier rejections state the policy violation
+            # explicitly, so the model stops at once; bare engine permission
+            # errors get second-guessed for a few retries
+            persistence = (
+                0
+                if code == "SecurityViolation"
+                else self.profile.permission_error_persistence
+            )
+            if st["permission_failures"] > persistence:
+                st["abort_reason"] = (
+                    "aborting: insufficient privileges for the requested "
+                    f"operation ({result.content})"
+                )
+        elif code in _IDENTIFIER_CODES or "does not exist" in str(result.content):
+            st["identifier_error"] = True
+            # after a futile blind attempt, often switch to probing tables
+            if st["probe_decided"] and not st["will_probe"]:
+                if self.rng.random() < 0.6:
+                    st["will_probe"] = True
+        # other errors (syntax, integrity): just retry; attempts cap below
+
+    def _absorb_ml_stage(self, task: "MLTask", result) -> None:
+        st = self.st
+        if result.is_error:
+            st["ml_stage_error"] = True
+            return
+        st["ml_stage_error"] = False
+        payload = result.metadata.get(
+            "payload", result.metadata.get("rows", result.content)
+        )
+        stages = task.plan.postorder()
+        if st["manual_stage"] < len(stages):
+            node = stages[st["manual_stage"]]
+            st["stage_outputs"][id(node)] = payload
+        st["manual_stage"] += 1
+        st["pipeline_result"] = payload
+
+    # ----------------------------------------------------------- DB tasks
+
+    def _decide_db(self, task: DBTask, view: AgentView) -> AgentAction:
+        st, rng, profile = self.st, self.rng, self.profile
+        tools = set(view.tool_names)
+        generic = "execute_sql" in tools
+        required_tool = task.action.lower()
+
+        # step-limit safety: too many failed attempts -> abort
+        if st["sql_attempts"] >= 6:
+            return AgentAction.abort(
+                "aborting: repeated SQL failures, task appears infeasible"
+            )
+
+        # 1. tool-list inspection (privilege awareness without any call)
+        if not st["checked_tools"]:
+            st["checked_tools"] = True
+            if not generic and required_tool not in tools:
+                if rng.random() < profile.missing_tool_insight:
+                    return AgentAction.abort(
+                        f"aborting before execution: no {required_tool} tool is "
+                        "available, so I lack the privilege for this "
+                        f"{task.action} task"
+                    )
+                st["must_abort_missing_tool"] = True
+
+        # 2. context retrieval
+        if "get_schema" in tools and not st["schema_requested"]:
+            st["schema_requested"] = True
+            return AgentAction.call("get_schema")
+
+        # 3. post-schema feasibility reasoning
+        if not st["feasibility_checked"]:
+            st["feasibility_checked"] = True
+            if st["must_abort_missing_tool"]:
+                return AgentAction.abort(
+                    f"aborting: the toolkit exposes no {required_tool} tool, "
+                    "the operation is not permitted for me"
+                )
+            if st["schema_seen"]:
+                blocked = [
+                    table
+                    for table in task.tables
+                    if not _annotated_access(st["schema_text"], table, task.action)
+                ]
+                if blocked:
+                    if rng.random() < profile.privilege_reasoning:
+                        return AgentAction.abort(
+                            "aborting: schema annotations show I lack "
+                            f"{task.action} access on {', '.join(blocked)}"
+                        )
+                    st["blind_to_privileges"] = True
+        elif st["must_abort_missing_tool"]:
+            return AgentAction.abort(
+                f"aborting: no {required_tool} tool is available"
+            )
+
+        # 3c. blind schema probing when no schema tool exists at all:
+        # trial-and-error discovery via exploratory SELECTs (the behavior
+        # explicit context tools replace, per paper Section 3.2)
+        if "get_schema" not in tools and generic and not st["schema_seen"]:
+            if not st["probe_decided"]:
+                st["probe_decided"] = True
+                st["will_probe"] = rng.random() < profile.blind_probe_rate
+            if st["will_probe"] and st["probe_failures"] < 2:
+                unprobed = [
+                    t for t in task.tables if t not in st["probed_tables"]
+                ]
+                if unprobed:
+                    table = unprobed[0]
+                    guess = table
+                    if table not in st["misprobed"] and rng.random() < 0.4:
+                        # hallucinated table name on the first probe
+                        st["misprobed"].add(table)
+                        guess = f"{table}_tbl"
+                    st["awaiting_probe"] = True
+                    st["last_probe_table"] = table if guess == table else None
+                    return AgentAction.call(
+                        "execute_sql", sql=f"SELECT * FROM {guess} LIMIT 3"
+                    )
+                st["schema_seen"] = True  # every target table probed
+
+        # 4. exemplar retrieval for tricky predicate values
+        if task.tricky and not st["values_done"] and not st["value_requested"]:
+            st["value_requested"] = True
+            if "get_value" in tools:
+                if rng.random() < profile.value_retrieval_discipline:
+                    return AgentAction.call(
+                        "get_value",
+                        col=task.tricky.column,
+                        key=task.tricky.nl_form,
+                        k=5,
+                    )
+                st["values_done"] = True
+            elif generic:
+                if rng.random() < profile.explore_values_rate:
+                    table, column = task.tricky.column.split(".", 1)
+                    st["awaiting_explore"] = True
+                    return AgentAction.call(
+                        "execute_sql",
+                        sql=f"SELECT DISTINCT {column} FROM {table} LIMIT 20",
+                    )
+                st["values_done"] = True
+
+        # 5. transaction bracketing for writes
+        if task.write and not st["txn_decided"]:
+            st["txn_decided"] = True
+            if "begin" in tools:
+                if rng.random() < profile.txn_with_tools:
+                    return AgentAction.call("begin")
+            elif generic:
+                if rng.random() < profile.txn_generic:
+                    st["generic_txn"] = True
+                    return AgentAction.call("execute_sql", sql="BEGIN")
+
+        # 6. the main SQL attempt(s)
+        if not st["sql_done"]:
+            # real-world slip with generic execute tools: bundling the
+            # transaction bracket and the DML into one call, which
+            # single-statement servers reject
+            if (
+                task.write
+                and generic
+                and required_tool not in tools
+                and not st["txn_open"]
+                and not st.get("multi_tried")
+                and st["sql_attempts"] == 0
+                and rng.random() < profile.multi_statement_rate
+            ):
+                st["multi_tried"] = True
+                bundled = f"BEGIN; {self._compose_sql(task)}; COMMIT"
+                return AgentAction.call("execute_sql", sql=bundled)
+            sql = self._compose_sql(task)
+            tool = required_tool if required_tool in tools else "execute_sql"
+            if tool not in tools:
+                return AgentAction.abort(
+                    f"aborting: no tool can execute a {task.action} statement"
+                )
+            return AgentAction.call(tool, sql=sql)
+
+        # 7. commit for writes
+        if task.write and st["txn_open"] and not st["commit_requested"]:
+            st["commit_requested"] = True
+            if "commit" in tools:
+                return AgentAction.call("commit")
+            return AgentAction.call("execute_sql", sql="COMMIT")
+
+        # 8. finalize
+        return AgentAction.final(self._final_text(task))
+
+    def _compose_sql(self, task: DBTask) -> str:
+        """Generate the SQL attempt, injecting context-dependent mistakes."""
+        st, rng, profile = self.st, self.rng, self.profile
+        sql = task.gold_sql
+
+        identifier_ok = st["schema_seen"]
+        if st["identifier_error"]:
+            # saw an engine error about a bad identifier; maybe corrected
+            identifier_ok = rng.random() < profile.error_correction_rate or (
+                st["schema_seen"]
+            )
+        if (
+            not identifier_ok
+            and task.wrong_identifier_sql
+            and rng.random() < profile.schema_hallucination_rate
+        ):
+            return task.wrong_identifier_sql
+
+        if task.tricky and task.value_miss_sql and not st["stored_value_known"]:
+            if rng.random() < profile.predicate_hallucination_rate:
+                return task.value_miss_sql
+
+        # toolkit-independent logic slip: decided once, never self-detected
+        if task.logic_miss_sql is not None and "logic_slip" not in st:
+            st["logic_slip"] = rng.random() < profile.logic_error_rate
+        if st.get("logic_slip"):
+            return task.logic_miss_sql
+        return sql
+
+    def _final_text(self, task: DBTask) -> str:
+        result = self.st.get("sql_result")
+        if result is None:
+            return "task finished"
+        if task.write:
+            return f"done: {result.content}"
+        return f"query answered: {str(result.content)[:400]}"
+
+    # ----------------------------------------------------------- ML tasks
+
+    def _decide_ml(self, task: MLTask, view: AgentView) -> AgentAction:
+        st, rng, profile = self.st, self.rng, self.profile
+        tools = set(view.tool_names)
+        generic = "execute_sql" in tools
+
+        if "get_schema" in tools and not st["schema_requested"]:
+            st["schema_requested"] = True
+            return AgentAction.call("get_schema")
+
+        if "proxy" in tools:
+            if st["proxy_done"]:
+                return AgentAction.final(
+                    f"pipeline complete: {str(st['pipeline_result'])[:300]}"
+                )
+            if st["proxy_attempts"] >= 3:
+                return AgentAction.abort("aborting: proxy composition kept failing")
+            spec_args = self._build_proxy_spec(task.plan.args, tools)
+            target = self._map_tool(task.plan.tool, tools)
+            # composition skill: one chance to botch the spec per nesting level
+            botched = any(
+                rng.random() > profile.proxy_composition_skill
+                for _ in range(task.level)
+            )
+            if botched and st["proxy_attempts"] == 0:
+                spec_args = dict(spec_args)
+                spec_args["__bogus_arg__"] = 1  # wrong argument -> tool error
+            return AgentAction.call("proxy", target_tool=target, tool_args=spec_args)
+
+        # ---- manual routing through the LLM (PG-MCP regime) --------------
+        stages = task.plan.postorder()
+        index = st["manual_stage"]
+        if st.get("ml_stage_error"):
+            return AgentAction.abort("aborting: pipeline stage failed")
+        if index >= len(stages):
+            return AgentAction.final(
+                f"pipeline complete: {str(st['pipeline_result'])[:300]}"
+            )
+        stage = stages[index]
+        tool = self._map_tool(stage.tool, tools)
+        if tool is None:
+            return AgentAction.abort(f"aborting: no tool available for {stage.tool}")
+        args: dict[str, Any] = {}
+        for key, value in stage.args.items():
+            if isinstance(value, PipelineNode):
+                # the LLM re-emits the producer's output inline (token cost!)
+                args[key] = st["stage_outputs"].get(id(value))
+            else:
+                args[key] = value
+        return AgentAction.call(tool, **args)
+
+    def _build_proxy_spec(
+        self, args: dict[str, Any], tools: set[str]
+    ) -> dict[str, Any]:
+        spec: dict[str, Any] = {}
+        for key, value in args.items():
+            if isinstance(value, PipelineNode):
+                spec[key] = {
+                    "__tool__": self._map_tool(value.tool, tools),
+                    "__args__": self._build_proxy_spec(value.args, tools),
+                    "__transform__": "lambda x: x",
+                }
+            else:
+                spec[key] = value
+        return spec
+
+    @staticmethod
+    def _map_tool(name: str, tools: set[str]) -> str | None:
+        """Resolve a plan stage's tool to what this toolkit actually exposes."""
+        if name in tools:
+            return name
+        if name == "select" and "execute_sql" in tools:
+            return "execute_sql"
+        return None
+
+
+def _annotated_access(schema_text: str, table: str, action: str) -> bool:
+    """Read a table's privilege annotation out of rendered schema text.
+
+    Returns True (accessible) when no annotation exists — baselines without
+    annotations give the LLM no signal, so it assumes access.
+    """
+    blocks = schema_text.split("\n\n")
+    needle_table = table.lower()
+    for block in blocks:
+        lowered = block.lower()
+        if (
+            f"create table {needle_table} (" in lowered
+            or f"create table {needle_table}\n" in lowered
+            or f"view {needle_table} " in lowered
+        ):
+            if "-- access: false" in lowered:
+                return False
+            if "-- access: true" in lowered:
+                if "privileges: all" in lowered:
+                    return True
+                header = next(
+                    (
+                        line
+                        for line in lowered.splitlines()
+                        if line.startswith("-- access: true")
+                    ),
+                    "",
+                )
+                return action.lower() in header
+            return True  # no annotation: assume accessible
+    # hierarchical mode: "name  [privileges: ...]" lines
+    for line in schema_text.splitlines():
+        lowered = line.lower()
+        if lowered.startswith(needle_table) and "[privileges:" in lowered:
+            inside = lowered.split("[privileges:", 1)[1]
+            return action.lower() in inside or "none" not in inside and (
+                "select" in inside if action == "SELECT" else action.lower() in inside
+            )
+    return True

@@ -1,0 +1,117 @@
+"""Behavior profiles for the simulated LLMs.
+
+Each knob is a *mechanistic* failure/skill rate, not an outcome: the
+benchmark numbers emerge from these rates interacting with real tool
+errors from the database engine and toolkit. Profiles for GPT-4o and
+Claude-4 are calibrated to the qualitative descriptions in the paper
+(Claude-4 has "stronger reasoning capabilities": it notices privilege
+boundaries more reliably, writes more verbose reasoning, and persists
+longer before giving up on a failing path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """Cognitive model of one underlying LLM."""
+
+    name: str
+    #: maximum tokens of (system + history) context before task failure
+    context_window: int
+    #: tokens of free-form reasoning prepended to every tool call / answer
+    reasoning_verbosity: int
+
+    # ---- context-dependent SQL generation -------------------------------
+    #: P(hallucinating a wrong identifier) when generating SQL with NO
+    #: retrieved schema (the PG-MCP− regime)
+    schema_hallucination_rate: float
+    #: P(fixing the identifier on a retry after seeing the engine error)
+    error_correction_rate: float
+    #: P(using the NL surface form for a predicate value when the stored
+    #: form was never retrieved) — yields silently wrong results
+    predicate_hallucination_rate: float
+    #: P(a subtle SQL logic slip — off-by-one threshold etc. — independent
+    #: of the toolkit; executes fine but returns wrong results)
+    logic_error_rate: float
+    #: P(following the BridgeScope prompt and calling get_value for a
+    #: text predicate before writing SQL)
+    value_retrieval_discipline: float
+    #: P(running an exploratory SELECT DISTINCT first when unsure about a
+    #: predicate value and only a generic execute tool exists)
+    explore_values_rate: float
+    #: P(probing tables with exploratory SELECTs to discover columns when
+    #: no schema tool exists at all — trial-and-error schema discovery)
+    blind_probe_rate: float
+
+    # ---- privilege awareness --------------------------------------------
+    #: P(correctly aborting an infeasible task from privilege annotations
+    #: in the schema output)
+    privilege_reasoning: float
+    #: P(noticing a required execution tool is absent from the tool list
+    #: BEFORE any tool call, aborting immediately)
+    missing_tool_insight: float
+    #: retries after a hard permission error before aborting (the model
+    #: first suspects its own SQL)
+    permission_error_persistence: int
+
+    # ---- transactions ----------------------------------------------------
+    #: P(bracketing a write with begin/commit when explicit tools exist)
+    txn_with_tools: float
+    #: P(remembering to issue BEGIN through a generic execute_sql tool)
+    txn_generic: float
+    #: P(bundling BEGIN; <dml>; COMMIT into ONE generic execute_sql call —
+    #: a real-world failure mode of single-statement MCP servers)
+    multi_statement_rate: float
+
+    # ---- proxy ------------------------------------------------------------
+    #: P(composing a correct proxy unit, applied once per nesting level)
+    proxy_composition_skill: float
+
+    #: hard cap on reasoning steps before declaring failure
+    max_steps: int = 25
+
+
+GPT_4O = ModelProfile(
+    name="gpt-4o",
+    context_window=128_000,
+    reasoning_verbosity=60,
+    schema_hallucination_rate=0.85,
+    error_correction_rate=0.25,
+    predicate_hallucination_rate=0.70,
+    logic_error_rate=0.20,
+    value_retrieval_discipline=0.90,
+    explore_values_rate=0.50,
+    blind_probe_rate=0.55,
+    privilege_reasoning=0.85,
+    missing_tool_insight=0.40,
+    permission_error_persistence=2,
+    txn_with_tools=0.96,
+    txn_generic=0.08,
+    multi_statement_rate=0.35,
+    proxy_composition_skill=0.97,
+)
+
+CLAUDE_4 = ModelProfile(
+    name="claude-4",
+    context_window=200_000,
+    reasoning_verbosity=95,
+    schema_hallucination_rate=0.80,
+    error_correction_rate=0.30,
+    predicate_hallucination_rate=0.60,
+    logic_error_rate=0.15,
+    value_retrieval_discipline=0.95,
+    explore_values_rate=0.70,
+    blind_probe_rate=0.75,
+    privilege_reasoning=0.97,
+    missing_tool_insight=0.85,
+    permission_error_persistence=3,
+    txn_with_tools=0.99,
+    txn_generic=0.12,
+    multi_statement_rate=0.50,
+    proxy_composition_skill=0.99,
+)
+
+PROFILES = {profile.name: profile for profile in (GPT_4O, CLAUDE_4)}

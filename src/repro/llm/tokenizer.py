@@ -1,0 +1,32 @@
+"""Deterministic token counting approximating a BPE tokenizer.
+
+Absolute counts differ from OpenAI/Anthropic tokenizers, but the estimator
+is monotone in text size and stable run-to-run, which is what the paper's
+token-cost comparisons (ratios between toolkits) rely on.
+
+The rule blends the two standard rules of thumb — ~4 characters/token and
+~0.75 words/token: every whitespace-separated chunk costs
+``max(1, ceil(len(chunk) / 4))`` tokens, and newlines cost one token each.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+
+def count_tokens(text: str) -> int:
+    """Approximate token count of ``text``."""
+    if not text:
+        return 0
+    total = text.count("\n")
+    for chunk in text.split():
+        total += max(1, math.ceil(len(chunk) / 4))
+    return max(total, 1)
+
+
+def count_payload_tokens(payload: Any) -> int:
+    """Token count of an arbitrary tool payload as it would be rendered."""
+    if isinstance(payload, str):
+        return count_tokens(payload)
+    return count_tokens(repr(payload))

@@ -1,0 +1,29 @@
+"""Error types for the tool protocol layer."""
+
+from __future__ import annotations
+
+
+class ToolError(Exception):
+    """Base error for tool invocation failures.
+
+    ``retriable`` hints to the agent whether re-planning could help (e.g. a
+    bad SQL string) versus a hard denial (permission policy).
+    """
+
+    def __init__(self, message: str, retriable: bool = True):
+        super().__init__(message)
+        self.message = message
+        self.retriable = retriable
+
+
+class ToolNotFoundError(ToolError):
+    """The requested tool is not exposed to this caller."""
+
+    def __init__(self, name: str, available: list[str] | None = None):
+        hint = f" (available: {', '.join(available)})" if available else ""
+        super().__init__(f"tool {name!r} not found{hint}", retriable=True)
+        self.name = name
+
+
+class ToolArgumentError(ToolError):
+    """Arguments did not match the tool's parameter specification."""

@@ -1,0 +1,59 @@
+"""Call/result message types exchanged between agent and tool servers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class ToolCall:
+    """A request to invoke ``tool`` with ``args``."""
+
+    tool: str
+    args: dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        parts = ", ".join(f"{k}={_short(v)}" for k, v in self.args.items())
+        return f"{self.tool}({parts})"
+
+
+@dataclass
+class ToolResult:
+    """The outcome of one tool invocation.
+
+    ``content`` is the payload handed back to the caller (string for LLM
+    consumption, or any Python object when tools exchange data directly via
+    the proxy). ``is_error`` discriminates failures; ``error_code`` carries
+    the originating error class name for agent-side dispatch.
+    """
+
+    content: Any
+    is_error: bool = False
+    error_code: str | None = None
+    #: wall-clock-free execution metadata (row counts etc.) for benchmarks
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def ok(cls, content: Any, **metadata: Any) -> "ToolResult":
+        return cls(content=content, metadata=metadata)
+
+    @classmethod
+    def error(cls, message: str, code: str = "ToolError") -> "ToolResult":
+        return cls(content=message, is_error=True, error_code=code)
+
+    def render(self) -> str:
+        """Text as it would enter an LLM context."""
+        prefix = "ERROR: " if self.is_error else ""
+        return f"{prefix}{_stringify(self.content)}"
+
+
+def _short(value: Any, limit: int = 60) -> str:
+    text = repr(value)
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+def _stringify(content: Any) -> str:
+    if isinstance(content, str):
+        return content
+    return repr(content)

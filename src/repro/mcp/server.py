@@ -1,0 +1,129 @@
+"""Tool server base class and the ``@tool`` declaration decorator."""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable
+
+from .errors import ToolError, ToolNotFoundError
+from .messages import ToolCall, ToolResult
+from .schema import ParamSpec, ToolSpec
+
+
+def tool(
+    name: str | None = None,
+    description: str = "",
+    params: list[ParamSpec] | None = None,
+    **annotations: Any,
+) -> Callable:
+    """Mark a method as a tool implementation.
+
+    Parameter specs default to being inferred from the method signature
+    (every parameter typed as ``any`` and required unless it has a default).
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        fn.__tool_decl__ = {
+            "name": name or fn.__name__,
+            "description": description or (fn.__doc__ or "").strip(),
+            "params": params,
+            "annotations": annotations,
+        }
+        return fn
+
+    return decorate
+
+
+def _infer_params(fn: Callable) -> list[ParamSpec]:
+    specs: list[ParamSpec] = []
+    signature = inspect.signature(fn)
+    for param in signature.parameters.values():
+        if param.name == "self":
+            continue
+        required = param.default is inspect.Parameter.empty
+        specs.append(
+            ParamSpec(
+                param.name,
+                type="any",
+                required=required,
+                default=None if required else param.default,
+            )
+        )
+    return specs
+
+
+class ToolServer:
+    """Base class: collects ``@tool``-decorated methods into a tool table.
+
+    Subclasses may also register tools dynamically with :meth:`register`,
+    and restrict visibility by overriding :meth:`visible_tools` (this is how
+    BridgeScope exposes only privilege-compatible tools).
+    """
+
+    name = "server"
+
+    def __init__(self):
+        self._tools: dict[str, tuple[ToolSpec, Callable]] = {}
+        for attr in dir(self):
+            fn = getattr(self, attr)
+            decl = getattr(fn, "__tool_decl__", None)
+            if decl is None:
+                continue
+            spec = ToolSpec(
+                name=decl["name"],
+                description=decl["description"],
+                params=decl["params"] or _infer_params(fn.__func__),
+                annotations=dict(decl["annotations"]),
+            )
+            self._tools[spec.name] = (spec, fn)
+
+    # ------------------------------------------------------------- registry
+
+    def register(
+        self, spec: ToolSpec, fn: Callable[..., Any]
+    ) -> None:
+        """Attach an extra tool at runtime."""
+        self._tools[spec.name] = (spec, fn)
+
+    def unregister(self, name: str) -> None:
+        self._tools.pop(name, None)
+
+    def visible_tools(self) -> list[ToolSpec]:
+        """Tool specs exposed to the caller; subclasses may filter."""
+        return [spec for spec, _ in self._tools.values()]
+
+    def has_tool(self, name: str) -> bool:
+        return any(spec.name == name for spec in self.visible_tools())
+
+    def spec(self, name: str) -> ToolSpec:
+        for candidate in self.visible_tools():
+            if candidate.name == name:
+                return candidate
+        raise ToolNotFoundError(name, [s.name for s in self.visible_tools()])
+
+    # ------------------------------------------------------------- calling
+
+    def call(self, call: ToolCall) -> ToolResult:
+        """Invoke a tool; all failures are folded into an error ToolResult."""
+        try:
+            spec = self.spec(call.tool)
+            _, fn = self._tools[call.tool]
+            args = spec.validate_args(call.args)
+            content = fn(**args)
+            if isinstance(content, ToolResult):
+                return content
+            return ToolResult.ok(content)
+        except ToolError as exc:
+            return ToolResult.error(exc.message, code=type(exc).__name__)
+        except Exception as exc:  # engine errors surface with their class name
+            return ToolResult.error(str(exc), code=type(exc).__name__)
+
+    def invoke(self, tool_name: str, **args: Any) -> ToolResult:
+        """Convenience wrapper around :meth:`call`."""
+        return self.call(ToolCall(tool_name, args))
+
+    # ------------------------------------------------------------ rendering
+
+    def render_tool_list(self) -> str:
+        """Deterministic text block describing all visible tools."""
+        return "\n\n".join(spec.render() for spec in self.visible_tools())

@@ -1,0 +1,73 @@
+"""minidb — a from-scratch in-memory relational database engine.
+
+This package is the PostgreSQL stand-in for the BridgeScope reproduction:
+SQL parsing, query execution with joins/aggregates/subqueries, ACID
+transactions via undo logging, PK/FK/UNIQUE/NOT NULL/CHECK constraints,
+views, secondary indexes, and a PostgreSQL-style privilege system with
+table- and column-level grants.
+
+Public entry points: :class:`Database`, :class:`Session`,
+:class:`ResultSet`, :func:`parse`, :func:`analyze`, plus the error
+taxonomy in :mod:`repro.minidb.errors`.
+"""
+
+from .analysis import ObjectAccess, StatementAnalysis, analyze
+from .catalog import Catalog, Column, ForeignKey, IndexSchema, TableSchema, ViewSchema
+from .database import Database, Session
+from .errors import (
+    CatalogError,
+    CheckViolation,
+    DivisionByZeroError,
+    DuplicateObjectError,
+    ExecutionError,
+    ForeignKeyViolation,
+    IntegrityError,
+    MiniDBError,
+    NotNullViolation,
+    PermissionDenied,
+    SQLSyntaxError,
+    TransactionError,
+    TypeMismatchError,
+    UniqueViolation,
+    UnknownColumnError,
+    UnknownTableError,
+)
+from .parser import parse, parse_script, statement_action
+from .privileges import ACTIONS, PrivilegeManager
+from .result import ResultSet
+
+__all__ = [
+    "ACTIONS",
+    "Catalog",
+    "CatalogError",
+    "CheckViolation",
+    "Column",
+    "Database",
+    "DivisionByZeroError",
+    "DuplicateObjectError",
+    "ExecutionError",
+    "ForeignKey",
+    "ForeignKeyViolation",
+    "IndexSchema",
+    "IntegrityError",
+    "MiniDBError",
+    "NotNullViolation",
+    "ObjectAccess",
+    "PermissionDenied",
+    "PrivilegeManager",
+    "ResultSet",
+    "SQLSyntaxError",
+    "Session",
+    "StatementAnalysis",
+    "TableSchema",
+    "TransactionError",
+    "TypeMismatchError",
+    "UniqueViolation",
+    "UnknownColumnError",
+    "UnknownTableError",
+    "ViewSchema",
+    "analyze",
+    "parse",
+    "parse_script",
+    "statement_action",
+]

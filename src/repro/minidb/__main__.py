@@ -1,0 +1,99 @@
+"""Interactive minidb shell: ``python -m repro.minidb [--user NAME]``.
+
+A tiny psql-style REPL against an in-memory database, useful for poking at
+the engine and for demos. Meta-commands:
+
+* ``\\d`` — list objects; ``\\d NAME`` — describe one object
+* ``\\du`` — list users
+* ``\\q`` — quit
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import Database, MiniDBError
+
+
+def run_shell(database: Database, user: str, stream=sys.stdin) -> None:
+    session = database.connect(user)
+    print(f"minidb shell — connected as {user!r}. \\q to quit.")
+    buffer: list[str] = []
+    prompt = "minidb> "
+    while True:
+        try:
+            print(prompt, end="", flush=True)
+            line = stream.readline()
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            print()
+            break
+        if not line:
+            break
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("\\"):
+            if _meta_command(database, session, line):
+                break
+            continue
+        buffer.append(line)
+        if not line.endswith(";"):
+            prompt = "   ...> "
+            continue
+        prompt = "minidb> "
+        sql = " ".join(buffer)
+        buffer = []
+        try:
+            result = session.execute(sql.rstrip(";"))
+            print(result.render(max_rows=50))
+        except MiniDBError as exc:
+            print(f"ERROR: {exc}")
+
+
+def _meta_command(database: Database, session, line: str) -> bool:
+    """Handle a backslash command; returns True to quit."""
+    parts = line.split()
+    command = parts[0]
+    if command == "\\q":
+        return True
+    if command == "\\d":
+        if len(parts) > 1:
+            name = parts[1]
+            if database.catalog.has_table(name):
+                print(database.catalog.table(name).render_create())
+            elif database.catalog.has_view(name):
+                print(database.catalog.view(name).describe())
+            else:
+                print(f"no such object: {name}")
+        else:
+            for name in database.catalog.object_names():
+                kind = "view" if database.catalog.has_view(name) else "table"
+                print(f"{kind}  {name}")
+    elif command == "\\du":
+        for name in database.privileges.users():
+            print(name)
+    else:
+        print(f"unknown command {command}")
+    return False
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.minidb", description=__doc__)
+    parser.add_argument("--user", default="admin", help="user to connect as")
+    parser.add_argument(
+        "--init", default=None, help="SQL script file to run before the shell"
+    )
+    args = parser.parse_args(argv)
+    database = Database(owner="admin")
+    if args.user != "admin":
+        database.create_user(args.user)
+    if args.init:
+        with open(args.init) as handle:
+            database.connect("admin").execute_script(handle.read())
+    run_shell(database, args.user)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,290 @@
+"""Static analysis of parsed SQL statements.
+
+Answers, without executing anything: *which privilege action does this
+statement need, on which objects, touching which columns?* This single
+analysis is shared by two security layers:
+
+* minidb's own privilege enforcement (database-side), and
+* BridgeScope's object-level tool verification (user-side policy), per
+  Section 2.3(2) of the paper.
+
+Column attribution is conservative: an unqualified column that exists in
+several FROM tables is attributed to all of them, and ``SELECT *`` claims
+every column of every source. Over-attribution can only make security
+checks stricter, never looser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import ast_nodes as ast
+from .catalog import Catalog
+
+
+@dataclass
+class ObjectAccess:
+    """One object touched by a statement, with the action and column set."""
+
+    action: str
+    obj: str
+    columns: set[str] = field(default_factory=set)
+    whole_object: bool = False  # SELECT * or DDL — needs the full object
+
+    def column_set(self) -> set[str] | None:
+        """Columns needed for a privilege check (None = whole object)."""
+        if self.whole_object:
+            return None
+        return self.columns or None
+
+
+@dataclass
+class StatementAnalysis:
+    """Full access footprint of a statement."""
+
+    action: str  # the primary action (what tool should run it)
+    accesses: list[ObjectAccess] = field(default_factory=list)
+    is_read_only: bool = True
+    is_ddl: bool = False
+    is_transaction_control: bool = False
+
+    def objects(self) -> list[str]:
+        seen: list[str] = []
+        for access in self.accesses:
+            if access.obj not in seen:
+                seen.append(access.obj)
+        return seen
+
+
+_WRITE_ACTIONS = {"INSERT", "UPDATE", "DELETE", "CREATE", "DROP", "ALTER"}
+
+
+def analyze(stmt: ast.Statement, catalog: Catalog | None = None) -> StatementAnalysis:
+    """Compute the access footprint of ``stmt``.
+
+    ``catalog`` (optional) improves column attribution for unqualified
+    references and resolves view definitions to their underlying tables'
+    *view object* (privileges in minidb attach to the view itself, as in
+    PostgreSQL, so no recursion into the view body is done here).
+    """
+    analyzer = _Analyzer(catalog)
+    return analyzer.run(stmt)
+
+
+class _Analyzer:
+    def __init__(self, catalog: Catalog | None):
+        self.catalog = catalog
+        self.accesses: list[ObjectAccess] = []
+
+    def run(self, stmt: ast.Statement) -> StatementAnalysis:
+        if isinstance(stmt, ast.SelectStatement):
+            self._analyze_select(stmt)
+            return self._finish("SELECT", read_only=True)
+        if isinstance(stmt, ast.ExplainStatement):
+            self._analyze_select(stmt.select)
+            return self._finish("SELECT", read_only=True)
+        if isinstance(stmt, ast.InsertStatement):
+            access = self._access("INSERT", stmt.table)
+            if stmt.columns:
+                access.columns.update(c.lower() for c in stmt.columns)
+            else:
+                access.whole_object = True
+            if stmt.select is not None:
+                self._analyze_select(stmt.select)
+            return self._finish("INSERT", read_only=False)
+        if isinstance(stmt, ast.UpdateStatement):
+            access = self._access("UPDATE", stmt.table)
+            access.columns.update(c.lower() for c, _ in stmt.assignments)
+            binding_map = {stmt.table.lower(): stmt.table}
+            for _, expr in stmt.assignments:
+                self._walk_expr(expr, binding_map, read_action="SELECT")
+            if stmt.where is not None:
+                self._walk_expr(stmt.where, binding_map, read_action="SELECT")
+            return self._finish("UPDATE", read_only=False)
+        if isinstance(stmt, ast.DeleteStatement):
+            self._access("DELETE", stmt.table).whole_object = True
+            if stmt.where is not None:
+                self._walk_expr(
+                    stmt.where, {stmt.table.lower(): stmt.table}, read_action="SELECT"
+                )
+            return self._finish("DELETE", read_only=False)
+        if isinstance(stmt, ast.CreateTableStatement):
+            self._access("CREATE", stmt.table).whole_object = True
+            for fk in stmt.foreign_keys:
+                self._access("SELECT", fk.ref_table).whole_object = True
+            for cdef in stmt.columns:
+                if cdef.references:
+                    self._access("SELECT", cdef.references[0]).whole_object = True
+            return self._finish("CREATE", read_only=False, ddl=True)
+        if isinstance(stmt, ast.CreateIndexStatement):
+            self._access("CREATE", stmt.table).whole_object = True
+            return self._finish("CREATE", read_only=False, ddl=True)
+        if isinstance(stmt, ast.CreateViewStatement):
+            self._access("CREATE", stmt.name).whole_object = True
+            self._analyze_select(stmt.select)
+            return self._finish("CREATE", read_only=False, ddl=True)
+        if isinstance(stmt, ast.DropTableStatement):
+            for name in stmt.tables:
+                self._access("DROP", name).whole_object = True
+            return self._finish("DROP", read_only=False, ddl=True)
+        if isinstance(stmt, ast.DropIndexStatement):
+            obj = stmt.name
+            if self.catalog is not None and stmt.name.lower() in self.catalog.indexes:
+                obj = self.catalog.index(stmt.name).table
+            self._access("DROP", obj).whole_object = True
+            return self._finish("DROP", read_only=False, ddl=True)
+        if isinstance(stmt, ast.DropViewStatement):
+            for name in stmt.names:
+                self._access("DROP", name).whole_object = True
+            return self._finish("DROP", read_only=False, ddl=True)
+        if isinstance(stmt, ast.AlterTableStatement):
+            self._access("ALTER", stmt.table).whole_object = True
+            return self._finish("ALTER", read_only=False, ddl=True)
+        if isinstance(
+            stmt,
+            (
+                ast.BeginStatement,
+                ast.CommitStatement,
+                ast.RollbackStatement,
+                ast.SavepointStatement,
+                ast.ReleaseSavepointStatement,
+            ),
+        ):
+            result = self._finish("TRANSACTION", read_only=True)
+            result.is_transaction_control = True
+            return result
+        if isinstance(stmt, (ast.GrantStatement, ast.RevokeStatement)):
+            for obj in stmt.objects:
+                self._access("GRANT", obj).whole_object = True
+            return self._finish("GRANT", read_only=False)
+        return self._finish("OTHER", read_only=False)
+
+    # ------------------------------------------------------------- helpers
+
+    def _finish(
+        self, action: str, read_only: bool, ddl: bool = False
+    ) -> StatementAnalysis:
+        return StatementAnalysis(
+            action=action,
+            accesses=self.accesses,
+            is_read_only=read_only,
+            is_ddl=ddl,
+        )
+
+    def _access(self, action: str, obj: str) -> ObjectAccess:
+        key = obj.lower()
+        for access in self.accesses:
+            if access.action == action and access.obj == key:
+                return access
+        access = ObjectAccess(action, key)
+        self.accesses.append(access)
+        return access
+
+    def _analyze_select(self, stmt: ast.SelectStatement) -> None:
+        binding_map: dict[str, str] = {}  # binding (lower) -> object name (lower)
+        for source in stmt.from_sources:
+            self._bind_source(source, binding_map)
+        for join in stmt.joins:
+            self._bind_source(join.source, binding_map)
+
+        for item in stmt.items:
+            if isinstance(item.expr, ast.Star):
+                self._claim_star(item.expr, binding_map)
+            else:
+                self._walk_expr(item.expr, binding_map, read_action="SELECT")
+        for expr in (stmt.where, stmt.having):
+            if expr is not None:
+                self._walk_expr(expr, binding_map, read_action="SELECT")
+        for expr in stmt.group_by:
+            self._walk_expr(expr, binding_map, read_action="SELECT")
+        for order in stmt.order_by:
+            self._walk_expr(order.expr, binding_map, read_action="SELECT")
+        for join in stmt.joins:
+            if join.condition is not None:
+                self._walk_expr(join.condition, binding_map, read_action="SELECT")
+        if stmt.set_op is not None:
+            self._analyze_select(stmt.set_op[1])
+
+    def _bind_source(
+        self, source: "ast.TableRef | ast.SubqueryRef", binding_map: dict[str, str]
+    ) -> None:
+        if isinstance(source, ast.SubqueryRef):
+            self._analyze_select(source.subquery)
+            return
+        self._access("SELECT", source.name)
+        binding_map[source.binding.lower()] = source.name.lower()
+
+    def _claim_star(self, star: ast.Star, binding_map: dict[str, str]) -> None:
+        if star.table:
+            obj = binding_map.get(star.table.lower(), star.table.lower())
+            self._access("SELECT", obj).whole_object = True
+        else:
+            for obj in set(binding_map.values()):
+                self._access("SELECT", obj).whole_object = True
+
+    def _attribute_column(
+        self, ref: ast.ColumnRef, binding_map: dict[str, str], action: str
+    ) -> None:
+        if ref.table:
+            obj = binding_map.get(ref.table.lower())
+            if obj is None:
+                return  # correlated reference to an outer query's binding
+            self._access(action, obj).columns.add(ref.name.lower())
+            return
+        # unqualified: attribute to every table that (per catalog) has it,
+        # or to all tables when no catalog is available
+        candidates = []
+        for obj in set(binding_map.values()):
+            if self.catalog is not None and self.catalog.has_table(obj):
+                if self.catalog.table(obj).has_column(ref.name):
+                    candidates.append(obj)
+            else:
+                candidates.append(obj)
+        for obj in candidates:
+            self._access(action, obj).columns.add(ref.name.lower())
+
+    def _walk_expr(
+        self, expr: ast.Expr, binding_map: dict[str, str], read_action: str
+    ) -> None:
+        if isinstance(expr, ast.ColumnRef):
+            self._attribute_column(expr, binding_map, read_action)
+        elif isinstance(expr, ast.Star):
+            self._claim_star(expr, binding_map)
+        elif isinstance(expr, ast.BinaryOp):
+            self._walk_expr(expr.left, binding_map, read_action)
+            self._walk_expr(expr.right, binding_map, read_action)
+        elif isinstance(expr, ast.UnaryOp):
+            self._walk_expr(expr.operand, binding_map, read_action)
+        elif isinstance(expr, ast.FunctionCall):
+            for arg in expr.args:
+                self._walk_expr(arg, binding_map, read_action)
+        elif isinstance(expr, ast.CaseExpr):
+            if expr.operand is not None:
+                self._walk_expr(expr.operand, binding_map, read_action)
+            for when, then in expr.whens:
+                self._walk_expr(when, binding_map, read_action)
+                self._walk_expr(then, binding_map, read_action)
+            if expr.default is not None:
+                self._walk_expr(expr.default, binding_map, read_action)
+        elif isinstance(expr, ast.InExpr):
+            self._walk_expr(expr.operand, binding_map, read_action)
+            if isinstance(expr.candidates, ast.SelectStatement):
+                self._analyze_select(expr.candidates)
+            else:
+                for candidate in expr.candidates:
+                    self._walk_expr(candidate, binding_map, read_action)
+        elif isinstance(expr, ast.BetweenExpr):
+            self._walk_expr(expr.operand, binding_map, read_action)
+            self._walk_expr(expr.low, binding_map, read_action)
+            self._walk_expr(expr.high, binding_map, read_action)
+        elif isinstance(expr, ast.LikeExpr):
+            self._walk_expr(expr.operand, binding_map, read_action)
+            self._walk_expr(expr.pattern, binding_map, read_action)
+        elif isinstance(expr, ast.IsNullExpr):
+            self._walk_expr(expr.operand, binding_map, read_action)
+        elif isinstance(expr, ast.ExistsExpr):
+            self._analyze_select(expr.subquery)
+        elif isinstance(expr, ast.ScalarSubquery):
+            self._analyze_select(expr.subquery)
+        elif isinstance(expr, ast.CastExpr):
+            self._walk_expr(expr.operand, binding_map, read_action)

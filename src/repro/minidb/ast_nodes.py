@@ -1,0 +1,352 @@
+"""AST node definitions for the minidb SQL dialect.
+
+Every statement and expression form the parser can produce is a frozen-ish
+dataclass here. Nodes are deliberately dumb data carriers; evaluation lives
+in :mod:`repro.minidb.expressions` and :mod:`repro.minidb.executor`, and
+static analysis (used by BridgeScope's object-level verification) lives in
+:mod:`repro.core.sql_analysis`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+# --------------------------------------------------------------------------
+# expressions
+# --------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for all expression nodes."""
+
+
+@dataclass
+class Literal(Expr):
+    value: Any  # int | float | str | bool | None
+
+
+@dataclass
+class ColumnRef(Expr):
+    name: str
+    table: str | None = None  # qualifier as written, e.g. "t1" in t1.x
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass
+class Star(Expr):
+    """``*`` or ``t.*`` in a select list or COUNT(*)."""
+
+    table: str | None = None
+
+
+@dataclass
+class BinaryOp(Expr):
+    op: str  # +,-,*,/,%,=,<>,<,<=,>,>=,AND,OR,||
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class UnaryOp(Expr):
+    op: str  # -, +, NOT
+    operand: Expr
+
+
+@dataclass
+class FunctionCall(Expr):
+    name: str  # upper-cased
+    args: list[Expr]
+    distinct: bool = False  # COUNT(DISTINCT x)
+
+
+@dataclass
+class CaseExpr(Expr):
+    operand: Expr | None  # CASE x WHEN ... vs searched CASE
+    whens: list[tuple[Expr, Expr]]
+    default: Expr | None
+
+
+@dataclass
+class InExpr(Expr):
+    operand: Expr
+    candidates: "list[Expr] | SelectStatement"
+    negated: bool = False
+
+
+@dataclass
+class BetweenExpr(Expr):
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+
+@dataclass
+class LikeExpr(Expr):
+    operand: Expr
+    pattern: Expr
+    negated: bool = False
+    case_insensitive: bool = False  # ILIKE
+
+
+@dataclass
+class IsNullExpr(Expr):
+    operand: Expr
+    negated: bool = False  # IS NOT NULL
+
+
+@dataclass
+class ExistsExpr(Expr):
+    subquery: "SelectStatement"
+    negated: bool = False
+
+
+@dataclass
+class ScalarSubquery(Expr):
+    subquery: "SelectStatement"
+
+
+@dataclass
+class CastExpr(Expr):
+    operand: Expr
+    target_type: str
+
+
+# --------------------------------------------------------------------------
+# SELECT machinery
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class SelectItem:
+    expr: Expr
+    alias: str | None = None
+
+
+@dataclass
+class TableRef:
+    """A table or view in FROM, possibly aliased."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass
+class SubqueryRef:
+    """A derived table: ``(SELECT ...) AS alias``."""
+
+    subquery: "SelectStatement"
+    alias: str
+
+
+@dataclass
+class Join:
+    kind: str  # INNER | LEFT | RIGHT | CROSS
+    source: "TableRef | SubqueryRef"
+    condition: Expr | None  # None for CROSS
+
+
+@dataclass
+class OrderItem:
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass
+class SelectStatement:
+    items: list[SelectItem]
+    from_sources: list["TableRef | SubqueryRef"] = field(default_factory=list)
+    joins: list[Join] = field(default_factory=list)
+    where: Expr | None = None
+    group_by: list[Expr] = field(default_factory=list)
+    having: Expr | None = None
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: int | None = None
+    offset: int | None = None
+    distinct: bool = False
+    set_op: Optional[tuple[str, "SelectStatement"]] = None  # ("UNION"|"UNION ALL"|..., rhs)
+
+
+# --------------------------------------------------------------------------
+# DML
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class InsertStatement:
+    table: str
+    columns: list[str] | None  # None = declared order
+    rows: list[list[Expr]] | None  # VALUES form
+    select: SelectStatement | None = None  # INSERT ... SELECT form
+
+
+@dataclass
+class UpdateStatement:
+    table: str
+    assignments: list[tuple[str, Expr]]
+    where: Expr | None = None
+
+
+@dataclass
+class DeleteStatement:
+    table: str
+    where: Expr | None = None
+
+
+# --------------------------------------------------------------------------
+# DDL
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class ColumnDef:
+    name: str
+    declared_type: str
+    not_null: bool = False
+    primary_key: bool = False
+    unique: bool = False
+    default: Expr | None = None
+    check: Expr | None = None
+    references: tuple[str, str] | None = None  # (table, column)
+
+
+@dataclass
+class ForeignKeyDef:
+    columns: list[str]
+    ref_table: str
+    ref_columns: list[str]
+
+
+@dataclass
+class CreateTableStatement:
+    table: str
+    columns: list[ColumnDef]
+    primary_key: list[str] = field(default_factory=list)
+    foreign_keys: list[ForeignKeyDef] = field(default_factory=list)
+    uniques: list[list[str]] = field(default_factory=list)
+    checks: list[Expr] = field(default_factory=list)
+    if_not_exists: bool = False
+
+
+@dataclass
+class DropTableStatement:
+    tables: list[str]
+    if_exists: bool = False
+    cascade: bool = False
+
+
+@dataclass
+class AlterTableStatement:
+    table: str
+    action: str  # ADD_COLUMN | DROP_COLUMN | RENAME_COLUMN | RENAME_TABLE
+    column: ColumnDef | None = None
+    old_name: str | None = None
+    new_name: str | None = None
+
+
+@dataclass
+class CreateIndexStatement:
+    name: str
+    table: str
+    columns: list[str]
+    unique: bool = False
+    if_not_exists: bool = False
+
+
+@dataclass
+class DropIndexStatement:
+    name: str
+    if_exists: bool = False
+
+
+@dataclass
+class CreateViewStatement:
+    name: str
+    select: SelectStatement
+    or_replace: bool = False
+
+
+@dataclass
+class DropViewStatement:
+    names: list[str]
+    if_exists: bool = False
+
+
+# --------------------------------------------------------------------------
+# transactions & privileges
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class ExplainStatement:
+    select: SelectStatement
+
+
+@dataclass
+class BeginStatement:
+    pass
+
+
+@dataclass
+class CommitStatement:
+    pass
+
+
+@dataclass
+class RollbackStatement:
+    savepoint: str | None = None  # ROLLBACK TO SAVEPOINT x
+
+
+@dataclass
+class SavepointStatement:
+    name: str
+
+
+@dataclass
+class ReleaseSavepointStatement:
+    name: str
+
+
+@dataclass
+class GrantStatement:
+    actions: list[str]  # SELECT/INSERT/... or ["ALL"]
+    columns: list[str] | None  # column-level grant, None = whole object
+    objects: list[str]
+    grantee: str
+
+
+@dataclass
+class RevokeStatement:
+    actions: list[str]
+    columns: list[str] | None
+    objects: list[str]
+    grantee: str
+
+
+Statement = (
+    SelectStatement
+    | InsertStatement
+    | UpdateStatement
+    | DeleteStatement
+    | CreateTableStatement
+    | DropTableStatement
+    | AlterTableStatement
+    | CreateIndexStatement
+    | DropIndexStatement
+    | CreateViewStatement
+    | DropViewStatement
+    | BeginStatement
+    | CommitStatement
+    | RollbackStatement
+    | SavepointStatement
+    | ReleaseSavepointStatement
+    | GrantStatement
+    | RevokeStatement
+)

@@ -1,0 +1,217 @@
+"""Database facade and session management — minidb's public entry point.
+
+Typical use::
+
+    db = Database(owner="admin")
+    admin = db.connect("admin")
+    admin.execute("CREATE TABLE t (id INT PRIMARY KEY, name TEXT)")
+    admin.execute("INSERT INTO t VALUES (1, 'a')")
+    rows = admin.execute("SELECT * FROM t").rows
+
+Privilege enforcement happens here, before execution: each statement is
+parsed, statically analyzed (:mod:`repro.minidb.analysis`), and every
+``(action, object, columns)`` access is checked against the
+:class:`~repro.minidb.privileges.PrivilegeManager`. The owner bypasses
+checks, like a PostgreSQL superuser.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from . import ast_nodes as ast
+from .analysis import StatementAnalysis, analyze
+from .catalog import Catalog, IndexSchema, TableSchema
+from .errors import MiniDBError, PermissionDenied, TransactionError
+from .executor import Executor
+from .parser import parse, parse_script
+from .privileges import PrivilegeManager
+from .result import ResultSet
+from .storage import HashIndex, HeapTable
+from .transactions import StatementGuard, TransactionManager
+
+
+class Session:
+    """One user's connection to a database.
+
+    Holds per-connection transaction state; statements run in autocommit
+    mode unless BEGIN was issued.
+    """
+
+    def __init__(self, db: "Database", user: str):
+        self.db = db
+        self.user = user
+        self.tx = TransactionManager()
+        #: statements executed through this session (benchmark observability)
+        self.statement_log: list[str] = []
+
+    # ------------------------------------------------------------ execution
+
+    def execute(self, sql: str, _skip_privileges: bool = False) -> ResultSet:
+        """Parse, authorize, and execute a single SQL statement."""
+        self.statement_log.append(sql)
+        stmt = parse(sql)
+        return self.execute_statement(stmt, _skip_privileges=_skip_privileges)
+
+    def execute_script(self, sql: str) -> list[ResultSet]:
+        """Execute a ``;``-separated script, stopping at the first error."""
+        results = []
+        for stmt in parse_script(sql):
+            results.append(self.execute_statement(stmt))
+        return results
+
+    def execute_statement(
+        self, stmt: ast.Statement, _skip_privileges: bool = False
+    ) -> ResultSet:
+        analysis = analyze(stmt, self.db.catalog)
+        if not _skip_privileges:
+            self.db.authorize(self.user, stmt, analysis)
+
+        # transaction control bypasses the statement guard
+        if isinstance(stmt, ast.BeginStatement):
+            self.tx.begin()
+            return ResultSet(status="BEGIN")
+        if isinstance(stmt, ast.CommitStatement):
+            if not self.tx.in_transaction:
+                raise TransactionError("no transaction in progress")
+            self.tx.commit()
+            return ResultSet(status="COMMIT")
+        if isinstance(stmt, ast.RollbackStatement):
+            if stmt.savepoint:
+                self.tx.rollback_to_savepoint(stmt.savepoint)
+                return ResultSet(status=f"ROLLBACK TO {stmt.savepoint}")
+            if not self.tx.in_transaction:
+                raise TransactionError("no transaction in progress")
+            self.tx.rollback()
+            return ResultSet(status="ROLLBACK")
+        if isinstance(stmt, ast.SavepointStatement):
+            self.tx.savepoint(stmt.name)
+            return ResultSet(status=f"SAVEPOINT {stmt.name}")
+        if isinstance(stmt, ast.ReleaseSavepointStatement):
+            self.tx.release_savepoint(stmt.name)
+            return ResultSet(status=f"RELEASE {stmt.name}")
+
+        if isinstance(stmt, ast.GrantStatement):
+            return self.db.apply_grant(self.user, stmt)
+        if isinstance(stmt, ast.RevokeStatement):
+            return self.db.apply_revoke(self.user, stmt)
+
+        with StatementGuard(self.tx):
+            return self.db.executor.execute(stmt, self)
+
+    # --------------------------------------------------------- conveniences
+
+    def query(self, sql: str) -> list[dict[str, Any]]:
+        """Run a SELECT and return dict rows."""
+        return self.execute(sql).to_dicts()
+
+    def scalar(self, sql: str) -> Any:
+        return self.execute(sql).scalar()
+
+    @property
+    def in_transaction(self) -> bool:
+        return self.tx.in_transaction
+
+
+class Database:
+    """An in-memory minidb database instance shared by sessions."""
+
+    def __init__(self, owner: str = "admin", name: str = "main"):
+        self.name = name
+        self.catalog = Catalog()
+        self.heaps: dict[str, HeapTable] = {}
+        self.privileges = PrivilegeManager(owner)
+        self.executor = Executor(self)
+        #: access-path counters maintained by the executor (observability)
+        self.planner_stats = {"seq_scans": 0, "index_scans": 0}
+
+    # ------------------------------------------------------------- sessions
+
+    def connect(self, user: str) -> Session:
+        """Open a session for ``user`` (auto-registering unknown users would
+        hide configuration bugs, so unknown users are rejected)."""
+        if not self.privileges.has_user(user):
+            raise PermissionDenied(f"role {user!r} does not exist")
+        return Session(self, user)
+
+    def create_user(self, name: str) -> None:
+        self.privileges.create_user(name)
+
+    # ---------------------------------------------------------- authorizing
+
+    def authorize(
+        self, user: str, stmt: ast.Statement, analysis: StatementAnalysis
+    ) -> None:
+        """Enforce database-side privileges for one statement."""
+        if self.privileges.is_owner(user):
+            return
+        if analysis.is_transaction_control:
+            return
+        if isinstance(stmt, (ast.GrantStatement, ast.RevokeStatement)):
+            raise PermissionDenied(
+                f"user {user!r} may not GRANT or REVOKE privileges"
+            )
+        for access in analysis.accesses:
+            if access.action == "CREATE" and not self.catalog.has_object(access.obj):
+                # creating a new object: CREATE is a database-wide privilege
+                self.privileges.check(user, "CREATE", "*")
+                continue
+            columns = access.column_set()
+            self.privileges.check(user, access.action, access.obj, columns)
+
+    # ----------------------------------------------------------- grants API
+
+    def apply_grant(self, issuer: str, stmt: ast.GrantStatement) -> ResultSet:
+        if not self.privileges.is_owner(issuer):
+            raise PermissionDenied(f"user {issuer!r} may not GRANT privileges")
+        for obj in stmt.objects:
+            if obj != "*" and not self.catalog.has_object(obj):
+                raise MiniDBError(f"relation {obj!r} does not exist")
+            for action in stmt.actions:
+                self.privileges.grant(stmt.grantee, action, obj, stmt.columns)
+        return ResultSet(status="GRANT")
+
+    def apply_revoke(self, issuer: str, stmt: ast.RevokeStatement) -> ResultSet:
+        if not self.privileges.is_owner(issuer):
+            raise PermissionDenied(f"user {issuer!r} may not REVOKE privileges")
+        for obj in stmt.objects:
+            for action in stmt.actions:
+                self.privileges.revoke(stmt.grantee, action, obj, stmt.columns)
+        return ResultSet(status="REVOKE")
+
+    # ------------------------------------------------------------- storage
+
+    def heap(self, table: str) -> HeapTable:
+        return self.heaps[table.lower()]
+
+    def drop_table_physical(self, name: str) -> None:
+        """Remove a table from catalog + heap (undo helper for CREATE)."""
+        if self.catalog.has_table(name):
+            self.catalog.remove_table(name)
+        self.heaps.pop(name.lower(), None)
+        for index in self.catalog.indexes_on(name):
+            self.catalog.remove_index(index.name)
+
+    def restore_table(
+        self,
+        schema: TableSchema,
+        heap: HeapTable,
+        indexes: list[IndexSchema],
+    ) -> None:
+        """Re-attach a dropped table (undo helper for DROP)."""
+        self.catalog.add_table(schema)
+        self.heaps[schema.name.lower()] = heap
+        for index in indexes:
+            self.catalog.add_index(index)
+
+    # ----------------------------------------------------------- inspection
+
+    def table_row_count(self, table: str) -> int:
+        return len(self.heap(table))
+
+    def snapshot(self) -> dict[str, list[dict]]:
+        """Deep copy of all table contents, keyed by table name (tests)."""
+        return {
+            name: [dict(row) for _, row in heap.rows()]
+            for name, heap in sorted(self.heaps.items())
+        }

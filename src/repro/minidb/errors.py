@@ -1,0 +1,98 @@
+"""Error taxonomy for the minidb engine.
+
+The hierarchy deliberately mirrors the error *channels* a PostgreSQL client
+sees, because the agent layer reacts differently to each: a syntax error
+triggers SQL repair, an unknown-identifier error triggers context retrieval,
+and a permission error triggers task abort. Keeping the channels distinct is
+what makes failure-driven agent behavior realistic.
+"""
+
+from __future__ import annotations
+
+
+class MiniDBError(Exception):
+    """Base class for every error raised by the engine."""
+
+    #: short machine-readable code, similar in spirit to SQLSTATE classes
+    code = "XX000"
+
+    def __init__(self, message: str):
+        super().__init__(message)
+        self.message = message
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.code}: {self.message}"
+
+
+class SQLSyntaxError(MiniDBError):
+    """Raised by the lexer/parser for malformed SQL."""
+
+    code = "42601"
+
+
+class CatalogError(MiniDBError):
+    """Schema-level failure: unknown or duplicate object."""
+
+    code = "42P01"
+
+
+class UnknownTableError(CatalogError):
+    code = "42P01"
+
+
+class UnknownColumnError(CatalogError):
+    code = "42703"
+
+
+class DuplicateObjectError(CatalogError):
+    code = "42P07"
+
+
+class TypeMismatchError(MiniDBError):
+    """Value incompatible with the declared column type."""
+
+    code = "42804"
+
+
+class IntegrityError(MiniDBError):
+    """Constraint violation (PK/FK/UNIQUE/NOT NULL/CHECK)."""
+
+    code = "23000"
+
+
+class NotNullViolation(IntegrityError):
+    code = "23502"
+
+
+class UniqueViolation(IntegrityError):
+    code = "23505"
+
+
+class ForeignKeyViolation(IntegrityError):
+    code = "23503"
+
+
+class CheckViolation(IntegrityError):
+    code = "23514"
+
+
+class PermissionDenied(MiniDBError):
+    """User lacks the privilege required for the attempted operation."""
+
+    code = "42501"
+
+
+class TransactionError(MiniDBError):
+    """Invalid transaction state transition (e.g. COMMIT with no BEGIN)."""
+
+    code = "25000"
+
+
+class ExecutionError(MiniDBError):
+    """Runtime evaluation failure (division by zero, bad cast, ...)."""
+
+    code = "22000"
+
+
+class DivisionByZeroError(ExecutionError):
+    code = "22012"

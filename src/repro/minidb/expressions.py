@@ -1,0 +1,355 @@
+"""Expression evaluation with SQL three-valued logic.
+
+The evaluator walks the AST produced by :mod:`repro.minidb.parser` against a
+:class:`Row` scope (a mapping from column bindings to values). Aggregate
+functions are *not* evaluated here — the executor rewrites aggregate calls
+into pre-computed literals before projection; this module raises if it meets
+one, which doubles as a safety net against mis-planned queries.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Mapping
+
+from . import ast_nodes as ast
+from .errors import (
+    DivisionByZeroError,
+    ExecutionError,
+    UnknownColumnError,
+)
+from .functions import AGGREGATE_NAMES, SCALAR_FUNCTIONS
+from .types import ColumnType, coerce
+
+#: evaluator used for sub-SELECTs; injected by the executor to avoid an
+#: import cycle (executor imports expressions).
+SubqueryRunner = Callable[[ast.SelectStatement, "Scope"], list[tuple]]
+
+
+class Scope:
+    """Name-resolution scope for one row, with optional outer scope.
+
+    ``bindings`` maps *qualified* names (``alias.column``) and unqualified
+    column names to values. Ambiguous unqualified names raise.
+    """
+
+    __slots__ = ("qualified", "unqualified", "ambiguous", "outer")
+
+    def __init__(
+        self,
+        qualified: Mapping[str, Any],
+        unqualified: Mapping[str, Any],
+        ambiguous: frozenset[str] = frozenset(),
+        outer: "Scope | None" = None,
+    ):
+        self.qualified = qualified
+        self.unqualified = unqualified
+        self.ambiguous = ambiguous
+        self.outer = outer
+
+    def lookup(self, ref: ast.ColumnRef) -> Any:
+        if ref.table:
+            key = f"{ref.table.lower()}.{ref.name.lower()}"
+            if key in self.qualified:
+                return self.qualified[key]
+        else:
+            name = ref.name.lower()
+            if name in self.ambiguous:
+                raise UnknownColumnError(f"column reference {ref.name!r} is ambiguous")
+            if name in self.unqualified:
+                return self.unqualified[name]
+        if self.outer is not None:
+            return self.outer.lookup(ref)
+        raise UnknownColumnError(f"column {ref} does not exist")
+
+
+class Evaluator:
+    """Evaluates expressions against a scope; one instance per query."""
+
+    def __init__(self, run_subquery: SubqueryRunner | None = None):
+        self._run_subquery = run_subquery
+
+    # ------------------------------------------------------------------ API
+
+    def evaluate(self, expr: ast.Expr, scope: Scope) -> Any:
+        method = getattr(self, f"_eval_{type(expr).__name__}", None)
+        if method is None:
+            raise ExecutionError(f"cannot evaluate {type(expr).__name__}")
+        return method(expr, scope)
+
+    def evaluate_predicate(self, expr: ast.Expr, scope: Scope) -> bool:
+        """Evaluate a WHERE/HAVING condition; NULL counts as false."""
+        value = self.evaluate(expr, scope)
+        return value is True
+
+    # ------------------------------------------------------------ dispatch
+
+    def _eval_Literal(self, expr: ast.Literal, scope: Scope) -> Any:
+        return expr.value
+
+    def _eval_ColumnRef(self, expr: ast.ColumnRef, scope: Scope) -> Any:
+        return scope.lookup(expr)
+
+    def _eval_Star(self, expr: ast.Star, scope: Scope) -> Any:
+        raise ExecutionError("'*' is only valid in a select list or COUNT(*)")
+
+    def _eval_UnaryOp(self, expr: ast.UnaryOp, scope: Scope) -> Any:
+        value = self.evaluate(expr.operand, scope)
+        if expr.op == "NOT":
+            if value is None:
+                return None
+            return not _truthy(value)
+        if value is None:
+            return None
+        if expr.op == "-":
+            _require_number(value, "unary -")
+            return -value
+        if expr.op == "+":
+            _require_number(value, "unary +")
+            return value
+        raise ExecutionError(f"unknown unary operator {expr.op}")
+
+    def _eval_BinaryOp(self, expr: ast.BinaryOp, scope: Scope) -> Any:
+        op = expr.op
+        if op == "AND":
+            return _three_valued_and(
+                lambda: self.evaluate(expr.left, scope),
+                lambda: self.evaluate(expr.right, scope),
+            )
+        if op == "OR":
+            return _three_valued_or(
+                lambda: self.evaluate(expr.left, scope),
+                lambda: self.evaluate(expr.right, scope),
+            )
+        left = self.evaluate(expr.left, scope)
+        right = self.evaluate(expr.right, scope)
+        if left is None or right is None:
+            return None
+        if op == "||":
+            return _to_text(left) + _to_text(right)
+        if op in ("+", "-", "*", "/", "%"):
+            return _arith(op, left, right)
+        if op in ("=", "<>", "<", "<=", ">", ">="):
+            return _compare(op, left, right)
+        raise ExecutionError(f"unknown binary operator {op}")
+
+    def _eval_FunctionCall(self, expr: ast.FunctionCall, scope: Scope) -> Any:
+        name = expr.name
+        if name in AGGREGATE_NAMES:
+            raise ExecutionError(
+                f"aggregate function {name}() is not allowed in this context"
+            )
+        fn = SCALAR_FUNCTIONS.get(name)
+        if fn is None:
+            raise ExecutionError(f"unknown function {name}()")
+        args = [self.evaluate(a, scope) for a in expr.args]
+        return fn(args)
+
+    def _eval_CaseExpr(self, expr: ast.CaseExpr, scope: Scope) -> Any:
+        if expr.operand is not None:
+            subject = self.evaluate(expr.operand, scope)
+            for when, then in expr.whens:
+                candidate = self.evaluate(when, scope)
+                if (
+                    subject is not None
+                    and candidate is not None
+                    and _compare("=", subject, candidate) is True
+                ):
+                    return self.evaluate(then, scope)
+        else:
+            for when, then in expr.whens:
+                if self.evaluate(when, scope) is True:
+                    return self.evaluate(then, scope)
+        if expr.default is not None:
+            return self.evaluate(expr.default, scope)
+        return None
+
+    def _eval_InExpr(self, expr: ast.InExpr, scope: Scope) -> Any:
+        operand = self.evaluate(expr.operand, scope)
+        if isinstance(expr.candidates, ast.SelectStatement):
+            rows = self._subquery_rows(expr.candidates, scope)
+            values = [row[0] for row in rows]
+        else:
+            values = [self.evaluate(c, scope) for c in expr.candidates]
+        if operand is None:
+            return None
+        saw_null = False
+        for value in values:
+            if value is None:
+                saw_null = True
+                continue
+            if _compare("=", operand, value) is True:
+                return not expr.negated
+        if saw_null:
+            return None
+        return expr.negated
+
+    def _eval_BetweenExpr(self, expr: ast.BetweenExpr, scope: Scope) -> Any:
+        operand = self.evaluate(expr.operand, scope)
+        low = self.evaluate(expr.low, scope)
+        high = self.evaluate(expr.high, scope)
+        if operand is None or low is None or high is None:
+            return None
+        result = (
+            _compare(">=", operand, low) is True
+            and _compare("<=", operand, high) is True
+        )
+        return (not result) if expr.negated else result
+
+    def _eval_LikeExpr(self, expr: ast.LikeExpr, scope: Scope) -> Any:
+        operand = self.evaluate(expr.operand, scope)
+        pattern = self.evaluate(expr.pattern, scope)
+        if operand is None or pattern is None:
+            return None
+        text = _to_text(operand)
+        result = _like_match(text, _to_text(pattern), expr.case_insensitive)
+        return (not result) if expr.negated else result
+
+    def _eval_IsNullExpr(self, expr: ast.IsNullExpr, scope: Scope) -> Any:
+        value = self.evaluate(expr.operand, scope)
+        is_null = value is None
+        return (not is_null) if expr.negated else is_null
+
+    def _eval_ExistsExpr(self, expr: ast.ExistsExpr, scope: Scope) -> Any:
+        rows = self._subquery_rows(expr.subquery, scope)
+        result = len(rows) > 0
+        return (not result) if expr.negated else result
+
+    def _eval_ScalarSubquery(self, expr: ast.ScalarSubquery, scope: Scope) -> Any:
+        rows = self._subquery_rows(expr.subquery, scope)
+        if not rows:
+            return None
+        if len(rows) > 1:
+            raise ExecutionError("scalar subquery returned more than one row")
+        if len(rows[0]) != 1:
+            raise ExecutionError("scalar subquery must return exactly one column")
+        return rows[0][0]
+
+    def _eval_CastExpr(self, expr: ast.CastExpr, scope: Scope) -> Any:
+        value = self.evaluate(expr.operand, scope)
+        ctype = ColumnType.parse(expr.target_type)
+        return coerce(value, ctype, column="<cast>")
+
+    def _subquery_rows(self, select: ast.SelectStatement, scope: Scope) -> list[tuple]:
+        if self._run_subquery is None:
+            raise ExecutionError("subqueries are not supported in this context")
+        return self._run_subquery(select, scope)
+
+
+# --------------------------------------------------------------------------
+# helpers
+# --------------------------------------------------------------------------
+
+
+def _truthy(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value != 0
+    raise ExecutionError(f"value {value!r} is not a boolean")
+
+
+def _three_valued_and(left_thunk, right_thunk) -> bool | None:
+    left = left_thunk()
+    if left is not None and not _truthy(left):
+        return False
+    right = right_thunk()
+    if right is not None and not _truthy(right):
+        return False
+    if left is None or right is None:
+        return None
+    return True
+
+
+def _three_valued_or(left_thunk, right_thunk) -> bool | None:
+    left = left_thunk()
+    if left is not None and _truthy(left):
+        return True
+    right = right_thunk()
+    if right is not None and _truthy(right):
+        return True
+    if left is None or right is None:
+        return None
+    return False
+
+
+def _require_number(value: Any, context: str) -> None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ExecutionError(f"{context} requires a numeric operand, got {value!r}")
+
+
+def _arith(op: str, left: Any, right: Any) -> Any:
+    _require_number(left, f"operator {op}")
+    _require_number(right, f"operator {op}")
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise DivisionByZeroError("division by zero")
+        if isinstance(left, int) and isinstance(right, int):
+            # SQL integer division truncates toward zero
+            return int(left / right)
+        return left / right
+    if op == "%":
+        if right == 0:
+            raise DivisionByZeroError("division by zero")
+        return left % right
+    raise ExecutionError(f"unknown arithmetic operator {op}")
+
+
+def _compare(op: str, left: Any, right: Any) -> bool:
+    # numeric cross-type comparison is fine; bool participates as int in SQL-ish way
+    if isinstance(left, bool) and isinstance(right, bool):
+        pass
+    elif isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        pass
+    elif isinstance(left, str) and isinstance(right, str):
+        pass
+    else:
+        # mismatched types: only equality/inequality are defined (always unequal)
+        if op == "=":
+            return False
+        if op == "<>":
+            return True
+        raise ExecutionError(
+            f"cannot compare {type(left).__name__} with {type(right).__name__}"
+        )
+    if op == "=":
+        return left == right
+    if op == "<>":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise ExecutionError(f"unknown comparison {op}")
+
+
+def _to_text(value: Any) -> str:
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def _like_match(text: str, pattern: str, case_insensitive: bool) -> bool:
+    regex_parts = ["^"]
+    for ch in pattern:
+        if ch == "%":
+            regex_parts.append(".*")
+        elif ch == "_":
+            regex_parts.append(".")
+        else:
+            regex_parts.append(re.escape(ch))
+    regex_parts.append("$")
+    flags = re.IGNORECASE | re.DOTALL if case_insensitive else re.DOTALL
+    return re.match("".join(regex_parts), text, flags) is not None

@@ -1,0 +1,126 @@
+"""Access-path planning: index-assisted scans for simple predicates.
+
+minidb's executor defaults to sequential scans. For the common agent-issued
+query shape ``SELECT ... FROM t WHERE col = literal [AND ...]`` this module
+finds a hash index covering an equality-bound column set and probes it,
+reducing the scan to the matching row ids. The residual WHERE predicate is
+still evaluated afterwards, so planning is purely an optimization — never a
+semantics change.
+
+``EXPLAIN <select>`` surfaces the chosen access path per source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from . import ast_nodes as ast
+from .storage import HashIndex, HeapTable
+
+
+@dataclass
+class EqualityBinding:
+    """One ``column = constant`` conjunct usable for index probing."""
+
+    column: str  # lower-cased
+    value: Any
+
+
+@dataclass
+class AccessPath:
+    """The chosen way to read one table."""
+
+    table: str
+    kind: str  # "seq" | "index"
+    index_name: str | None = None
+    key_columns: tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        if self.kind == "index":
+            keys = ", ".join(self.key_columns)
+            return f"Index Scan using {self.index_name} on {self.table} (key: {keys})"
+        return f"Seq Scan on {self.table}"
+
+
+def extract_equality_bindings(
+    where: ast.Expr | None, binding: str
+) -> list[EqualityBinding]:
+    """Top-level AND-ed ``col = literal`` conjuncts attributable to ``binding``.
+
+    Only unqualified columns or columns qualified with this binding are
+    considered; anything more complex is left to the residual filter.
+    """
+    if where is None:
+        return []
+    bindings: list[EqualityBinding] = []
+    _walk_conjuncts(where, binding.lower(), bindings)
+    return bindings
+
+
+def _walk_conjuncts(expr: ast.Expr, binding: str, out: list[EqualityBinding]) -> None:
+    if isinstance(expr, ast.BinaryOp) and expr.op == "AND":
+        _walk_conjuncts(expr.left, binding, out)
+        _walk_conjuncts(expr.right, binding, out)
+        return
+    if isinstance(expr, ast.BinaryOp) and expr.op == "=":
+        column, literal = _column_literal_pair(expr.left, expr.right, binding)
+        if column is not None and literal is not None and literal.value is not None:
+            out.append(EqualityBinding(column, literal.value))
+
+
+def _column_literal_pair(
+    left: ast.Expr, right: ast.Expr, binding: str
+) -> tuple[str | None, ast.Literal | None]:
+    for column_side, literal_side in ((left, right), (right, left)):
+        if isinstance(column_side, ast.ColumnRef) and isinstance(
+            literal_side, ast.Literal
+        ):
+            if column_side.table is None or column_side.table.lower() == binding:
+                return column_side.name.lower(), literal_side
+    return None, None
+
+
+def choose_access_path(
+    table: str,
+    heap: HeapTable,
+    bindings: list[EqualityBinding],
+) -> tuple[AccessPath, HashIndex | None, tuple | None]:
+    """Pick the best index whose columns are fully equality-bound."""
+    by_column = {b.column: b.value for b in bindings}
+    best: HashIndex | None = None
+    for index in heap.indexes.values():
+        columns = tuple(c.lower() for c in index.columns)
+        if all(c in by_column for c in columns):
+            # prefer unique indexes, then wider keys (more selective)
+            if best is None:
+                best = index
+                continue
+            best_cols = tuple(c.lower() for c in best.columns)
+            if (index.unique, len(columns)) > (best.unique, len(best_cols)):
+                best = index
+    if best is None:
+        return AccessPath(table, "seq"), None, None
+    key = tuple(by_column[c.lower()] for c in best.columns)
+    path = AccessPath(
+        table,
+        "index",
+        index_name=best.name,
+        key_columns=tuple(best.columns),
+    )
+    return path, best, key
+
+
+def plan_select_paths(
+    stmt: ast.SelectStatement,
+    table_of_binding: dict[str, str],
+    heap_of_table,
+) -> list[AccessPath]:
+    """Access paths for every base-table source of a SELECT (for EXPLAIN)."""
+    paths: list[AccessPath] = []
+    for binding, table in table_of_binding.items():
+        heap = heap_of_table(table)
+        bindings = extract_equality_bindings(stmt.where, binding)
+        path, _, _ = choose_access_path(table, heap, bindings)
+        paths.append(path)
+    return paths

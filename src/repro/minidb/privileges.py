@@ -1,0 +1,217 @@
+"""PostgreSQL-style privilege system for minidb.
+
+A privilege is a pair ``(action, object)`` with an optional column set for
+column-level SELECT/UPDATE grants. The model follows the paper's
+formalization: the privilege set of user *u* is ``P_u ⊆ A × O``.
+
+Special users:
+
+* the database owner (created with the database) implicitly holds every
+  privilege including DDL;
+* ``PUBLIC`` grants apply to all users.
+
+DDL actions (CREATE/DROP/ALTER) are object-scoped like DML: granting
+``DROP ON inventory`` lets the grantee drop that one table, while CREATE is
+granted on the pseudo-object ``*`` (database-wide).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import PermissionDenied
+
+ACTIONS = ("SELECT", "INSERT", "UPDATE", "DELETE", "CREATE", "DROP", "ALTER")
+ALL_OBJECTS = "*"
+PUBLIC = "public"
+
+
+@dataclass
+class Grant:
+    """One granted privilege; ``columns is None`` means the whole object."""
+
+    action: str
+    obj: str  # lower-cased object name or "*"
+    columns: frozenset[str] | None = None  # lower-cased column names
+
+    def covers_columns(self, needed: set[str] | None) -> bool:
+        if self.columns is None:
+            return True
+        if needed is None:
+            # whole-object access requested but only column grant held
+            return False
+        return {c.lower() for c in needed} <= self.columns
+
+
+@dataclass
+class _UserEntry:
+    grants: list[Grant] = field(default_factory=list)
+
+
+class PrivilegeManager:
+    """Tracks users and their grants; answers privilege queries."""
+
+    def __init__(self, owner: str):
+        self.owner = owner
+        self._users: dict[str, _UserEntry] = {
+            owner.lower(): _UserEntry(),
+            PUBLIC: _UserEntry(),
+        }
+
+    # ------------------------------------------------------------- users
+
+    def create_user(self, name: str) -> None:
+        self._users.setdefault(name.lower(), _UserEntry())
+
+    def has_user(self, name: str) -> bool:
+        return name.lower() in self._users
+
+    def users(self) -> list[str]:
+        return sorted(self._users)
+
+    def _entry(self, name: str) -> _UserEntry:
+        key = name.lower()
+        if key not in self._users:
+            raise PermissionDenied(f"role {name!r} does not exist")
+        return self._users[key]
+
+    def is_owner(self, user: str) -> bool:
+        return user.lower() == self.owner.lower()
+
+    # ------------------------------------------------------------- grants
+
+    def grant(
+        self,
+        user: str,
+        action: str,
+        obj: str,
+        columns: list[str] | None = None,
+    ) -> None:
+        """Grant ``action`` on ``obj`` (optionally column-restricted) to ``user``."""
+        action = action.upper()
+        if action == "ALL":
+            for each in ACTIONS:
+                self.grant(user, each, obj, columns)
+            return
+        if action not in ACTIONS:
+            raise PermissionDenied(f"unknown privilege action {action!r}")
+        self.create_user(user)
+        entry = self._entry(user)
+        cols = frozenset(c.lower() for c in columns) if columns else None
+        grant = Grant(action, obj.lower(), cols)
+        if grant not in entry.grants:
+            entry.grants.append(grant)
+
+    def revoke(
+        self,
+        user: str,
+        action: str,
+        obj: str,
+        columns: list[str] | None = None,
+    ) -> None:
+        """Revoke matching grants. Revoking an action removes both whole-object
+        and column-level grants for that (action, object)."""
+        action = action.upper()
+        if action == "ALL":
+            for each in ACTIONS:
+                self.revoke(user, each, obj, columns)
+            return
+        entry = self._entry(user)
+        obj_key = obj.lower()
+        if columns:
+            wanted = frozenset(c.lower() for c in columns)
+            entry.grants = [
+                g
+                for g in entry.grants
+                if not (g.action == action and g.obj == obj_key and g.columns == wanted)
+            ]
+        else:
+            entry.grants = [
+                g
+                for g in entry.grants
+                if not (g.action == action and g.obj == obj_key)
+            ]
+
+    # -------------------------------------------------------------- checks
+
+    def _grants_for(self, user: str) -> list[Grant]:
+        grants = list(self._entry(user).grants)
+        grants.extend(self._users[PUBLIC].grants)
+        return grants
+
+    def allows(
+        self,
+        user: str,
+        action: str,
+        obj: str,
+        columns: set[str] | None = None,
+    ) -> bool:
+        """Whether ``user`` may perform ``action`` on ``obj`` (over ``columns``)."""
+        if self.is_owner(user):
+            return True
+        if not self.has_user(user):
+            return False
+        action = action.upper()
+        obj_key = obj.lower()
+        for grant in self._grants_for(user):
+            if grant.action != action:
+                continue
+            if grant.obj not in (obj_key, ALL_OBJECTS):
+                continue
+            if grant.covers_columns(columns):
+                return True
+        return False
+
+    def check(
+        self,
+        user: str,
+        action: str,
+        obj: str,
+        columns: set[str] | None = None,
+    ) -> None:
+        """Raise :class:`PermissionDenied` unless :meth:`allows`."""
+        if not self.allows(user, action, obj, columns):
+            detail = f" (columns: {', '.join(sorted(columns))})" if columns else ""
+            raise PermissionDenied(
+                f"permission denied for user {user!r}: {action} on {obj}{detail}"
+            )
+
+    def actions_on(self, user: str, obj: str) -> set[str]:
+        """The set of actions ``user`` holds on ``obj`` (whole or partial)."""
+        if self.is_owner(user):
+            return set(ACTIONS)
+        if not self.has_user(user):
+            return set()
+        obj_key = obj.lower()
+        actions = set()
+        for grant in self._grants_for(user):
+            if grant.obj in (obj_key, ALL_OBJECTS):
+                actions.add(grant.action)
+        return actions
+
+    def column_restrictions(self, user: str, action: str, obj: str) -> frozenset[str] | None:
+        """Column set the user's ``action`` grant is limited to, or ``None``.
+
+        Returns ``None`` when the user holds a whole-object grant (or is the
+        owner); otherwise the union of granted column sets.
+        """
+        if self.is_owner(user):
+            return None
+        action = action.upper()
+        obj_key = obj.lower()
+        columns: set[str] = set()
+        saw_column_grant = False
+        for grant in self._grants_for(user):
+            if grant.action != action or grant.obj not in (obj_key, ALL_OBJECTS):
+                continue
+            if grant.columns is None:
+                return None
+            saw_column_grant = True
+            columns |= grant.columns
+        if saw_column_grant:
+            return frozenset(columns)
+        return frozenset()  # no grant at all -> empty column set
+
+    def accessible_objects(self, user: str, objects: list[str]) -> list[str]:
+        """Filter ``objects`` to those on which ``user`` holds any action."""
+        return [o for o in objects if self.actions_on(user, o)]

@@ -1,0 +1,55 @@
+"""Result container returned by every minidb statement execution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass
+class ResultSet:
+    """Uniform result of executing one statement.
+
+    ``columns``/``rows`` are populated for SELECT; ``rowcount`` for DML
+    (number of rows affected); ``status`` is a short human/LLM-readable
+    completion tag like ``"INSERT 3"`` or ``"BEGIN"``.
+    """
+
+    columns: list[str] = field(default_factory=list)
+    rows: list[tuple] = field(default_factory=list)
+    rowcount: int = 0
+    status: str = "OK"
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def first(self) -> tuple | None:
+        return self.rows[0] if self.rows else None
+
+    def scalar(self) -> Any:
+        """The single value of a 1x1 result, or None for an empty result."""
+        if not self.rows:
+            return None
+        return self.rows[0][0]
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def render(self, max_rows: int | None = None) -> str:
+        """Plain-text rendering used in tool outputs (deterministic)."""
+        if not self.columns:
+            return self.status
+        shown = self.rows if max_rows is None else self.rows[:max_rows]
+        lines = [" | ".join(self.columns)]
+        lines.append("-+-".join("-" * len(c) for c in self.columns))
+        for row in shown:
+            lines.append(
+                " | ".join("NULL" if v is None else str(v) for v in row)
+            )
+        if max_rows is not None and len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        lines.append(f"({len(self.rows)} rows)")
+        return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Expression-to-SQL serialization.
+
+Used to render catalog metadata (CHECK constraints, view definitions) back
+into parseable SQL, so a schema rendered by minidb can be replayed into
+another minidb instance (the PG-MCP-S sampled-database builder relies on
+this round trip).
+"""
+
+from __future__ import annotations
+
+from . import ast_nodes as ast
+
+
+def expr_to_sql(expr: ast.Expr) -> str:
+    """Serialize an expression AST back to SQL text."""
+    if isinstance(expr, ast.Literal):
+        return _literal(expr.value)
+    if isinstance(expr, ast.ColumnRef):
+        return f"{expr.table}.{expr.name}" if expr.table else expr.name
+    if isinstance(expr, ast.Star):
+        return f"{expr.table}.*" if expr.table else "*"
+    if isinstance(expr, ast.BinaryOp):
+        return f"({expr_to_sql(expr.left)} {expr.op} {expr_to_sql(expr.right)})"
+    if isinstance(expr, ast.UnaryOp):
+        if expr.op == "NOT":
+            return f"(NOT {expr_to_sql(expr.operand)})"
+        return f"({expr.op}{expr_to_sql(expr.operand)})"
+    if isinstance(expr, ast.FunctionCall):
+        inner = ", ".join(expr_to_sql(a) for a in expr.args)
+        distinct = "DISTINCT " if expr.distinct else ""
+        return f"{expr.name}({distinct}{inner})"
+    if isinstance(expr, ast.CaseExpr):
+        parts = ["CASE"]
+        if expr.operand is not None:
+            parts.append(expr_to_sql(expr.operand))
+        for when, then in expr.whens:
+            parts.append(f"WHEN {expr_to_sql(when)} THEN {expr_to_sql(then)}")
+        if expr.default is not None:
+            parts.append(f"ELSE {expr_to_sql(expr.default)}")
+        parts.append("END")
+        return " ".join(parts)
+    if isinstance(expr, ast.InExpr):
+        negated = "NOT " if expr.negated else ""
+        if isinstance(expr.candidates, list):
+            inner = ", ".join(expr_to_sql(c) for c in expr.candidates)
+        else:
+            inner = "<subquery>"
+        return f"({expr_to_sql(expr.operand)} {negated}IN ({inner}))"
+    if isinstance(expr, ast.BetweenExpr):
+        negated = "NOT " if expr.negated else ""
+        return (
+            f"({expr_to_sql(expr.operand)} {negated}BETWEEN "
+            f"{expr_to_sql(expr.low)} AND {expr_to_sql(expr.high)})"
+        )
+    if isinstance(expr, ast.LikeExpr):
+        keyword = "ILIKE" if expr.case_insensitive else "LIKE"
+        negated = "NOT " if expr.negated else ""
+        return (
+            f"({expr_to_sql(expr.operand)} {negated}{keyword} "
+            f"{expr_to_sql(expr.pattern)})"
+        )
+    if isinstance(expr, ast.IsNullExpr):
+        suffix = "IS NOT NULL" if expr.negated else "IS NULL"
+        return f"({expr_to_sql(expr.operand)} {suffix})"
+    if isinstance(expr, ast.CastExpr):
+        return f"CAST({expr_to_sql(expr.operand)} AS {expr.target_type})"
+    raise ValueError(f"cannot serialize {type(expr).__name__} to SQL")
+
+
+def _literal(value) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"

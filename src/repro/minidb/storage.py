@@ -1,0 +1,189 @@
+"""Row storage and secondary indexes for minidb.
+
+A :class:`HeapTable` stores rows as dicts keyed by column name, addressed by
+a monotonically increasing row id (rid). Deleted rids leave tombstones (the
+rid simply disappears from the dict), which keeps undo-log entries cheap:
+the transaction manager records (rid, old_row) pairs and can restore them
+verbatim.
+
+Secondary :class:`HashIndex` structures map a tuple of column values to the
+set of rids holding it; unique indexes enforce at-most-one rid per key and
+are the enforcement mechanism for PRIMARY KEY and UNIQUE constraints.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from .errors import UniqueViolation
+
+Row = dict[str, Any]
+
+
+class HashIndex:
+    """Equality index over one or more columns.
+
+    NULL-containing keys are excluded from uniqueness checks, matching SQL's
+    rule that NULL is never equal to NULL.
+    """
+
+    def __init__(self, name: str, columns: tuple[str, ...], unique: bool = False):
+        self.name = name
+        self.columns = columns
+        self.unique = unique
+        self._buckets: dict[tuple, set[int]] = {}
+
+    def key_for(self, row: Row) -> tuple:
+        return tuple(row.get(c) for c in self.columns)
+
+    def _has_null(self, key: tuple) -> bool:
+        return any(v is None for v in key)
+
+    def insert(self, rid: int, row: Row, owner: str = "?") -> None:
+        key = self.key_for(row)
+        if self._has_null(key):
+            return
+        bucket = self._buckets.setdefault(key, set())
+        if self.unique and bucket and rid not in bucket:
+            raise UniqueViolation(
+                f"duplicate key value violates unique constraint {self.name!r} "
+                f"on {owner}({', '.join(self.columns)}): {key!r}"
+            )
+        bucket.add(rid)
+
+    def remove(self, rid: int, row: Row) -> None:
+        key = self.key_for(row)
+        if self._has_null(key):
+            return
+        bucket = self._buckets.get(key)
+        if bucket is not None:
+            bucket.discard(rid)
+            if not bucket:
+                del self._buckets[key]
+
+    def probe(self, key: tuple) -> set[int]:
+        """rids whose indexed columns equal ``key`` exactly."""
+        if self._has_null(key):
+            return set()
+        return set(self._buckets.get(key, ()))
+
+    def would_violate(self, row: Row, ignore_rid: int | None = None) -> bool:
+        """Whether inserting ``row`` would break uniqueness (pre-check)."""
+        if not self.unique:
+            return False
+        key = self.key_for(row)
+        if self._has_null(key):
+            return False
+        bucket = self._buckets.get(key, set())
+        remaining = bucket - {ignore_rid} if ignore_rid is not None else bucket
+        return bool(remaining)
+
+    def __len__(self) -> int:
+        return sum(len(b) for b in self._buckets.values())
+
+
+class HeapTable:
+    """In-memory heap of rows with attached secondary indexes."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._rows: dict[int, Row] = {}
+        self._next_rid = 1
+        self.indexes: dict[str, HashIndex] = {}
+
+    # -------------------------------------------------------------- basics
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def rows(self) -> Iterator[tuple[int, Row]]:
+        """Iterate (rid, row) pairs in insertion order (rids are monotonic)."""
+        yield from sorted(self._rows.items())
+
+    def get(self, rid: int) -> Row | None:
+        return self._rows.get(rid)
+
+    # ---------------------------------------------------------- mutations
+
+    def insert(self, row: Row) -> int:
+        """Insert ``row`` and maintain all indexes; returns the new rid."""
+        rid = self._next_rid
+        self._next_rid += 1
+        # index first so a uniqueness failure leaves the heap untouched
+        inserted: list[HashIndex] = []
+        try:
+            for index in self.indexes.values():
+                index.insert(rid, row, owner=self.name)
+                inserted.append(index)
+        except UniqueViolation:
+            for index in inserted:
+                index.remove(rid, row)
+            raise
+        self._rows[rid] = dict(row)
+        return rid
+
+    def restore(self, rid: int, row: Row) -> None:
+        """Put back a previously deleted row under its original rid (undo)."""
+        self._rows[rid] = dict(row)
+        self._next_rid = max(self._next_rid, rid + 1)
+        for index in self.indexes.values():
+            index.insert(rid, row, owner=self.name)
+
+    def update(self, rid: int, new_row: Row) -> Row:
+        """Replace the row at ``rid``; returns the old row (for undo logs)."""
+        old_row = self._rows[rid]
+        for index in self.indexes.values():
+            if index.unique and index.key_for(new_row) != index.key_for(old_row):
+                if index.would_violate(new_row, ignore_rid=rid):
+                    raise UniqueViolation(
+                        f"duplicate key value violates unique constraint "
+                        f"{index.name!r} on {self.name}"
+                    )
+        for index in self.indexes.values():
+            index.remove(rid, old_row)
+            index.insert(rid, new_row, owner=self.name)
+        self._rows[rid] = dict(new_row)
+        return old_row
+
+    def delete(self, rid: int) -> Row:
+        """Remove the row at ``rid``; returns it (for undo logs)."""
+        row = self._rows.pop(rid)
+        for index in self.indexes.values():
+            index.remove(rid, row)
+        return row
+
+    # ------------------------------------------------------------- indexes
+
+    def add_index(self, index: HashIndex) -> None:
+        """Attach and backfill an index; rolls back on uniqueness violation."""
+        for rid, row in self._rows.items():
+            index.insert(rid, row, owner=self.name)
+        self.indexes[index.name] = index
+
+    def drop_index(self, name: str) -> None:
+        del self.indexes[name]
+
+    def find_index(self, columns: tuple[str, ...]) -> HashIndex | None:
+        """An index exactly covering ``columns``, if any."""
+        for index in self.indexes.values():
+            if index.columns == columns:
+                return index
+        return None
+
+    # ------------------------------------------------------ schema changes
+
+    def add_column(self, name: str, default: Any = None) -> None:
+        for row in self._rows.values():
+            row[name] = default
+
+    def drop_column(self, name: str) -> None:
+        for row in self._rows.values():
+            row.pop(name, None)
+
+    def rename_column(self, old: str, new: str) -> None:
+        for row in self._rows.values():
+            if old in row:
+                row[new] = row.pop(old)
+        for index in self.indexes.values():
+            index.columns = tuple(new if c == old else c for c in index.columns)
+            index._buckets = dict(index._buckets)  # keys unchanged (values only)

@@ -1,0 +1,183 @@
+"""Undo-log transaction manager giving minidb its ACID semantics.
+
+Every mutating operation appends an :class:`UndoRecord` to the active
+transaction's log. ``ROLLBACK`` replays the log in reverse; ``COMMIT``
+discards it. Statements executed outside an explicit transaction run in
+autocommit mode: a tiny implicit transaction wraps each one, so a failed
+multi-row INSERT still rolls back atomically (statement-level atomicity,
+as in PostgreSQL).
+
+Savepoints are implemented as positions in the undo log.
+
+DDL is transactional too (PostgreSQL-style): CREATE/DROP TABLE record undo
+actions that restore catalog *and* heap state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .errors import TransactionError
+
+#: an undo record is just a closure that reverses one physical change
+UndoAction = Callable[[], None]
+
+
+@dataclass
+class UndoRecord:
+    description: str
+    action: UndoAction
+
+
+@dataclass
+class Transaction:
+    """State of one open transaction."""
+
+    txid: int
+    undo_log: list[UndoRecord] = field(default_factory=list)
+    savepoints: dict[str, int] = field(default_factory=dict)
+    implicit: bool = False
+
+    def log(self, description: str, action: UndoAction) -> None:
+        self.undo_log.append(UndoRecord(description, action))
+
+
+class TransactionManager:
+    """Per-session transaction state machine.
+
+    The manager is deliberately session-scoped: minidb sessions serialize
+    access to the shared store (the engine is single-threaded), so isolation
+    reduces to statement atomicity plus explicit transaction boundaries —
+    exactly the properties the BridgeScope experiments rely on.
+    """
+
+    def __init__(self):
+        self._next_txid = 1
+        self.current: Transaction | None = None
+        #: statistics the benchmarks read
+        self.begun = 0
+        self.committed = 0
+        self.rolled_back = 0
+
+    # ------------------------------------------------------------ queries
+
+    @property
+    def in_transaction(self) -> bool:
+        return self.current is not None and not self.current.implicit
+
+    # ------------------------------------------------------------- control
+
+    def begin(self) -> Transaction:
+        if self.in_transaction:
+            raise TransactionError("a transaction is already in progress")
+        return self._start(implicit=False)
+
+    def begin_implicit(self) -> Transaction:
+        """Start the autocommit wrapper around a single statement."""
+        if self.current is not None:
+            raise TransactionError("nested implicit transaction")
+        return self._start(implicit=True)
+
+    def _start(self, implicit: bool) -> Transaction:
+        tx = Transaction(self._next_txid, implicit=implicit)
+        self._next_txid += 1
+        self.current = tx
+        if not implicit:
+            self.begun += 1
+        return tx
+
+    def commit(self) -> None:
+        if self.current is None:
+            raise TransactionError("no transaction in progress")
+        implicit = self.current.implicit
+        self.current = None
+        if not implicit:
+            self.committed += 1
+
+    def rollback(self) -> None:
+        if self.current is None:
+            raise TransactionError("no transaction in progress")
+        tx = self.current
+        for record in reversed(tx.undo_log):
+            record.action()
+        implicit = tx.implicit
+        self.current = None
+        if not implicit:
+            self.rolled_back += 1
+
+    # ---------------------------------------------------------- savepoints
+
+    def savepoint(self, name: str) -> None:
+        if not self.in_transaction:
+            raise TransactionError("SAVEPOINT requires an explicit transaction")
+        self.current.savepoints[name.lower()] = len(self.current.undo_log)
+
+    def rollback_to_savepoint(self, name: str) -> None:
+        if not self.in_transaction:
+            raise TransactionError("no transaction in progress")
+        tx = self.current
+        key = name.lower()
+        if key not in tx.savepoints:
+            raise TransactionError(f"savepoint {name!r} does not exist")
+        position = tx.savepoints[key]
+        while len(tx.undo_log) > position:
+            tx.undo_log.pop().action()
+        # drop savepoints created after this one
+        tx.savepoints = {n: p for n, p in tx.savepoints.items() if p <= position}
+
+    def release_savepoint(self, name: str) -> None:
+        if not self.in_transaction:
+            raise TransactionError("no transaction in progress")
+        key = name.lower()
+        if key not in self.current.savepoints:
+            raise TransactionError(f"savepoint {name!r} does not exist")
+        del self.current.savepoints[key]
+
+    # ------------------------------------------------------------- logging
+
+    def log_undo(self, description: str, action: UndoAction) -> None:
+        """Record an undo action against the current (possibly implicit) tx."""
+        if self.current is None:
+            raise TransactionError(
+                "internal error: mutation outside any transaction context"
+            )
+        self.current.log(description, action)
+
+
+class StatementGuard:
+    """Context manager giving a statement autocommit-or-enlist semantics.
+
+    Inside an explicit transaction, a failing statement rolls back only its
+    own changes (via a hidden savepoint) while keeping the transaction open
+    — mirroring the behavior agents rely on to retry failed SQL without
+    losing prior work.
+    """
+
+    def __init__(self, manager: TransactionManager):
+        self.manager = manager
+        self._implicit = False
+        self._mark: int | None = None
+
+    def __enter__(self) -> "StatementGuard":
+        if self.manager.current is None:
+            self.manager.begin_implicit()
+            self._implicit = True
+        else:
+            self._mark = len(self.manager.current.undo_log)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            if self._implicit:
+                self.manager.commit()
+            return False
+        # failure: undo this statement's changes only
+        if self._implicit:
+            self.manager.rollback()
+        else:
+            tx = self.manager.current
+            assert tx is not None and self._mark is not None
+            while len(tx.undo_log) > self._mark:
+                tx.undo_log.pop().action()
+        return False  # propagate the exception

@@ -1,0 +1,28 @@
+"""Analytical/ML tool substrate for data-intensive workflows."""
+
+from .forest import DecisionTreeRegressor, RandomForestRegressor
+from .linear import LinearRegressionModel
+from .metrics import mae, r2_score, rmse
+from .preprocessing import (
+    column_stats,
+    minmax_normalize,
+    train_test_split,
+    zscore_normalize,
+)
+from .server import MLToolServer
+from .trend import trend_analyze
+
+__all__ = [
+    "DecisionTreeRegressor",
+    "LinearRegressionModel",
+    "MLToolServer",
+    "RandomForestRegressor",
+    "column_stats",
+    "mae",
+    "minmax_normalize",
+    "r2_score",
+    "rmse",
+    "train_test_split",
+    "trend_analyze",
+    "zscore_normalize",
+]

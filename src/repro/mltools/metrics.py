@@ -1,0 +1,42 @@
+"""Regression metrics used by the NL2ML tools."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def rmse(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    """Root mean squared error."""
+    if len(y_true) != len(y_pred):
+        raise ValueError("rmse: length mismatch")
+    if not y_true:
+        raise ValueError("rmse: empty input")
+    total = 0.0
+    for t, p in zip(y_true, y_pred):
+        diff = float(t) - float(p)
+        total += diff * diff
+    return math.sqrt(total / len(y_true))
+
+
+def mae(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    """Mean absolute error."""
+    if len(y_true) != len(y_pred):
+        raise ValueError("mae: length mismatch")
+    if not y_true:
+        raise ValueError("mae: empty input")
+    return sum(abs(float(t) - float(p)) for t, p in zip(y_true, y_pred)) / len(y_true)
+
+
+def r2_score(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    """Coefficient of determination; 0.0 for a constant true vector."""
+    if len(y_true) != len(y_pred):
+        raise ValueError("r2: length mismatch")
+    if not y_true:
+        raise ValueError("r2: empty input")
+    mean = sum(float(t) for t in y_true) / len(y_true)
+    ss_tot = sum((float(t) - mean) ** 2 for t in y_true)
+    ss_res = sum((float(t) - float(p)) ** 2 for t, p in zip(y_true, y_pred))
+    if ss_tot == 0.0:
+        return 0.0
+    return 1.0 - ss_res / ss_tot

@@ -1,0 +1,94 @@
+"""Data preprocessing tools: normalization and splitting.
+
+All functions operate on row-major numeric data (list of sequences), the
+payload format SQL producer tools hand over, and return plain lists so
+results remain JSON-able for proxy routing.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Sequence
+
+Rows = list[Sequence[Any]]
+
+
+def _validate(data: Rows) -> list[list[float]]:
+    if not data:
+        raise ValueError("empty dataset")
+    width = len(data[0])
+    rows: list[list[float]] = []
+    for index, row in enumerate(data):
+        if len(row) != width:
+            raise ValueError(f"ragged row at index {index}")
+        rows.append([float(v) for v in row])
+    return rows
+
+
+def column_stats(data: Rows) -> list[dict[str, float]]:
+    """Per-column mean/std/min/max (population std)."""
+    rows = _validate(data)
+    n, width = len(rows), len(rows[0])
+    stats = []
+    for col in range(width):
+        values = [row[col] for row in rows]
+        mean = sum(values) / n
+        variance = sum((v - mean) ** 2 for v in values) / n
+        stats.append(
+            {
+                "mean": mean,
+                "std": variance ** 0.5,
+                "min": min(values),
+                "max": max(values),
+            }
+        )
+    return stats
+
+
+def zscore_normalize(data: Rows, skip_last: bool = True) -> list[list[float]]:
+    """Z-score standardize columns (optionally leaving the target column).
+
+    Zero-variance columns pass through unchanged (centered at 0).
+    """
+    rows = _validate(data)
+    stats = column_stats(rows)
+    width = len(rows[0])
+    stop = width - 1 if skip_last and width > 1 else width
+    result = []
+    for row in rows:
+        out = list(row)
+        for col in range(stop):
+            std = stats[col]["std"]
+            mean = stats[col]["mean"]
+            out[col] = (row[col] - mean) / std if std > 0 else 0.0
+        result.append(out)
+    return result
+
+
+def minmax_normalize(data: Rows, skip_last: bool = True) -> list[list[float]]:
+    """Scale columns into [0, 1]; constant columns map to 0."""
+    rows = _validate(data)
+    stats = column_stats(rows)
+    width = len(rows[0])
+    stop = width - 1 if skip_last and width > 1 else width
+    result = []
+    for row in rows:
+        out = list(row)
+        for col in range(stop):
+            low, high = stats[col]["min"], stats[col]["max"]
+            span = high - low
+            out[col] = (row[col] - low) / span if span > 0 else 0.0
+        result.append(out)
+    return result
+
+
+def train_test_split(
+    data: Rows, test_fraction: float = 0.2, seed: int = 0
+) -> tuple[list, list]:
+    """Deterministic shuffled split into (train, test)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rows = list(data)
+    random.Random(seed).shuffle(rows)
+    cut = max(1, int(len(rows) * test_fraction))
+    return rows[cut:], rows[:cut]

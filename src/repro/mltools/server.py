@@ -1,0 +1,161 @@
+"""MCP tool server exposing the analytical/ML tools.
+
+These are the "domain-specific MCP servers" of the paper's Section 2.5 —
+the proxy routes database query results into them without LLM involvement.
+All tool payloads are plain Python lists/dicts so they survive both proxy
+routing and (for the baselines) inline LLM routing.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..mcp import ParamSpec, ToolResult, ToolServer, tool
+from .forest import DecisionTreeRegressor, RandomForestRegressor
+from .linear import LinearRegressionModel
+from .metrics import r2_score, rmse
+from .preprocessing import minmax_normalize, train_test_split, zscore_normalize
+from .trend import trend_analyze
+
+
+def _split_xy(data: list) -> tuple[np.ndarray, np.ndarray]:
+    matrix = np.asarray(data, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[1] < 2:
+        raise ValueError("data must be rows of [features..., target]")
+    return matrix[:, :-1], matrix[:, -1]
+
+
+def _model_result(payload: dict[str, Any]) -> ToolResult:
+    """Summary for the LLM's eyes; full model on the data channel.
+
+    The tree structure / coefficients ride in ``metadata["payload"]`` —
+    consumed tool-to-tool (proxy routing, or copied verbatim into the next
+    call's arguments in the manual regime) — while the rendered content is
+    a compact record with the metrics the LLM actually reasons about.
+    """
+    summary = {
+        key: value
+        for key, value in payload.items()
+        if key not in ("trees", "root")
+    }
+    if "trees" in payload:
+        summary["n_trees"] = len(payload["trees"])
+    return ToolResult(content=summary, metadata={"payload": payload})
+
+
+def _model_from_dict(payload: dict[str, Any]):
+    kind = payload.get("type")
+    if kind == "linear":
+        return LinearRegressionModel.from_dict(payload)
+    if kind == "tree":
+        return DecisionTreeRegressor.from_dict(payload)
+    if kind == "forest":
+        return RandomForestRegressor.from_dict(payload)
+    raise ValueError(f"unknown model type {kind!r}")
+
+
+class MLToolServer(ToolServer):
+    name = "mltools"
+
+    @tool(
+        description=(
+            "Z-score normalize a numeric dataset (rows of numbers). The last "
+            "column (target) is left unscaled. Returns the normalized rows."
+        ),
+        params=[ParamSpec("data", "array", "row-major numeric data")],
+    )
+    def zscore_normalize(self, data: list) -> ToolResult:
+        return ToolResult.ok(zscore_normalize(data))
+
+    @tool(
+        description=(
+            "Min-max scale a numeric dataset into [0, 1]; the last column "
+            "(target) is left unscaled. Returns the scaled rows."
+        ),
+        params=[ParamSpec("data", "array", "row-major numeric data")],
+    )
+    def minmax_normalize(self, data: list) -> ToolResult:
+        return ToolResult.ok(minmax_normalize(data))
+
+    @tool(
+        description=(
+            "Train a linear regression on rows of [features..., target]. "
+            "Returns the fitted model (dict) with holdout rmse/r2 metrics."
+        ),
+        params=[
+            ParamSpec("data", "array", "row-major numeric training data"),
+            ParamSpec("test_fraction", "number", "holdout fraction",
+                      required=False, default=0.2),
+        ],
+    )
+    def train_linear(self, data: list, test_fraction: float = 0.2) -> ToolResult:
+        train, test = train_test_split(data, test_fraction, seed=0)
+        model = LinearRegressionModel().fit(train)
+        metrics = model.evaluate(test)
+        payload = model.to_dict()
+        payload["metrics"] = metrics
+        return _model_result(payload)
+
+    @tool(
+        description=(
+            "Train a random forest regressor on rows of [features..., "
+            "target]. Returns the fitted model (dict) with holdout metrics."
+        ),
+        params=[
+            ParamSpec("data", "array", "row-major numeric training data"),
+            ParamSpec("n_trees", "integer", "forest size", required=False, default=8),
+            ParamSpec("test_fraction", "number", "holdout fraction",
+                      required=False, default=0.2),
+        ],
+    )
+    def train_forest(
+        self, data: list, n_trees: int = 8, test_fraction: float = 0.2
+    ) -> ToolResult:
+        train, test = train_test_split(data, test_fraction, seed=0)
+        x_train, y_train = _split_xy(train)
+        model = RandomForestRegressor(n_trees=n_trees, seed=0).fit(x_train, y_train)
+        x_test, y_test = _split_xy(test)
+        predictions = model.predict(x_test)
+        payload = model.to_dict()
+        payload["metrics"] = {
+            "rmse": rmse([float(v) for v in y_test], predictions),
+            "r2": r2_score([float(v) for v in y_test], predictions),
+        }
+        return _model_result(payload)
+
+    @tool(
+        description=(
+            "Predict with a previously trained model. model is the dict "
+            "returned by a train_* tool; features is a list of feature rows. "
+            "Returns {'predictions': [...], 'model_metrics': ...}."
+        ),
+        params=[
+            ParamSpec("model", "object", "fitted model dict"),
+            ParamSpec("features", "array", "feature rows to predict for"),
+        ],
+    )
+    def predict(self, model: dict, features: list) -> ToolResult:
+        fitted = _model_from_dict(model)
+        predictions = fitted.predict(features)
+        return ToolResult.ok(
+            {
+                "predictions": predictions,
+                "model_metrics": model.get("metrics", {}),
+            }
+        )
+
+    @tool(
+        description=(
+            "Analyze sales and refund trends. sales and refunds are lists of "
+            "daily totals (single-column rows). Returns trend directions, "
+            "slopes, and a refund-rate alert."
+        ),
+        params=[
+            ParamSpec("sales", "array", "daily sales series"),
+            ParamSpec("refunds", "array", "daily refunds series"),
+        ],
+    )
+    def trend_analyze(self, sales: list, refunds: list) -> ToolResult:
+        return ToolResult.ok(trend_analyze(sales, refunds))

@@ -1,0 +1,206 @@
+"""Tests for the ReAct agent loop with scripted policies."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.agent import AgentAction, Conversation, ReActAgent
+from repro.llm import GPT_4O
+from repro.llm.profiles import ModelProfile
+from repro.mcp import ParamSpec, ToolRegistry, ToolServer, tool
+
+
+@dataclass
+class FakeTask:
+    task_id: str = "t1"
+    description: str = "do the thing"
+
+
+class CounterServer(ToolServer):
+    @tool(description="count up", params=[])
+    def tick(self):
+        return "tock"
+
+    @tool(description="emit big output", params=[ParamSpec("n", "integer")])
+    def blob(self, n):
+        return "x " * n
+
+    @tool(description="fail", params=[])
+    def fail(self):
+        raise ValueError("nope")
+
+
+class ScriptedPolicy:
+    """Plays back a fixed list of actions."""
+
+    def __init__(self, actions, profile=GPT_4O):
+        self.actions = actions
+        self.profile = profile
+        self.index = 0
+
+    def reset(self):
+        self.index = 0
+
+    def decide(self, task, view):
+        action = self.actions[min(self.index, len(self.actions) - 1)]
+        self.index += 1
+        return action
+
+
+@pytest.fixture
+def registry():
+    return ToolRegistry([CounterServer()])
+
+
+def make_agent(actions, registry, profile=GPT_4O):
+    return ReActAgent(ScriptedPolicy(actions, profile), registry, "sys prompt")
+
+
+class TestLoop:
+    def test_final_completes(self, registry):
+        agent = make_agent([AgentAction.final("done")], registry)
+        trace = agent.run(FakeTask())
+        assert trace.completed
+        assert not trace.aborted
+        assert trace.llm_calls == 1
+        assert trace.final_text == "done"
+
+    def test_abort_marks_trace(self, registry):
+        agent = make_agent([AgentAction.abort("cannot")], registry)
+        trace = agent.run(FakeTask())
+        assert trace.completed
+        assert trace.aborted
+
+    def test_tool_call_then_final(self, registry):
+        agent = make_agent(
+            [AgentAction.call("tick"), AgentAction.final("ok")], registry
+        )
+        trace = agent.run(FakeTask())
+        assert trace.llm_calls == 2
+        assert trace.tool_sequence() == ["tick"]
+        assert trace.tool_calls[0].ok
+
+    def test_tool_failure_recorded(self, registry):
+        agent = make_agent(
+            [AgentAction.call("fail"), AgentAction.final("ok")], registry
+        )
+        trace = agent.run(FakeTask())
+        assert not trace.tool_calls[0].ok
+        assert trace.error_count() == 1
+
+    def test_step_limit(self, registry):
+        agent = make_agent([AgentAction.call("tick")], registry)
+        trace = agent.run(FakeTask())
+        assert not trace.completed
+        assert trace.failure_reason == "step_limit"
+        assert trace.llm_calls == GPT_4O.max_steps
+
+    def test_transaction_flags(self):
+        class TxServer(ToolServer):
+            @tool(description="b", params=[])
+            def begin(self):
+                return "BEGIN"
+
+            @tool(description="c", params=[])
+            def commit(self):
+                return "COMMIT"
+
+        agent = ReActAgent(
+            ScriptedPolicy(
+                [
+                    AgentAction.call("begin"),
+                    AgentAction.call("commit"),
+                    AgentAction.final("ok"),
+                ]
+            ),
+            ToolRegistry([TxServer()]),
+            "p",
+        )
+        trace = agent.run(FakeTask())
+        assert trace.began_transaction
+        assert trace.committed
+
+
+class TestTokenAccounting:
+    def test_tokens_accumulate_per_call(self, registry):
+        agent = make_agent(
+            [AgentAction.call("tick"), AgentAction.final("ok")], registry
+        )
+        trace = agent.run(FakeTask())
+        assert trace.input_tokens > 0
+        assert trace.output_tokens >= 2 * GPT_4O.reasoning_verbosity
+        assert trace.total_tokens == trace.input_tokens + trace.output_tokens
+
+    def test_later_calls_cost_more_input(self, registry):
+        one = make_agent([AgentAction.final("ok")], registry).run(FakeTask())
+        three = make_agent(
+            [
+                AgentAction.call("tick"),
+                AgentAction.call("tick"),
+                AgentAction.final("ok"),
+            ],
+            registry,
+        ).run(FakeTask())
+        assert three.input_tokens > 3 * one.input_tokens  # history compounds
+
+    def test_context_overflow_fails_run(self, registry):
+        tiny = ModelProfile(
+            **{
+                **{f.name: getattr(GPT_4O, f.name) for f in GPT_4O.__dataclass_fields__.values()},
+                "context_window": 300,
+            }
+        )
+        agent = make_agent(
+            [
+                AgentAction.call("blob", n=500),
+                AgentAction.call("tick"),
+                AgentAction.final("ok"),
+            ],
+            registry,
+            profile=tiny,
+        )
+        trace = agent.run(FakeTask())
+        assert not trace.completed
+        assert trace.failure_reason == "context_overflow"
+
+    def test_payload_captured(self, registry):
+        class DataServer(ToolServer):
+            @tool(description="rows", params=[])
+            def rows(self):
+                from repro.mcp import ToolResult
+
+                return ToolResult.ok("text", rows=[(1,), (2,)])
+
+        agent = ReActAgent(
+            ScriptedPolicy([AgentAction.call("rows"), AgentAction.final("ok")]),
+            ToolRegistry([DataServer()]),
+            "p",
+        )
+        trace = agent.run(FakeTask())
+        assert trace.last_payload == [(1,), (2,)]
+
+
+class TestConversation:
+    def test_token_totals(self):
+        conversation = Conversation()
+        conversation.add("system", "hello world")
+        conversation.add("user", "task")
+        assert conversation.total_tokens == sum(m.tokens for m in conversation.messages)
+
+    def test_render(self):
+        conversation = Conversation()
+        conversation.add("user", "hi")
+        assert "[user] hi" in conversation.render()
+
+
+class TestAgentAction:
+    def test_render_tool_call(self):
+        action = AgentAction.call("select", sql="SELECT 1")
+        assert "select" in action.render()
+        assert "SELECT 1" in action.render()
+
+    def test_render_final(self):
+        assert AgentAction.final("answer").render() == "FINAL: answer"
+
+    def test_render_abort(self):
+        assert AgentAction.abort("why").render() == "ABORT: why"

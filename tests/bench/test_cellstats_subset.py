@@ -1,0 +1,100 @@
+"""Unit tests for experiment aggregation helpers."""
+
+from repro.agent import RunTrace
+from repro.bench.bird_ext import generate_bird_ext_tasks
+from repro.bench.runner import (
+    BEST_ACHIEVABLE,
+    CellStats,
+    TaskRunResult,
+    _seed_for,
+    _task_subset,
+)
+
+
+def trace(calls=3, tokens_in=100, tokens_out=50, completed=True, aborted=False,
+          began=False, committed=False):
+    t = RunTrace(task_id="t", model="m", toolkit="k")
+    t.llm_calls = calls
+    t.input_tokens = tokens_in
+    t.output_tokens = tokens_out
+    t.completed = completed
+    t.aborted = aborted
+    t.began_transaction = began
+    t.committed = committed
+    return t
+
+
+class TestCellStats:
+    def test_averages(self):
+        cell = CellStats()
+        cell.add(TaskRunResult(trace(calls=2, tokens_in=100), True, True))
+        cell.add(TaskRunResult(trace(calls=4, tokens_in=300), True, False))
+        assert cell.n == 2
+        assert cell.avg_llm_calls == 3.0
+        assert cell.avg_tokens == (150 + 350) / 2
+
+    def test_accuracy_ignores_unscored(self):
+        cell = CellStats()
+        cell.add(TaskRunResult(trace(), True, True))
+        cell.add(TaskRunResult(trace(), False, None))  # infeasible
+        assert cell.accuracy == 1.0
+
+    def test_accuracy_empty(self):
+        assert CellStats().accuracy == 0.0
+
+    def test_completion_rate_excludes_aborts(self):
+        cell = CellStats()
+        cell.add(TaskRunResult(trace(completed=True), True, True))
+        cell.add(TaskRunResult(trace(completed=True, aborted=True), True, None))
+        assert cell.completion_rate == 0.5
+
+    def test_transaction_ratio(self):
+        cell = CellStats()
+        cell.add(TaskRunResult(trace(began=True, committed=True), True, True))
+        cell.add(TaskRunResult(trace(began=True, committed=False), True, True))
+        cell.add(TaskRunResult(trace(), True, True))
+        assert cell.transaction_ratio == 1 / 3
+
+
+class TestSeeds:
+    def test_deterministic(self):
+        assert _seed_for("a", "m", "k") == _seed_for("a", "m", "k")
+
+    def test_distinct_dimensions(self):
+        base = _seed_for("a", "m", "k")
+        assert _seed_for("b", "m", "k") != base
+        assert _seed_for("a", "n", "k") != base
+        assert _seed_for("a", "m", "l") != base
+
+
+class TestTaskSubset:
+    def test_stratified_over_actions(self):
+        tasks = generate_bird_ext_tasks()
+        subset = _task_subset(tasks, 12)
+        actions = [t.action for t in subset]
+        assert len(subset) == 12
+        for action in ("SELECT", "INSERT", "UPDATE", "DELETE"):
+            assert actions.count(action) == 3
+
+    def test_full_when_limit_exceeds(self):
+        tasks = generate_bird_ext_tasks()
+        assert len(_task_subset(tasks, 10_000)) == len(tasks)
+
+    def test_none_means_all(self):
+        tasks = generate_bird_ext_tasks()
+        assert _task_subset(tasks, None) is tasks
+
+    def test_deterministic(self):
+        tasks = generate_bird_ext_tasks()
+        a = [t.task_id for t in _task_subset(tasks, 20)]
+        b = [t.task_id for t in _task_subset(tasks, 20)]
+        assert a == b
+
+
+class TestBestAchievable:
+    def test_paper_bounds(self):
+        assert BEST_ACHIEVABLE["read"] == 3
+        assert BEST_ACHIEVABLE["write"] == 5
+        assert BEST_ACHIEVABLE["ml"] == 3
+        assert BEST_ACHIEVABLE["abort_no_tool"] == 1
+        assert BEST_ACHIEVABLE["abort_schema"] == 2

@@ -1,0 +1,84 @@
+"""Tests for the CLI front ends (bench CLI and minidb shell)."""
+
+import io
+
+import pytest
+
+from repro.bench.cli import EXPERIMENTS, main as bench_main, run_experiment
+from repro.minidb import Database
+from repro.minidb.__main__ import run_shell
+
+
+class TestBenchCLI:
+    def test_run_experiment_fig5a(self):
+        report = run_experiment(
+            "fig5a", tasks=4, scale=0.3, housing_rows=500, models=["gpt-4o"]
+        )
+        assert "Figure 5(a)" in report
+        assert "gpt-4o" in report
+
+    def test_run_experiment_fig5c(self):
+        report = run_experiment(
+            "fig5c", tasks=4, scale=0.3, housing_rows=500, models=["gpt-4o"]
+        )
+        assert "transaction" in report
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ValueError):
+            run_experiment("fig99", 1, 0.3, 100)
+
+    def test_main_prints_report(self, capsys):
+        code = bench_main(
+            ["fig5a", "--tasks", "4", "--scale", "0.3", "--model", "gpt-4o"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 5(a)" in out
+
+    def test_experiments_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "fig5a", "fig5b", "fig5c", "fig6", "table1", "table2",
+        }
+
+
+class TestMinidbShell:
+    def run(self, script: str, db: Database | None = None) -> str:
+        import contextlib
+
+        database = db or Database(owner="admin")
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            run_shell(database, "admin", stream=io.StringIO(script))
+        return out.getvalue()
+
+    def test_select(self):
+        output = self.run("SELECT 1 + 1;\n")
+        assert "2" in output
+
+    def test_multiline_statement(self):
+        output = self.run("SELECT\n1 + 2;\n")
+        assert "3" in output
+
+    def test_create_and_describe(self):
+        output = self.run("CREATE TABLE t (a INT);\n\\d\n\\d t\n")
+        assert "table  t" in output
+        assert "CREATE TABLE t" in output
+
+    def test_describe_missing(self):
+        assert "no such object" in self.run("\\d ghost\n")
+
+    def test_error_reported_not_fatal(self):
+        output = self.run("SELEKT;\nSELECT 5;\n")
+        assert "ERROR" in output
+        assert "5" in output
+
+    def test_du_lists_users(self):
+        output = self.run("\\du\n")
+        assert "admin" in output
+
+    def test_quit_command(self):
+        output = self.run("\\q\nSELECT 1;\n")
+        assert "1 |" not in output  # nothing executed after \q
+
+    def test_unknown_meta_command(self):
+        assert "unknown command" in self.run("\\zzz\n")

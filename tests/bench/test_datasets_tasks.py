@@ -1,0 +1,228 @@
+"""Tests for benchmark data generation: databases and task suites."""
+
+import pytest
+
+from repro.bench.bird_ext import NL_FORMS, generate_bird_ext_tasks
+from repro.bench.datasets import (
+    ROLE_IRRELEVANT,
+    ROLE_NORMAL,
+    build_bird_database,
+    build_housing_database,
+)
+from repro.bench.nl2ml import generate_nl2ml_tasks, idealized_pg_mcp_token_cost
+from repro.bench.tasks import PipelineNode
+from repro.minidb import PermissionDenied
+
+
+class TestBirdDatabase:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return build_bird_database(scale=0.5)
+
+    def test_all_domains_present(self, db):
+        names = set(db.catalog.object_names())
+        assert {
+            "schools", "satscores", "brand_a_items", "brand_a_sales",
+            "brand_a_refunds", "brand_b_sales", "clients", "accounts",
+            "audit_log",
+        } <= names
+
+    def test_tables_populated(self, db):
+        session = db.connect("admin")
+        for table in ("schools", "brand_a_sales", "accounts"):
+            assert session.scalar(f"SELECT COUNT(*) FROM {table}") > 0
+
+    def test_foreign_keys_consistent(self, db):
+        session = db.connect("admin")
+        orphans = session.scalar(
+            "SELECT COUNT(*) FROM brand_a_sales s WHERE s.item_id NOT IN "
+            "(SELECT item_id FROM brand_a_items)"
+        )
+        assert orphans == 0
+
+    def test_tricky_values_planted(self, db):
+        session = db.connect("admin")
+        categories = {
+            row[0]
+            for row in session.execute(
+                "SELECT DISTINCT category FROM brand_a_items"
+            ).rows
+        }
+        assert "women's wear" in categories
+
+    def test_deterministic(self):
+        a = build_bird_database(scale=0.3).snapshot()
+        b = build_bird_database(scale=0.3).snapshot()
+        assert a == b
+
+    def test_scale_changes_row_counts(self):
+        small = build_bird_database(scale=0.2)
+        large = build_bird_database(scale=1.0)
+        assert small.table_row_count("schools") < large.table_row_count("schools")
+
+    def test_normal_role_is_read_only(self, db):
+        session = db.connect(ROLE_NORMAL)
+        assert session.scalar("SELECT COUNT(*) FROM schools") > 0
+        with pytest.raises(PermissionDenied):
+            session.execute("DELETE FROM schools")
+
+    def test_irrelevant_role_sees_only_audit_log(self, db):
+        session = db.connect(ROLE_IRRELEVANT)
+        assert session.scalar("SELECT COUNT(*) FROM audit_log") > 0
+        with pytest.raises(PermissionDenied):
+            session.execute("SELECT * FROM schools")
+
+    def test_normal_cannot_read_audit_log(self, db):
+        session = db.connect(ROLE_NORMAL)
+        with pytest.raises(PermissionDenied):
+            session.execute("SELECT * FROM audit_log")
+
+
+class TestBirdExtTasks:
+    @pytest.fixture(scope="class")
+    def tasks(self):
+        return generate_bird_ext_tasks()
+
+    def test_task_counts(self, tasks):
+        assert len(tasks) == 300
+        assert sum(1 for t in tasks if t.action == "SELECT") == 150
+        for action in ("INSERT", "UPDATE", "DELETE"):
+            assert sum(1 for t in tasks if t.action == action) == 50
+
+    def test_unique_ids(self, tasks):
+        assert len({t.task_id for t in tasks}) == len(tasks)
+
+    def test_gold_sql_executes(self, tasks):
+        db = build_bird_database(scale=0.5)
+        session = db.connect("admin")
+        for task in tasks[:60]:
+            session.execute(task.gold_sql)  # must not raise
+
+    def test_wrong_identifier_sql_fails(self, tasks):
+        db = build_bird_database(scale=0.5)
+        session = db.connect("admin")
+        checked = 0
+        for task in tasks:
+            if task.wrong_identifier_sql is None or task.write:
+                continue
+            with pytest.raises(Exception):
+                session.execute(task.wrong_identifier_sql)
+            checked += 1
+            if checked >= 20:
+                break
+        assert checked >= 10
+
+    def test_value_miss_sql_runs_but_differs(self, tasks):
+        db = build_bird_database(scale=0.5)
+        session = db.connect("admin")
+        task = next(
+            t for t in tasks if t.value_miss_sql and not t.write and t.tricky
+        )
+        gold = session.execute(task.gold_sql).rows
+        miss = session.execute(task.value_miss_sql).rows
+        assert gold != miss
+
+    def test_tricky_tasks_have_nl_forms(self, tasks):
+        for task in tasks:
+            if task.tricky:
+                assert task.tricky.nl_form != task.tricky.stored_form
+                assert task.tricky.nl_form == NL_FORMS[task.tricky.stored_form]
+
+    def test_write_flag_consistent(self, tasks):
+        for task in tasks:
+            assert task.write == (task.action != "SELECT")
+
+    def test_generation_deterministic(self):
+        a = generate_bird_ext_tasks()
+        b = generate_bird_ext_tasks()
+        assert [t.gold_sql for t in a] == [t.gold_sql for t in b]
+
+
+class TestHousingDatabase:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return build_housing_database(rows=500)
+
+    def test_row_count(self, db):
+        assert db.table_row_count("house") == 500
+
+    def test_ten_columns(self, db):
+        schema = db.catalog.table("house")
+        assert len(schema.columns) == 10
+
+    def test_value_bounds(self, db):
+        session = db.connect("admin")
+        low, high = session.execute(
+            "SELECT MIN(median_house_value), MAX(median_house_value) FROM house"
+        ).rows[0]
+        assert low >= 15_000
+        assert high <= 500_001
+
+    def test_income_drives_price(self, db):
+        session = db.connect("admin")
+        rich = session.scalar(
+            "SELECT AVG(median_house_value) FROM house WHERE median_income > 5"
+        )
+        poor = session.scalar(
+            "SELECT AVG(median_house_value) FROM house WHERE median_income < 2"
+        )
+        assert rich > poor
+
+    def test_categorical_column(self, db):
+        session = db.connect("admin")
+        values = {
+            row[0]
+            for row in session.execute(
+                "SELECT DISTINCT ocean_proximity FROM house"
+            ).rows
+        }
+        assert values <= {"<1H OCEAN", "INLAND", "NEAR OCEAN", "NEAR BAY", "ISLAND"}
+
+    def test_deterministic(self):
+        a = build_housing_database(rows=50).snapshot()
+        b = build_housing_database(rows=50).snapshot()
+        assert a == b
+
+
+class TestNL2MLTasks:
+    @pytest.fixture(scope="class")
+    def tasks(self):
+        return generate_nl2ml_tasks()
+
+    def test_counts_per_level(self, tasks):
+        assert len(tasks) == 30
+        for level in (1, 2, 3):
+            assert sum(1 for t in tasks if t.level == level) == 10
+
+    def test_plan_depth_matches_level(self, tasks):
+        for task in tasks:
+            # level-1 plan: train(select) -> depth 2; +1 per extra level
+            assert task.plan.depth() == task.level + 1
+
+    def test_postorder_leaf_first(self, tasks):
+        for task in tasks:
+            order = task.plan.postorder()
+            assert order[0].tool == "select"
+            assert order[-1] is task.plan
+
+    def test_level3_ends_with_predict(self, tasks):
+        for task in tasks:
+            if task.level == 3:
+                assert task.plan.tool == "predict"
+
+    def test_select_sql_valid(self, tasks):
+        db = build_housing_database(rows=100)
+        session = db.connect("admin")
+        for task in tasks:
+            leaf = task.plan.postorder()[0]
+            session.execute(leaf.args["sql"])
+
+    def test_idealized_cost_scales_with_rows(self):
+        small = idealized_pg_mcp_token_cost(build_housing_database(rows=100))
+        large = idealized_pg_mcp_token_cost(build_housing_database(rows=1000))
+        assert large > small * 5
+
+    def test_pipeline_node_depth(self):
+        leaf = PipelineNode("select", {"sql": "SELECT 1"})
+        nested = PipelineNode("train", {"data": PipelineNode("norm", {"data": leaf})})
+        assert nested.depth() == 3

@@ -1,0 +1,66 @@
+"""Shared fixtures for BridgeScope core tests."""
+
+import pytest
+
+from repro.core import BridgeScope, BridgeScopeConfig, MinidbBinding, SecurityPolicy
+from repro.minidb import Database
+
+
+@pytest.fixture
+def db():
+    """A small retail database with three users: admin, manager, viewer."""
+    database = Database(owner="admin")
+    admin = database.connect("admin")
+    admin.execute(
+        "CREATE TABLE items (item_id INT PRIMARY KEY, item_name TEXT, "
+        "category TEXT, price FLOAT)"
+    )
+    admin.execute(
+        "CREATE TABLE sales (order_id INT PRIMARY KEY, item_id INT "
+        "REFERENCES items(item_id), amount FLOAT, region TEXT)"
+    )
+    admin.execute("CREATE TABLE salaries (emp TEXT, pay FLOAT)")
+    admin.execute(
+        "INSERT INTO items VALUES (1, 'dress', 'women''s wear', 30.0), "
+        "(2, 'boots', 'footwear', 80.0), (3, 'tie', 'men''s wear', 15.0)"
+    )
+    admin.execute(
+        "INSERT INTO sales VALUES (10, 1, 30.0, 'West Coast'), "
+        "(11, 2, 160.0, 'East Coast'), (12, 1, 60.0, 'West Coast')"
+    )
+    admin.execute("INSERT INTO salaries VALUES ('alice', 9000.0)")
+    database.create_user("manager")
+    admin.execute("GRANT ALL ON items TO manager")
+    admin.execute("GRANT ALL ON sales TO manager")
+    database.create_user("viewer")
+    admin.execute("GRANT SELECT ON sales TO viewer")
+    return database
+
+
+@pytest.fixture
+def manager_bridge(db):
+    return BridgeScope(MinidbBinding.for_user(db, "manager"))
+
+
+@pytest.fixture
+def viewer_bridge(db):
+    return BridgeScope(MinidbBinding.for_user(db, "viewer"))
+
+
+@pytest.fixture
+def admin_bridge(db):
+    return BridgeScope(MinidbBinding.for_user(db, "admin"))
+
+
+@pytest.fixture
+def policy_bridge(db):
+    """Manager further restricted by a user-side policy: no salaries table,
+    no DROP/DELETE actions."""
+    policy = SecurityPolicy(
+        object_blacklist=frozenset({"salaries"}),
+        action_blacklist=frozenset({"DROP", "DELETE"}),
+    )
+    return BridgeScope(
+        MinidbBinding.for_user(db, "manager"),
+        BridgeScopeConfig(policy=policy),
+    )

@@ -1,0 +1,85 @@
+"""Tests for the verifier's security audit trail."""
+
+import pytest
+
+from repro.core.verification import AuditLog, AuditRecord
+
+
+class TestAuditViaBridge:
+    def test_allowed_call_logged(self, manager_bridge):
+        manager_bridge.invoke("select", sql="SELECT * FROM items")
+        records = manager_bridge.verifier.audit.records
+        assert len(records) == 1
+        assert records[0].allowed
+        assert records[0].user == "manager"
+        assert records[0].objects == ["items"]
+
+    def test_denied_call_logged_with_reason(self, manager_bridge):
+        manager_bridge.invoke("select", sql="SELECT * FROM salaries")
+        rejections = manager_bridge.verifier.audit.rejections()
+        assert len(rejections) == 1
+        assert "permission denied" in rejections[0].reason
+        assert rejections[0].sql == "SELECT * FROM salaries"
+
+    def test_action_mismatch_logged(self, manager_bridge):
+        manager_bridge.invoke("select", sql="DELETE FROM items")
+        rejection = manager_bridge.verifier.audit.rejections()[0]
+        assert rejection.action == "DELETE"
+        assert not rejection.allowed
+
+    def test_chronological_order(self, manager_bridge):
+        manager_bridge.invoke("select", sql="SELECT * FROM items")
+        manager_bridge.invoke("select", sql="SELECT * FROM salaries")
+        manager_bridge.invoke("select", sql="SELECT * FROM sales")
+        flags = [r.allowed for r in manager_bridge.verifier.audit.records]
+        assert flags == [True, False, True]
+
+    def test_render(self, manager_bridge):
+        manager_bridge.invoke("select", sql="SELECT * FROM items")
+        manager_bridge.invoke("select", sql="SELECT * FROM salaries")
+        text = manager_bridge.verifier.audit.render()
+        assert "ALLOW manager: SELECT on items" in text
+        assert "DENY " in text
+
+    def test_proxy_producers_audited(self, manager_bridge):
+        manager_bridge.invoke(
+            "proxy",
+            target_tool="select",
+            tool_args={
+                "sql": {
+                    "__tool__": "select",
+                    "__args__": {"sql": "SELECT 'SELECT COUNT(*) FROM items'"},
+                    "__transform__": "lambda rows: rows[0][0]",
+                }
+            },
+        )
+        assert len(manager_bridge.verifier.audit.records) == 2  # producer + consumer
+
+
+class TestAuditLogUnit:
+    def make(self, allowed=True):
+        return AuditRecord(
+            user="u", sql="SELECT 1", action="SELECT", objects=[], allowed=allowed
+        )
+
+    def test_capacity_trimming(self):
+        log = AuditLog(max_records=10)
+        for _ in range(15):
+            log.append(self.make())
+        assert len(log.records) <= 11
+
+    def test_render_last_n(self):
+        log = AuditLog()
+        for index in range(5):
+            log.append(
+                AuditRecord("u", "s", "SELECT", [f"t{index}"], allowed=True)
+            )
+        rendered = log.render(last=2)
+        assert "t4" in rendered
+        assert "t0" not in rendered
+
+    def test_rejections_filter(self):
+        log = AuditLog()
+        log.append(self.make(True))
+        log.append(self.make(False))
+        assert len(log.rejections()) == 1

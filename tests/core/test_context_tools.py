@@ -1,0 +1,153 @@
+"""Tests for F1 context retrieval: get_schema / get_object / get_value."""
+
+import pytest
+
+from repro.core import BridgeScope, BridgeScopeConfig, MinidbBinding, SecurityPolicy
+from repro.minidb import Database
+
+
+class TestGetSchema:
+    def test_full_mode_renders_ddl(self, manager_bridge):
+        out = manager_bridge.invoke("get_schema").content
+        assert "CREATE TABLE items" in out
+        assert "CREATE TABLE sales" in out
+
+    def test_privilege_annotations_present(self, manager_bridge):
+        out = manager_bridge.invoke("get_schema").content
+        assert "-- Access: True, Privileges: ALL" in out
+
+    def test_no_access_annotation(self, manager_bridge):
+        # manager has no grant on salaries
+        out = manager_bridge.invoke("get_schema").content
+        blocks = out.split("\n\n")
+        salary_block = next(b for b in blocks if "salaries" in b)
+        assert "-- Access: False" in salary_block
+
+    def test_partial_privileges_listed(self, viewer_bridge):
+        out = viewer_bridge.invoke("get_schema").content
+        blocks = out.split("\n\n")
+        sales_block = next(b for b in blocks if "CREATE TABLE sales" in b)
+        assert "Privileges: SELECT" in sales_block
+
+    def test_policy_hides_blacklisted_objects(self, policy_bridge):
+        out = policy_bridge.invoke("get_schema").content
+        assert "salaries" not in out
+
+    def test_whitelist_limits_objects(self, db):
+        bridge = BridgeScope(
+            MinidbBinding.for_user(db, "manager"),
+            BridgeScopeConfig(
+                policy=SecurityPolicy(object_whitelist=frozenset({"items"}))
+            ),
+        )
+        out = bridge.invoke("get_schema").content
+        assert "items" in out
+        assert "CREATE TABLE sales" not in out
+
+    def test_hierarchical_mode_above_threshold(self, db):
+        bridge = BridgeScope(
+            MinidbBinding.for_user(db, "manager"),
+            BridgeScopeConfig(schema_detail_threshold=1),
+        )
+        out = bridge.invoke("get_schema").content
+        assert "listing names only" in out
+        assert "CREATE TABLE" not in out
+        assert bridge.context.schema_mode() == "hierarchical"
+
+    def test_hierarchical_lists_privileges(self, db):
+        bridge = BridgeScope(
+            MinidbBinding.for_user(db, "viewer"),
+            BridgeScopeConfig(schema_detail_threshold=0),
+        )
+        out = bridge.invoke("get_schema").content
+        assert "[privileges:" in out
+
+    def test_empty_database(self):
+        empty = Database(owner="admin")
+        bridge = BridgeScope(MinidbBinding.for_user(empty, "admin"))
+        assert "empty" in bridge.invoke("get_schema").content
+
+    def test_deterministic_output(self, manager_bridge):
+        first = manager_bridge.invoke("get_schema").content
+        second = manager_bridge.invoke("get_schema").content
+        assert first == second
+
+
+class TestGetObject:
+    def test_returns_single_object(self, manager_bridge):
+        out = manager_bridge.invoke("get_object", name="items").content
+        assert "CREATE TABLE items" in out
+        assert "sales" not in out
+
+    def test_unknown_object(self, manager_bridge):
+        out = manager_bridge.invoke("get_object", name="ghost").content
+        assert "does not exist" in out
+
+    def test_policy_hidden_object_indistinguishable_from_absent(self, policy_bridge):
+        hidden = policy_bridge.invoke("get_object", name="salaries").content
+        absent = policy_bridge.invoke("get_object", name="zzz_missing").content
+        assert hidden.replace("salaries", "X") == absent.replace("zzz_missing", "X")
+
+    def test_case_insensitive_lookup(self, manager_bridge):
+        out = manager_bridge.invoke("get_object", name="ITEMS").content
+        assert "CREATE TABLE items" in out
+
+    def test_view_rendered(self, db, admin_bridge):
+        db.connect("admin").execute("CREATE VIEW big AS SELECT * FROM sales")
+        out = admin_bridge.invoke("get_object", name="big").content
+        assert "CREATE VIEW big" in out
+
+
+class TestGetValue:
+    def test_finds_stored_surface_form(self, manager_bridge):
+        out = manager_bridge.invoke(
+            "get_value", col="items.category", key="women", k=2
+        ).content
+        assert "women's wear" in out
+
+    def test_top_k_ordering(self, manager_bridge):
+        out = manager_bridge.invoke(
+            "get_value", col="items.category", key="women", k=3
+        ).content
+        lines = [l for l in out.splitlines() if l.startswith("  ")]
+        assert "women's wear" in lines[0]
+
+    def test_default_k_from_config(self, manager_bridge):
+        out = manager_bridge.invoke(
+            "get_value", col="items.category", key="wear"
+        ).content
+        # only 3 distinct values exist
+        assert out.startswith("top-3")
+
+    def test_requires_qualified_column(self, manager_bridge):
+        out = manager_bridge.invoke("get_value", col="category", key="x").content
+        assert "ERROR" in out
+
+    def test_permission_denied_without_select(self, viewer_bridge):
+        out = viewer_bridge.invoke(
+            "get_value", col="items.category", key="women"
+        ).content
+        assert "permission denied" in out
+
+    def test_policy_hidden_table(self, policy_bridge):
+        out = policy_bridge.invoke("get_value", col="salaries.emp", key="a").content
+        assert "does not exist" in out
+
+    def test_column_restriction_enforced(self, db):
+        admin = db.connect("admin")
+        db.create_user("partial")
+        admin.execute("GRANT SELECT (region) ON sales TO partial")
+        bridge = BridgeScope(MinidbBinding.for_user(db, "partial"))
+        ok = bridge.invoke("get_value", col="sales.region", key="west").content
+        denied = bridge.invoke("get_value", col="sales.amount", key="30").content
+        assert "West Coast" in ok
+        assert "permission denied" in denied
+
+    def test_unknown_column(self, manager_bridge):
+        out = manager_bridge.invoke("get_value", col="items.ghost", key="x").content
+        assert "ERROR" in out
+
+    def test_empty_column(self, db, admin_bridge):
+        db.connect("admin").execute("CREATE TABLE empty_t (c TEXT)")
+        out = admin_bridge.invoke("get_value", col="empty_t.c", key="x").content
+        assert "no values" in out

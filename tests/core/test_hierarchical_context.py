@@ -1,0 +1,92 @@
+"""Tests for the hierarchical context-retrieval flow on large databases.
+
+With many objects, get_schema() returns only names and the agent drills
+down with get_object() — the paper's token-saving strategy for scale.
+"""
+
+import pytest
+
+from repro.core import BridgeScope, BridgeScopeConfig, MinidbBinding
+from repro.llm.tokenizer import count_tokens
+from repro.minidb import Database
+
+
+@pytest.fixture
+def wide_db():
+    """A database with 30 tables."""
+    db = Database(owner="admin")
+    session = db.connect("admin")
+    for index in range(30):
+        session.execute(
+            f"CREATE TABLE table_{index:02d} (id INT PRIMARY KEY, "
+            f"payload_{index} TEXT, note TEXT)"
+        )
+    return db
+
+
+class TestHierarchicalFlow:
+    def test_default_threshold_switches_to_names_only(self, wide_db):
+        bridge = BridgeScope(MinidbBinding.for_user(wide_db, "admin"))
+        assert bridge.context.schema_mode() == "hierarchical"
+        out = bridge.invoke("get_schema").content
+        assert "table_07" in out
+        assert "CREATE TABLE" not in out
+
+    def test_drill_down_with_get_object(self, wide_db):
+        bridge = BridgeScope(MinidbBinding.for_user(wide_db, "admin"))
+        out = bridge.invoke("get_object", name="table_07").content
+        assert "CREATE TABLE table_07" in out
+        assert "payload_7" in out
+
+    def test_hierarchical_saves_tokens(self, wide_db):
+        binding = MinidbBinding.for_user(wide_db, "admin")
+        hierarchical = BridgeScope(
+            binding, BridgeScopeConfig(schema_detail_threshold=5)
+        )
+        full = BridgeScope(
+            MinidbBinding.for_user(wide_db, "admin"),
+            BridgeScopeConfig(schema_detail_threshold=100),
+        )
+        hier_tokens = count_tokens(str(hierarchical.invoke("get_schema").content))
+        full_tokens = count_tokens(str(full.invoke("get_schema").content))
+        assert hier_tokens < full_tokens / 3
+
+    def test_names_plus_one_object_cheaper_than_full(self, wide_db):
+        """The intended access pattern: list names, fetch one object."""
+        bridge = BridgeScope(MinidbBinding.for_user(wide_db, "admin"))
+        names = count_tokens(str(bridge.invoke("get_schema").content))
+        one = count_tokens(str(bridge.invoke("get_object", name="table_00").content))
+        full = BridgeScope(
+            MinidbBinding.for_user(wide_db, "admin"),
+            BridgeScopeConfig(schema_detail_threshold=100),
+        )
+        everything = count_tokens(str(full.invoke("get_schema").content))
+        assert names + one < everything
+
+    def test_threshold_boundary_exact(self, wide_db):
+        bridge = BridgeScope(
+            MinidbBinding.for_user(wide_db, "admin"),
+            BridgeScopeConfig(schema_detail_threshold=30),
+        )
+        assert bridge.context.schema_mode() == "full"
+        bridge2 = BridgeScope(
+            MinidbBinding.for_user(wide_db, "admin"),
+            BridgeScopeConfig(schema_detail_threshold=29),
+        )
+        assert bridge2.context.schema_mode() == "hierarchical"
+
+    def test_policy_filtering_affects_mode(self, wide_db):
+        from repro.core import SecurityPolicy
+
+        visible = frozenset({f"table_{i:02d}" for i in range(3)})
+        bridge = BridgeScope(
+            MinidbBinding.for_user(wide_db, "admin"),
+            BridgeScopeConfig(
+                schema_detail_threshold=5,
+                policy=SecurityPolicy(object_whitelist=visible),
+            ),
+        )
+        # only 3 permitted objects -> full mode despite 30 tables
+        assert bridge.context.schema_mode() == "full"
+        out = bridge.invoke("get_schema").content
+        assert out.count("CREATE TABLE") == 3

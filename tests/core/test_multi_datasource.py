@@ -1,0 +1,97 @@
+"""Tests for multi-datasource composition via namespaced BridgeScope
+instances (the Section 2.6 scenario)."""
+
+import pytest
+
+from repro.core import BridgeScope, MinidbBinding, combine_bridges
+from repro.minidb import Database
+
+
+def make_db(table: str, values: list[int]) -> Database:
+    db = Database(owner="admin")
+    session = db.connect("admin")
+    session.execute(f"CREATE TABLE {table} (v INT)")
+    for value in values:
+        session.execute(f"INSERT INTO {table} VALUES ({value})")
+    return db
+
+
+@pytest.fixture
+def combined():
+    sales_db = make_db("sales", [1, 2, 3])
+    hr_db = make_db("people", [10, 20])
+    sales = BridgeScope(
+        MinidbBinding.for_user(sales_db, "admin"), namespace="sales"
+    )
+    hr = BridgeScope(MinidbBinding.for_user(hr_db, "admin"), namespace="hr")
+    registry = combine_bridges([sales, hr])
+    return registry, sales, hr
+
+
+class TestNamespacing:
+    def test_tool_names_prefixed(self, combined):
+        registry, sales, hr = combined
+        names = set(registry.tool_names())
+        assert "sales__select" in names
+        assert "hr__select" in names
+        assert "sales__get_schema" in names
+        assert "select" not in names
+
+    def test_no_collisions(self, combined):
+        registry, *_ = combined
+        names = registry.tool_names()
+        assert len(names) == len(set(names))
+
+    def test_each_namespace_hits_its_database(self, combined):
+        registry, *_ = combined
+        sales_count = registry.invoke(
+            "sales__select", sql="SELECT COUNT(*) FROM sales"
+        )
+        hr_count = registry.invoke("hr__select", sql="SELECT COUNT(*) FROM people")
+        assert sales_count.metadata["rows"] == [(3,)]
+        assert hr_count.metadata["rows"] == [(2,)]
+
+    def test_wrong_namespace_fails_cleanly(self, combined):
+        registry, *_ = combined
+        result = registry.invoke("sales__select", sql="SELECT * FROM people")
+        assert result.is_error  # people doesn't exist in the sales database
+
+    def test_cross_source_proxy(self, combined):
+        """One proxy call can combine producers from both databases."""
+        registry, sales, hr = combined
+        result = registry.invoke(
+            "sales__proxy",
+            target_tool="sales__select",
+            tool_args={
+                "sql": {
+                    "__tool__": "hr__select",
+                    "__args__": {"sql": "SELECT 'SELECT SUM(v) FROM sales'"},
+                    "__transform__": "lambda rows: rows[0][0]",
+                }
+            },
+        )
+        assert not result.is_error
+        assert result.metadata["rows"] == [(6,)]
+
+    def test_namespaced_transactions_independent(self, combined):
+        registry, sales, hr = combined
+        registry.invoke("sales__begin")
+        registry.invoke("sales__delete", sql="DELETE FROM sales")
+        # hr database unaffected and not in a transaction
+        assert not hr.binding.in_transaction()
+        registry.invoke("sales__rollback")
+        count = registry.invoke("sales__select", sql="SELECT COUNT(*) FROM sales")
+        assert count.metadata["rows"] == [(3,)]
+
+    def test_domain_servers_keep_plain_names(self):
+        from repro.mltools import MLToolServer
+
+        db = make_db("t", [1])
+        bridge = BridgeScope(
+            MinidbBinding.for_user(db, "admin"),
+            namespace="ns",
+            extra_servers=[MLToolServer()],
+        )
+        names = set(bridge.tool_names())
+        assert "ns__select" in names
+        assert "train_linear" in names  # ML tools shared across sources

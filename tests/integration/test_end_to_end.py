@@ -1,0 +1,168 @@
+"""Cross-module end-to-end scenarios exercising the whole stack."""
+
+import pytest
+
+from repro.core import (
+    BridgeScope,
+    BridgeScopeConfig,
+    MinidbBinding,
+    SecurityPolicy,
+    combine_bridges,
+)
+from repro.minidb import Database
+from repro.mltools import MLToolServer
+
+
+@pytest.fixture
+def store_db():
+    db = Database(owner="dba")
+    dba = db.connect("dba")
+    dba.execute(
+        "CREATE TABLE brand_a_items (id INT PRIMARY KEY, name TEXT, category TEXT)"
+    )
+    dba.execute(
+        "CREATE TABLE brand_a_sales (order_id INT PRIMARY KEY, "
+        "item_id INT REFERENCES brand_a_items(id), day INT, amount FLOAT)"
+    )
+    dba.execute(
+        "CREATE TABLE brand_a_refunds (refund_id INT PRIMARY KEY, "
+        "order_id INT REFERENCES brand_a_sales(order_id), day INT, amount FLOAT)"
+    )
+    dba.execute("CREATE TABLE brand_b_sales (order_id INT PRIMARY KEY, amount FLOAT)")
+    dba.execute("INSERT INTO brand_a_items VALUES (1, 'dress', 'women''s wear')")
+    order = 1
+    for day in range(1, 8):
+        dba.execute(
+            f"INSERT INTO brand_a_sales VALUES ({order}, 1, {day}, {100.0 + 10 * day})"
+        )
+        order += 1
+    dba.execute("INSERT INTO brand_a_refunds VALUES (1, 1, 2, 12.0)")
+    db.create_user("manager")
+    for table in ("brand_a_items", "brand_a_sales", "brand_a_refunds"):
+        dba.execute(f"GRANT ALL ON {table} TO manager")
+    return db
+
+
+class TestChainStoreScenario:
+    """The paper's Figure 3 workflow, executed step by step."""
+
+    def test_full_workflow(self, store_db):
+        bridge = BridgeScope(
+            MinidbBinding.for_user(store_db, "manager"),
+            extra_servers=[MLToolServer()],
+        )
+
+        # 1. schema with annotations
+        schema = bridge.invoke("get_schema").content
+        assert "-- Access: True, Privileges: ALL" in schema
+        assert "-- Access: False" in schema  # brand_b_sales
+
+        # 2. atomic daily insert
+        assert not bridge.invoke("begin").is_error
+        assert not bridge.invoke(
+            "insert", sql="INSERT INTO brand_a_sales VALUES (99, 1, 8, 190.0)"
+        ).is_error
+        assert not bridge.invoke(
+            "insert", sql="INSERT INTO brand_a_refunds VALUES (9, 99, 8, 20.0)"
+        ).is_error
+        assert not bridge.invoke("commit").is_error
+        assert store_db.table_row_count("brand_a_sales") == 8
+
+        # 3. trend analysis through the proxy (Figure 3's proxy unit)
+        result = bridge.invoke(
+            "proxy",
+            target_tool="trend_analyze",
+            tool_args={
+                "sales": {
+                    "__tool__": "select",
+                    "__args__": {
+                        "sql": "SELECT SUM(amount) FROM brand_a_sales "
+                        "GROUP BY day ORDER BY day"
+                    },
+                    "__transform__": "lambda x: x",
+                },
+                "refunds": {
+                    "__tool__": "select",
+                    "__args__": {
+                        "sql": "SELECT SUM(amount) FROM brand_a_refunds "
+                        "GROUP BY day ORDER BY day"
+                    },
+                    "__transform__": "lambda x: x",
+                },
+            },
+        )
+        assert not result.is_error
+        assert result.content["sales_trend"] == "rising"
+
+    def test_failed_insert_rolls_back_whole_day(self, store_db):
+        bridge = BridgeScope(MinidbBinding.for_user(store_db, "manager"))
+        bridge.invoke("begin")
+        bridge.invoke(
+            "insert", sql="INSERT INTO brand_a_sales VALUES (99, 1, 8, 190.0)"
+        )
+        # second insert violates FK -> manager decides to roll back
+        failed = bridge.invoke(
+            "insert", sql="INSERT INTO brand_a_refunds VALUES (9, 12345, 8, 20.0)"
+        )
+        assert failed.is_error
+        bridge.invoke("rollback")
+        assert store_db.table_row_count("brand_a_sales") == 7
+
+    def test_manager_cannot_touch_brand_b(self, store_db):
+        bridge = BridgeScope(MinidbBinding.for_user(store_db, "manager"))
+        result = bridge.invoke("select", sql="SELECT * FROM brand_b_sales")
+        assert result.is_error
+        assert result.error_code == "SecurityViolation"
+
+
+class TestPolicyLayeredScenario:
+    def test_read_only_policy_on_full_privilege_user(self, store_db):
+        bridge = BridgeScope(
+            MinidbBinding.for_user(store_db, "manager"),
+            BridgeScopeConfig(policy=SecurityPolicy.read_only()),
+        )
+        assert bridge.exposed_sql_actions() == ["SELECT"]
+        assert "begin" not in bridge.tool_names()
+        denied = bridge.invoke("select", sql="DELETE FROM brand_a_sales")
+        assert denied.is_error
+
+    def test_audit_trail_across_workflow(self, store_db):
+        bridge = BridgeScope(MinidbBinding.for_user(store_db, "manager"))
+        bridge.invoke("select", sql="SELECT COUNT(*) FROM brand_a_sales")
+        bridge.invoke("select", sql="SELECT * FROM brand_b_sales")
+        audit = bridge.verifier.audit
+        assert len(audit.records) == 2
+        assert len(audit.rejections()) == 1
+
+
+class TestFederatedScenario:
+    def test_two_sources_one_agent(self, store_db):
+        warehouse = Database(owner="dba")
+        dba = warehouse.connect("dba")
+        dba.execute("CREATE TABLE stock (item_id INT PRIMARY KEY, units INT)")
+        dba.execute("INSERT INTO stock VALUES (1, 40)")
+
+        shop = BridgeScope(
+            MinidbBinding.for_user(store_db, "dba"), namespace="shop"
+        )
+        depot = BridgeScope(
+            MinidbBinding.for_user(warehouse, "dba"), namespace="depot"
+        )
+        registry = combine_bridges([shop, depot])
+
+        # cross-source proxy: count shop sales, look up stock in the depot
+        result = registry.invoke(
+            "depot__proxy",
+            target_tool="depot__select",
+            tool_args={
+                "sql": {
+                    "__tool__": "shop__select",
+                    "__args__": {
+                        "sql": "SELECT 'SELECT units FROM stock WHERE item_id = 1'"
+                    },
+                    "__transform__": "lambda rows: rows[0][0]",
+                }
+            },
+        )
+        assert not result.is_error
+        assert result.metadata["rows"] == [(40,)]

@@ -1,0 +1,163 @@
+"""Behavioral tests for the simulated LLM policy over real toolkits."""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.bird_ext import generate_bird_ext_tasks
+from repro.bench.datasets import ROLE_IRRELEVANT, ROLE_NORMAL
+from repro.bench.runner import run_db_task
+from repro.llm import CLAUDE_4, GPT_4O
+
+
+@pytest.fixture(scope="module")
+def tasks():
+    return generate_bird_ext_tasks()
+
+
+@pytest.fixture(scope="module")
+def read_task(tasks):
+    return next(t for t in tasks if not t.write and t.tricky is None)
+
+
+@pytest.fixture(scope="module")
+def tricky_task(tasks):
+    return next(t for t in tasks if not t.write and t.tricky is not None)
+
+
+@pytest.fixture(scope="module")
+def insert_task(tasks):
+    return next(t for t in tasks if t.action == "INSERT")
+
+
+def variants(task, n):
+    return [dataclasses.replace(task, task_id=f"{task.task_id}-v{i}") for i in range(n)]
+
+
+class TestBridgeScopeBehavior:
+    def test_schema_first(self, read_task):
+        result = run_db_task(read_task, "bridgescope", GPT_4O, scale=0.3)
+        assert result.trace.tool_sequence()[0] == "get_schema"
+
+    def test_read_task_near_best_achievable(self, read_task):
+        runs = [
+            run_db_task(t, "bridgescope", CLAUDE_4, scale=0.3)
+            for t in variants(read_task, 5)
+        ]
+        avg = sum(r.trace.llm_calls for r in runs) / len(runs)
+        assert 3.0 <= avg <= 4.0
+
+    def test_write_wrapped_in_transaction(self, insert_task):
+        runs = [
+            run_db_task(t, "bridgescope", CLAUDE_4, scale=0.3)
+            for t in variants(insert_task, 5)
+        ]
+        ratio = sum(r.trace.began_transaction and r.trace.committed for r in runs) / 5
+        assert ratio >= 0.8
+
+    def test_tricky_task_uses_get_value(self, tricky_task):
+        runs = [
+            run_db_task(t, "bridgescope", CLAUDE_4, scale=0.3)
+            for t in variants(tricky_task, 6)
+        ]
+        used = sum(r.trace.used("get_value") for r in runs)
+        assert used >= 4
+
+    def test_tricky_task_correct_with_get_value(self, tricky_task):
+        runs = [
+            run_db_task(t, "bridgescope", CLAUDE_4, scale=0.3)
+            for t in variants(tricky_task, 6)
+        ]
+        correct = [r for r in runs if r.trace.used("get_value")]
+        assert correct
+        assert all(r.correct or r.trace.aborted is False for r in correct) or any(
+            r.correct for r in correct
+        )
+
+
+class TestPrivilegeAwareness:
+    def test_normal_user_write_aborts_without_sql(self, insert_task):
+        runs = [
+            run_db_task(t, "bridgescope", CLAUDE_4, role=ROLE_NORMAL, scale=0.3)
+            for t in variants(insert_task, 6)
+        ]
+        assert all(r.trace.aborted for r in runs)
+        # most runs should not even call a SQL tool
+        sql_free = sum(
+            1
+            for r in runs
+            if not any(
+                t in ("insert", "update", "delete", "select")
+                for t in r.trace.tool_sequence()
+            )
+        )
+        assert sql_free >= 4
+
+    def test_irrelevant_user_aborts_after_schema(self, read_task):
+        runs = [
+            run_db_task(t, "bridgescope", CLAUDE_4, role=ROLE_IRRELEVANT, scale=0.3)
+            for t in variants(read_task, 6)
+        ]
+        assert all(r.trace.aborted for r in runs)
+        assert all(r.intercepted for r in runs)
+
+    def test_infeasible_never_modifies_database(self, insert_task):
+        for toolkit in ("bridgescope", "pg-mcp"):
+            result = run_db_task(
+                insert_task, toolkit, GPT_4O, role=ROLE_NORMAL, scale=0.3
+            )
+            assert result.intercepted or result.trace.aborted
+
+    def test_pg_mcp_wastes_calls_on_infeasible(self, insert_task):
+        bs_runs = [
+            run_db_task(t, "bridgescope", CLAUDE_4, role=ROLE_NORMAL, scale=0.3)
+            for t in variants(insert_task, 5)
+        ]
+        pg_runs = [
+            run_db_task(t, "pg-mcp", CLAUDE_4, role=ROLE_NORMAL, scale=0.3)
+            for t in variants(insert_task, 5)
+        ]
+        bs_avg = sum(r.trace.llm_calls for r in bs_runs) / 5
+        pg_avg = sum(r.trace.llm_calls for r in pg_runs) / 5
+        assert bs_avg < pg_avg
+
+
+class TestBaselineBehavior:
+    def test_pg_mcp_rarely_uses_transactions(self, insert_task):
+        runs = [
+            run_db_task(t, "pg-mcp", GPT_4O, scale=0.3)
+            for t in variants(insert_task, 8)
+        ]
+        ratio = sum(r.trace.began_transaction and r.trace.committed for r in runs) / 8
+        assert ratio <= 0.4
+
+    def test_pg_mcp_minus_retries_blind_sql(self, read_task):
+        runs = [
+            run_db_task(t, "pg-mcp-minus", GPT_4O, scale=0.3)
+            for t in variants(read_task, 10)
+        ]
+        avg = sum(r.trace.llm_calls for r in runs) / len(runs)
+        errors = sum(r.trace.error_count() for r in runs)
+        assert avg > 3.0
+        assert errors > 0
+
+    def test_pg_mcp_completes_feasible_reads(self, read_task):
+        runs = [
+            run_db_task(t, "pg-mcp", CLAUDE_4, scale=0.3)
+            for t in variants(read_task, 5)
+        ]
+        assert sum(r.correct for r in runs) >= 4
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self, read_task):
+        a = run_db_task(read_task, "bridgescope", GPT_4O, scale=0.3)
+        b = run_db_task(read_task, "bridgescope", GPT_4O, scale=0.3)
+        assert a.trace.llm_calls == b.trace.llm_calls
+        assert a.trace.total_tokens == b.trace.total_tokens
+        assert a.trace.tool_sequence() == b.trace.tool_sequence()
+
+    def test_different_toolkits_use_different_seeds(self, read_task):
+        a = run_db_task(read_task, "bridgescope", GPT_4O, scale=0.3)
+        b = run_db_task(read_task, "pg-mcp", GPT_4O, scale=0.3)
+        assert a.trace.toolkit != b.trace.toolkit

@@ -1,0 +1,190 @@
+"""White-box tests for the simulated policy's individual mechanisms.
+
+Each test isolates one behavioral knob by pinning the profile's other
+rates to deterministic extremes, then checks the mechanism — not the
+aggregate benchmark outcome.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.bird_ext import generate_bird_ext_tasks
+from repro.bench.datasets import build_bird_database
+from repro.bench.runner import build_toolkit
+from repro.agent import ReActAgent
+from repro.llm import GPT_4O
+from repro.llm.policy import SimulatedDataAgentPolicy, _annotated_access
+
+
+def pinned(**overrides):
+    """GPT_4O with specific rates forced to 0 or 1."""
+    fields = {f: getattr(GPT_4O, f) for f in GPT_4O.__dataclass_fields__}
+    fields.update(overrides)
+    return dataclasses.replace(GPT_4O, **{k: v for k, v in fields.items() if k in GPT_4O.__dataclass_fields__})
+
+
+@pytest.fixture(scope="module")
+def tasks():
+    return generate_bird_ext_tasks()
+
+
+def run_with(profile, task, toolkit="bridgescope", role="admin", seed=1):
+    db = build_bird_database(scale=0.3)
+    registry, prompt = build_toolkit(toolkit, db, role)
+    policy = SimulatedDataAgentPolicy(profile, seed=seed)
+    agent = ReActAgent(policy, registry, prompt, toolkit)
+    return agent.run(task), db
+
+
+class TestSchemaHallucinationMechanism:
+    def test_no_hallucination_when_rate_zero(self, tasks):
+        task = next(t for t in tasks if not t.write and t.wrong_identifier_sql)
+        profile = pinned(
+            schema_hallucination_rate=0.0,
+            blind_probe_rate=0.0,
+            explore_values_rate=0.0,
+            predicate_hallucination_rate=0.0,
+            logic_error_rate=0.0,
+        )
+        trace, _ = run_with(profile, task, toolkit="pg-mcp-minus")
+        assert trace.error_count() == 0
+        assert trace.llm_calls == 2  # sql + final
+
+    def test_certain_hallucination_forces_retry(self, tasks):
+        task = next(t for t in tasks if not t.write and t.wrong_identifier_sql)
+        profile = pinned(
+            schema_hallucination_rate=1.0,
+            blind_probe_rate=0.0,
+            error_correction_rate=1.0,
+            logic_error_rate=0.0,
+        )
+        trace, _ = run_with(profile, task, toolkit="pg-mcp-minus")
+        assert trace.error_count() >= 1
+        assert trace.completed
+
+    def test_schema_tool_prevents_hallucination(self, tasks):
+        task = next(t for t in tasks if not t.write and t.wrong_identifier_sql)
+        profile = pinned(schema_hallucination_rate=1.0, logic_error_rate=0.0,
+                         predicate_hallucination_rate=0.0)
+        trace, _ = run_with(profile, task, toolkit="bridgescope")
+        # schema retrieved first -> identifiers correct -> no errors
+        assert trace.error_count() == 0
+
+
+class TestProbingMechanism:
+    def test_probing_discovers_schema(self, tasks):
+        task = next(t for t in tasks if not t.write and t.wrong_identifier_sql)
+        profile = pinned(
+            blind_probe_rate=1.0,
+            schema_hallucination_rate=1.0,
+            logic_error_rate=0.0,
+            predicate_hallucination_rate=0.0,
+            explore_values_rate=0.0,
+        )
+        trace, _ = run_with(profile, task, toolkit="pg-mcp-minus", seed=3)
+        sequence = trace.tool_sequence()
+        # at least one probing SELECT before the real query
+        assert len(sequence) >= 2
+        assert trace.completed
+
+
+class TestTransactionMechanism:
+    def test_txn_rate_one_always_brackets(self, tasks):
+        task = next(t for t in tasks if t.action == "INSERT")
+        profile = pinned(txn_with_tools=1.0, logic_error_rate=0.0)
+        trace, _ = run_with(profile, task)
+        assert trace.began_transaction and trace.committed
+
+    def test_txn_rate_zero_never_brackets(self, tasks):
+        task = next(t for t in tasks if t.action == "INSERT")
+        profile = pinned(txn_with_tools=0.0, logic_error_rate=0.0)
+        trace, _ = run_with(profile, task)
+        assert not trace.began_transaction
+        assert trace.completed  # write still lands via autocommit
+
+    def test_multi_statement_slip_errors_then_recovers(self, tasks):
+        task = next(t for t in tasks if t.action == "INSERT")
+        profile = pinned(
+            multi_statement_rate=1.0, txn_generic=0.0, logic_error_rate=0.0
+        )
+        trace, db = run_with(profile, task, toolkit="pg-mcp")
+        assert trace.error_count() >= 1  # the bundled statement was rejected
+        assert trace.completed
+
+
+class TestPrivilegeMechanism:
+    def test_insight_one_aborts_immediately(self, tasks):
+        task = next(t for t in tasks if t.write)
+        profile = pinned(missing_tool_insight=1.0)
+        trace, db = run_with(profile, task, role="normal")
+        assert trace.aborted
+        assert trace.llm_calls == 1
+        assert trace.tool_calls == []
+
+    def test_insight_zero_aborts_after_schema(self, tasks):
+        task = next(t for t in tasks if t.write)
+        profile = pinned(missing_tool_insight=0.0, privilege_reasoning=1.0)
+        trace, _ = run_with(profile, task, role="normal")
+        assert trace.aborted
+        assert trace.tool_sequence() == ["get_schema"]
+
+    def test_blind_agent_blocked_by_verifier(self, tasks):
+        task = next(t for t in tasks if not t.write and not t.tricky)
+        profile = pinned(privilege_reasoning=0.0, logic_error_rate=0.0)
+        trace, db = run_with(profile, task, role="irrelevant")
+        assert trace.aborted
+        # the attempt was made and intercepted
+        assert any(r.error_code == "SecurityViolation" for r in trace.tool_calls)
+
+
+class TestValueRetrievalMechanism:
+    def test_discipline_one_always_retrieves(self, tasks):
+        task = next(t for t in tasks if t.tricky and not t.write)
+        profile = pinned(value_retrieval_discipline=1.0, logic_error_rate=0.0)
+        trace, _ = run_with(profile, task)
+        assert trace.used("get_value")
+
+    def test_discipline_zero_risks_wrong_predicate(self, tasks):
+        task = next(
+            t for t in tasks if t.tricky and not t.write and t.value_miss_sql
+        )
+        profile = pinned(
+            value_retrieval_discipline=0.0,
+            predicate_hallucination_rate=1.0,
+            logic_error_rate=0.0,
+        )
+        trace, db = run_with(profile, task)
+        assert not trace.used("get_value")
+        # the query ran with the NL surface form: silently wrong result
+        oracle = build_bird_database(scale=0.3)
+        gold = oracle.connect("admin").execute(task.gold_sql).rows
+        assert sorted(trace.last_payload or [], key=repr) != sorted(gold, key=repr)
+
+
+class TestAnnotationParsing:
+    SCHEMA = (
+        "-- Access: True, Privileges: ALL\n"
+        "CREATE TABLE a (\n    x INTEGER\n);\n\n"
+        "-- Access: True, Privileges: SELECT\n"
+        "CREATE TABLE b (\n    x INTEGER\n);\n\n"
+        "-- Access: False\n"
+        "CREATE TABLE c (\n    x INTEGER\n);"
+    )
+
+    def test_full_access(self):
+        assert _annotated_access(self.SCHEMA, "a", "DELETE")
+
+    def test_partial_access(self):
+        assert _annotated_access(self.SCHEMA, "b", "SELECT")
+        assert not _annotated_access(self.SCHEMA, "b", "INSERT")
+
+    def test_no_access(self):
+        assert not _annotated_access(self.SCHEMA, "c", "SELECT")
+
+    def test_unannotated_schema_assumed_accessible(self):
+        plain = "CREATE TABLE t (\n    x INTEGER\n);"
+        assert _annotated_access(plain, "t", "DELETE")
+
+    def test_unknown_table_assumed_accessible(self):
+        assert _annotated_access(self.SCHEMA, "zzz", "SELECT")

@@ -1,0 +1,81 @@
+"""Tests for the token model and the behavior profiles."""
+
+import dataclasses
+
+import pytest
+
+from repro.llm import CLAUDE_4, GPT_4O, PROFILES, count_payload_tokens, count_tokens
+
+
+class TestTokenizer:
+    def test_empty(self):
+        assert count_tokens("") == 0
+
+    def test_single_word(self):
+        assert count_tokens("hi") == 1
+
+    def test_long_word_splits(self):
+        # 12 chars -> ceil(12/4) = 3 tokens
+        assert count_tokens("abcdefghijkl") == 3
+
+    def test_whitespace_separation(self):
+        assert count_tokens("a b c") == 3
+
+    def test_newlines_counted(self):
+        assert count_tokens("a\nb") == count_tokens("a b") + 1
+
+    def test_monotone_in_length(self):
+        short = count_tokens("select * from t")
+        long = count_tokens("select * from t where x > 10 order by y")
+        assert long > short
+
+    def test_roughly_four_chars_per_token(self):
+        text = "x" * 4000
+        assert count_tokens(text) == 1000
+
+    def test_deterministic(self):
+        text = "SELECT a, b FROM t WHERE c = 'x'"
+        assert count_tokens(text) == count_tokens(text)
+
+    def test_payload_tokens_for_structures(self):
+        assert count_payload_tokens([1, 2, 3]) > 0
+        assert count_payload_tokens("abc") == count_tokens("abc")
+
+    def test_payload_scales_with_rows(self):
+        small = count_payload_tokens([(1.0, 2.0)] * 10)
+        large = count_payload_tokens([(1.0, 2.0)] * 1000)
+        assert large > small * 50
+
+
+class TestProfiles:
+    def test_registry_contains_both_models(self):
+        assert set(PROFILES) == {"gpt-4o", "claude-4"}
+
+    def test_profiles_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            GPT_4O.context_window = 1
+
+    def test_rates_are_probabilities(self):
+        for profile in PROFILES.values():
+            for field in dataclasses.fields(profile):
+                value = getattr(profile, field.name)
+                if field.name.endswith("_rate") or field.name in (
+                    "privilege_reasoning",
+                    "missing_tool_insight",
+                    "txn_with_tools",
+                    "txn_generic",
+                    "value_retrieval_discipline",
+                    "proxy_composition_skill",
+                ):
+                    assert 0.0 <= value <= 1.0, (profile.name, field.name)
+
+    def test_claude_reasons_better_about_privileges(self):
+        assert CLAUDE_4.privilege_reasoning > GPT_4O.privilege_reasoning
+        assert CLAUDE_4.missing_tool_insight > GPT_4O.missing_tool_insight
+
+    def test_claude_is_more_verbose(self):
+        assert CLAUDE_4.reasoning_verbosity > GPT_4O.reasoning_verbosity
+
+    def test_windows_match_public_specs(self):
+        assert GPT_4O.context_window == 128_000
+        assert CLAUDE_4.context_window == 200_000

@@ -1,0 +1,214 @@
+"""Tests for the MCP-style tool protocol layer."""
+
+import pytest
+
+from repro.mcp import (
+    ParamSpec,
+    ToolArgumentError,
+    ToolCall,
+    ToolError,
+    ToolNotFoundError,
+    ToolRegistry,
+    ToolResult,
+    ToolServer,
+    ToolSpec,
+    tool,
+)
+
+
+class EchoServer(ToolServer):
+    name = "echo"
+
+    @tool(description="Echo the input back.", params=[ParamSpec("text", "string")])
+    def echo(self, text: str) -> str:
+        return text
+
+    @tool(
+        description="Add two numbers.",
+        params=[ParamSpec("a", "number"), ParamSpec("b", "number")],
+    )
+    def add(self, a, b):
+        return a + b
+
+    @tool(
+        description="Greet with optional punctuation.",
+        params=[
+            ParamSpec("name", "string"),
+            ParamSpec("mark", "string", required=False, default="!"),
+        ],
+    )
+    def greet(self, name, mark="!"):
+        return f"hi {name}{mark}"
+
+    @tool(description="Always fails.", params=[])
+    def boom(self):
+        raise ToolError("kaboom", retriable=False)
+
+
+@pytest.fixture
+def server():
+    return EchoServer()
+
+
+class TestParamSpec:
+    def test_valid_types(self):
+        for kind in ("string", "number", "integer", "boolean", "object", "array", "any"):
+            ParamSpec("x", kind)
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(ValueError):
+            ParamSpec("x", "blob")
+
+    def test_required_missing(self):
+        with pytest.raises(ToolArgumentError, match="missing required"):
+            ParamSpec("x", "string").validate(None)
+
+    def test_optional_default(self):
+        assert ParamSpec("x", "string", required=False, default="d").validate(None) == "d"
+
+    @pytest.mark.parametrize(
+        "kind,good,bad",
+        [
+            ("string", "a", 1),
+            ("number", 1.5, "a"),
+            ("integer", 3, 3.5),
+            ("boolean", True, 1),
+            ("object", {}, []),
+            ("array", [], {}),
+        ],
+    )
+    def test_type_checking(self, kind, good, bad):
+        spec = ParamSpec("x", kind)
+        assert spec.validate(good) == good
+        with pytest.raises(ToolArgumentError):
+            spec.validate(bad)
+
+    def test_bool_is_not_number(self):
+        with pytest.raises(ToolArgumentError):
+            ParamSpec("x", "number").validate(True)
+
+    def test_any_accepts_everything(self):
+        spec = ParamSpec("x", "any")
+        for value in ("a", 1, [], {}, True):
+            assert spec.validate(value) == value
+
+
+class TestToolSpec:
+    def test_unknown_argument_rejected(self):
+        spec = ToolSpec("t", "d", [ParamSpec("a", "string")])
+        with pytest.raises(ToolArgumentError, match="unknown argument"):
+            spec.validate_args({"a": "x", "zz": 1})
+
+    def test_defaults_filled(self):
+        spec = ToolSpec(
+            "t", "d", [ParamSpec("a", "string", required=False, default="v")]
+        )
+        assert spec.validate_args({}) == {"a": "v"}
+
+    def test_render_is_deterministic(self):
+        spec = ToolSpec("t", "does things", [ParamSpec("a", "string", "the a")])
+        assert spec.render() == spec.render()
+        assert "t: does things" in spec.render()
+
+    def test_json_schema_export(self):
+        spec = ToolSpec("t", "d", [ParamSpec("a", "string", required=True)])
+        schema = spec.to_json_schema()
+        assert schema["name"] == "t"
+        assert schema["inputSchema"]["required"] == ["a"]
+
+
+class TestToolServer:
+    def test_decorated_tools_discovered(self, server):
+        names = {spec.name for spec in server.visible_tools()}
+        assert names == {"echo", "add", "greet", "boom"}
+
+    def test_invoke_success(self, server):
+        result = server.invoke("echo", text="hello")
+        assert not result.is_error
+        assert result.content == "hello"
+
+    def test_invoke_with_default(self, server):
+        assert server.invoke("greet", name="bob").content == "hi bob!"
+
+    def test_tool_error_becomes_result(self, server):
+        result = server.invoke("boom")
+        assert result.is_error
+        assert result.error_code == "ToolError"
+        assert "kaboom" in result.content
+
+    def test_argument_error_becomes_result(self, server):
+        result = server.invoke("echo")
+        assert result.is_error
+        assert result.error_code == "ToolArgumentError"
+
+    def test_unknown_tool(self, server):
+        result = server.call(ToolCall("nope", {}))
+        assert result.is_error
+        assert result.error_code == "ToolNotFoundError"
+
+    def test_register_dynamic_tool(self, server):
+        server.register(ToolSpec("dyn", "dynamic", []), lambda: 42)
+        assert server.invoke("dyn").content == 42
+
+    def test_unregister(self, server):
+        server.unregister("echo")
+        assert not server.has_tool("echo")
+
+    def test_spec_lookup(self, server):
+        assert server.spec("add").name == "add"
+        with pytest.raises(ToolNotFoundError):
+            server.spec("ghost")
+
+    def test_render_tool_list_contains_all(self, server):
+        text = server.render_tool_list()
+        for name in ("echo", "add", "greet"):
+            assert name in text
+
+
+class TestToolResult:
+    def test_ok_with_metadata(self):
+        result = ToolResult.ok("data", rowcount=3)
+        assert result.metadata["rowcount"] == 3
+
+    def test_error_render_prefix(self):
+        assert ToolResult.error("oops").render() == "ERROR: oops"
+
+    def test_non_string_content_rendered(self):
+        assert ToolResult.ok([1, 2]).render() == "[1, 2]"
+
+
+class TestRegistry:
+    def test_routing(self, server):
+        registry = ToolRegistry([server])
+        assert registry.invoke("add", a=1, b=2).content == 3
+
+    def test_unknown_tool_error_result(self, server):
+        registry = ToolRegistry([server])
+        result = registry.invoke("ghost")
+        assert result.is_error
+
+    def test_first_server_wins_on_collision(self):
+        class A(ToolServer):
+            @tool(description="a", params=[])
+            def same(self):
+                return "A"
+
+        class B(ToolServer):
+            @tool(description="b", params=[])
+            def same(self):
+                return "B"
+
+        registry = ToolRegistry([A(), B()])
+        assert registry.invoke("same").content == "A"
+        assert registry.tool_names().count("same") == 1
+
+    def test_add_server(self, server):
+        registry = ToolRegistry()
+        registry.add_server(server)
+        assert registry.has_tool("echo")
+
+    def test_owner_of(self, server):
+        registry = ToolRegistry([server])
+        assert registry.owner_of("echo") is server
+        with pytest.raises(ToolNotFoundError):
+            registry.owner_of("ghost")

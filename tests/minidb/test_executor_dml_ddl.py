@@ -1,0 +1,286 @@
+"""Integration tests for DML, DDL, and constraint enforcement."""
+
+import pytest
+
+from repro.minidb import Database
+from repro.minidb.errors import (
+    CheckViolation,
+    DuplicateObjectError,
+    ExecutionError,
+    ForeignKeyViolation,
+    NotNullViolation,
+    TypeMismatchError,
+    UniqueViolation,
+    UnknownColumnError,
+    UnknownTableError,
+)
+
+
+@pytest.fixture
+def db():
+    return Database(owner="admin")
+
+
+@pytest.fixture
+def s(db):
+    return db.connect("admin")
+
+
+@pytest.fixture
+def store(s):
+    s.execute(
+        "CREATE TABLE items (id INT PRIMARY KEY, sku TEXT UNIQUE, "
+        "price FLOAT NOT NULL CHECK (price >= 0), qty INT DEFAULT 0)"
+    )
+    s.execute(
+        "CREATE TABLE orders (id INT PRIMARY KEY, item_id INT NOT NULL, "
+        "n INT CHECK (n > 0), FOREIGN KEY (item_id) REFERENCES items(id))"
+    )
+    s.execute("INSERT INTO items VALUES (1, 'A-1', 9.5, 3), (2, 'A-2', 5.0, 0)")
+    return s
+
+
+class TestInsert:
+    def test_basic_insert(self, store):
+        result = store.execute("INSERT INTO items VALUES (3, 'A-3', 1.0, 1)")
+        assert result.rowcount == 1
+        assert store.scalar("SELECT COUNT(*) FROM items") == 3
+
+    def test_multi_row_insert(self, store):
+        result = store.execute(
+            "INSERT INTO items VALUES (3, 'A-3', 1.0, 1), (4, 'A-4', 2.0, 2)"
+        )
+        assert result.rowcount == 2
+
+    def test_insert_with_column_list(self, store):
+        store.execute("INSERT INTO items (id, price) VALUES (3, 2.5)")
+        row = store.query("SELECT * FROM items WHERE id = 3")[0]
+        assert row["sku"] is None
+        assert row["qty"] == 0  # default applied
+
+    def test_insert_select(self, store):
+        store.execute("CREATE TABLE archive (id INT, price FLOAT)")
+        store.execute("INSERT INTO archive SELECT id, price FROM items")
+        assert store.scalar("SELECT COUNT(*) FROM archive") == 2
+
+    def test_value_count_mismatch(self, store):
+        with pytest.raises(ExecutionError, match="values"):
+            store.execute("INSERT INTO items (id, price) VALUES (3)")
+
+    def test_unknown_target_column(self, store):
+        with pytest.raises(UnknownColumnError):
+            store.execute("INSERT INTO items (id, nope) VALUES (3, 1)")
+
+    def test_type_coercion_string_to_int(self, store):
+        store.execute("INSERT INTO items VALUES ('7', 'A-7', '2.5', 1)")
+        assert store.scalar("SELECT price FROM items WHERE id = 7") == 2.5
+
+    def test_type_mismatch_rejected(self, store):
+        with pytest.raises(TypeMismatchError):
+            store.execute("INSERT INTO items VALUES ('x', 'A-9', 1.0, 1)")
+
+    def test_multi_row_insert_is_atomic(self, store):
+        # second row violates the PK; first row must not survive
+        with pytest.raises(UniqueViolation):
+            store.execute("INSERT INTO items VALUES (9, 'A-9', 1.0, 1), (1, 'dup', 1.0, 1)")
+        assert store.scalar("SELECT COUNT(*) FROM items WHERE id = 9") == 0
+
+
+class TestConstraints:
+    def test_primary_key_duplicate(self, store):
+        with pytest.raises(UniqueViolation):
+            store.execute("INSERT INTO items VALUES (1, 'B-1', 2.0, 1)")
+
+    def test_unique_constraint(self, store):
+        with pytest.raises(UniqueViolation):
+            store.execute("INSERT INTO items VALUES (3, 'A-1', 2.0, 1)")
+
+    def test_unique_allows_multiple_nulls(self, store):
+        store.execute("INSERT INTO items (id, price) VALUES (3, 1.0), (4, 1.0)")
+        assert store.scalar("SELECT COUNT(*) FROM items") == 4
+
+    def test_not_null_violation(self, store):
+        with pytest.raises(NotNullViolation):
+            store.execute("INSERT INTO items (id) VALUES (3)")
+
+    def test_primary_key_implies_not_null(self, store):
+        with pytest.raises(NotNullViolation):
+            store.execute("INSERT INTO items (sku, price) VALUES ('A-3', 1.0)")
+
+    def test_check_violation(self, store):
+        with pytest.raises(CheckViolation):
+            store.execute("INSERT INTO items VALUES (3, 'A-3', -1.0, 1)")
+
+    def test_check_with_null_passes(self, store):
+        store.execute("INSERT INTO orders (id, item_id) VALUES (1, 1)")  # n NULL
+        assert store.scalar("SELECT COUNT(*) FROM orders") == 1
+
+    def test_fk_violation_on_insert(self, store):
+        with pytest.raises(ForeignKeyViolation):
+            store.execute("INSERT INTO orders VALUES (1, 99, 1)")
+
+    def test_fk_satisfied(self, store):
+        store.execute("INSERT INTO orders VALUES (1, 2, 5)")
+        assert store.scalar("SELECT COUNT(*) FROM orders") == 1
+
+    def test_fk_null_passes(self, store):
+        store.execute("CREATE TABLE notes (id INT PRIMARY KEY, item_id INT REFERENCES items(id))")
+        store.execute("INSERT INTO notes VALUES (1, NULL)")
+        assert store.scalar("SELECT COUNT(*) FROM notes") == 1
+
+    def test_delete_referenced_row_blocked(self, store):
+        store.execute("INSERT INTO orders VALUES (1, 1, 2)")
+        with pytest.raises(ForeignKeyViolation):
+            store.execute("DELETE FROM items WHERE id = 1")
+
+    def test_delete_unreferenced_row_ok(self, store):
+        store.execute("INSERT INTO orders VALUES (1, 1, 2)")
+        store.execute("DELETE FROM items WHERE id = 2")
+        assert store.scalar("SELECT COUNT(*) FROM items") == 1
+
+    def test_update_referenced_key_blocked(self, store):
+        store.execute("INSERT INTO orders VALUES (1, 1, 2)")
+        with pytest.raises(ForeignKeyViolation):
+            store.execute("UPDATE items SET id = 50 WHERE id = 1")
+
+    def test_update_to_violate_fk_blocked(self, store):
+        store.execute("INSERT INTO orders VALUES (1, 1, 2)")
+        with pytest.raises(ForeignKeyViolation):
+            store.execute("UPDATE orders SET item_id = 77 WHERE id = 1")
+
+
+class TestUpdateDelete:
+    def test_update_rowcount(self, store):
+        result = store.execute("UPDATE items SET qty = qty + 1")
+        assert result.rowcount == 2
+
+    def test_update_with_where(self, store):
+        store.execute("UPDATE items SET price = 99.0 WHERE sku = 'A-1'")
+        assert store.scalar("SELECT price FROM items WHERE id = 1") == 99.0
+
+    def test_update_expression_uses_old_values(self, store):
+        store.execute("UPDATE items SET price = price * 2, qty = qty + 1 WHERE id = 1")
+        row = store.query("SELECT price, qty FROM items WHERE id = 1")[0]
+        assert (row["price"], row["qty"]) == (19.0, 4)
+
+    def test_update_check_violation_atomic(self, store):
+        with pytest.raises(CheckViolation):
+            store.execute("UPDATE items SET price = price - 20")
+        # nothing changed (statement-level atomicity)
+        assert store.scalar("SELECT MIN(price) FROM items") == 5.0
+
+    def test_delete_with_where(self, store):
+        result = store.execute("DELETE FROM items WHERE qty = 0")
+        assert result.rowcount == 1
+
+    def test_delete_all(self, store):
+        assert store.execute("DELETE FROM items").rowcount == 2
+
+    def test_update_unknown_column(self, store):
+        with pytest.raises(UnknownColumnError):
+            store.execute("UPDATE items SET ghost = 1")
+
+    def test_update_pk_uniqueness_enforced(self, store):
+        with pytest.raises(UniqueViolation):
+            store.execute("UPDATE items SET id = 1 WHERE id = 2")
+
+
+class TestDDL:
+    def test_create_and_drop_table(self, s):
+        s.execute("CREATE TABLE t (a INT)")
+        s.execute("DROP TABLE t")
+        with pytest.raises(UnknownTableError):
+            s.execute("SELECT * FROM t")
+
+    def test_create_duplicate_rejected(self, s):
+        s.execute("CREATE TABLE t (a INT)")
+        with pytest.raises(DuplicateObjectError):
+            s.execute("CREATE TABLE t (a INT)")
+
+    def test_if_not_exists(self, s):
+        s.execute("CREATE TABLE t (a INT)")
+        s.execute("CREATE TABLE IF NOT EXISTS t (a INT)")  # no error
+
+    def test_drop_if_exists(self, s):
+        s.execute("DROP TABLE IF EXISTS ghost")  # no error
+
+    def test_drop_missing_table_raises(self, s):
+        with pytest.raises(UnknownTableError):
+            s.execute("DROP TABLE ghost")
+
+    def test_drop_referenced_table_requires_cascade(self, store):
+        with pytest.raises(ForeignKeyViolation, match="CASCADE"):
+            store.execute("DROP TABLE items")
+
+    def test_drop_cascade_removes_referencing(self, store):
+        store.execute("DROP TABLE items CASCADE")
+        with pytest.raises(UnknownTableError):
+            store.execute("SELECT * FROM orders")
+
+    def test_alter_add_column(self, store):
+        store.execute("ALTER TABLE items ADD COLUMN note TEXT DEFAULT 'n/a'")
+        assert store.scalar("SELECT note FROM items WHERE id = 1") == "n/a"
+
+    def test_alter_add_not_null_without_default_on_nonempty(self, store):
+        with pytest.raises(NotNullViolation):
+            store.execute("ALTER TABLE items ADD COLUMN req TEXT NOT NULL")
+
+    def test_alter_drop_column(self, store):
+        store.execute("ALTER TABLE items DROP COLUMN qty")
+        with pytest.raises(UnknownColumnError):
+            store.execute("SELECT qty FROM items")
+
+    def test_alter_drop_pk_column_rejected(self, store):
+        with pytest.raises(ExecutionError):
+            store.execute("ALTER TABLE items DROP COLUMN id")
+
+    def test_alter_rename_column(self, store):
+        store.execute("ALTER TABLE items RENAME COLUMN qty TO quantity")
+        assert store.scalar("SELECT quantity FROM items WHERE id = 1") == 3
+
+    def test_alter_rename_table(self, store):
+        store.execute("ALTER TABLE items RENAME TO products")
+        assert store.scalar("SELECT COUNT(*) FROM products") == 2
+
+    def test_create_index_and_unique_enforcement(self, store):
+        store.execute("CREATE UNIQUE INDEX ix_price ON items (price)")
+        with pytest.raises(UniqueViolation):
+            store.execute("INSERT INTO items VALUES (3, 'A-3', 9.5, 1)")
+
+    def test_create_index_on_duplicate_data_fails(self, store):
+        store.execute("INSERT INTO items VALUES (3, 'A-3', 9.5, 1)")
+        with pytest.raises(UniqueViolation):
+            store.execute("CREATE UNIQUE INDEX ix_price ON items (price)")
+        # catalog must not keep a half-created index
+        assert "ix_price" not in store.db.catalog.indexes
+
+    def test_drop_index(self, store):
+        store.execute("CREATE INDEX ix ON items (sku)")
+        store.execute("DROP INDEX ix")
+        store.execute("DROP INDEX IF EXISTS ix")
+
+    def test_create_view_and_drop(self, store):
+        store.execute("CREATE VIEW cheap AS SELECT * FROM items WHERE price < 6")
+        assert store.scalar("SELECT COUNT(*) FROM cheap") == 1
+        store.execute("DROP VIEW cheap")
+        with pytest.raises(UnknownTableError):
+            store.execute("SELECT * FROM cheap")
+
+    def test_create_or_replace_view(self, store):
+        store.execute("CREATE VIEW v AS SELECT id FROM items")
+        store.execute("CREATE OR REPLACE VIEW v AS SELECT sku FROM items")
+        assert store.execute("SELECT * FROM v").columns == ["sku"]
+
+    def test_view_name_collision_with_table(self, store):
+        with pytest.raises(DuplicateObjectError):
+            store.execute("CREATE VIEW items AS SELECT 1")
+
+
+class TestSnapshotHelpers:
+    def test_snapshot(self, store):
+        snap = store.db.snapshot()
+        assert set(snap) == {"items", "orders"}
+        assert len(snap["items"]) == 2
+
+    def test_row_count_helper(self, store):
+        assert store.db.table_row_count("items") == 2

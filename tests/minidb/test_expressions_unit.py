@@ -1,0 +1,145 @@
+"""Direct unit tests for the expression evaluator and scope resolution."""
+
+import pytest
+
+from repro.minidb import ast_nodes as ast
+from repro.minidb.errors import ExecutionError, UnknownColumnError
+from repro.minidb.expressions import Evaluator, Scope
+
+
+def scope(unqualified=None, qualified=None, ambiguous=(), outer=None):
+    return Scope(
+        qualified or {},
+        unqualified or {},
+        frozenset(ambiguous),
+        outer,
+    )
+
+
+@pytest.fixture
+def ev():
+    return Evaluator()
+
+
+def col(name, table=None):
+    return ast.ColumnRef(name, table)
+
+
+def lit(value):
+    return ast.Literal(value)
+
+
+class TestScopeResolution:
+    def test_unqualified_lookup(self, ev):
+        assert ev.evaluate(col("x"), scope({"x": 5})) == 5
+
+    def test_qualified_lookup(self, ev):
+        s = scope(qualified={"t.x": 7})
+        assert ev.evaluate(col("x", "t"), s) == 7
+
+    def test_qualified_lookup_case_insensitive(self, ev):
+        s = scope(qualified={"t.x": 7})
+        assert ev.evaluate(col("X", "T"), s) == 7
+
+    def test_ambiguous_raises(self, ev):
+        s = scope({"x": 1}, ambiguous=("x",))
+        with pytest.raises(UnknownColumnError, match="ambiguous"):
+            ev.evaluate(col("x"), s)
+
+    def test_outer_scope_fallback(self, ev):
+        outer = scope({"y": 9})
+        inner = scope({"x": 1}, outer=outer)
+        assert ev.evaluate(col("y"), inner) == 9
+
+    def test_inner_shadows_outer(self, ev):
+        outer = scope({"x": 9})
+        inner = scope({"x": 1}, outer=outer)
+        assert ev.evaluate(col("x"), inner) == 1
+
+    def test_missing_column(self, ev):
+        with pytest.raises(UnknownColumnError):
+            ev.evaluate(col("ghost"), scope())
+
+
+class TestOperators:
+    def test_short_circuit_and(self, ev):
+        # right side would error, but left FALSE short-circuits
+        expr = ast.BinaryOp("AND", lit(False), ast.BinaryOp("/", lit(1), lit(0)))
+        assert ev.evaluate(expr, scope()) is False
+
+    def test_short_circuit_or(self, ev):
+        expr = ast.BinaryOp("OR", lit(True), ast.BinaryOp("/", lit(1), lit(0)))
+        assert ev.evaluate(expr, scope()) is True
+
+    def test_and_error_when_needed(self, ev):
+        expr = ast.BinaryOp("AND", lit(True), ast.BinaryOp("/", lit(1), lit(0)))
+        with pytest.raises(ExecutionError):
+            ev.evaluate(expr, scope())
+
+    def test_numeric_truthiness(self, ev):
+        expr = ast.BinaryOp("AND", lit(1), lit(2))
+        assert ev.evaluate(expr, scope()) is True
+
+    def test_string_not_boolean(self, ev):
+        expr = ast.UnaryOp("NOT", lit("x"))
+        with pytest.raises(ExecutionError):
+            ev.evaluate(expr, scope())
+
+    def test_unary_minus_requires_number(self, ev):
+        with pytest.raises(ExecutionError):
+            ev.evaluate(ast.UnaryOp("-", lit("a")), scope())
+
+    def test_concat_coerces(self, ev):
+        expr = ast.BinaryOp("||", lit(1), lit("x"))
+        assert ev.evaluate(expr, scope()) == "1x"
+
+    def test_modulo(self, ev):
+        assert ev.evaluate(ast.BinaryOp("%", lit(7), lit(3)), scope()) == 1
+
+
+class TestPredicateHelpers:
+    def test_evaluate_predicate_null_is_false(self, ev):
+        assert ev.evaluate_predicate(lit(None), scope()) is False
+
+    def test_evaluate_predicate_true(self, ev):
+        assert ev.evaluate_predicate(ast.BinaryOp("<", lit(1), lit(2)), scope())
+
+    def test_between_inclusive(self, ev):
+        expr = ast.BetweenExpr(lit(5), lit(5), lit(10))
+        assert ev.evaluate(expr, scope()) is True
+
+    def test_like_special_chars_escaped(self, ev):
+        # regex metacharacters in the pattern are literal
+        expr = ast.LikeExpr(lit("a.b"), lit("a.b"))
+        assert ev.evaluate(expr, scope()) is True
+        expr2 = ast.LikeExpr(lit("axb"), lit("a.b"))
+        assert ev.evaluate(expr2, scope()) is False
+
+    def test_like_percent_matches_empty(self, ev):
+        assert ev.evaluate(ast.LikeExpr(lit("ab"), lit("ab%")), scope()) is True
+
+    def test_case_without_match_or_default(self, ev):
+        expr = ast.CaseExpr(lit(5), [(lit(1), lit("one"))], None)
+        assert ev.evaluate(expr, scope()) is None
+
+    def test_searched_case_null_condition_skipped(self, ev):
+        expr = ast.CaseExpr(None, [(lit(None), lit("a"))], lit("b"))
+        assert ev.evaluate(expr, scope()) == "b"
+
+    def test_in_empty_candidates(self, ev):
+        expr = ast.InExpr(lit(1), [])
+        assert ev.evaluate(expr, scope()) is False
+
+    def test_subquery_without_runner_rejected(self, ev):
+        sub = ast.SelectStatement(items=[ast.SelectItem(lit(1))])
+        with pytest.raises(ExecutionError):
+            ev.evaluate(ast.ScalarSubquery(sub), scope())
+
+    def test_aggregate_outside_grouping_rejected(self, ev):
+        expr = ast.FunctionCall("COUNT", [ast.Star()])
+        with pytest.raises(ExecutionError):
+            ev.evaluate(expr, scope())
+
+    def test_cast_in_evaluator(self, ev):
+        expr = ast.CastExpr(lit("12"), "INT")
+        assert ev.evaluate(expr, scope()) == 12

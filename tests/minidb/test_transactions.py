@@ -1,0 +1,191 @@
+"""Tests for transaction semantics: atomicity, rollback, savepoints."""
+
+import pytest
+
+from repro.minidb import Database
+from repro.minidb.errors import TransactionError, UniqueViolation
+
+
+@pytest.fixture
+def s():
+    db = Database(owner="admin")
+    session = db.connect("admin")
+    session.execute("CREATE TABLE acct (id INT PRIMARY KEY, balance FLOAT NOT NULL)")
+    session.execute("INSERT INTO acct VALUES (1, 100.0), (2, 50.0)")
+    return session
+
+
+class TestExplicitTransactions:
+    def test_commit_persists(self, s):
+        s.execute("BEGIN")
+        s.execute("UPDATE acct SET balance = balance - 10 WHERE id = 1")
+        s.execute("UPDATE acct SET balance = balance + 10 WHERE id = 2")
+        s.execute("COMMIT")
+        assert s.scalar("SELECT balance FROM acct WHERE id = 1") == 90.0
+        assert s.scalar("SELECT balance FROM acct WHERE id = 2") == 60.0
+
+    def test_rollback_reverts_updates(self, s):
+        s.execute("BEGIN")
+        s.execute("UPDATE acct SET balance = 0")
+        s.execute("ROLLBACK")
+        assert s.scalar("SELECT SUM(balance) FROM acct") == 150.0
+
+    def test_rollback_reverts_inserts(self, s):
+        s.execute("BEGIN")
+        s.execute("INSERT INTO acct VALUES (3, 1.0)")
+        s.execute("ROLLBACK")
+        assert s.scalar("SELECT COUNT(*) FROM acct") == 2
+
+    def test_rollback_reverts_deletes(self, s):
+        s.execute("BEGIN")
+        s.execute("DELETE FROM acct")
+        s.execute("ROLLBACK")
+        assert s.scalar("SELECT COUNT(*) FROM acct") == 2
+
+    def test_rollback_restores_indexes(self, s):
+        s.execute("BEGIN")
+        s.execute("DELETE FROM acct WHERE id = 1")
+        s.execute("ROLLBACK")
+        # PK index must have the row back: duplicate insert still rejected
+        with pytest.raises(UniqueViolation):
+            s.execute("INSERT INTO acct VALUES (1, 5.0)")
+
+    def test_rollback_reverts_ddl(self, s):
+        s.execute("BEGIN")
+        s.execute("CREATE TABLE temp (x INT)")
+        s.execute("INSERT INTO temp VALUES (1)")
+        s.execute("ROLLBACK")
+        assert not s.db.catalog.has_table("temp")
+
+    def test_rollback_restores_dropped_table(self, s):
+        s.execute("BEGIN")
+        s.execute("DROP TABLE acct")
+        s.execute("ROLLBACK")
+        assert s.scalar("SELECT COUNT(*) FROM acct") == 2
+
+    def test_mixed_operations_rollback_in_reverse_order(self, s):
+        s.execute("BEGIN")
+        s.execute("INSERT INTO acct VALUES (3, 10.0)")
+        s.execute("UPDATE acct SET balance = balance * 2 WHERE id = 3")
+        s.execute("DELETE FROM acct WHERE id = 1")
+        s.execute("ROLLBACK")
+        snap = {r["id"]: r["balance"] for r in s.query("SELECT * FROM acct")}
+        assert snap == {1: 100.0, 2: 50.0}
+
+
+class TestTransactionStateMachine:
+    def test_nested_begin_rejected(self, s):
+        s.execute("BEGIN")
+        with pytest.raises(TransactionError):
+            s.execute("BEGIN")
+
+    def test_commit_without_begin_rejected(self, s):
+        with pytest.raises(TransactionError):
+            s.execute("COMMIT")
+
+    def test_rollback_without_begin_rejected(self, s):
+        with pytest.raises(TransactionError):
+            s.execute("ROLLBACK")
+
+    def test_in_transaction_flag(self, s):
+        assert not s.in_transaction
+        s.execute("BEGIN")
+        assert s.in_transaction
+        s.execute("COMMIT")
+        assert not s.in_transaction
+
+    def test_transaction_counters(self, s):
+        s.execute("BEGIN")
+        s.execute("COMMIT")
+        s.execute("BEGIN")
+        s.execute("ROLLBACK")
+        assert s.tx.begun == 2
+        assert s.tx.committed == 1
+        assert s.tx.rolled_back == 1
+
+
+class TestStatementAtomicity:
+    def test_failed_statement_inside_tx_keeps_tx_open(self, s):
+        s.execute("BEGIN")
+        s.execute("UPDATE acct SET balance = 77 WHERE id = 1")
+        with pytest.raises(UniqueViolation):
+            s.execute("INSERT INTO acct VALUES (2, 1.0)")
+        # earlier work still present, transaction still open
+        assert s.in_transaction
+        assert s.scalar("SELECT balance FROM acct WHERE id = 1") == 77.0
+        s.execute("COMMIT")
+        assert s.scalar("SELECT balance FROM acct WHERE id = 1") == 77.0
+
+    def test_failed_multirow_insert_in_tx_undone_but_tx_survives(self, s):
+        s.execute("BEGIN")
+        with pytest.raises(UniqueViolation):
+            s.execute("INSERT INTO acct VALUES (3, 1.0), (3, 2.0)")
+        assert s.scalar("SELECT COUNT(*) FROM acct WHERE id = 3") == 0
+        assert s.in_transaction
+        s.execute("ROLLBACK")
+
+    def test_autocommit_failure_rolls_back(self, s):
+        with pytest.raises(UniqueViolation):
+            s.execute("INSERT INTO acct VALUES (4, 1.0), (1, 2.0)")
+        assert s.scalar("SELECT COUNT(*) FROM acct") == 2
+
+
+class TestSavepoints:
+    def test_rollback_to_savepoint(self, s):
+        s.execute("BEGIN")
+        s.execute("UPDATE acct SET balance = 10 WHERE id = 1")
+        s.execute("SAVEPOINT sp1")
+        s.execute("UPDATE acct SET balance = 20 WHERE id = 1")
+        s.execute("ROLLBACK TO SAVEPOINT sp1")
+        assert s.scalar("SELECT balance FROM acct WHERE id = 1") == 10.0
+        s.execute("COMMIT")
+        assert s.scalar("SELECT balance FROM acct WHERE id = 1") == 10.0
+
+    def test_nested_savepoints(self, s):
+        s.execute("BEGIN")
+        s.execute("SAVEPOINT a")
+        s.execute("INSERT INTO acct VALUES (3, 1.0)")
+        s.execute("SAVEPOINT b")
+        s.execute("INSERT INTO acct VALUES (4, 1.0)")
+        s.execute("ROLLBACK TO SAVEPOINT a")
+        assert s.scalar("SELECT COUNT(*) FROM acct") == 2
+        # savepoint b no longer valid
+        with pytest.raises(TransactionError):
+            s.execute("ROLLBACK TO SAVEPOINT b")
+        s.execute("ROLLBACK")
+
+    def test_release_savepoint(self, s):
+        s.execute("BEGIN")
+        s.execute("SAVEPOINT sp")
+        s.execute("RELEASE SAVEPOINT sp")
+        with pytest.raises(TransactionError):
+            s.execute("ROLLBACK TO SAVEPOINT sp")
+        s.execute("ROLLBACK")
+
+    def test_savepoint_outside_transaction_rejected(self, s):
+        with pytest.raises(TransactionError):
+            s.execute("SAVEPOINT sp")
+
+    def test_unknown_savepoint(self, s):
+        s.execute("BEGIN")
+        with pytest.raises(TransactionError):
+            s.execute("ROLLBACK TO SAVEPOINT ghost")
+
+
+class TestCrossSessionVisibility:
+    def test_committed_changes_visible_to_other_sessions(self):
+        db = Database(owner="admin")
+        s1 = db.connect("admin")
+        s1.execute("CREATE TABLE t (x INT)")
+        s2 = db.connect("admin")
+        s1.execute("INSERT INTO t VALUES (1)")
+        assert s2.scalar("SELECT COUNT(*) FROM t") == 1
+
+    def test_sessions_have_independent_transactions(self):
+        db = Database(owner="admin")
+        s1 = db.connect("admin")
+        s1.execute("CREATE TABLE t (x INT)")
+        s2 = db.connect("admin")
+        s1.execute("BEGIN")
+        assert not s2.in_transaction
+        s1.execute("ROLLBACK")

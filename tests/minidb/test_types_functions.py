@@ -1,0 +1,234 @@
+"""Unit tests for the type system and builtin SQL functions."""
+
+import pytest
+
+from repro.minidb import Database
+from repro.minidb.errors import ExecutionError, TypeMismatchError
+from repro.minidb.functions import (
+    AvgAggregate,
+    CountAggregate,
+    GroupConcatAggregate,
+    MaxAggregate,
+    MinAggregate,
+    StddevAggregate,
+    SumAggregate,
+    make_aggregate,
+)
+from repro.minidb.types import BOOLEAN, ColumnType, INTEGER, TEXT, canonical_type, coerce
+
+
+class TestTypeCanonicalization:
+    @pytest.mark.parametrize(
+        "declared,expected",
+        [
+            ("INT", "INTEGER"),
+            ("int", "INTEGER"),
+            ("BIGINT", "INTEGER"),
+            ("REAL", "FLOAT"),
+            ("double", "FLOAT"),
+            ("NUMERIC", "FLOAT"),
+            ("VARCHAR", "TEXT"),
+            ("varchar(40)", "TEXT"),
+            ("CHAR(1)", "TEXT"),
+            ("BOOL", "BOOLEAN"),
+            ("TIMESTAMP", "DATE"),
+        ],
+    )
+    def test_aliases(self, declared, expected):
+        assert canonical_type(declared) == expected
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            canonical_type("BLOB")
+
+    def test_column_type_parse_length(self):
+        ctype = ColumnType.parse("VARCHAR(12)")
+        assert ctype.name == TEXT
+        assert ctype.length == 12
+        assert str(ctype) == "TEXT(12)"
+
+    def test_length_ignored_for_non_text(self):
+        assert ColumnType.parse("NUMERIC(10)").length is None
+
+
+class TestCoercion:
+    def test_int_passthrough(self):
+        assert coerce(5, INTEGER) == 5
+
+    def test_string_to_int(self):
+        assert coerce(" 42 ", INTEGER) == 42
+
+    def test_float_to_int_when_integral(self):
+        assert coerce(3.0, INTEGER) == 3
+
+    def test_fractional_float_to_int_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(3.5, INTEGER)
+
+    def test_int_to_float_widens(self):
+        assert coerce(2, "FLOAT") == 2.0
+
+    def test_bool_coercions(self):
+        assert coerce("true", BOOLEAN) is True
+        assert coerce("f", BOOLEAN) is False
+        assert coerce(1, BOOLEAN) is True
+
+    def test_bad_bool_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            coerce("maybe", BOOLEAN)
+
+    def test_none_passthrough(self):
+        assert coerce(None, INTEGER) is None
+
+    def test_number_to_text(self):
+        assert coerce(7, TEXT) == "7"
+
+    def test_varchar_length_enforced(self):
+        with pytest.raises(TypeMismatchError, match="too long"):
+            coerce("abcdef", ColumnType(TEXT, 3), "c")
+
+    def test_date_format_checked(self):
+        assert coerce("2025-01-31", "DATE") == "2025-01-31"
+        with pytest.raises(TypeMismatchError):
+            coerce("31/01/2025", "DATE")
+
+
+@pytest.fixture
+def s():
+    return Database(owner="a").connect("a")
+
+
+class TestScalarFunctions:
+    @pytest.mark.parametrize(
+        "sql,expected",
+        [
+            ("SELECT UPPER('abc')", "ABC"),
+            ("SELECT LOWER('ABC')", "abc"),
+            ("SELECT LENGTH('hello')", 5),
+            ("SELECT TRIM('  x  ')", "x"),
+            ("SELECT ABS(-4)", 4),
+            ("SELECT CEIL(1.2)", 2),
+            ("SELECT FLOOR(1.8)", 1),
+            ("SELECT SQRT(9)", 3.0),
+            ("SELECT POWER(2, 10)", 1024.0),
+            ("SELECT MOD(7, 3)", 1),
+            ("SELECT SIGN(-9)", -1),
+            ("SELECT ROUND(2.567, 2)", 2.57),
+            ("SELECT ROUND(2.5)", 2),
+            ("SELECT SUBSTR('hello', 2, 3)", "ell"),
+            ("SELECT SUBSTR('hello', 2)", "ello"),
+            ("SELECT REPLACE('aXbX', 'X', '-')", "a-b-"),
+            ("SELECT INSTR('hello', 'll')", 3),
+            ("SELECT REVERSE('abc')", "cba"),
+            ("SELECT COALESCE(NULL, NULL, 5)", 5),
+            ("SELECT IFNULL(NULL, 'd')", "d"),
+            ("SELECT NULLIF(3, 3)", None),
+            ("SELECT NULLIF(3, 4)", 3),
+            ("SELECT CONCAT('a', NULL, 'b')", "ab"),
+            ("SELECT DATE_PART('year', '2024-05-06')", 2024),
+            ("SELECT DATE_PART('month', '2024-05-06')", 5),
+        ],
+    )
+    def test_function_values(self, s, sql, expected):
+        assert s.scalar(sql) == expected
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT UPPER(NULL)",
+            "SELECT LENGTH(NULL)",
+            "SELECT ABS(NULL)",
+            "SELECT ROUND(NULL)",
+        ],
+    )
+    def test_null_propagation(self, s, sql):
+        assert s.scalar(sql) is None
+
+    def test_sqrt_negative_rejected(self, s):
+        with pytest.raises(ExecutionError):
+            s.execute("SELECT SQRT(-1)")
+
+    def test_unknown_function(self, s):
+        with pytest.raises(ExecutionError, match="unknown function"):
+            s.execute("SELECT FROBNICATE(1)")
+
+    def test_division_by_zero(self, s):
+        with pytest.raises(ExecutionError):
+            s.execute("SELECT 1 / 0")
+
+    def test_integer_division_truncates(self, s):
+        assert s.scalar("SELECT 7 / 2") == 3
+        assert s.scalar("SELECT 7.0 / 2") == 3.5
+
+    def test_concat_operator(self, s):
+        assert s.scalar("SELECT 'a' || 'b' || 'c'") == "abc"
+
+    def test_cast(self, s):
+        assert s.scalar("SELECT CAST('42' AS INT)") == 42
+        assert s.scalar("SELECT CAST(3 AS TEXT)") == "3"
+
+
+class TestAggregateAccumulators:
+    def test_count_skips_nulls(self):
+        acc = CountAggregate()
+        for value in (1, None, 2):
+            acc.add(value)
+        assert acc.result() == 2
+
+    def test_count_distinct(self):
+        acc = CountAggregate(distinct=True)
+        for value in (1, 1, 2, None):
+            acc.add(value)
+        assert acc.result() == 2
+
+    def test_sum_empty_is_null(self):
+        assert SumAggregate().result() is None
+
+    def test_sum_distinct(self):
+        acc = SumAggregate(distinct=True)
+        for value in (2, 2, 3):
+            acc.add(value)
+        assert acc.result() == 5
+
+    def test_avg(self):
+        acc = AvgAggregate()
+        for value in (2, 4, None):
+            acc.add(value)
+        assert acc.result() == 3.0
+
+    def test_min_max(self):
+        low, high = MinAggregate(), MaxAggregate()
+        for value in (5, 1, 9, None):
+            low.add(value)
+            high.add(value)
+        assert low.result() == 1
+        assert high.result() == 9
+
+    def test_stddev_needs_two_values(self):
+        acc = StddevAggregate()
+        acc.add(5.0)
+        assert acc.result() is None
+
+    def test_variance(self):
+        acc = StddevAggregate(variance=True)
+        for value in (1.0, 3.0):
+            acc.add(value)
+        assert acc.result() == pytest.approx(2.0)
+
+    def test_group_concat(self):
+        acc = GroupConcatAggregate()
+        for value in ("a", None, "b"):
+            acc.add(value)
+        assert acc.result() == "a,b"
+
+    def test_sum_rejects_text(self):
+        acc = SumAggregate()
+        with pytest.raises(ExecutionError):
+            acc.add("x")
+
+    def test_factory(self):
+        for name in ("COUNT", "SUM", "AVG", "MIN", "MAX", "STDDEV", "VARIANCE",
+                     "GROUP_CONCAT"):
+            assert make_aggregate(name, False) is not None
+        with pytest.raises(ExecutionError):
+            make_aggregate("MEDIAN", False)

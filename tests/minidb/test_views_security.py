@@ -1,0 +1,96 @@
+"""Tests for view-based access control and view semantics."""
+
+import pytest
+
+from repro.minidb import Database, PermissionDenied
+
+
+@pytest.fixture
+def db():
+    database = Database(owner="admin")
+    admin = database.connect("admin")
+    admin.execute(
+        "CREATE TABLE employees (id INT PRIMARY KEY, name TEXT, salary FLOAT, "
+        "dept TEXT)"
+    )
+    admin.execute(
+        "INSERT INTO employees VALUES (1, 'alice', 9000.0, 'eng'), "
+        "(2, 'bob', 7000.0, 'eng'), (3, 'carol', 8000.0, 'sales')"
+    )
+    # a view exposing only non-sensitive columns
+    admin.execute("CREATE VIEW directory AS SELECT id, name, dept FROM employees")
+    database.create_user("staff")
+    admin.execute("GRANT SELECT ON directory TO staff")
+    return database
+
+
+class TestViewBasedAccessControl:
+    def test_view_grant_without_table_grant(self, db):
+        """PostgreSQL-style definer views: SELECT on the view suffices."""
+        staff = db.connect("staff")
+        rows = staff.execute("SELECT name FROM directory ORDER BY id").rows
+        assert rows == [("alice",), ("bob",), ("carol",)]
+
+    def test_underlying_table_still_denied(self, db):
+        staff = db.connect("staff")
+        with pytest.raises(PermissionDenied):
+            staff.execute("SELECT * FROM employees")
+
+    def test_view_hides_sensitive_column(self, db):
+        staff = db.connect("staff")
+        result = staff.execute("SELECT * FROM directory")
+        assert "salary" not in result.columns
+
+    def test_salary_not_reachable_through_view(self, db):
+        staff = db.connect("staff")
+        with pytest.raises(Exception):
+            staff.execute("SELECT salary FROM directory")
+
+
+class TestViewSemantics:
+    def test_view_with_aggregation(self, db):
+        admin = db.connect("admin")
+        admin.execute(
+            "CREATE VIEW dept_pay AS SELECT dept, AVG(salary) AS avg_pay "
+            "FROM employees GROUP BY dept"
+        )
+        rows = dict(admin.execute("SELECT dept, avg_pay FROM dept_pay").rows)
+        assert rows["eng"] == 8000.0
+
+    def test_view_joins_with_table(self, db):
+        admin = db.connect("admin")
+        rows = admin.execute(
+            "SELECT d.name, e.salary FROM directory d "
+            "JOIN employees e ON e.id = d.id WHERE d.dept = 'sales'"
+        ).rows
+        assert rows == [("carol", 8000.0)]
+
+    def test_view_aliased(self, db):
+        admin = db.connect("admin")
+        rows = admin.execute("SELECT v.name FROM directory v WHERE v.id = 1").rows
+        assert rows == [("alice",)]
+
+    def test_view_filtered_and_ordered(self, db):
+        admin = db.connect("admin")
+        rows = admin.execute(
+            "SELECT name FROM directory WHERE dept = 'eng' ORDER BY name DESC"
+        ).rows
+        assert rows == [("bob",), ("alice",)]
+
+    def test_dml_against_view_rejected(self, db):
+        admin = db.connect("admin")
+        with pytest.raises(Exception):
+            admin.execute("INSERT INTO directory VALUES (9, 'x', 'y')")
+
+    def test_view_over_dropped_table_errors(self, db):
+        admin = db.connect("admin")
+        admin.execute("CREATE TABLE tmp (x INT)")
+        admin.execute("CREATE VIEW vtmp AS SELECT * FROM tmp")
+        admin.execute("DROP TABLE tmp")
+        with pytest.raises(Exception):
+            admin.execute("SELECT * FROM vtmp")
+
+    def test_drop_view_via_drop_table_statement(self, db):
+        admin = db.connect("admin")
+        admin.execute("DROP TABLE directory")  # DROP TABLE works on views too
+        assert not db.catalog.has_view("directory")

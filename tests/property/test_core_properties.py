@@ -1,0 +1,136 @@
+"""Property-based tests for core toolkit components."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import compile_transform, similarity, top_k
+from repro.core.config import SecurityPolicy
+from repro.core.transforms import TransformError
+from repro.llm.tokenizer import count_tokens
+from repro.mltools import minmax_normalize, train_test_split, zscore_normalize
+
+words = st.text(alphabet=string.ascii_lowercase + " ", min_size=1, max_size=30)
+numeric_rows = st.lists(
+    st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=2,
+        max_size=5,
+    ),
+    min_size=2,
+    max_size=30,
+).filter(lambda rows: len({len(r) for r in rows}) == 1)
+
+
+class TestSimilarityProperties:
+    @given(words)
+    @settings(max_examples=60, deadline=None)
+    def test_self_similarity_is_max(self, word):
+        assert similarity(word.strip() or "x", word.strip() or "x") in (0.0, 1.0)
+
+    @given(words, words)
+    @settings(max_examples=60, deadline=None)
+    def test_bounded(self, a, b):
+        assert 0.0 <= similarity(a, b) <= 1.0
+
+    @given(words, st.lists(words, min_size=1, max_size=10), st.integers(0, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_top_k_size_and_order(self, key, values, k):
+        ranked = top_k(key, values, k)
+        assert len(ranked) == min(k, len(values))
+        scores = [score for _, score in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestTransformProperties:
+    @given(st.lists(st.integers(-100, 100), max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_identity_transform(self, data):
+        assert compile_transform("lambda x: x")(data) == data
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_map_transform_matches_python(self, data):
+        fn = compile_transform("lambda xs: [v * 2 + 1 for v in xs]")
+        assert fn(data) == [v * 2 + 1 for v in data]
+
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_arith_transform_matches_python(self, a, b):
+        fn = compile_transform("lambda a, b: a + b * 2")
+        assert fn(a, b) == a + b * 2
+
+    @given(words)
+    @settings(max_examples=30, deadline=None)
+    def test_rejected_sources_never_execute(self, name):
+        source = f"lambda x: __import__('{name}')"
+        try:
+            fn = compile_transform(source)
+            fn(1)
+        except TransformError:
+            return
+        raise AssertionError("dangerous transform was not rejected")
+
+
+class TestTokenizerProperties:
+    @given(words)
+    @settings(max_examples=60, deadline=None)
+    def test_non_negative(self, text):
+        assert count_tokens(text) >= 0
+
+    @given(words, words)
+    @settings(max_examples=60, deadline=None)
+    def test_superadditive_under_concat_with_space(self, a, b):
+        # concatenation with a separator never costs less than the parts
+        assert count_tokens(f"{a} {b}") >= max(count_tokens(a), count_tokens(b))
+
+    @given(st.text(alphabet="x", min_size=1, max_size=400))
+    @settings(max_examples=30, deadline=None)
+    def test_single_chunk_ceiling_rule(self, text):
+        expected = -(-len(text) // 4)
+        assert count_tokens(text) == expected
+
+
+class TestPolicyProperties:
+    @given(st.sets(words, max_size=5), st.sets(words, max_size=5), words)
+    @settings(max_examples=60, deadline=None)
+    def test_blacklist_always_wins(self, whitelist, blacklist, probe):
+        policy = SecurityPolicy(
+            object_whitelist=frozenset(whitelist) or None,
+            object_blacklist=frozenset(blacklist),
+        )
+        if probe.lower() in {b.lower() for b in blacklist}:
+            assert not policy.permits_object(probe)
+
+    @given(st.sets(words, min_size=1, max_size=5), words)
+    @settings(max_examples=60, deadline=None)
+    def test_whitelist_excludes_others(self, whitelist, probe):
+        policy = SecurityPolicy(object_whitelist=frozenset(whitelist))
+        if probe.lower() not in {w.lower() for w in whitelist}:
+            assert not policy.permits_object(probe)
+
+
+class TestPreprocessingProperties:
+    @given(numeric_rows)
+    @settings(max_examples=40, deadline=None)
+    def test_zscore_preserves_shape(self, rows):
+        out = zscore_normalize(rows)
+        assert len(out) == len(rows)
+        assert all(len(o) == len(rows[0]) for o in out)
+
+    @given(numeric_rows)
+    @settings(max_examples=40, deadline=None)
+    def test_minmax_bounded(self, rows):
+        out = minmax_normalize(rows, skip_last=False)
+        for row in out:
+            for value in row:
+                assert -1e-9 <= value <= 1 + 1e-9
+
+    @given(numeric_rows, st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_split_partitions_data(self, rows, seed):
+        train, test = train_test_split(rows, 0.25, seed=seed)
+        assert len(train) + len(test) == len(rows)
+        combined = sorted(map(tuple, train + test))
+        assert combined == sorted(map(tuple, rows))

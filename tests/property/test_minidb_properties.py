@@ -1,0 +1,188 @@
+"""Property-based tests (hypothesis) for minidb invariants."""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.minidb import Database, UniqueViolation
+from repro.minidb.lexer import tokenize
+from repro.minidb.parser import parse
+
+names = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+ints = st.integers(min_value=-10_000, max_value=10_000)
+floats = st.floats(allow_nan=False, allow_infinity=False, width=32)
+texts = st.text(
+    alphabet=string.ascii_letters + string.digits + " '_-", max_size=20
+)
+
+
+def fresh_db():
+    db = Database(owner="admin")
+    session = db.connect("admin")
+    session.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT, s TEXT)")
+    return db, session
+
+
+class TestInsertSelectRoundTrip:
+    @given(rows=st.lists(st.tuples(ints, texts), max_size=25, unique_by=lambda r: r[0]))
+    @settings(max_examples=40, deadline=None)
+    def test_everything_inserted_comes_back(self, rows):
+        db, session = fresh_db()
+        for pk, (value, text) in enumerate(rows):
+            escaped = text.replace("'", "''")
+            session.execute(
+                f"INSERT INTO t VALUES ({pk}, {value}, '{escaped}')"
+            )
+        result = session.execute("SELECT id, v, s FROM t ORDER BY id")
+        assert [(r[1], r[2]) for r in result.rows] == [
+            (value, text) for value, text in rows
+        ]
+
+    @given(values=st.lists(ints, min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_aggregates_match_python(self, values):
+        db, session = fresh_db()
+        for index, value in enumerate(values):
+            session.execute(f"INSERT INTO t (id, v) VALUES ({index}, {value})")
+        total, count, low, high = session.execute(
+            "SELECT SUM(v), COUNT(v), MIN(v), MAX(v) FROM t"
+        ).rows[0]
+        assert total == sum(values)
+        assert count == len(values)
+        assert low == min(values)
+        assert high == max(values)
+
+    @given(values=st.lists(ints, min_size=1, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_where_filter_matches_python(self, values):
+        db, session = fresh_db()
+        for index, value in enumerate(values):
+            session.execute(f"INSERT INTO t (id, v) VALUES ({index}, {value})")
+        kept = session.execute("SELECT v FROM t WHERE v > 0").rows
+        assert sorted(r[0] for r in kept) == sorted(v for v in values if v > 0)
+
+    @given(values=st.lists(ints, min_size=1, max_size=25))
+    @settings(max_examples=30, deadline=None)
+    def test_order_by_sorts(self, values):
+        db, session = fresh_db()
+        for index, value in enumerate(values):
+            session.execute(f"INSERT INTO t (id, v) VALUES ({index}, {value})")
+        result = [r[0] for r in session.execute("SELECT v FROM t ORDER BY v").rows]
+        assert result == sorted(values)
+
+    @given(
+        values=st.lists(ints, min_size=1, max_size=25),
+        limit=st.integers(min_value=0, max_value=30),
+        offset=st.integers(min_value=0, max_value=30),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_limit_offset_slicing(self, values, limit, offset):
+        db, session = fresh_db()
+        for index, value in enumerate(values):
+            session.execute(f"INSERT INTO t (id, v) VALUES ({index}, {value})")
+        rows = session.execute(
+            f"SELECT v FROM t ORDER BY id LIMIT {limit} OFFSET {offset}"
+        ).rows
+        assert [r[0] for r in rows] == values[offset : offset + limit]
+
+
+class TestTransactionInvariants:
+    @given(
+        updates=st.lists(st.tuples(st.integers(0, 9), ints), max_size=15),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_rollback_always_restores_snapshot(self, updates):
+        db, session = fresh_db()
+        for index in range(10):
+            session.execute(f"INSERT INTO t (id, v) VALUES ({index}, {index})")
+        before = db.snapshot()
+        session.execute("BEGIN")
+        for target, value in updates:
+            session.execute(f"UPDATE t SET v = {value} WHERE id = {target}")
+        session.execute("ROLLBACK")
+        assert db.snapshot() == before
+
+    @given(
+        deletions=st.lists(st.integers(0, 9), max_size=10, unique=True),
+        inserts=st.lists(st.integers(100, 120), max_size=10, unique=True),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_commit_equals_replay(self, deletions, inserts):
+        db1, s1 = fresh_db()
+        db2, s2 = fresh_db()
+        for index in range(10):
+            s1.execute(f"INSERT INTO t (id, v) VALUES ({index}, 0)")
+            s2.execute(f"INSERT INTO t (id, v) VALUES ({index}, 0)")
+        # transactional on db1, autocommit on db2 — same final state
+        s1.execute("BEGIN")
+        for pk in deletions:
+            s1.execute(f"DELETE FROM t WHERE id = {pk}")
+        for pk in inserts:
+            s1.execute(f"INSERT INTO t (id, v) VALUES ({pk}, 1)")
+        s1.execute("COMMIT")
+        for pk in deletions:
+            s2.execute(f"DELETE FROM t WHERE id = {pk}")
+        for pk in inserts:
+            s2.execute(f"INSERT INTO t (id, v) VALUES ({pk}, 1)")
+        assert db1.snapshot() == db2.snapshot()
+
+    @given(dup=st.integers(0, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_pk_uniqueness_invariant(self, dup):
+        db, session = fresh_db()
+        for index in range(6):
+            session.execute(f"INSERT INTO t (id, v) VALUES ({index}, 0)")
+        with pytest.raises(UniqueViolation):
+            session.execute(f"INSERT INTO t (id, v) VALUES ({dup}, 1)")
+        ids = [r[0] for r in session.execute("SELECT id FROM t").rows]
+        assert len(ids) == len(set(ids))
+
+
+class TestLexerParserProperties:
+    @given(texts)
+    @settings(max_examples=60, deadline=None)
+    def test_string_literal_round_trip(self, text):
+        escaped = text.replace("'", "''")
+        tokens = tokenize(f"'{escaped}'")
+        assert tokens[0].value == text
+
+    @given(ints)
+    @settings(max_examples=40, deadline=None)
+    def test_integer_literal_round_trip(self, value):
+        stmt = parse(f"SELECT {value}" if value >= 0 else f"SELECT ({value})")
+        db = Database(owner="a")
+        result = db.connect("a").execute_statement(stmt)
+        assert result.rows[0][0] == value
+
+    @given(names, names)
+    @settings(max_examples=40, deadline=None)
+    def test_parse_never_crashes_on_select(self, table, column):
+        stmt = parse(f"SELECT {column} FROM {table}")
+        assert stmt.from_sources[0].name == table
+
+
+class TestExpressionProperties:
+    @given(a=ints, b=ints)
+    @settings(max_examples=40, deadline=None)
+    def test_arithmetic_matches_python(self, a, b):
+        db = Database(owner="x")
+        session = db.connect("x")
+        result = session.scalar(f"SELECT ({a}) + ({b})")
+        assert result == a + b
+
+    @given(a=ints, b=ints)
+    @settings(max_examples=40, deadline=None)
+    def test_comparison_matches_python(self, a, b):
+        db = Database(owner="x")
+        session = db.connect("x")
+        assert session.scalar(f"SELECT ({a}) < ({b})") == (a < b)
+
+    @given(value=ints)
+    @settings(max_examples=30, deadline=None)
+    def test_null_propagation(self, value):
+        db = Database(owner="x")
+        session = db.connect("x")
+        assert session.scalar(f"SELECT NULL + ({value})") is None
+        assert session.scalar(f"SELECT NULL = ({value})") is None
