@@ -1,0 +1,60 @@
+"""Join-scale benchmark: hash join vs the seed's nested-loop join path.
+
+Times an equi-join of two large tables under both join strategies (see
+:mod:`repro.bench.join_scale` for the measurement harness). The hash-join
+path runs at the full row count; the nested-loop baseline (the seed
+executor's only strategy, reachable via
+``db.planner_options["enable_hash_join"] = False``) is timed at a smaller
+row count and extrapolated quadratically, because running it at 10k x 10k
+rows would take hours — which is exactly the point.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_join_scale.py            # full (10k rows)
+    PYTHONPATH=src python benchmarks/bench_join_scale.py --smoke    # CI-sized
+
+Exits non-zero if the speedup is below the 20x acceptance threshold or if
+EXPLAIN stops reporting a hash join for the benchmark query.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.join_scale import experiment_join_scale
+from repro.bench.reporting import render_join_scale
+
+SPEEDUP_THRESHOLD = 20.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=10_000,
+                        help="rows per table for the hash-join measurement")
+    parser.add_argument("--nl-rows", type=int, default=1_000,
+                        help="rows per table for the nested-loop baseline")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (500 rows, direct comparison)")
+    args = parser.parse_args(argv)
+
+    rows = 500 if args.smoke else args.rows
+    nl_rows = 500 if args.smoke else args.nl_rows
+
+    result = experiment_join_scale(rows=rows, nl_rows=nl_rows)
+    print(render_join_scale(result))
+
+    if not any("Hash Join" in line for line in result["plan"]):
+        print("FAIL: EXPLAIN does not report a hash join for the equi-join")
+        return 1
+    if result["speedup"] < SPEEDUP_THRESHOLD:
+        print(f"FAIL: speedup {result['speedup']:.1f}x is below "
+              f"{SPEEDUP_THRESHOLD:.0f}x")
+        return 1
+    print(f"OK: speedup {result['speedup']:,.1f}x "
+          f"(threshold {SPEEDUP_THRESHOLD:.0f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

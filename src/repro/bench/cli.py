@@ -12,11 +12,13 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .join_scale import experiment_join_scale
 from .reporting import (
     render_fig5a,
     render_fig5b,
     render_fig5c,
     render_fig6,
+    render_join_scale,
     render_table1,
     render_table2,
 )
@@ -28,7 +30,7 @@ from .runner import (
     experiment_table2,
 )
 
-EXPERIMENTS = ("fig5a", "fig5b", "fig5c", "fig6", "table1", "table2")
+EXPERIMENTS = ("fig5a", "fig5b", "fig5c", "fig6", "table1", "table2", "joins")
 
 
 def run_experiment(
@@ -56,6 +58,12 @@ def run_experiment(
     if name == "table2":
         return render_table2(
             experiment_table2(models, per_level=10, housing_rows=housing_rows)
+        )
+    if name == "joins":
+        # scale factor reuses the --scale knob: 1.0 -> 10k-row tables
+        rows = max(200, int(10_000 * scale))
+        return render_join_scale(
+            experiment_join_scale(rows=rows, nl_rows=min(1_000, rows))
         )
     raise ValueError(f"unknown experiment {name!r}; choose from {EXPERIMENTS}")
 

@@ -122,3 +122,25 @@ def render_table2(results: dict[str, Any]) -> str:
         f"vs BridgeScope {bridge:,.1f} ({factor:,.0f}x more)"
     )
     return table + footer
+
+
+def render_join_scale(result: dict[str, Any]) -> str:
+    suffix = (
+        f" (measured at {result['nl_rows']} rows, extrapolated)"
+        if result["nl_extrapolated"]
+        else ""
+    )
+    table = render_table(
+        ["strategy", "rows", "time (ms)"],
+        [
+            ["hash join", result["rows"], result["hash_ms"]],
+            ["nested loop" + suffix, result["rows"], result["nl_ms"]],
+        ],
+        title="Join scale — equi-join strategy comparison (minidb)",
+    )
+    plan = "\n".join(f"  {line}" for line in result["plan"])
+    return (
+        f"{table}\n"
+        f"speedup: {result['speedup']:,.1f}x on {result['matches']} matches\n"
+        f"query plan:\n{plan}"
+    )

@@ -39,9 +39,10 @@ def _tokens(text: str) -> set[str]:
 
 
 def _trigrams(text: str) -> set[str]:
-    padded = f"  {_normalize(text)} "
-    if len(padded) < 3:
-        return {padded}
+    # symmetric two-space padding: an n-character prefix match and an
+    # n-character suffix match contribute the same number of shared
+    # trigrams, so scores don't skew toward prefix matches
+    padded = f"  {_normalize(text)}  "
     return {padded[i : i + 3] for i in range(len(padded) - 2)}
 
 

@@ -122,8 +122,17 @@ class Database:
         self.heaps: dict[str, HeapTable] = {}
         self.privileges = PrivilegeManager(owner)
         self.executor = Executor(self)
-        #: access-path counters maintained by the executor (observability)
-        self.planner_stats = {"seq_scans": 0, "index_scans": 0}
+        #: access-path and join-strategy counters maintained by the
+        #: executor (observability)
+        self.planner_stats = {
+            "seq_scans": 0,
+            "index_scans": 0,
+            "hash_joins": 0,
+            "nested_loop_joins": 0,
+        }
+        #: planner toggles; ``enable_hash_join=False`` forces the
+        #: nested-loop fallback (benchmark baseline / debugging)
+        self.planner_options = {"enable_hash_join": True}
 
     # ------------------------------------------------------------- sessions
 

@@ -5,11 +5,23 @@ performs them against the database's catalog and heaps, logging undo actions
 through the session's transaction manager so every statement is atomic and
 every explicit transaction can roll back.
 
-The SELECT pipeline is a straightforward iterator-free implementation:
-resolve FROM sources (expanding views), nested-loop joins, WHERE filter,
-GROUP BY with accumulator aggregates, HAVING, projection, DISTINCT, set
-operations, ORDER BY, LIMIT/OFFSET. Correlated subqueries are supported via
-scope chaining.
+The SELECT pipeline is a materializing implementation: resolve FROM sources
+(expanding views, probing covering indexes, and pre-filtering with pushed-
+down single-source predicates), fold sources and explicit joins one at a
+time, WHERE filter, GROUP BY with accumulator aggregates, HAVING,
+projection, DISTINCT, set operations, ORDER BY, LIMIT/OFFSET. Correlated
+subqueries are supported via scope chaining.
+
+Joins follow the strategy chosen by :mod:`repro.minidb.planner`: equi-joins
+(keys harvested from ON and WHERE conjuncts) build a hash table over the
+right side and probe it per left row — including LEFT/RIGHT NULL extension
+for unmatched rows — while non-equi conditions fall back to nested loops
+and conditionless pairings remain cross products. Row scopes are built from
+a precomputed column layout (:class:`_ScopeLayout`), so constructing the
+scope for a row or a candidate pair is O(1) instead of O(total columns).
+The chosen strategies are observable via ``EXPLAIN`` and
+``db.planner_stats`` and the hash path can be disabled with
+``db.planner_options["enable_hash_join"] = False`` (benchmark baseline).
 """
 
 from __future__ import annotations
@@ -30,8 +42,12 @@ from .errors import (
 from .expressions import Evaluator, Scope
 from .functions import AGGREGATE_NAMES, make_aggregate
 from .planner import (
+    JoinPlan,
     choose_access_path,
     extract_equality_bindings,
+    extract_pushdown_filter,
+    plan_join,
+    plan_select_joins,
     plan_select_paths,
 )
 from .result import ResultSet
@@ -69,6 +85,93 @@ class _JoinedRow:
         parts = dict(self.parts)
         parts[binding] = row
         return _JoinedRow(parts)
+
+
+class _LayoutView:
+    """Lazy name->value view over joined-row parts, driven by a layout map.
+
+    Implements just the mapping surface :class:`Scope` touches
+    (``in`` / ``[]``), resolving each lookup through ``layout`` as
+    ``name -> (binding, column)`` and reading the addressed part row.
+    """
+
+    __slots__ = ("_layout", "_parts")
+
+    def __init__(self, layout: dict[str, tuple[str, str]], parts):
+        self._layout = layout
+        self._parts = parts
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._layout
+
+    def __getitem__(self, key: str) -> Any:
+        binding, column = self._layout[key]
+        row = self._parts.get(binding)
+        return None if row is None else row.get(column)
+
+
+class _PartsOverlay:
+    """Joined-row parts plus one pending (binding, row) not yet folded in.
+
+    Lets join predicates evaluate candidate pairs without copying the
+    parts dict per pair.
+    """
+
+    __slots__ = ("_parts", "_binding", "_row")
+
+    def __init__(self, parts: dict[str, Row | None], binding: str, row: Row | None):
+        self._parts = parts
+        self._binding = binding
+        self._row = row
+
+    def get(self, key: str) -> Row | None:
+        if key == self._binding:
+            return self._row
+        return self._parts.get(key)
+
+
+class _ScopeLayout:
+    """Precomputed column layout for a set of sources.
+
+    Building a :class:`Scope` per row previously rebuilt qualified and
+    unqualified value dicts over every column of every source — O(total
+    columns) per row (and per candidate join pair). The layout computes the
+    name-resolution maps once per relation shape; per-row scopes are then
+    O(1) views that fetch values on demand.
+    """
+
+    __slots__ = ("outer", "ambiguous", "_qualified", "_unqualified")
+
+    def __init__(self, sources: list[_Source], outer: Scope | None):
+        qualified: dict[str, tuple[str, str]] = {}
+        by_name: dict[str, list[tuple[str, str]]] = {}
+        for source in sources:
+            binding = source.binding
+            for col in source.columns:
+                qualified[f"{binding.lower()}.{col.lower()}"] = (binding, col)
+                by_name.setdefault(col.lower(), []).append((binding, col))
+        self.outer = outer
+        self.ambiguous = frozenset(
+            name for name, refs in by_name.items() if len(refs) > 1
+        )
+        self._qualified = qualified
+        self._unqualified = {
+            name: refs[0] for name, refs in by_name.items() if len(refs) == 1
+        }
+
+    def scope(self, jr: _JoinedRow) -> Scope:
+        return self.scope_parts(jr.parts)
+
+    def scope_parts(self, parts) -> Scope:
+        return Scope(
+            _LayoutView(self._qualified, parts),
+            _LayoutView(self._unqualified, parts),
+            self.ambiguous,
+            self.outer,
+        )
+
+    def pair_scope(self, jr: _JoinedRow, binding: str, row: Row | None) -> Scope:
+        return self.scope_parts(_PartsOverlay(jr.parts, binding, row))
 
 
 def _collect_aggregates(expr: ast.Expr | None, out: list[ast.FunctionCall]) -> None:
@@ -183,45 +286,40 @@ class Executor:
 
         evaluator = Evaluator(run_subquery)
 
-        sources = [
-            self._resolve_source(src, session, outer, stmt.where)
-            for src in stmt.from_sources
-        ]
+        # single-source predicate pushdown only pays off when the filtered
+        # rows feed a join; single-table queries apply WHERE once, below
+        prefilter = (len(stmt.from_sources) + len(stmt.joins)) > 1
+        statement_sources = self._statement_sources(stmt) if prefilter else None
 
-        # start relation: cross product of FROM sources (or a single empty row)
-        if sources:
-            joined = [_JoinedRow({sources[0].binding: row}) for row in sources[0].rows]
-            for source in sources[1:]:
-                joined = [
-                    jr.extended(source.binding, row)
-                    for jr in joined
-                    for row in source.rows
-                ]
-        else:
-            joined = [_JoinedRow({})]
+        # fold FROM sources one at a time (hash-joining on WHERE equi
+        # conjuncts where possible) instead of materializing the full
+        # cross product, then fold the explicit joins the same way
+        all_sources: list[_Source] = []
+        joined: list[_JoinedRow] = [_JoinedRow({})]
+        for src in stmt.from_sources:
+            source = self._resolve_source(
+                src, session, outer, stmt.where, statement_sources
+            )
+            if all_sources:
+                joined = self._join_relation(
+                    joined, all_sources, source, "INNER", None,
+                    stmt.where, evaluator, outer, statement_sources,
+                )
+            else:
+                joined = [_JoinedRow({source.binding: row}) for row in source.rows]
+            all_sources.append(source)
 
-        all_sources = list(sources)
         for join in stmt.joins:
-            right = self._resolve_source(join.source, session, outer, stmt.where)
-            joined = self._apply_join(
-                joined, all_sources, right, join, evaluator, outer
+            right = self._resolve_source(
+                join.source, session, outer, stmt.where, statement_sources
+            )
+            joined = self._join_relation(
+                joined, all_sources, right, join.kind, join.condition,
+                stmt.where, evaluator, outer, statement_sources,
             )
             all_sources.append(right)
 
-        ambiguous = self._ambiguous_columns(all_sources)
-
-        def make_scope(jr: _JoinedRow) -> Scope:
-            qualified: dict[str, Any] = {}
-            unqualified: dict[str, Any] = {}
-            for source in all_sources:
-                row = jr.parts.get(source.binding)
-                for col in source.columns:
-                    value = None if row is None else row.get(col)
-                    qualified[f"{source.binding.lower()}.{col.lower()}"] = value
-                    key = col.lower()
-                    if key not in ambiguous:
-                        unqualified[key] = value
-            return Scope(qualified, unqualified, ambiguous, outer)
+        make_scope = _ScopeLayout(all_sources, outer).scope
 
         if stmt.where is not None:
             joined = [
@@ -352,57 +450,132 @@ class Executor:
                 )
         return out_rows, order_keys
 
-    def _apply_join(self, left_rows, left_sources, right, join, evaluator, outer):
-        ambiguous = self._ambiguous_columns(left_sources + [right])
+    def _join_relation(
+        self, left_rows, left_sources, right, kind, condition, where,
+        evaluator, outer, statement_sources=None,
+    ) -> list[_JoinedRow]:
+        """Fold ``right`` onto the joined relation using the planned strategy."""
+        plan = plan_join(
+            kind,
+            condition,
+            where,
+            [(s.binding, s.columns) for s in left_sources],
+            right.binding,
+            right.columns,
+            allow_hash=self.db.planner_options.get("enable_hash_join", True),
+            statement_sources=statement_sources,
+        )
+        if plan.strategy == "hash":
+            self.db.planner_stats["hash_joins"] += 1
+            return self._hash_join(
+                left_rows, left_sources, right, plan, evaluator, outer
+            )
+        if plan.strategy == "cross":
+            return [
+                jr.extended(right.binding, row)
+                for jr in left_rows
+                for row in right.rows
+            ]
+        self.db.planner_stats["nested_loop_joins"] += 1
+        return self._nested_loop_join(
+            left_rows, left_sources, right, kind, condition, evaluator, outer
+        )
 
-        def pair_scope(jr: _JoinedRow, right_row: Row | None) -> Scope:
-            qualified: dict[str, Any] = {}
-            unqualified: dict[str, Any] = {}
-            for source in left_sources:
-                row = jr.parts.get(source.binding)
-                for col in source.columns:
-                    value = None if row is None else row.get(col)
-                    qualified[f"{source.binding.lower()}.{col.lower()}"] = value
-                    if col.lower() not in ambiguous:
-                        unqualified[col.lower()] = value
-            for col in right.columns:
-                value = None if right_row is None else right_row.get(col)
-                qualified[f"{right.binding.lower()}.{col.lower()}"] = value
-                if col.lower() not in ambiguous:
-                    unqualified[col.lower()] = value
-            return Scope(qualified, unqualified, ambiguous, outer)
+    @staticmethod
+    def _join_key_valid(key: tuple) -> bool:
+        # SQL equality is never true against NULL; NaN != NaN guards the
+        # dict-identity shortcut that would otherwise match a shared object
+        return not any(v is None or v != v for v in key)
 
+    def _hash_join(
+        self, left_rows, left_sources, right, plan: JoinPlan, evaluator, outer
+    ) -> list[_JoinedRow]:
+        right_binding = right.binding
+        right_key_columns = [k.right_column for k in plan.keys]
+        left_key_columns = [(k.left_binding, k.left_column) for k in plan.keys]
+
+        buckets: dict[tuple, list[tuple[int, Row]]] = {}
+        for index, row in enumerate(right.rows):
+            key = tuple(row.get(c) for c in right_key_columns)
+            if self._join_key_valid(key):
+                buckets.setdefault(key, []).append((index, row))
+
+        residual = plan.residual
+        pair_layout = (
+            _ScopeLayout(left_sources + [right], outer)
+            if residual is not None
+            else None
+        )
+        kind = plan.kind
+        track_rights = kind == "RIGHT"
+        matched_rights: set[int] = set()
         result: list[_JoinedRow] = []
-        if join.kind == "CROSS":
-            for jr in left_rows:
-                for row in right.rows:
-                    result.append(jr.extended(right.binding, row))
-            return result
-        if join.kind in ("INNER", "LEFT"):
+        empty: list = []
+        for jr in left_rows:
+            parts = jr.parts
+            key = tuple(
+                None if (row := parts.get(binding)) is None else row.get(column)
+                for binding, column in left_key_columns
+            )
+            matches = (
+                buckets.get(key, empty) if self._join_key_valid(key) else empty
+            )
+            matched = False
+            for index, right_row in matches:
+                if residual is not None and not evaluator.evaluate_predicate(
+                    residual, pair_layout.pair_scope(jr, right_binding, right_row)
+                ):
+                    continue
+                result.append(jr.extended(right_binding, right_row))
+                matched = True
+                if track_rights:
+                    matched_rights.add(index)
+            if kind == "LEFT" and not matched:
+                result.append(jr.extended(right_binding, None))
+        if kind == "RIGHT":
+            empty_left = _JoinedRow(
+                {source.binding: None for source in left_sources}
+            )
+            for index, row in enumerate(right.rows):
+                if index not in matched_rights:
+                    result.append(empty_left.extended(right_binding, row))
+        return result
+
+    def _nested_loop_join(
+        self, left_rows, left_sources, right, kind, condition, evaluator, outer
+    ) -> list[_JoinedRow]:
+        layout = _ScopeLayout(left_sources + [right], outer)
+        binding = right.binding
+        result: list[_JoinedRow] = []
+        if kind in ("INNER", "LEFT"):
             for jr in left_rows:
                 matched = False
                 for row in right.rows:
-                    if evaluator.evaluate_predicate(join.condition, pair_scope(jr, row)):
-                        result.append(jr.extended(right.binding, row))
+                    if evaluator.evaluate_predicate(
+                        condition, layout.pair_scope(jr, binding, row)
+                    ):
+                        result.append(jr.extended(binding, row))
                         matched = True
-                if join.kind == "LEFT" and not matched:
-                    result.append(jr.extended(right.binding, None))
+                if kind == "LEFT" and not matched:
+                    result.append(jr.extended(binding, None))
             return result
-        if join.kind == "RIGHT":
+        if kind == "RIGHT":
             matched_rights: set[int] = set()
             for jr in left_rows:
                 for index, row in enumerate(right.rows):
-                    if evaluator.evaluate_predicate(join.condition, pair_scope(jr, row)):
-                        result.append(jr.extended(right.binding, row))
+                    if evaluator.evaluate_predicate(
+                        condition, layout.pair_scope(jr, binding, row)
+                    ):
+                        result.append(jr.extended(binding, row))
                         matched_rights.add(index)
             empty_left = _JoinedRow(
                 {source.binding: None for source in left_sources}
             )
             for index, row in enumerate(right.rows):
                 if index not in matched_rights:
-                    result.append(empty_left.extended(right.binding, row))
+                    result.append(empty_left.extended(binding, row))
             return result
-        raise ExecutionError(f"unsupported join kind {join.kind}")
+        raise ExecutionError(f"unsupported join kind {kind}")
 
     def _resolve_source(
         self,
@@ -410,62 +583,116 @@ class Executor:
         session: "Session",
         outer: Scope | None,
         where: ast.Expr | None = None,
+        statement_sources: list[tuple[str, list[str] | None]] | None = None,
     ) -> _Source:
         if isinstance(source, ast.SubqueryRef):
             columns, rows = self._run_select(source.subquery, session, outer)
             dict_rows = [dict(zip(columns, row)) for row in rows]
-            return _Source(source.alias, columns, dict_rows)
-        catalog = self.db.catalog
-        if catalog.has_view(source.name):
-            view = catalog.view(source.name)
+            resolved = _Source(source.alias, columns, dict_rows)
+        elif self.db.catalog.has_view(source.name):
+            view = self.db.catalog.view(source.name)
             columns, rows = self._run_select(view.select, session, outer)
             dict_rows = [dict(zip(columns, row)) for row in rows]
-            return _Source(source.binding, columns, dict_rows)
-        schema = catalog.table(source.name)
-        heap = self.db.heap(schema.name)
-        # access-path planning: probe a covering index for top-level
-        # equality conjuncts; the residual WHERE still applies afterwards,
-        # so this is purely a scan reduction
-        bindings = extract_equality_bindings(where, source.binding)
-        _, index, key = choose_access_path(schema.name, heap, bindings)
-        if index is not None and key is not None:
-            self.db.planner_stats["index_scans"] += 1
-            rids = sorted(index.probe(key))
-            rows = [dict(heap.get(rid)) for rid in rids if heap.get(rid) is not None]
+            resolved = _Source(source.binding, columns, dict_rows)
         else:
-            self.db.planner_stats["seq_scans"] += 1
-            rows = [row for _, row in heap.rows()]
-        return _Source(source.binding, schema.column_names(), rows)
+            schema = self.db.catalog.table(source.name)
+            heap = self.db.heap(schema.name)
+            # access-path planning: probe a covering index for top-level
+            # equality conjuncts; the residual WHERE still applies afterwards,
+            # so this is purely a scan reduction
+            bindings = extract_equality_bindings(
+                where, source.binding, statement_sources
+            )
+            _, index, key = choose_access_path(schema.name, heap, bindings)
+            if index is not None and key is not None:
+                self.db.planner_stats["index_scans"] += 1
+                rids = sorted(index.probe(key))
+                rows = [
+                    dict(heap.get(rid))
+                    for rid in rids
+                    if heap.get(rid) is not None
+                ]
+            else:
+                self.db.planner_stats["seq_scans"] += 1
+                # copy: live heap dicts are mutated in place by in-statement
+                # schema changes and must not alias an in-flight scan
+                rows = [dict(row) for _, row in heap.rows()]
+            resolved = _Source(source.binding, schema.column_names(), rows)
+        if statement_sources is not None:
+            self._prefilter_source(resolved, where, statement_sources)
+        return resolved
+
+    def _statement_sources(
+        self, stmt: ast.SelectStatement
+    ) -> list[tuple[str, list[str] | None]]:
+        """(binding, columns) for every source; None = unknown (view/derived)."""
+        sources: list[tuple[str, list[str] | None]] = []
+        for src in list(stmt.from_sources) + [join.source for join in stmt.joins]:
+            if isinstance(src, ast.TableRef):
+                if self.db.catalog.has_table(src.name):
+                    columns = self.db.catalog.table(src.name).column_names()
+                else:
+                    columns = None
+                sources.append((src.binding, columns))
+            else:
+                sources.append((src.alias, None))
+        return sources
+
+    def _prefilter_source(
+        self, source: _Source, where: ast.Expr | None, statement_sources
+    ) -> None:
+        """Apply pushed-down null-rejecting single-source conjuncts in place."""
+        predicate = extract_pushdown_filter(
+            where, source.binding, source.columns, statement_sources
+        )
+        if predicate is None:
+            return
+        layout = _ScopeLayout([source], None)
+        evaluator = Evaluator(None)  # pushdown conjuncts are subquery-free
+        binding = source.binding
+
+        def keep(row: Row) -> bool:
+            # on evaluation errors (e.g. type-mismatched ordering), keep the
+            # row and defer to the final WHERE pass: it raises only if the
+            # row survives the joins, exactly as without pushdown
+            try:
+                return evaluator.evaluate_predicate(
+                    predicate, layout.scope_parts({binding: row})
+                )
+            except ExecutionError:
+                return True
+
+        source.rows = [row for row in source.rows if keep(row)]
 
     # ---------------------------------------------------------------- EXPLAIN
 
     def _exec_ExplainStatement(
         self, stmt: ast.ExplainStatement, session: "Session"
     ) -> ResultSet:
+        select = stmt.select
         table_of_binding: dict[str, str] = {}
-        sources = list(stmt.select.from_sources) + [
-            join.source for join in stmt.select.joins
-        ]
+        columns_of_binding: dict[str, list[str] | None] = {}
+        sources = list(select.from_sources) + [join.source for join in select.joins]
         for source in sources:
-            if isinstance(source, ast.TableRef) and self.db.catalog.has_table(
-                source.name
-            ):
-                table_of_binding[source.binding] = (
-                    self.db.catalog.table(source.name).name
-                )
-        paths = plan_select_paths(stmt.select, table_of_binding, self.db.heap)
+            if isinstance(source, ast.TableRef):
+                if self.db.catalog.has_table(source.name):
+                    schema = self.db.catalog.table(source.name)
+                    table_of_binding[source.binding] = schema.name
+                    columns_of_binding[source.binding] = schema.column_names()
+                else:  # view: column set unknown without executing it
+                    columns_of_binding[source.binding] = None
+            else:
+                columns_of_binding[source.alias] = None
+        paths = plan_select_paths(
+            select, table_of_binding, self.db.heap, columns_of_binding
+        )
         rows = [(path.describe(),) for path in paths]
+        allow_hash = self.db.planner_options.get("enable_hash_join", True)
+        for plan in plan_select_joins(select, columns_of_binding, allow_hash):
+            rows.append((plan.describe(),))
         if not rows:
             rows = [("Result (no base tables)",)]
         return ResultSet(columns=["QUERY PLAN"], rows=rows, status="EXPLAIN")
-
-    @staticmethod
-    def _ambiguous_columns(sources: list[_Source]) -> frozenset[str]:
-        seen: dict[str, int] = {}
-        for source in sources:
-            for col in source.columns:
-                seen[col.lower()] = seen.get(col.lower(), 0) + 1
-        return frozenset(c for c, n in seen.items() if n > 1)
 
     @staticmethod
     def _expand_items(

@@ -1,22 +1,58 @@
-"""Access-path planning: index-assisted scans for simple predicates.
+"""Access-path and join planning for minidb.
 
-minidb's executor defaults to sequential scans. For the common agent-issued
-query shape ``SELECT ... FROM t WHERE col = literal [AND ...]`` this module
-finds a hash index covering an equality-bound column set and probes it,
-reducing the scan to the matching row ids. The residual WHERE predicate is
-still evaluated afterwards, so planning is purely an optimization — never a
-semantics change.
+minidb's executor defaults to sequential scans and nested-loop joins. This
+module plans two kinds of optimizations, both pure scan/pair reductions that
+never change statement semantics:
 
-``EXPLAIN <select>`` surfaces the chosen access path per source.
+* **Access paths** — for the common agent-issued query shape
+  ``SELECT ... FROM t WHERE col = literal [AND ...]`` the planner finds a
+  hash index covering an equality-bound column set and probes it, reducing
+  the scan to the matching row ids. Additionally, null-rejecting
+  single-source conjuncts (``col <op> literal``) are pushed down into the
+  scan of multi-source queries so join inputs shrink before pairing. The
+  residual WHERE predicate is still evaluated afterwards.
+
+* **Join strategies** — :func:`plan_join` splits a join's ON condition (and,
+  because the full WHERE clause is re-applied after all joins, any
+  cross-source equality conjuncts of the WHERE clause) into hash-joinable
+  equi-keys plus a residual predicate. Joins with at least one equi-key
+  execute as hash joins; non-equi conditions fall back to nested loops;
+  conditionless pairings remain cross products. Outer-join NULL extension is
+  preserved: WHERE-derived keys are safe on nullable sides precisely because
+  equality is null-rejecting and the WHERE clause filters the NULL-extended
+  rows it would have rejected anyway.
+
+``EXPLAIN <select>`` surfaces the chosen access path per source and the
+chosen strategy per join (see :func:`plan_select_paths` and
+:func:`plan_select_joins`).
+
+**Error-surfacing contract.** Planning never changes *results*: a query
+that evaluates without errors returns the same rows under every strategy.
+Name-resolution errors (unknown or ambiguous columns) are likewise
+strategy-independent — unqualified references are only used for keys,
+filters, or index probes when provably unambiguous across the whole
+statement. Data-dependent *evaluation* errors (e.g. comparing an ``INT``
+column to a ``TEXT`` literal), however, follow standard SQL-optimizer
+semantics: a predicate that planning proved unnecessary to evaluate (its
+rows were already pruned by an index probe, pushed filter, or join key)
+may never run, so such a query can return its rows — or empty — where an
+unoptimized plan would raise. The seed behaved the same way on its
+index-probe path; the row-pruning optimizations here extend that contract
+rather than break it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 from . import ast_nodes as ast
+from .sqlgen import expr_to_sql
 from .storage import HashIndex, HeapTable
+
+#: comparison operators that can never be true when an operand is NULL;
+#: only these may be pushed below an outer join's nullable side
+NULL_REJECTING_COMPARISONS = ("=", "<>", "<", "<=", ">", ">=")
 
 
 @dataclass
@@ -35,50 +71,342 @@ class AccessPath:
     kind: str  # "seq" | "index"
     index_name: str | None = None
     key_columns: tuple[str, ...] = ()
+    filter_sql: str | None = None  # pushed-down single-source predicate
 
     def describe(self) -> str:
         if self.kind == "index":
             keys = ", ".join(self.key_columns)
-            return f"Index Scan using {self.index_name} on {self.table} (key: {keys})"
-        return f"Seq Scan on {self.table}"
+            base = f"Index Scan using {self.index_name} on {self.table} (key: {keys})"
+        else:
+            base = f"Seq Scan on {self.table}"
+        if self.filter_sql:
+            base += f" (filter: {self.filter_sql})"
+        return base
+
+
+@dataclass
+class JoinKey:
+    """One hash-joinable equi conjunct: left binding.column = right column."""
+
+    left_binding: str
+    left_column: str
+    right_column: str
+
+
+@dataclass
+class JoinPlan:
+    """The chosen way to combine one new source into the joined relation."""
+
+    kind: str  # INNER | LEFT | RIGHT | CROSS
+    right_binding: str
+    strategy: str = "nested-loop"  # "hash" | "nested-loop" | "cross"
+    keys: list[JoinKey] = field(default_factory=list)
+    residual: ast.Expr | None = None  # non-equi remainder of the ON condition
+    condition: ast.Expr | None = None
+
+    def describe(self) -> str:
+        if self.strategy == "hash":
+            keys = ", ".join(
+                f"{k.left_binding}.{k.left_column} = "
+                f"{self.right_binding}.{k.right_column}"
+                for k in self.keys
+            )
+            return f"Hash Join ({self.kind}) on {self.right_binding} (keys: {keys})"
+        if self.strategy == "nested-loop":
+            cond = expr_to_sql(self.condition) if self.condition is not None else "true"
+            return (
+                f"Nested Loop Join ({self.kind}) on {self.right_binding} "
+                f"(cond: {cond})"
+            )
+        return f"Cross Join on {self.right_binding}"
+
+
+def split_conjuncts(expr: ast.Expr | None) -> list[ast.Expr]:
+    """Flatten a predicate into its top-level AND-ed conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, ast.BinaryOp) and expr.op == "AND":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def conjoin(conjuncts: list[ast.Expr]) -> ast.Expr | None:
+    """AND-fold a conjunct list back into a single predicate."""
+    if not conjuncts:
+        return None
+    predicate = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        predicate = ast.BinaryOp("AND", predicate, conjunct)
+    return predicate
 
 
 def extract_equality_bindings(
-    where: ast.Expr | None, binding: str
+    where: ast.Expr | None,
+    binding: str,
+    statement_sources: list[tuple[str, list[str] | None]] | None = None,
 ) -> list[EqualityBinding]:
     """Top-level AND-ed ``col = literal`` conjuncts attributable to ``binding``.
 
     Only unqualified columns or columns qualified with this binding are
-    considered; anything more complex is left to the residual filter.
+    considered; anything more complex is left to the residual filter. When
+    ``statement_sources`` is given (multi-source queries), unqualified
+    columns must be unambiguous across the whole SELECT — otherwise an
+    empty index probe could return ``[]`` where the WHERE evaluator must
+    raise the ambiguity error.
     """
-    if where is None:
-        return []
     bindings: list[EqualityBinding] = []
-    _walk_conjuncts(where, binding.lower(), bindings)
+    lowered = binding.lower()
+    for conjunct in split_conjuncts(where):
+        if isinstance(conjunct, ast.BinaryOp) and conjunct.op == "=":
+            column_ref, literal = _column_literal_pair(
+                conjunct.left, conjunct.right, lowered
+            )
+            if column_ref is None or literal is None or literal.value is None:
+                continue
+            if (
+                column_ref.table is None
+                and statement_sources is not None
+                and not _unqualified_unambiguous(
+                    column_ref.name.lower(), statement_sources
+                )
+            ):
+                continue
+            bindings.append(
+                EqualityBinding(column_ref.name.lower(), literal.value)
+            )
     return bindings
 
 
-def _walk_conjuncts(expr: ast.Expr, binding: str, out: list[EqualityBinding]) -> None:
-    if isinstance(expr, ast.BinaryOp) and expr.op == "AND":
-        _walk_conjuncts(expr.left, binding, out)
-        _walk_conjuncts(expr.right, binding, out)
-        return
-    if isinstance(expr, ast.BinaryOp) and expr.op == "=":
-        column, literal = _column_literal_pair(expr.left, expr.right, binding)
-        if column is not None and literal is not None and literal.value is not None:
-            out.append(EqualityBinding(column, literal.value))
+def _unqualified_unambiguous(
+    name: str, statement_sources: list[tuple[str, list[str] | None]] | None
+) -> bool:
+    """Whether an unqualified ``name`` names exactly one statement column.
+
+    ``statement_sources`` lists every source of the SELECT (not just those
+    already folded into the join). With it absent, or with any source's
+    columns unknown (views, derived tables), unqualified names are treated
+    as unusable: resolving them against a partial view could mask the
+    ambiguity error the evaluator would raise.
+    """
+    if statement_sources is None:
+        return False
+    count = 0
+    for _, columns in statement_sources:
+        if columns is None:
+            return False
+        count += sum(1 for c in columns if c.lower() == name)
+    return count == 1
+
+
+def extract_pushdown_filter(
+    where: ast.Expr | None,
+    binding: str,
+    columns: list[str],
+    statement_sources: list[tuple[str, list[str] | None]] | None = None,
+) -> ast.Expr | None:
+    """The AND of WHERE conjuncts safe to evaluate during this source's scan.
+
+    A conjunct qualifies when it compares one of this source's columns to a
+    non-NULL literal with a null-rejecting operator. Because the full WHERE
+    clause is re-applied after joins, pre-filtering only removes rows whose
+    joined results the WHERE clause would reject — including rows an outer
+    join would otherwise NULL-extend, which the null-rejecting conjunct then
+    rejects too. Unqualified column references are only used when
+    ``statement_sources`` proves them unambiguous across the whole SELECT.
+    """
+    if where is None:
+        return None
+    own_columns = {c.lower() for c in columns}
+    lowered = binding.lower()
+    kept: list[ast.Expr] = []
+    for conjunct in split_conjuncts(where):
+        if not (
+            isinstance(conjunct, ast.BinaryOp)
+            and conjunct.op in NULL_REJECTING_COMPARISONS
+        ):
+            continue
+        for column_side, literal_side in (
+            (conjunct.left, conjunct.right),
+            (conjunct.right, conjunct.left),
+        ):
+            if (
+                isinstance(column_side, ast.ColumnRef)
+                and isinstance(literal_side, ast.Literal)
+                and literal_side.value is not None
+                and column_side.name.lower() in own_columns
+                and (
+                    column_side.table.lower() == lowered
+                    if column_side.table is not None
+                    else _unqualified_unambiguous(
+                        column_side.name.lower(), statement_sources
+                    )
+                )
+            ):
+                kept.append(conjunct)
+                break
+    return conjoin(kept)
 
 
 def _column_literal_pair(
     left: ast.Expr, right: ast.Expr, binding: str
-) -> tuple[str | None, ast.Literal | None]:
+) -> tuple[ast.ColumnRef | None, ast.Literal | None]:
     for column_side, literal_side in ((left, right), (right, left)):
         if isinstance(column_side, ast.ColumnRef) and isinstance(
             literal_side, ast.Literal
         ):
             if column_side.table is None or column_side.table.lower() == binding:
-                return column_side.name.lower(), literal_side
+                return column_side, literal_side
     return None, None
+
+
+# --------------------------------------------------------------------------
+# join planning
+# --------------------------------------------------------------------------
+
+# column maps are binding name -> {lowered column -> stored column}; a None
+# map means the columns are unknown (EXPLAIN over views/derived tables),
+# where only qualified refs resolve
+
+
+def _colmap(columns: list[str] | None) -> dict[str, str | None] | None:
+    """lower name -> stored name; duplicates within the source map to None.
+
+    Derived tables can expose the same output name twice (``SELECT x AS w,
+    y AS w``); such names must stay unresolvable so they fall to the
+    evaluator, which raises the ambiguity error.
+    """
+    if columns is None:
+        return None
+    mapping: dict[str, str | None] = {}
+    for column in columns:
+        key = column.lower()
+        mapping[key] = None if key in mapping else column
+    return mapping
+
+
+def _resolve_ref(
+    ref: ast.ColumnRef, sources: list[tuple[str, dict[str, str | None] | None]]
+) -> tuple[str, str] | None:
+    """Resolve a column reference to ``(binding, stored column name)``."""
+    name = ref.name.lower()
+    if ref.table is not None:
+        qualifier = ref.table.lower()
+        for binding, columns in sources:
+            if binding.lower() == qualifier:
+                if columns is None:
+                    return binding, ref.name
+                actual = columns.get(name)
+                return (binding, actual) if actual is not None else None
+        return None
+    hits: list[tuple[str, str]] = []
+    for binding, columns in sources:
+        if columns is None:
+            return None  # unknown columns: unqualified names are uncertain
+        if name in columns:
+            actual = columns[name]
+            if actual is None:
+                return None  # duplicated within the source: ambiguous
+            hits.append((binding, actual))
+    return hits[0] if len(hits) == 1 else None
+
+
+def _equi_key(
+    conjunct: ast.Expr,
+    lefts: list[tuple[str, dict[str, str] | None]],
+    right: tuple[str, dict[str, str] | None],
+    statement_sources: list[tuple[str, list[str] | None]] | None = None,
+) -> JoinKey | None:
+    """A hash key if ``conjunct`` equates one left column with one right.
+
+    ON conjuncts resolve against the join's own scope (``lefts`` + right),
+    exactly like the nested-loop evaluator would. WHERE conjuncts are
+    name-resolved against the *whole* statement, so callers pass
+    ``statement_sources``: an unqualified name that is ambiguous with a
+    source not yet folded in must not become a key — the final WHERE
+    filter raises for it, and hashing on it could empty the relation
+    before that error surfaces.
+    """
+    if not (
+        isinstance(conjunct, ast.BinaryOp)
+        and conjunct.op == "="
+        and isinstance(conjunct.left, ast.ColumnRef)
+        and isinstance(conjunct.right, ast.ColumnRef)
+    ):
+        return None
+    if statement_sources is not None:
+        for ref in (conjunct.left, conjunct.right):
+            if ref.table is None and not _unqualified_unambiguous(
+                ref.name.lower(), statement_sources
+            ):
+                return None
+    for left_ref, right_ref in (
+        (conjunct.left, conjunct.right),
+        (conjunct.right, conjunct.left),
+    ):
+        left_hit = _resolve_ref(left_ref, lefts)
+        right_hit = _resolve_ref(right_ref, [right])
+        if left_hit is None or right_hit is None:
+            continue
+        # reject refs resolvable on both sides (ambiguous; leave to the
+        # evaluator, which raises the proper error)
+        if _resolve_ref(left_ref, [right]) is not None:
+            continue
+        if _resolve_ref(right_ref, lefts) is not None:
+            continue
+        return JoinKey(left_hit[0], left_hit[1], right_hit[1])
+    return None
+
+
+def plan_join(
+    kind: str,
+    condition: ast.Expr | None,
+    where: ast.Expr | None,
+    left_sources: list[tuple[str, list[str] | None]],
+    right_binding: str,
+    right_columns: list[str] | None,
+    allow_hash: bool = True,
+    statement_sources: list[tuple[str, list[str] | None]] | None = None,
+) -> JoinPlan:
+    """Choose a strategy for joining ``right_binding`` onto ``left_sources``.
+
+    Equi-keys come from the ON condition and from cross-source equality
+    conjuncts of the WHERE clause (always re-checked by the final WHERE
+    filter, so harvesting them is safe for outer joins too). ON conjuncts
+    that are not equi-keys become the residual predicate, evaluated per
+    matched pair. ``statement_sources`` (all of the SELECT's sources) guards
+    WHERE-conjunct name resolution; when omitted, WHERE keys only use
+    qualified references.
+    """
+    lefts = [(binding, _colmap(columns)) for binding, columns in left_sources]
+    right = (right_binding, _colmap(right_columns))
+    keys: list[JoinKey] = []
+    residual: list[ast.Expr] = []
+    for conjunct in split_conjuncts(condition):
+        key = _equi_key(conjunct, lefts, right)
+        if key is not None:
+            keys.append(key)
+        else:
+            residual.append(conjunct)
+    where_scope = statement_sources if statement_sources is not None else []
+    for conjunct in split_conjuncts(where):
+        key = _equi_key(conjunct, lefts, right, where_scope)
+        if key is not None and key not in keys:
+            keys.append(key)
+    plan = JoinPlan(kind=kind, right_binding=right_binding, condition=condition)
+    if keys and allow_hash:
+        plan.strategy = "hash"
+        plan.keys = keys
+        plan.residual = conjoin(residual)
+    elif condition is None:
+        plan.strategy = "cross"
+    else:
+        plan.strategy = "nested-loop"
+    return plan
+
+
+# --------------------------------------------------------------------------
+# whole-SELECT planning (EXPLAIN)
+# --------------------------------------------------------------------------
 
 
 def choose_access_path(
@@ -111,16 +439,78 @@ def choose_access_path(
     return path, best, key
 
 
+def _binding_of(source: "ast.TableRef | ast.SubqueryRef") -> str:
+    return source.binding if isinstance(source, ast.TableRef) else source.alias
+
+
 def plan_select_paths(
     stmt: ast.SelectStatement,
     table_of_binding: dict[str, str],
     heap_of_table,
+    columns_of_binding: dict[str, list[str] | None] | None = None,
 ) -> list[AccessPath]:
     """Access paths for every base-table source of a SELECT (for EXPLAIN)."""
     paths: list[AccessPath] = []
+    multi_source = (len(stmt.from_sources) + len(stmt.joins)) > 1
+    statement_sources = (
+        list(columns_of_binding.items())
+        if multi_source and columns_of_binding
+        else None
+    )
     for binding, table in table_of_binding.items():
         heap = heap_of_table(table)
-        bindings = extract_equality_bindings(stmt.where, binding)
+        bindings = extract_equality_bindings(stmt.where, binding, statement_sources)
         path, _, _ = choose_access_path(table, heap, bindings)
+        if multi_source and columns_of_binding:
+            columns = columns_of_binding.get(binding)
+            if columns:
+                predicate = extract_pushdown_filter(
+                    stmt.where, binding, columns, list(columns_of_binding.items())
+                )
+                if predicate is not None:
+                    path.filter_sql = expr_to_sql(predicate)
         paths.append(path)
     return paths
+
+
+def plan_select_joins(
+    stmt: ast.SelectStatement,
+    columns_of_binding: dict[str, list[str] | None],
+    allow_hash: bool = True,
+) -> list[JoinPlan]:
+    """Join plans for a SELECT's implicit FROM folds and explicit joins."""
+    plans: list[JoinPlan] = []
+    statement_sources = list(columns_of_binding.items())
+    lefts: list[tuple[str, list[str] | None]] = []
+    for source in stmt.from_sources:
+        binding = _binding_of(source)
+        if lefts:
+            plans.append(
+                plan_join(
+                    "INNER",
+                    None,
+                    stmt.where,
+                    lefts,
+                    binding,
+                    columns_of_binding.get(binding),
+                    allow_hash,
+                    statement_sources,
+                )
+            )
+        lefts.append((binding, columns_of_binding.get(binding)))
+    for join in stmt.joins:
+        binding = _binding_of(join.source)
+        plans.append(
+            plan_join(
+                join.kind,
+                join.condition,
+                stmt.where,
+                lefts,
+                binding,
+                columns_of_binding.get(binding),
+                allow_hash,
+                statement_sources,
+            )
+        )
+        lefts.append((binding, columns_of_binding.get(binding)))
+    return plans

@@ -156,8 +156,15 @@ class HeapTable:
 
     def add_index(self, index: HashIndex) -> None:
         """Attach and backfill an index; rolls back on uniqueness violation."""
-        for rid, row in self._rows.items():
-            index.insert(rid, row, owner=self.name)
+        inserted: list[tuple[int, Row]] = []
+        try:
+            for rid, row in self._rows.items():
+                index.insert(rid, row, owner=self.name)
+                inserted.append((rid, row))
+        except UniqueViolation:
+            for rid, row in inserted:
+                index.remove(rid, row)
+            raise
         self.indexes[index.name] = index
 
     def drop_index(self, name: str) -> None:

@@ -37,8 +37,13 @@ class TestBenchCLI:
 
     def test_experiments_registry_complete(self):
         assert set(EXPERIMENTS) == {
-            "fig5a", "fig5b", "fig5c", "fig6", "table1", "table2",
+            "fig5a", "fig5b", "fig5c", "fig6", "table1", "table2", "joins",
         }
+
+    def test_run_experiment_joins(self):
+        report = run_experiment("joins", 1, 0.05, 100)
+        assert "Join scale" in report
+        assert "Hash Join" in report
 
 
 class TestMinidbShell:

@@ -1,0 +1,17 @@
+"""Shared pytest configuration.
+
+Hypothesis health checks (``too_slow`` / ``filter_too_much``) are load- and
+seed-sensitive: under CI or a busy machine they intermittently abort
+otherwise-passing property tests, which turns a ``pytest -x`` gate red on
+unrelated changes. Suppress them globally; per-test ``@settings`` still
+control example counts and deadlines.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repo-default",
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+    deadline=None,
+)
+settings.load_profile("repo-default")

@@ -38,6 +38,24 @@ class TestSimilarity:
         assert similarity("", "x") == 0.0
         assert similarity("x", "") == 0.0
 
+    def test_trigram_padding_is_symmetric(self):
+        from repro.core.similarity import _trigrams
+
+        # two pad spaces on each side: "ab" -> {"  a", " ab", "ab ", "b  "}
+        assert _trigrams("ab") == {"  a", " ab", "ab ", "b  "}
+
+    def test_suffix_matches_not_penalized_in_ranking(self):
+        # Regression: asymmetric padding (two leading spaces, one trailing)
+        # gave an n-character prefix match n shared trigrams but an
+        # n-character suffix match only n-1, so "abcyz" (3-char prefix
+        # overlap) outranked "zcde" (3-char suffix overlap in a shorter
+        # value). With symmetric padding the suffix match wins.
+        suffix_score = similarity("abcde", "zcde")
+        prefix_score = similarity("abcde", "abcyz")
+        assert suffix_score > prefix_score
+        ranked = top_k("abcde", ["abcyz", "zcde"], 2)
+        assert [value for value, _ in ranked] == ["zcde", "abcyz"]
+
     def test_non_string_values(self):
         assert similarity("100", 100) == 1.0
 

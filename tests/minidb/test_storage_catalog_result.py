@@ -111,6 +111,19 @@ class TestHeapTable:
         assert not index.would_violate({"a": 1}, ignore_rid=rid)
         assert not index.would_violate({"a": 2})
 
+    def test_add_index_rolls_back_partial_backfill(self, heap):
+        heap.insert({"a": 1, "b": 1})
+        heap.insert({"a": 2, "b": 2})
+        heap.insert({"a": 3, "b": 1})  # duplicate b: backfill fails mid-way
+        index = HashIndex("ux", ("b",), unique=True)
+        with pytest.raises(UniqueViolation):
+            heap.add_index(index)
+        assert "ux" not in heap.indexes
+        # earlier rids must have been removed from the buckets again
+        assert len(index) == 0
+        assert index.probe((1,)) == set()
+        assert index.probe((2,)) == set()
+
 
 class TestCatalog:
     def make_schema(self, name="t"):
