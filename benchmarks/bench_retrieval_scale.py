@@ -1,0 +1,79 @@
+"""Retrieval-scale benchmark: indexed get_value vs the brute-force path.
+
+Times repeated ``get_value`` tool calls against a column with 100k
+distinct values under both exemplar-retrieval paths (see
+:mod:`repro.bench.retrieval_scale` for the measurement harness). The
+indexed path runs at the full column size; the brute-force baseline
+(``config.use_retrieval_index = False``, the seed's only strategy) is
+timed on a smaller column and extrapolated linearly, since its per-call
+cost is O(distinct) — which is exactly the point.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_retrieval_scale.py           # full (100k)
+    PYTHONPATH=src python benchmarks/bench_retrieval_scale.py --smoke   # CI-sized
+
+Writes the measured result to ``BENCH_retrieval.json`` (override with
+``--out``) so the perf trajectory is tracked across PRs. Exits non-zero
+if the warm-call speedup is below the acceptance threshold (50x full,
+5x smoke — at smoke sizes the brute-force path is not yet pathological)
+or if indexed and brute-force rankings differ on the equivalence suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench.reporting import render_retrieval_scale
+from repro.bench.retrieval_scale import experiment_retrieval_scale
+
+SPEEDUP_THRESHOLD = 50.0
+SMOKE_THRESHOLD = 5.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--distinct", type=int, default=100_000,
+                        help="distinct values for the indexed measurement")
+    parser.add_argument("--brute-distinct", type=int, default=5_000,
+                        help="distinct values for the brute-force baseline")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (4k distinct, direct comparison)")
+    parser.add_argument("--out", default="BENCH_retrieval.json",
+                        help="where to write the JSON result")
+    args = parser.parse_args(argv)
+
+    distinct = 4_000 if args.smoke else args.distinct
+    brute_distinct = 4_000 if args.smoke else args.brute_distinct
+    threshold = SMOKE_THRESHOLD if args.smoke else SPEEDUP_THRESHOLD
+
+    result = experiment_retrieval_scale(
+        distinct=distinct, brute_distinct=brute_distinct
+    )
+    print(render_retrieval_scale(result))
+
+    payload = dict(result, threshold=threshold, smoke=args.smoke,
+                   passed=result["equivalence_ok"]
+                   and result["speedup"] >= threshold)
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+    if not result["equivalence_ok"]:
+        print("FAIL: indexed and brute-force rankings differ: "
+              f"{result['equivalence_mismatches']}")
+        return 1
+    if result["speedup"] < threshold:
+        print(f"FAIL: speedup {result['speedup']:.1f}x is below "
+              f"{threshold:.0f}x")
+        return 1
+    print(f"OK: speedup {result['speedup']:,.1f}x "
+          f"(threshold {threshold:.0f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,9 +19,11 @@ from .reporting import (
     render_fig5c,
     render_fig6,
     render_join_scale,
+    render_retrieval_scale,
     render_table1,
     render_table2,
 )
+from .retrieval_scale import experiment_retrieval_scale
 from .runner import (
     experiment_fig5a,
     experiment_fig5b,
@@ -30,7 +32,9 @@ from .runner import (
     experiment_table2,
 )
 
-EXPERIMENTS = ("fig5a", "fig5b", "fig5c", "fig6", "table1", "table2", "joins")
+EXPERIMENTS = (
+    "fig5a", "fig5b", "fig5c", "fig6", "table1", "table2", "joins", "retrieval"
+)
 
 
 def run_experiment(
@@ -64,6 +68,14 @@ def run_experiment(
         rows = max(200, int(10_000 * scale))
         return render_join_scale(
             experiment_join_scale(rows=rows, nl_rows=min(1_000, rows))
+        )
+    if name == "retrieval":
+        # scale factor: 1.0 -> a 100k-distinct-value column
+        distinct = max(2_000, int(100_000 * scale))
+        return render_retrieval_scale(
+            experiment_retrieval_scale(
+                distinct=distinct, brute_distinct=min(5_000, distinct)
+            )
         )
     raise ValueError(f"unknown experiment {name!r}; choose from {EXPERIMENTS}")
 

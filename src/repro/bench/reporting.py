@@ -124,6 +124,36 @@ def render_table2(results: dict[str, Any]) -> str:
     return table + footer
 
 
+def render_retrieval_scale(result: dict[str, Any]) -> str:
+    suffix = (
+        f" (measured at {result['brute_distinct']} distinct, extrapolated)"
+        if result["brute_extrapolated"]
+        else ""
+    )
+    table = render_table(
+        ["path", "distinct values", "per call (ms)"],
+        [
+            ["indexed (cold, builds catalog)", result["distinct"], result["cold_ms"]],
+            ["indexed (warm)", result["distinct"], result["indexed_call_ms"]],
+            ["brute force" + suffix, result["distinct"], result["brute_call_ms"]],
+        ],
+        title="Retrieval scale — get_value exemplar retrieval (BridgeScope)",
+    )
+    equivalence = (
+        "identical"
+        if result["equivalence_ok"]
+        else f"MISMATCH on keys {result['equivalence_mismatches']}"
+    )
+    return (
+        f"{table}\n"
+        f"speedup: {result['speedup']:,.1f}x on warm calls "
+        f"({result['queries_per_round']} keys x {result['rounds']} rounds)\n"
+        f"candidates/scored per query: {result['avg_candidates']:,.1f} / "
+        f"{result['avg_scored']:,.1f} of {result['distinct']:,}\n"
+        f"indexed vs brute-force rankings: {equivalence}"
+    )
+
+
 def render_join_scale(result: dict[str, Any]) -> str:
     suffix = (
         f" (measured at {result['nl_rows']} rows, extrapolated)"

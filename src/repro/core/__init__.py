@@ -18,7 +18,7 @@ from .minidb_binding import MinidbBinding
 from .prompt import BRIDGESCOPE_PROMPT, build_prompt
 from .proxy import ProxyStats, ProxyTool, ProxyUnit
 from .server import BridgeScope, combine_bridges
-from .similarity import similarity, top_k
+from .similarity import SynonymTable, similarity, top_k
 from .transaction import TransactionTools
 from .transforms import TransformError, compile_transform
 from .verification import SecurityViolation, SqlVerifier
@@ -40,6 +40,7 @@ __all__ = [
     "SecurityViolation",
     "SqlOutcome",
     "SqlVerifier",
+    "SynonymTable",
     "TransactionTools",
     "TransformError",
     "build_prompt",

@@ -154,12 +154,17 @@ class ContextTools(ToolServer):
         if restrictions is not None and column.lower() not in restrictions:
             return f"ERROR: permission denied: SELECT on {table}.{column}"
         try:
-            values = self.binding.distinct_values(
-                table, column, self.config.exemplar_scan_limit
-            )
+            if self.config.use_retrieval_index:
+                ranked = self.binding.retrieve_values(
+                    table, column, key, k, self.config.exemplar_scan_limit
+                )
+            else:
+                values = self.binding.distinct_values(
+                    table, column, self.config.exemplar_scan_limit
+                )
+                ranked = top_k(key, values, k)
         except Exception as exc:
             return f"ERROR: {exc}"
-        ranked = top_k(key, values, k)
         if not ranked:
             return f"(no values in {col})"
         lines = [f"top-{len(ranked)} values of {col} relevant to {key!r}:"]

@@ -75,6 +75,27 @@ class DatabaseBinding(abc.ABC):
     def distinct_values(self, table: str, column: str, limit: int) -> list[Any]:
         """Up to ``limit`` distinct non-NULL values of ``table.column``."""
 
+    def retrieve_values(
+        self,
+        table: str,
+        column: str,
+        key: str,
+        k: int,
+        limit: int,
+        synonyms: Any = None,
+    ) -> list[tuple[Any, float]]:
+        """Top-``k`` column values most relevant to ``key``, scored.
+
+        The default brute-forces over :meth:`distinct_values` with
+        :func:`repro.core.similarity.top_k`; bindings with an exemplar
+        index (e.g. :class:`~repro.core.minidb_binding.MinidbBinding`)
+        override this with an indexed implementation that must return the
+        identical ranking.
+        """
+        from .similarity import top_k
+
+        return top_k(key, self.distinct_values(table, column, limit), k, synonyms)
+
     # ---------------------------------------------------------- privileges
 
     @abc.abstractmethod

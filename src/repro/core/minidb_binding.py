@@ -76,12 +76,12 @@ class MinidbBinding(DatabaseBinding):
 
     def distinct_values(self, table: str, column: str, limit: int) -> list[Any]:
         schema = self.session.db.catalog.table(table)
-        schema.column(column)  # validates
+        column_name = schema.column(column).name  # resolve + validate once
         heap = self.session.db.heap(schema.name)
         seen: list[Any] = []
         seen_set: set[Any] = set()
         for _, row in heap.rows():
-            value = row.get(schema.column(column).name)
+            value = row.get(column_name)
             if value is None or value in seen_set:
                 continue
             seen_set.add(value)
@@ -89,6 +89,38 @@ class MinidbBinding(DatabaseBinding):
             if len(seen) >= limit:
                 break
         return seen
+
+    def retrieve_values(
+        self,
+        table: str,
+        column: str,
+        key: str,
+        k: int,
+        limit: int,
+        synonyms: Any = None,
+    ) -> list[tuple[Any, float]]:
+        """Indexed exemplar retrieval via a cached per-column value catalog.
+
+        Catalogs live on the shared :class:`~repro.minidb.Database` (all
+        sessions reuse them) and are fingerprinted by the owning heap's
+        ``(uid, version)`` change counter, so any INSERT/UPDATE/DELETE,
+        DDL, or ROLLBACK triggers a lazy rebuild on the next call.
+        """
+        from ..retrieval import CatalogCache
+
+        db = self.session.db
+        schema = db.catalog.table(table)
+        column_name = schema.column(column).name  # validate before caching
+        heap = db.heap(schema.name)
+        cache = db.retrieval_cache
+        if cache is None:
+            cache = db.retrieval_cache = CatalogCache()
+        catalog = cache.lookup(
+            (schema.name, column_name, limit),
+            (heap.uid, heap.version),
+            lambda: self.distinct_values(table, column, limit),
+        )
+        return catalog.top_k(key, k, synonyms)
 
     # ---------------------------------------------------------- privileges
 

@@ -10,12 +10,19 @@ substring cases the paper motivates:
 * token overlap with a small built-in synonym table — catches paraphrases;
 * substring containment bonus — catches ``"women" ⊂ "women's wear"``.
 
-The function is pure and deterministic.
+The scoring is pure and deterministic. Two call shapes exist:
+
+* :func:`similarity` / :func:`top_k` — score raw strings (brute force);
+* :func:`features` + :func:`score_features` — score precomputed
+  :class:`TextFeatures`, the building block of the indexed retrieval path
+  in :mod:`repro.retrieval`. Both shapes run the *same* arithmetic, so an
+  indexed ranking is bit-identical to the brute-force one.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
 
 #: tiny domain-general synonym clusters; extendable by callers
 DEFAULT_SYNONYMS: dict[str, frozenset[str]] = {
@@ -29,21 +36,67 @@ DEFAULT_SYNONYMS: dict[str, frozenset[str]] = {
     "ocean": frozenset({"sea", "coastal", "bay"}),
 }
 
+_EMPTY: frozenset[str] = frozenset()
+
+
+class SynonymTable:
+    """Synonym clusters with a precomputed reverse map.
+
+    ``clusters`` maps a head token to its cluster members. The reverse map
+    answers "which heads contain this member?" in O(1), replacing the old
+    O(value_tokens × synonyms) per-call reverse scan in the overlap scorer.
+    Build one once and reuse it for every query against the same clusters.
+    """
+
+    __slots__ = ("clusters", "reverse")
+
+    def __init__(self, clusters: Mapping[str, Iterable[str]]):
+        self.clusters: dict[str, frozenset[str]] = {
+            head: frozenset(members) for head, members in clusters.items()
+        }
+        reverse: dict[str, set[str]] = {}
+        for head, members in self.clusters.items():
+            for member in members:
+                reverse.setdefault(member, set()).add(head)
+        self.reverse: dict[str, frozenset[str]] = {
+            member: frozenset(heads) for member, heads in reverse.items()
+        }
+
+    def related(self, token: str) -> frozenset[str]:
+        """All tokens a match on which satisfies ``token`` (either way)."""
+        cluster = self.clusters.get(token, _EMPTY)
+        heads = self.reverse.get(token, _EMPTY)
+        if not cluster and not heads:
+            return _EMPTY
+        return cluster | heads
+
+
+#: reverse map of :data:`DEFAULT_SYNONYMS`, built once at import
+DEFAULT_TABLE = SynonymTable(DEFAULT_SYNONYMS)
+
+def resolve_synonyms(synonyms: Any = None) -> SynonymTable:
+    """Coerce a ``synonyms`` argument to a :class:`SynonymTable`."""
+    if synonyms is None:
+        return DEFAULT_TABLE
+    if isinstance(synonyms, SynonymTable):
+        return synonyms
+    return SynonymTable(synonyms)
+
 
 def _normalize(text: str) -> str:
     return "".join(ch.lower() if ch.isalnum() else " " for ch in text).strip()
 
 
-def _tokens(text: str) -> set[str]:
-    return set(_normalize(text).split())
-
-
-def _trigrams(text: str) -> set[str]:
+def _trigrams_of_norm(norm: str) -> frozenset[str]:
     # symmetric two-space padding: an n-character prefix match and an
     # n-character suffix match contribute the same number of shared
     # trigrams, so scores don't skew toward prefix matches
-    padded = f"  {_normalize(text)}  "
-    return {padded[i : i + 3] for i in range(len(padded) - 2)}
+    padded = f"  {norm}  "
+    return frozenset(padded[i : i + 3] for i in range(len(padded) - 2))
+
+
+def _trigrams(text: str) -> frozenset[str]:
+    return _trigrams_of_norm(_normalize(text))
 
 
 def _jaccard(a: set, b: set) -> float:
@@ -56,7 +109,7 @@ def _jaccard(a: set, b: set) -> float:
 
 
 def _synonym_overlap(
-    key_tokens: set[str], value_tokens: set[str], synonyms: dict[str, frozenset[str]]
+    key_tokens: set[str], value_tokens: set[str], table: SynonymTable
 ) -> float:
     """Fraction of key tokens with a direct or synonym match in the value."""
     if not key_tokens:
@@ -66,39 +119,57 @@ def _synonym_overlap(
         if token in value_tokens:
             hits += 1
             continue
-        cluster = synonyms.get(token, frozenset())
-        if cluster & value_tokens:
+        if table.clusters.get(token, _EMPTY) & value_tokens:
             hits += 1
             continue
-        # reverse direction: value token's cluster contains the key token
-        if any(
-            token in synonyms.get(vt, frozenset()) for vt in value_tokens
-        ):
+        # reverse direction: a value token's cluster contains the key token
+        if table.reverse.get(token, _EMPTY) & value_tokens:
             hits += 1
     return hits / len(key_tokens)
 
 
-def similarity(
-    key: str,
-    value: Any,
-    synonyms: dict[str, frozenset[str]] | None = None,
+@dataclass(frozen=True)
+class TextFeatures:
+    """Cached lexical features of one string (key or column value)."""
+
+    text: str
+    norm: str
+    tokens: frozenset[str]
+    trigrams: frozenset[str]
+
+
+def features(text: str) -> TextFeatures:
+    """Compute the features :func:`score_features` consumes, once."""
+    norm = _normalize(text)
+    return TextFeatures(
+        text=text,
+        norm=norm,
+        tokens=frozenset(norm.split()),
+        trigrams=_trigrams_of_norm(norm),
+    )
+
+
+def score_features(
+    key: TextFeatures, value: TextFeatures, table: SynonymTable
 ) -> float:
-    """Relevance score of ``value`` w.r.t. the task ``key``, in [0, 1]."""
-    text = str(value)
-    if not text or not key:
+    """Relevance of ``value`` w.r.t. ``key`` over precomputed features.
+
+    This is the single scoring kernel: :func:`similarity` and the indexed
+    path in :mod:`repro.retrieval` both call it, keeping their rankings
+    identical down to the float.
+    """
+    if not key.text or not value.text:
         return 0.0
-    table = DEFAULT_SYNONYMS if synonyms is None else synonyms
-    key_norm, value_norm = _normalize(key), _normalize(text)
-    if not key_norm or not value_norm:
+    if not key.norm or not value.norm:
         return 0.0
-    if key_norm == value_norm:
+    if key.norm == value.norm:
         return 1.0
-    trigram_score = _jaccard(_trigrams(key), _trigrams(text))
-    token_score = _synonym_overlap(_tokens(key), _tokens(text), table)
+    trigram_score = _jaccard(key.trigrams, value.trigrams)
+    token_score = _synonym_overlap(key.tokens, value.tokens, table)
     containment = 0.0
-    if key_norm in value_norm or value_norm in key_norm:
-        shorter = min(len(key_norm), len(value_norm))
-        longer = max(len(key_norm), len(value_norm))
+    if key.norm in value.norm or value.norm in key.norm:
+        shorter = min(len(key.norm), len(value.norm))
+        longer = max(len(key.norm), len(value.norm))
         containment = 0.5 + 0.5 * (shorter / longer)
     score = max(
         0.55 * trigram_score + 0.45 * token_score,
@@ -107,13 +178,30 @@ def similarity(
     return min(score, 0.999)  # only exact normalization match scores 1.0
 
 
+def similarity(key: str, value: Any, synonyms: Any = None) -> float:
+    """Relevance score of ``value`` w.r.t. the task ``key``, in [0, 1]."""
+    return score_features(
+        features(key), features(str(value)), resolve_synonyms(synonyms)
+    )
+
+
 def top_k(
     key: str,
     values: Iterable[Any],
     k: int,
-    synonyms: dict[str, frozenset[str]] | None = None,
+    synonyms: Any = None,
 ) -> list[tuple[Any, float]]:
-    """The ``k`` most relevant values, scored, best first, ties by text."""
-    scored = [(value, similarity(key, value, synonyms)) for value in values]
+    """The ``k`` most relevant values, scored, best first, ties by text.
+
+    Brute force: scores every value, then sorts. The indexed equivalent is
+    :meth:`repro.retrieval.ValueCatalog.top_k`; this path stays as the
+    reference baseline and the fallback for unindexed bindings.
+    """
+    table = resolve_synonyms(synonyms)
+    key_features = features(key)
+    scored = [
+        (value, score_features(key_features, features(str(value)), table))
+        for value in values
+    ]
     scored.sort(key=lambda pair: (-pair[1], str(pair[0])))
     return scored[: max(k, 0)]

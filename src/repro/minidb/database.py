@@ -133,6 +133,10 @@ class Database:
         #: planner toggles; ``enable_hash_join=False`` forces the
         #: nested-loop fallback (benchmark baseline / debugging)
         self.planner_options = {"enable_hash_join": True}
+        #: shared column-exemplar catalog cache, lazily attached by
+        #: ``repro.core.minidb_binding`` (kept as a plain slot so minidb
+        #: has no dependency on the retrieval layer)
+        self.retrieval_cache: Any | None = None
 
     # ------------------------------------------------------------- sessions
 

@@ -1286,8 +1286,7 @@ class Executor:
             def undo(schema=schema, heap=heap, column=column, index=index,
                      values=saved_values):
                 schema.columns.insert(index, column)
-                for rid, row in heap._rows.items():
-                    row[column.name] = values.get(rid)
+                heap.restore_column(column.name, values)
 
             session.tx.log_undo(f"drop column {schema.name}.{column.name}", undo)
             return ResultSet(status="ALTER TABLE")

@@ -13,11 +13,17 @@ are the enforcement mechanism for PRIMARY KEY and UNIQUE constraints.
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Iterator
 
 from .errors import UniqueViolation
 
 Row = dict[str, Any]
+
+#: process-wide unique ids for heaps — a dropped-and-recreated table gets a
+#: fresh uid, so caches keyed by (uid, version) can never confuse the new
+#: heap with the old one even though both start at version 0
+_HEAP_UIDS = itertools.count(1)
 
 
 class HashIndex:
@@ -90,6 +96,17 @@ class HeapTable:
         self._rows: dict[int, Row] = {}
         self._next_rid = 1
         self.indexes: dict[str, HashIndex] = {}
+        #: identity of this heap across DROP/CREATE cycles of the same name
+        self.uid = next(_HEAP_UIDS)
+        #: monotonically increasing change counter, bumped on every row or
+        #: column mutation — including those replayed by transaction undo
+        #: (rollback goes through insert/update/delete/restore below), so
+        #: derived caches keyed on (uid, version) are invalidated by
+        #: INSERT/UPDATE/DELETE *and* ROLLBACK alike
+        self.version = 0
+
+    def _bump(self) -> None:
+        self.version += 1
 
     # -------------------------------------------------------------- basics
 
@@ -120,6 +137,7 @@ class HeapTable:
                 index.remove(rid, row)
             raise
         self._rows[rid] = dict(row)
+        self._bump()
         return rid
 
     def restore(self, rid: int, row: Row) -> None:
@@ -128,6 +146,7 @@ class HeapTable:
         self._next_rid = max(self._next_rid, rid + 1)
         for index in self.indexes.values():
             index.insert(rid, row, owner=self.name)
+        self._bump()
 
     def update(self, rid: int, new_row: Row) -> Row:
         """Replace the row at ``rid``; returns the old row (for undo logs)."""
@@ -143,6 +162,7 @@ class HeapTable:
             index.remove(rid, old_row)
             index.insert(rid, new_row, owner=self.name)
         self._rows[rid] = dict(new_row)
+        self._bump()
         return old_row
 
     def delete(self, rid: int) -> Row:
@@ -150,6 +170,7 @@ class HeapTable:
         row = self._rows.pop(rid)
         for index in self.indexes.values():
             index.remove(rid, row)
+        self._bump()
         return row
 
     # ------------------------------------------------------------- indexes
@@ -182,10 +203,18 @@ class HeapTable:
     def add_column(self, name: str, default: Any = None) -> None:
         for row in self._rows.values():
             row[name] = default
+        self._bump()
 
     def drop_column(self, name: str) -> None:
         for row in self._rows.values():
             row.pop(name, None)
+        self._bump()
+
+    def restore_column(self, name: str, values: dict[int, Any]) -> None:
+        """Re-attach a dropped column's values by rid (undo for drop_column)."""
+        for rid, row in self._rows.items():
+            row[name] = values.get(rid)
+        self._bump()
 
     def rename_column(self, old: str, new: str) -> None:
         for row in self._rows.values():
@@ -194,3 +223,4 @@ class HeapTable:
         for index in self.indexes.values():
             index.columns = tuple(new if c == old else c for c in index.columns)
             index._buckets = dict(index._buckets)  # keys unchanged (values only)
+        self._bump()

@@ -1,0 +1,61 @@
+"""Indexed column-exemplar retrieval for BridgeScope's ``get_value`` tool.
+
+The paper's context-retrieval workload (Section 2.2, Figure 5a) calls
+``get_value(col, key, k)`` repeatedly while an agent explores a database.
+The brute-force path re-reads every distinct value of the column, re-runs
+normalization and trigram extraction on each, scores all of them, and
+fully sorts — O(rows + distinct·len) per tool call. This package makes
+repeated calls cheap by precomputing a per-column **value catalog** served
+through a **trigram inverted index**:
+
+Index design
+============
+
+``ValueCatalog`` (:mod:`repro.retrieval.catalog`) snapshots the distinct
+values of one column and caches, per value, the normalized text, token
+set, and padded-trigram set used by :mod:`repro.core.similarity`. Three
+query-acceleration structures sit on top:
+
+* a *trigram inverted index* — posting lists mapping each trigram to the
+  ids of values containing it. A query walks only the posting lists of the
+  key's trigrams, accumulating exact shared-trigram counts per candidate
+  instead of intersecting sets against every value;
+* a *token inverted index* — posting lists per normalized token, probed
+  with the key's tokens expanded through the reverse synonym map
+  (:class:`repro.core.similarity.SynonymTable`), so synonym-only matches
+  surface without scanning;
+* a *short-norm table* — values whose normalized form is shorter than one
+  trigram (< 3 chars), which substring containment can reach without any
+  shared trigram; the domain of such norms is tiny, so it is scanned.
+
+Together these generate a **complete** candidate set: every value with a
+nonzero similarity score is covered by one of the three structures (see
+the proof sketch in ``catalog.py``). Candidates are ranked by a cheap
+upper bound — exact trigram Jaccard from the accumulated counts, plus
+length-based containment and token-hit bounds — and scored exactly in
+bound order with a size-k min-heap; scoring stops as soon as the next
+bound cannot beat the current k-th best. Because exact scoring reuses
+:func:`repro.core.similarity.score_features`, the indexed ranking is
+bit-identical to the brute-force ``top_k`` ranking, zero-score tail
+included.
+
+Freshness
+=========
+
+Catalogs are immutable snapshots. ``CatalogCache``
+(:mod:`repro.retrieval.engine`) keys each catalog by a *fingerprint* —
+for minidb, the owning ``HeapTable``'s ``(uid, version)`` change counter,
+which every INSERT/UPDATE/DELETE, DDL column change, and transaction
+ROLLBACK bumps (undo replays go through the same heap mutators). A stale
+fingerprint forces a rebuild on the next call, so exemplars never lag the
+data.
+
+Open follow-ups are tracked in ROADMAP.md: catalog persistence across
+restarts, cross-column (table-wide) retrieval, and pluggable ANN backends
+for embedding-based scoring.
+"""
+
+from .catalog import ValueCatalog
+from .engine import CatalogCache
+
+__all__ = ["CatalogCache", "ValueCatalog"]

@@ -1,0 +1,228 @@
+"""Per-column value catalog with a trigram inverted index.
+
+See the package docstring for the overall design. The correctness
+argument for candidate completeness — every value whose similarity score
+is nonzero appears in the candidate set — goes component by component
+over the score ``max(0.55·trigram + 0.45·token, 0.9·containment)``:
+
+* ``trigram > 0`` — the key and value share a padded trigram, so the
+  value sits on a posting list of one of the key's trigrams.
+* ``token > 0`` — some key token matches a value token directly, through
+  its cluster, or through the reverse map; the probe set
+  ``key_tokens ∪ related(key_token)`` covers all three directions.
+* ``containment > 0`` — one normalized string contains the other. If the
+  contained string has ≥ 3 characters, its interior trigrams appear in
+  both trigram sets (a padded set includes every interior 3-gram), so the
+  trigram postings already cover it. Shorter contained strings have no
+  space-free trigram: a value norm < 3 chars lives in the short-norm
+  table, and a key norm < 3 chars triggers a one-off substring sweep
+  (bounded, and only for 1-2 character keys).
+
+Candidates are scored with the exact kernel
+:func:`repro.core.similarity.score_features` in descending upper-bound
+order, keeping a size-k min-heap of exact scores; iteration stops when
+the next upper bound is strictly below the heap's k-th best, which cannot
+change the result even under tie-breaking. The final ranking sorts by
+``(-score, str(value), insertion order)`` — exactly the stable sort the
+brute-force ``top_k`` performs — and pads with zero-score values in text
+order when fewer than k candidates exist.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+from itertools import chain
+from typing import Any, Iterable
+
+from ..core.similarity import (
+    SynonymTable,
+    TextFeatures,
+    features,
+    resolve_synonyms,
+    score_features,
+)
+
+
+class ValueCatalog:
+    """Immutable snapshot of one column's distinct values, indexed."""
+
+    def __init__(self, values: Iterable[Any]):
+        self.values: list[Any] = list(values)
+        self.entries: list[TextFeatures] = [
+            features(str(value)) for value in self.values
+        ]
+        # inverted indexes: trigram -> value ids, token -> value ids
+        self._trigram_postings: dict[str, list[int]] = {}
+        self._token_postings: dict[str, list[int]] = {}
+        # norms too short to own a space-free trigram: norm -> value ids
+        self._short_norms: dict[str, list[int]] = {}
+        for vid, entry in enumerate(self.entries):
+            if not entry.norm:
+                continue
+            for trigram in entry.trigrams:
+                self._trigram_postings.setdefault(trigram, []).append(vid)
+            for token in entry.tokens:
+                self._token_postings.setdefault(token, []).append(vid)
+            if len(entry.norm) < 3:
+                self._short_norms.setdefault(entry.norm, []).append(vid)
+        # zero-score tail ordering: by rendered text, then insertion order
+        self._text_order: list[int] = sorted(
+            range(len(self.entries)), key=lambda vid: self.entries[vid].text
+        )
+        #: query counters (observability / tests)
+        self.stats = {"queries": 0, "candidates": 0, "scored": 0}
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    # ---------------------------------------------------------- retrieval
+
+    def top_k(
+        self, key: str, k: int, synonyms: Any = None
+    ) -> list[tuple[Any, float]]:
+        """The k most relevant values — identical to brute-force ``top_k``."""
+        k = max(k, 0)
+        if k == 0:
+            return []
+        self.stats["queries"] += 1
+        table = resolve_synonyms(synonyms)
+        key_features = features(key)
+        candidates, token_hits, containable = self._candidates(
+            key_features, table
+        )
+        self.stats["candidates"] += len(candidates)
+
+        # rank candidates by a cheap upper bound on their exact score
+        bounded = [
+            (
+                self._upper_bound(
+                    key_features,
+                    vid,
+                    shared,
+                    vid in token_hits,
+                    vid in containable,
+                ),
+                vid,
+            )
+            for vid, shared in candidates.items()
+        ]
+        bounded.sort(reverse=True)
+
+        # exact-score in bound order with a size-k min-heap; stop once the
+        # next bound is strictly below the current k-th best (ties at the
+        # boundary are still scored, so tie-breaking stays exact)
+        evaluated: list[tuple[float, int]] = []
+        best_k: list[float] = []
+        for bound, vid in bounded:
+            if len(best_k) >= k and bound < best_k[0]:
+                break
+            score = score_features(key_features, self.entries[vid], table)
+            evaluated.append((score, vid))
+            if len(best_k) < k:
+                heapq.heappush(best_k, score)
+            elif score > best_k[0]:
+                heapq.heapreplace(best_k, score)
+        self.stats["scored"] += len(evaluated)
+
+        # brute force stable-sorts all values by (-score, text); replicate
+        # it as (-score, text, insertion order) over the scored candidates
+        evaluated.sort(
+            key=lambda pair: (-pair[0], self.entries[pair[1]].text, pair[1])
+        )
+        result = [(self.values[vid], score) for score, vid in evaluated[:k]]
+        if len(result) < k:
+            result.extend(self._zero_tail(k - len(result), candidates))
+        return result
+
+    # ------------------------------------------------- candidate generation
+
+    def _candidates(
+        self, key: TextFeatures, table: SynonymTable
+    ) -> tuple[dict[int, int], set[int], set[int]]:
+        """Value ids that may score > 0.
+
+        Returns ``(shared, token_hits, containable)``: every candidate id
+        mapped to its exact shared-trigram count, the subset reached via
+        token postings (direct, cluster, or reverse-synonym probes), and
+        the subset with a *confirmed* substring relation found through the
+        short-norm structures (sub-trigram containment the trigram
+        postings cannot see).
+        """
+        if not key.text or not key.norm:
+            return {}, set(), set()
+        # Counter.update over chained posting lists counts in C
+        shared: dict[int, int] = Counter()
+        postings = (self._trigram_postings.get(t) for t in key.trigrams)
+        shared.update(chain.from_iterable(p for p in postings if p))
+        token_hits: set[int] = set()
+        probes = set(key.tokens)
+        for token in key.tokens:
+            probes |= table.related(token)
+        for token in probes:
+            for vid in self._token_postings.get(token, ()):
+                token_hits.add(vid)
+                shared.setdefault(vid, 0)
+        # containment without shared trigrams: sub-trigram norms either way
+        containable: set[int] = set()
+        for norm, vids in self._short_norms.items():
+            if norm in key.norm:
+                for vid in vids:
+                    containable.add(vid)
+                    shared.setdefault(vid, 0)
+        if len(key.norm) < 3:
+            for vid, entry in enumerate(self.entries):
+                if entry.norm and key.norm in entry.norm:
+                    containable.add(vid)
+                    shared.setdefault(vid, 0)
+        return shared, token_hits, containable
+
+    def _upper_bound(
+        self,
+        key: TextFeatures,
+        vid: int,
+        shared: int,
+        token_hit: bool,
+        containable: bool,
+    ) -> float:
+        """Cheap bound on ``score_features(key, entries[vid])``.
+
+        The trigram term is exact — ``shared`` is the true intersection
+        size, so the Jaccard falls out of the set sizes without touching
+        the sets. The containment term is exact too: a substring relation
+        is only possible when a shared trigram or short-norm hit exists,
+        and then one O(len) ``in`` check settles it (this is what makes
+        the bound tight enough to prune the trigram-noise tail). Only the
+        token term is loose: any token-posting hit is assumed to be a
+        perfect overlap.
+        """
+        entry = self.entries[vid]
+        if key.norm == entry.norm:
+            return 1.0
+        trigram = (
+            shared / (len(key.trigrams) + len(entry.trigrams) - shared)
+            if shared
+            else 0.0
+        )
+        token = 1.0 if token_hit else 0.0
+        containment = 0.0
+        if (shared or containable) and (
+            key.norm in entry.norm or entry.norm in key.norm
+        ):
+            shorter = min(len(key.norm), len(entry.norm))
+            longer = max(len(key.norm), len(entry.norm))
+            containment = 0.5 + 0.5 * (shorter / longer)
+        return max(0.55 * trigram + 0.45 * token, 0.9 * containment)
+
+    def _zero_tail(
+        self, n: int, exclude: dict[int, int]
+    ) -> list[tuple[Any, float]]:
+        """Zero-score padding in text order, skipping scored candidates."""
+        tail: list[tuple[Any, float]] = []
+        for vid in self._text_order:
+            if vid in exclude:
+                continue
+            tail.append((self.values[vid], 0.0))
+            if len(tail) == n:
+                break
+        return tail

@@ -1,0 +1,65 @@
+"""Fingerprint-keyed catalog cache — freshness without write-path hooks.
+
+A :class:`CatalogCache` holds one :class:`~repro.retrieval.catalog.ValueCatalog`
+per cache key (for minidb: ``(table, column, scan limit)``), each stamped
+with the *fingerprint* of the data it was built from. Callers pass the
+current fingerprint on every lookup; a mismatch rebuilds lazily. For
+minidb the fingerprint is the owning heap's ``(uid, version)`` pair —
+``version`` is bumped by every row/column mutation including transaction
+undo replays, and ``uid`` changes when a table is dropped and recreated —
+so INSERT/UPDATE/DELETE/ROLLBACK and DDL can never serve stale exemplars,
+and read-only workloads never pay an invalidation check beyond an integer
+compare.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+from .catalog import ValueCatalog
+
+
+class CatalogCache:
+    """LRU cache of value catalogs, invalidated by data fingerprints."""
+
+    def __init__(self, max_entries: int = 128):
+        self.max_entries = max_entries
+        self._entries: OrderedDict[Hashable, tuple[Hashable, ValueCatalog]] = (
+            OrderedDict()
+        )
+        #: lookup counters (observability / tests)
+        self.stats = {"hits": 0, "misses": 0, "rebuilds": 0}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(
+        self,
+        key: Hashable,
+        fingerprint: Hashable,
+        build: Callable[[], list[Any]],
+    ) -> ValueCatalog:
+        """The catalog for ``key``, rebuilt from ``build()`` when stale."""
+        cached = self._entries.get(key)
+        if cached is not None and cached[0] == fingerprint:
+            self._entries.move_to_end(key)
+            self.stats["hits"] += 1
+            return cached[1]
+        if cached is None:
+            self.stats["misses"] += 1
+        else:
+            self.stats["rebuilds"] += 1
+        catalog = ValueCatalog(build())
+        self._entries[key] = (fingerprint, catalog)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return catalog
+
+    def invalidate(self, key: Hashable | None = None) -> None:
+        """Drop one cached catalog, or all of them."""
+        if key is None:
+            self._entries.clear()
+        else:
+            self._entries.pop(key, None)

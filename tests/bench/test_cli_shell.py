@@ -38,12 +38,18 @@ class TestBenchCLI:
     def test_experiments_registry_complete(self):
         assert set(EXPERIMENTS) == {
             "fig5a", "fig5b", "fig5c", "fig6", "table1", "table2", "joins",
+            "retrieval",
         }
 
     def test_run_experiment_joins(self):
         report = run_experiment("joins", 1, 0.05, 100)
         assert "Join scale" in report
         assert "Hash Join" in report
+
+    def test_run_experiment_retrieval(self):
+        report = run_experiment("retrieval", 1, 0.02, 100)
+        assert "Retrieval scale" in report
+        assert "rankings: identical" in report
 
 
 class TestMinidbShell:
