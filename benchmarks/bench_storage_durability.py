@@ -1,0 +1,80 @@
+"""Storage-durability benchmark: warm reopen vs cold rebuild.
+
+Builds a durable database directory with 100k rows, checkpoints it, and
+persists the text column's value catalog; then measures reopening it
+(snapshot load + WAL replay + persisted-catalog serve) against the seed's
+only restart story — re-ingesting the data through the engine and
+rebuilding the catalog from scratch (see
+:mod:`repro.bench.storage_durability` for the measurement harness).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_storage_durability.py           # full (100k)
+    PYTHONPATH=src python benchmarks/bench_storage_durability.py --smoke   # CI-sized
+
+Writes the measured result to ``BENCH_storage.json`` (override with
+``--out``) so the perf trajectory is tracked across PRs. Exits non-zero
+if the warm-reopen speedup is below the acceptance threshold (10x full,
+2x smoke — at smoke sizes fixed per-open costs dominate), if the warm
+path rebuilt anything despite the persisted catalog, or if the warm and
+cold tool outputs differ.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench.reporting import render_storage_durability
+from repro.bench.storage_durability import experiment_storage_durability
+
+SPEEDUP_THRESHOLD = 10.0
+SMOKE_THRESHOLD = 2.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=100_000,
+                        help="rows in the benchmark table")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (10k rows, relaxed threshold)")
+    parser.add_argument("--out", default="BENCH_storage.json",
+                        help="where to write the JSON result")
+    args = parser.parse_args(argv)
+
+    rows = 10_000 if args.smoke else args.rows
+    threshold = SMOKE_THRESHOLD if args.smoke else SPEEDUP_THRESHOLD
+
+    result = experiment_storage_durability(rows=rows)
+    print(render_storage_durability(result))
+
+    passed = (
+        result["equivalence_ok"]
+        and result["zero_rebuild"]
+        and result["speedup"] >= threshold
+    )
+    payload = dict(result, threshold=threshold, smoke=args.smoke, passed=passed)
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+    if not result["equivalence_ok"]:
+        print("FAIL: warm-reopen and cold-rebuild tool outputs differ")
+        return 1
+    if not result["zero_rebuild"]:
+        print("FAIL: warm reopen rebuilt the catalog instead of serving "
+              "the persisted one")
+        return 1
+    if result["speedup"] < threshold:
+        print(f"FAIL: speedup {result['speedup']:.1f}x is below "
+              f"{threshold:.0f}x")
+        return 1
+    print(f"OK: speedup {result['speedup']:,.1f}x "
+          f"(threshold {threshold:.0f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

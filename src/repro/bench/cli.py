@@ -20,6 +20,7 @@ from .reporting import (
     render_fig6,
     render_join_scale,
     render_retrieval_scale,
+    render_storage_durability,
     render_table1,
     render_table2,
 )
@@ -31,9 +32,11 @@ from .runner import (
     experiment_fig6_table1,
     experiment_table2,
 )
+from .storage_durability import experiment_storage_durability
 
 EXPERIMENTS = (
-    "fig5a", "fig5b", "fig5c", "fig6", "table1", "table2", "joins", "retrieval"
+    "fig5a", "fig5b", "fig5c", "fig6", "table1", "table2", "joins",
+    "retrieval", "storage",
 )
 
 
@@ -76,6 +79,12 @@ def run_experiment(
             experiment_retrieval_scale(
                 distinct=distinct, brute_distinct=min(5_000, distinct)
             )
+        )
+    if name == "storage":
+        # scale factor: 1.0 -> a 100k-row durable table
+        rows = max(2_000, int(100_000 * scale))
+        return render_storage_durability(
+            experiment_storage_durability(rows=rows)
         )
     raise ValueError(f"unknown experiment {name!r}; choose from {EXPERIMENTS}")
 

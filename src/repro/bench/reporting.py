@@ -154,6 +154,37 @@ def render_retrieval_scale(result: dict[str, Any]) -> str:
     )
 
 
+def render_storage_durability(result: dict[str, Any]) -> str:
+    table = render_table(
+        ["restart path", "rows", "time (s)"],
+        [
+            [
+                "warm reopen (snapshot + persisted catalogs)",
+                result["rows"],
+                result["warm_reopen_s"],
+            ],
+            [
+                "cold rebuild (SQL replay + catalog build)",
+                result["rows"],
+                result["cold_rebuild_s"],
+            ],
+        ],
+        title="Storage durability — restart cost (minidb durable engine)",
+    )
+    zero = "yes" if result["zero_rebuild"] else "NO (catalog was rebuilt)"
+    equivalence = (
+        "identical" if result["equivalence_ok"] else "MISMATCH"
+    )
+    return (
+        f"{table}\n"
+        f"speedup: {result['speedup']:,.1f}x "
+        f"(best of {len(result['warm_trials_s'])} warm trials)\n"
+        f"zero catalog rebuild on reopen: {zero}\n"
+        f"warm vs cold tool output: {equivalence}\n"
+        f"snapshot write (checkpoint) took {result['checkpoint_s']:.2f}s"
+    )
+
+
 def render_join_scale(result: dict[str, Any]) -> str:
     suffix = (
         f" (measured at {result['nl_rows']} rows, extrapolated)"

@@ -11,7 +11,11 @@ Implements the paper's Section 2.2:
 * user-side object white/black-lists — filtered objects are simply not
   exposed;
 * column-exemplar retrieval — ``get_value(col, key, k)`` returns the top-k
-  values of a column most semantically relevant to a task key.
+  values of a column most semantically relevant to a task key. Behind the
+  binding, catalogs are cached per column and — when the database runs on
+  a durable storage engine (``MinidbBinding.open(path, user)``) — persisted
+  next to its snapshot, so agent sessions reopened after a restart serve
+  ``get_value`` for unchanged columns without rebuilding anything.
 """
 
 from __future__ import annotations

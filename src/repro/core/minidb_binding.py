@@ -18,6 +18,17 @@ class MinidbBinding(DatabaseBinding):
     def for_user(cls, db: Database, user: str) -> "MinidbBinding":
         return cls(db.connect(user))
 
+    @classmethod
+    def open(cls, path: str, user: str = "admin", **open_kwargs: Any) -> "MinidbBinding":
+        """Bind to a durable database directory (create or recover).
+
+        The database is opened through :meth:`repro.minidb.Database.open`,
+        so an agent session bound this way survives restarts: heaps,
+        indexes, privileges, and persisted retrieval catalogs all come
+        back from disk.
+        """
+        return cls.for_user(Database.open(path, **open_kwargs), user)
+
     # ----------------------------------------------------------- execution
 
     def run_sql(self, sql: str) -> SqlOutcome:
@@ -104,9 +115,12 @@ class MinidbBinding(DatabaseBinding):
         Catalogs live on the shared :class:`~repro.minidb.Database` (all
         sessions reuse them) and are fingerprinted by the owning heap's
         ``(uid, version)`` change counter, so any INSERT/UPDATE/DELETE,
-        DDL, or ROLLBACK triggers a lazy rebuild on the next call.
+        DDL, or ROLLBACK triggers a lazy rebuild on the next call. On a
+        durable database they are also persisted into the engine's
+        ``catalogs/`` sidecar directory, so a reopened database serves
+        unchanged columns without rebuilding anything.
         """
-        from ..retrieval import CatalogCache
+        from ..retrieval import CatalogCache, CatalogStore
 
         db = self.session.db
         schema = db.catalog.table(table)
@@ -114,7 +128,9 @@ class MinidbBinding(DatabaseBinding):
         heap = db.heap(schema.name)
         cache = db.retrieval_cache
         if cache is None:
-            cache = db.retrieval_cache = CatalogCache()
+            catalog_dir = db.engine.catalog_dir
+            store = CatalogStore(catalog_dir) if catalog_dir else None
+            cache = db.retrieval_cache = CatalogCache(store=store)
         catalog = cache.lookup(
             (schema.name, column_name, limit),
             (heap.uid, heap.version),

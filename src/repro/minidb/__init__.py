@@ -1,10 +1,15 @@
-"""minidb — a from-scratch in-memory relational database engine.
+"""minidb — a from-scratch relational database engine.
 
 This package is the PostgreSQL stand-in for the BridgeScope reproduction:
 SQL parsing, query execution with joins/aggregates/subqueries, ACID
 transactions via undo logging, PK/FK/UNIQUE/NOT NULL/CHECK constraints,
 views, secondary indexes, and a PostgreSQL-style privilege system with
 table- and column-level grants.
+
+Storage is pluggable (:mod:`repro.minidb.engines`): databases are
+in-memory by default, while ``Database.open(path)`` mounts a durable
+engine whose write-ahead log and snapshot files survive restarts with
+exact crash-recovery semantics.
 
 Public entry points: :class:`Database`, :class:`Session`,
 :class:`ResultSet`, :func:`parse`, :func:`analyze`, plus the error
@@ -14,6 +19,7 @@ taxonomy in :mod:`repro.minidb.errors`.
 from .analysis import ObjectAccess, StatementAnalysis, analyze
 from .catalog import Catalog, Column, ForeignKey, IndexSchema, TableSchema, ViewSchema
 from .database import Database, Session
+from .engines import DurableEngine, InMemoryEngine, StorageEngine
 from .errors import (
     CatalogError,
     CheckViolation,
@@ -25,6 +31,7 @@ from .errors import (
     MiniDBError,
     NotNullViolation,
     PermissionDenied,
+    PersistenceError,
     SQLSyntaxError,
     TransactionError,
     TypeMismatchError,
@@ -45,20 +52,24 @@ __all__ = [
     "Database",
     "DivisionByZeroError",
     "DuplicateObjectError",
+    "DurableEngine",
     "ExecutionError",
     "ForeignKey",
     "ForeignKeyViolation",
+    "InMemoryEngine",
     "IndexSchema",
     "IntegrityError",
     "MiniDBError",
     "NotNullViolation",
     "ObjectAccess",
     "PermissionDenied",
+    "PersistenceError",
     "PrivilegeManager",
     "ResultSet",
     "SQLSyntaxError",
     "Session",
     "StatementAnalysis",
+    "StorageEngine",
     "TableSchema",
     "TransactionError",
     "TypeMismatchError",

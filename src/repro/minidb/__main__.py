@@ -1,7 +1,10 @@
 """Interactive minidb shell: ``python -m repro.minidb [--user NAME]``.
 
-A tiny psql-style REPL against an in-memory database, useful for poking at
-the engine and for demos. Meta-commands:
+A tiny psql-style REPL, useful for poking at the engine and for demos.
+By default the database is in-memory and dies with the shell; pass
+``--data-dir PATH`` to open (or create) a durable database directory
+whose state — tables, indexes, users, grants — survives across shell
+sessions. Meta-commands:
 
 * ``\\d`` — list objects; ``\\d NAME`` — describe one object
 * ``\\du`` — list users
@@ -84,14 +87,26 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--init", default=None, help="SQL script file to run before the shell"
     )
+    parser.add_argument(
+        "--data-dir",
+        default=None,
+        help="durable database directory (created or recovered); omit for "
+        "an in-memory database",
+    )
     args = parser.parse_args(argv)
-    database = Database(owner="admin")
-    if args.user != "admin":
+    if args.data_dir:
+        database = Database.open(args.data_dir, owner="admin")
+    else:
+        database = Database(owner="admin")
+    if args.user != "admin" and not database.privileges.has_user(args.user):
         database.create_user(args.user)
     if args.init:
         with open(args.init) as handle:
             database.connect("admin").execute_script(handle.read())
-    run_shell(database, args.user)
+    try:
+        run_shell(database, args.user)
+    finally:
+        database.close()
     return 0
 
 

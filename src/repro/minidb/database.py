@@ -22,6 +22,7 @@ from typing import Any
 from . import ast_nodes as ast
 from .analysis import StatementAnalysis, analyze
 from .catalog import Catalog, IndexSchema, TableSchema
+from .engines import DurableEngine, InMemoryEngine, StorageEngine
 from .errors import MiniDBError, PermissionDenied, TransactionError
 from .executor import Executor
 from .parser import parse, parse_script
@@ -41,7 +42,10 @@ class Session:
     def __init__(self, db: "Database", user: str):
         self.db = db
         self.user = user
-        self.tx = TransactionManager()
+        # on a durable engine the database observes the commit boundary
+        # (redo flush) and explicit-transaction lifetimes; the in-memory
+        # engine skips redo logging entirely
+        self.tx = TransactionManager(hooks=db if db.engine.durable else None)
         #: statements executed through this session (benchmark observability)
         self.statement_log: list[str] = []
 
@@ -114,14 +118,33 @@ class Session:
 
 
 class Database:
-    """An in-memory minidb database instance shared by sessions."""
+    """A minidb database instance shared by sessions.
 
-    def __init__(self, owner: str = "admin", name: str = "main"):
+    Storage is pluggable: the default :class:`~repro.minidb.engines.
+    InMemoryEngine` keeps everything in process memory (the historical
+    behavior), while :meth:`open` mounts a directory-backed
+    :class:`~repro.minidb.engines.DurableEngine` whose WAL + snapshot
+    files survive restarts. The facade routes the three durability
+    touchpoints to the engine: recovery (at construction), the
+    transaction-commit boundary (redo flush), and checkpoint/close.
+    """
+
+    def __init__(
+        self,
+        owner: str = "admin",
+        name: str = "main",
+        engine: StorageEngine | None = None,
+    ):
         self.name = name
+        self.engine = engine or InMemoryEngine()
         self.catalog = Catalog()
         self.heaps: dict[str, HeapTable] = {}
         self.privileges = PrivilegeManager(owner)
         self.executor = Executor(self)
+        #: number of currently open explicit transactions across sessions —
+        #: maintained via TransactionHooks on durable engines, used to keep
+        #: checkpoints away from heaps holding uncommitted changes
+        self._open_explicit = 0
         #: access-path and join-strategy counters maintained by the
         #: executor (observability)
         self.planner_stats = {
@@ -137,6 +160,64 @@ class Database:
         #: ``repro.core.minidb_binding`` (kept as a plain slot so minidb
         #: has no dependency on the retrieval layer)
         self.retrieval_cache: Any | None = None
+        # recover persistent state (no-op for the in-memory engine); note
+        # a recovered snapshot replaces the owner/privileges constructed
+        # above — the directory's persisted identity wins
+        self.engine.attach(self)
+
+    # ----------------------------------------------------------- durability
+
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        owner: str = "admin",
+        name: str = "main",
+        auto_checkpoint_records: int = 10_000,
+        fsync_commits: bool = False,
+    ) -> "Database":
+        """Open (or create) a durable database rooted at directory ``path``.
+
+        An existing directory is recovered exactly: snapshot load, then
+        WAL-after-snapshot replay with torn-tail truncation. ``owner`` and
+        ``name`` only seed a *fresh* directory; a recovered snapshot's
+        persisted identity takes precedence.
+        """
+        return cls(
+            owner=owner,
+            name=name,
+            engine=DurableEngine(
+                path,
+                auto_checkpoint_records=auto_checkpoint_records,
+                fsync_commits=fsync_commits,
+            ),
+        )
+
+    def checkpoint(self) -> None:
+        """Compact the durable representation (snapshot + WAL truncation)."""
+        self.engine.checkpoint()
+
+    def close(self) -> None:
+        """Flush and detach the storage engine; sessions must not be used
+        afterwards on a durable database."""
+        self.engine.close()
+
+    @property
+    def open_explicit_transactions(self) -> int:
+        return self._open_explicit
+
+    # -------------------------------------------- TransactionHooks protocol
+
+    def commit_redo(self, records: list[dict[str, Any]]) -> None:
+        self.engine.append_commit(records)
+
+    def explicit_began(self) -> None:
+        self._open_explicit += 1
+
+    def explicit_finished(self) -> None:
+        self._open_explicit = max(0, self._open_explicit - 1)
+        if self._open_explicit == 0 and isinstance(self.engine, DurableEngine):
+            self.engine.run_pending_checkpoint()
 
     # ------------------------------------------------------------- sessions
 
@@ -149,6 +230,8 @@ class Database:
 
     def create_user(self, name: str) -> None:
         self.privileges.create_user(name)
+        if self.engine.durable:
+            self.engine.append_commit([{"op": "create_user", "user": name}])
 
     # ---------------------------------------------------------- authorizing
 
@@ -182,6 +265,7 @@ class Database:
                 raise MiniDBError(f"relation {obj!r} does not exist")
             for action in stmt.actions:
                 self.privileges.grant(stmt.grantee, action, obj, stmt.columns)
+        self._log_privilege_op("grant", stmt)
         return ResultSet(status="GRANT")
 
     def apply_revoke(self, issuer: str, stmt: ast.RevokeStatement) -> ResultSet:
@@ -190,7 +274,26 @@ class Database:
         for obj in stmt.objects:
             for action in stmt.actions:
                 self.privileges.revoke(stmt.grantee, action, obj, stmt.columns)
+        self._log_privilege_op("revoke", stmt)
         return ResultSet(status="REVOKE")
+
+    def _log_privilege_op(
+        self, op: str, stmt: "ast.GrantStatement | ast.RevokeStatement"
+    ) -> None:
+        """WAL-log one GRANT/REVOKE. These bypass the transaction manager
+        (they are not undo-logged), so the record is appended directly."""
+        if self.engine.durable:
+            self.engine.append_commit(
+                [
+                    {
+                        "op": op,
+                        "grantee": stmt.grantee,
+                        "actions": list(stmt.actions),
+                        "objects": list(stmt.objects),
+                        "columns": list(stmt.columns) if stmt.columns else None,
+                    }
+                ]
+            )
 
     # ------------------------------------------------------------- storage
 

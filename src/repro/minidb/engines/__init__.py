@@ -1,0 +1,25 @@
+"""Pluggable storage engines for minidb.
+
+The :class:`~repro.minidb.database.Database` facade delegates everything
+durability-related to a :class:`StorageEngine`:
+
+* :class:`InMemoryEngine` — the default. All state lives in process
+  memory; every hook is a no-op, so the write path pays nothing.
+* :class:`DurableEngine` — an on-disk engine combining an append-only
+  JSONL write-ahead log (one record per committed mutation, stamped with
+  the owning heap's ``(uid, version)``) with periodic snapshot/compaction
+  files. Opening a database directory replays WAL-after-snapshot and
+  restores heaps, secondary indexes, rid counters, and change counters
+  exactly; a torn final WAL record (partial write at crash time) is
+  detected and truncated, never half-applied.
+
+Later engines (sharded, remote, ANN-backed) slot in behind the same
+interface: the executor and transaction manager only ever see
+:class:`StorageEngine` hooks.
+"""
+
+from .base import StorageEngine
+from .durable import DurableEngine
+from .memory import InMemoryEngine
+
+__all__ = ["DurableEngine", "InMemoryEngine", "StorageEngine"]

@@ -1,0 +1,617 @@
+"""The durable storage engine: JSONL write-ahead log + snapshots.
+
+File layout (one directory per database)::
+
+    <path>/
+      snapshot.json   full state at the last checkpoint (atomic replace)
+      wal.jsonl       one JSON record per committed mutation since then
+      catalogs/       persisted retrieval value catalogs (sidecar files
+                      owned by repro.retrieval; minidb only provides the
+                      directory)
+
+WAL record schema
+-----------------
+
+Every record is one JSON object on its own ``\\n``-terminated line with a
+``seq`` field — a strictly increasing sequence number spanning snapshots
+— plus an ``op`` and op-specific fields. The last record of each
+committed transaction's batch additionally carries ``commit: true``;
+recovery applies whole batches only, so a crash can never half-apply a
+multi-record transaction. Row and DDL records are stamped with the
+owning heap's post-mutation ``(uid, version)``, so recovery restores
+change counters (and therefore retrieval-cache fingerprints) exactly:
+
+=================  ========================================================
+op                 fields
+=================  ========================================================
+``insert``         table, rid, row, uid, version
+``update``         table, rid, row (new image), uid, version
+``delete``         table, rid, uid, version
+``create_table``   schema (structural), indexes (definitions), uid, version
+``drop_table``     table
+``add_column``     table, column (structural), fill (value applied to
+                   existing rows), uid, version
+``drop_column``    table, column, uid, version
+``rename_column``  table, old, new, uid, version
+``rename_table``   old, new
+``create_index``   table, index (definition), uid, version
+``drop_index``     table, index, uid, version
+``create_view``    view, sql (select_to_sql round trip), or_replace
+``drop_view``      view
+``grant``          grantee, actions, objects, columns
+``revoke``         grantee, actions, objects, columns
+``create_user``    user
+=================  ========================================================
+
+Recovery invariants
+-------------------
+
+* **Prefix durability.** Recovery applies the longest prefix of the WAL
+  whose records are newline-terminated, JSON-parseable, contiguous in
+  ``seq``, and end at a ``commit``-marked record; everything after (a
+  torn record from a crashed append, an unterminated transaction batch,
+  or trailing garbage) is truncated from the file, never half-applied.
+* **Checkpoint atomicity.** A snapshot is written to a temp file, fsynced,
+  and renamed over the old one before the WAL is truncated. A crash
+  between rename and truncate leaves stale WAL records whose ``seq`` is at
+  or below the snapshot's ``applied_seq``; recovery skips them.
+* **Exact counters.** Heap rid counters and ``(uid, version)`` change
+  counters come back exactly as committed, and the process-wide uid
+  allocator is advanced past every restored uid.
+* **Commit boundary.** Only committed transactions reach
+  :meth:`DurableEngine.append_commit` (the transaction manager discards
+  rolled-back redo logs), so replay needs no compensation records. The
+  WAL-consistency argument assumes minidb's documented single-writer
+  usage: sessions do not mutate rows of another session's still-open
+  transaction.
+
+A ``LOCK`` file (owner pid, created O_EXCL) enforces a single writer per
+directory: a concurrent open from another live process fails loudly
+instead of interleaving sequence numbers; locks left by dead processes
+(or this process's own crashed-and-dropped engines) are stolen.
+
+Checkpoint/compaction policy: a checkpoint runs on demand
+(:meth:`~repro.minidb.database.Database.checkpoint`) and automatically
+once ``auto_checkpoint_records`` WAL records accumulate; automatic
+checkpoints are deferred while any explicit transaction is open, because
+heaps then contain uncommitted (undo-pending) mutations that must not be
+snapshotted.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import re
+import weakref
+from typing import TYPE_CHECKING, Any
+
+from ..catalog import IndexSchema
+from ..errors import PersistenceError, TransactionError
+from ..storage import HeapTable, reserve_heap_uids
+from .base import Record, StorageEngine
+from .serial import (
+    dump_hash_index,
+    dump_index_schema,
+    dump_privileges,
+    dump_table_schema,
+    dump_view,
+    load_column,
+    load_hash_index,
+    load_index_schema,
+    load_privileges,
+    load_table_schema,
+    load_view,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..database import Database
+
+SNAPSHOT_NAME = "snapshot.json"
+WAL_NAME = "wal.jsonl"
+CATALOG_DIR_NAME = "catalogs"
+LOCK_NAME = "LOCK"
+SNAPSHOT_FORMAT = 1
+
+#: open engines of THIS process by directory — the pid lock file cannot
+#: tell a live same-process engine from one that was dropped without
+#: close() (a simulated crash), so same-process double-opens are policed
+#: here instead
+_LIVE_ENGINES: "dict[str, weakref.ref[DurableEngine]]" = {}
+
+
+class DurableEngine(StorageEngine):
+    """WAL + snapshot persistence rooted at one database directory."""
+
+    durable = True
+
+    def __init__(
+        self,
+        path: str,
+        auto_checkpoint_records: int = 10_000,
+        fsync_commits: bool = False,
+    ):
+        super().__init__()
+        self.path = os.path.abspath(path)
+        self.snapshot_path = os.path.join(self.path, SNAPSHOT_NAME)
+        self.wal_path = os.path.join(self.path, WAL_NAME)
+        self._catalog_dir = os.path.join(self.path, CATALOG_DIR_NAME)
+        #: WAL records between automatic checkpoints (0 disables them)
+        self.auto_checkpoint_records = auto_checkpoint_records
+        #: fsync the WAL on every commit (crash-beyond-process safety) —
+        #: off by default: flush survives process death, which is the
+        #: failure model the tests exercise
+        self.fsync_commits = fsync_commits
+        self._wal = None
+        self._seq = 0  # last sequence number written or recovered
+        self._records_since_snapshot = 0
+        self._checkpoint_pending = False
+        self._closed = False
+        self._locked = False
+        #: recovery / write-path observability
+        self.stats = {
+            "snapshot_loaded": False,
+            "wal_replayed": 0,
+            "wal_skipped": 0,
+            "wal_truncated_bytes": 0,
+            "commits": 0,
+            "records": 0,
+            "checkpoints": 0,
+        }
+
+    # ------------------------------------------------------------ lifecycle
+
+    @property
+    def catalog_dir(self) -> str | None:
+        return self._catalog_dir
+
+    def describe(self) -> str:
+        return f"durable({self.path})"
+
+    def attach(self, db: "Database") -> None:
+        super().attach(db)
+        os.makedirs(self.path, exist_ok=True)
+        os.makedirs(self._catalog_dir, exist_ok=True)
+        self._register_live()
+        self._acquire_lock()
+        try:
+            fresh = not os.path.exists(self.snapshot_path)
+            if not fresh:
+                self._load_snapshot(db)
+            self._replay_wal(db)
+            self._prune_catalog_sidecars(db)
+            self._wal = open(self.wal_path, "a", encoding="utf-8")
+            if fresh:
+                # persist the base state (owner, empty catalog) immediately
+                # so a WAL-only directory is never ambiguous about its origin
+                self.checkpoint()
+        except BaseException:
+            # failed recovery must not leave the directory locked: the
+            # operator's retry (possibly from another process) would be
+            # refused by a lock no live engine holds
+            self._deregister_live()
+            self._release_lock()
+            raise
+
+    def _register_live(self) -> None:
+        existing = _LIVE_ENGINES.get(self.path)
+        if existing is not None and existing() is not None:
+            # a dropped-without-close engine lingers until its Database
+            # reference cycle is collected; give it one chance to die
+            # before concluding the open handle is genuinely live
+            gc.collect()
+            existing = _LIVE_ENGINES.get(self.path)
+        engine = existing() if existing is not None else None
+        if engine is not None and not engine._closed:
+            raise PersistenceError(
+                f"database directory {self.path!r} is already open in this "
+                "process; close() the other Database first"
+            )
+        _LIVE_ENGINES[self.path] = weakref.ref(self)
+
+    def _deregister_live(self) -> None:
+        existing = _LIVE_ENGINES.get(self.path)
+        if existing is not None and existing() is self:
+            del _LIVE_ENGINES[self.path]
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._wal is not None:
+            self._wal.flush()
+            os.fsync(self._wal.fileno())
+            self._wal.close()
+            self._wal = None
+        self._deregister_live()
+        self._release_lock()
+
+    def _ensure_open(self) -> None:
+        if self._closed or self._wal is None:
+            raise PersistenceError("storage engine is closed")
+
+    # ---------------------------------------------------- single-writer lock
+
+    @property
+    def lock_path(self) -> str:
+        return os.path.join(self.path, LOCK_NAME)
+
+    def _acquire_lock(self) -> None:
+        """Refuse to share the directory with another live writer process.
+
+        A second writer would interleave duplicate WAL sequence numbers
+        and truncate logs under the first — silent data loss. The lock
+        file holds the owner's pid; a lock whose pid is dead, unparseable,
+        or this very process (an earlier engine on the same path that was
+        dropped without ``close()``, e.g. a simulated crash) is stale and
+        stolen. Cross-process double-opens fail loudly instead.
+        """
+        while True:
+            try:
+                fd = os.open(
+                    self.lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+            except FileExistsError:
+                owner = self._lock_owner()
+                if owner is not None and owner != os.getpid():
+                    raise PersistenceError(
+                        f"database directory {self.path!r} is locked by "
+                        f"running process {owner}"
+                    ) from None
+                try:  # stale (dead owner, garbage, or our own earlier open)
+                    os.unlink(self.lock_path)
+                except FileNotFoundError:
+                    pass
+                continue
+            with os.fdopen(fd, "w") as fh:
+                fh.write(str(os.getpid()))
+            self._locked = True
+            return
+
+    def _lock_owner(self) -> int | None:
+        """Pid of a *live* process holding the lock, else ``None``."""
+        try:
+            with open(self.lock_path, "r", encoding="utf-8") as fh:
+                pid = int(fh.read().strip())
+        except (OSError, ValueError):
+            return None
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return None
+        except PermissionError:
+            return pid  # alive, owned by someone else
+        return pid
+
+    def _release_lock(self) -> None:
+        if self._locked:
+            self._locked = False
+            try:
+                os.unlink(self.lock_path)
+            except OSError:
+                pass
+
+    # -------------------------------------------------------------- commits
+
+    def append_commit(self, records: list[Record]) -> None:
+        self._ensure_open()
+        lines = []
+        last = len(records) - 1
+        for position, record in enumerate(records):
+            self._seq += 1
+            payload = {"seq": self._seq, **record}
+            if position == last:
+                # commit marker: recovery only applies whole batches, so a
+                # crash can never half-apply a multi-record transaction
+                payload["commit"] = True
+            lines.append(json.dumps(payload, separators=(",", ":")))
+        self._wal.write("\n".join(lines) + "\n")
+        self._wal.flush()
+        if self.fsync_commits:
+            os.fsync(self._wal.fileno())
+        self._records_since_snapshot += len(records)
+        self.stats["commits"] += 1
+        self.stats["records"] += len(records)
+        if (
+            self.auto_checkpoint_records
+            and self._records_since_snapshot >= self.auto_checkpoint_records
+        ):
+            self._request_checkpoint()
+
+    def _request_checkpoint(self) -> None:
+        """Checkpoint now if safe, else defer until no transaction is open."""
+        if self.db is not None and self.db.open_explicit_transactions:
+            self._checkpoint_pending = True
+        else:
+            self.checkpoint()
+
+    def run_pending_checkpoint(self) -> None:
+        """Called by the database when the last explicit transaction ends."""
+        if self._checkpoint_pending and not self._closed:
+            self._checkpoint_pending = False
+            self._request_checkpoint()
+
+    # ---------------------------------------------------------- checkpoints
+
+    def checkpoint(self) -> None:
+        """Write a full snapshot and truncate the WAL (compaction)."""
+        if self._closed:
+            raise PersistenceError("storage engine is closed")
+        db = self.db
+        assert db is not None
+        if db.open_explicit_transactions:
+            raise TransactionError(
+                "cannot checkpoint while a transaction is in progress: heaps "
+                "contain uncommitted changes"
+            )
+        payload = self._snapshot_payload(db)
+        tmp_path = self.snapshot_path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, separators=(",", ":"))
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_path, self.snapshot_path)
+        # the snapshot now covers every WAL record; truncate the log
+        if self._wal is not None:
+            self._wal.close()
+        self._wal = open(self.wal_path, "w", encoding="utf-8")
+        self._records_since_snapshot = 0
+        self._checkpoint_pending = False
+        self.stats["checkpoints"] += 1
+
+    def _snapshot_payload(self, db: "Database") -> dict[str, Any]:
+        tables = []
+        for schema in db.catalog.tables.values():
+            heap = db.heap(schema.name)
+            tables.append(
+                {
+                    "schema": dump_table_schema(schema),
+                    "uid": heap.uid,
+                    "version": heap.version,
+                    "next_rid": heap._next_rid,
+                    "indexes": [
+                        dump_hash_index(ix) for ix in heap.indexes.values()
+                    ],
+                    "rows": [[rid, row] for rid, row in heap.rows()],
+                }
+            )
+        return {
+            "format": SNAPSHOT_FORMAT,
+            "name": db.name,
+            "applied_seq": self._seq,
+            "privileges": dump_privileges(db.privileges),
+            "tables": tables,
+            "views": [dump_view(v) for v in db.catalog.views.values()],
+            "indexes": [
+                dump_index_schema(ix) for ix in db.catalog.indexes.values()
+            ],
+        }
+
+    # ------------------------------------------------------------- recovery
+
+    def _load_snapshot(self, db: "Database") -> None:
+        try:
+            with open(self.snapshot_path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise PersistenceError(
+                f"unreadable snapshot {self.snapshot_path!r}: {exc}"
+            ) from exc
+        if data.get("format") != SNAPSHOT_FORMAT:
+            raise PersistenceError(
+                f"unsupported snapshot format {data.get('format')!r}"
+            )
+        db.name = data["name"]
+        db.privileges = load_privileges(data["privileges"])
+        for entry in data["tables"]:
+            schema = load_table_schema(entry["schema"])
+            db.catalog.add_table(schema)
+            db.heaps[schema.name.lower()] = HeapTable.from_snapshot(
+                schema.name,
+                entry["rows"],
+                next_rid=entry["next_rid"],
+                uid=entry["uid"],
+                version=entry["version"],
+                indexes=[load_hash_index(ix) for ix in entry["indexes"]],
+            )
+        for entry in data["views"]:
+            db.catalog.add_view(load_view(entry))
+        for entry in data["indexes"]:
+            db.catalog.add_index(load_index_schema(entry))
+        self._seq = data["applied_seq"]
+        self.stats["snapshot_loaded"] = True
+
+    def _replay_wal(self, db: "Database") -> None:
+        """Apply the longest durable WAL prefix; truncate everything after.
+
+        Durable prefix = complete (newline-terminated, parseable,
+        seq-contiguous) records up to and including the last
+        commit-marked one. Records of an unterminated trailing batch —
+        a transaction whose commit marker never hit the disk — are
+        truncated together with any torn bytes, so crash recovery is
+        atomic at transaction granularity, not just record granularity.
+        """
+        if not os.path.exists(self.wal_path):
+            return
+        with open(self.wal_path, "rb") as fh:
+            data = fh.read()
+        valid_end = 0
+        offset = 0
+        last_seq: int | None = None
+        pending: list[Record] = []
+        while offset < len(data):
+            newline = data.find(b"\n", offset)
+            if newline == -1:
+                break  # un-terminated final line: torn append
+            try:
+                record = json.loads(data[offset:newline].decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                break
+            if not isinstance(record, dict) or not isinstance(
+                record.get("seq"), int
+            ):
+                break
+            seq = record["seq"]
+            if last_seq is not None and seq != last_seq + 1:
+                break  # sequence gap: everything after is not trustworthy
+            last_seq = seq
+            offset = newline + 1
+            pending.append(record)
+            if record.get("commit"):
+                for batched in pending:
+                    if batched["seq"] > self._seq:
+                        self._apply(db, batched)
+                        self._seq = batched["seq"]
+                        self.stats["wal_replayed"] += 1
+                    else:
+                        # remnant from a checkpoint that crashed between
+                        # snapshot rename and WAL truncation — already in
+                        # the snapshot
+                        self.stats["wal_skipped"] += 1
+                pending = []
+                valid_end = offset
+        if valid_end < len(data):
+            self.stats["wal_truncated_bytes"] += len(data) - valid_end
+            with open(self.wal_path, "r+b") as fh:
+                fh.truncate(valid_end)
+        self._records_since_snapshot += self.stats["wal_replayed"]
+
+    _SIDECAR_RE = re.compile(r"\.(\d+)-(\d+)\.catalog\.pkl$")
+
+    def _prune_catalog_sidecars(self, db: "Database") -> None:
+        """Delete persisted retrieval catalogs recovery cannot vouch for.
+
+        Sidecar files encode their ``(uid, version)`` fingerprint in the
+        filename (see ``repro.retrieval.engine.CatalogStore``). Only files
+        matching a heap's *exact current* fingerprint can ever be served
+        again — version counters only grow — and files persisted from
+        uncommitted data (counters run ahead of the WAL inside open
+        transactions) would otherwise collide with a future committed
+        state after a crash rewinds the counter. Pruning to the live
+        fingerprint set makes both impossible.
+        """
+        try:
+            names = os.listdir(self._catalog_dir)
+        except OSError:
+            return
+        valid = {(heap.uid, heap.version) for heap in db.heaps.values()}
+        for name in names:
+            path = os.path.join(self._catalog_dir, name)
+            if name.endswith(".tmp"):  # torn sidecar write
+                remove = True
+            else:
+                match = self._SIDECAR_RE.search(name)
+                if match is None:
+                    continue  # not a catalog sidecar; leave it alone
+                fingerprint = (int(match.group(1)), int(match.group(2)))
+                remove = fingerprint not in valid
+            if remove:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+
+    # ---------------------------------------------------------- WAL replay
+
+    def _apply(self, db: "Database", record: Record) -> None:
+        try:
+            self._apply_record(db, record)
+        except PersistenceError:
+            raise
+        except Exception as exc:
+            raise PersistenceError(
+                f"WAL replay failed at seq {record.get('seq')} "
+                f"(op {record.get('op')!r}): {exc}"
+            ) from exc
+
+    def _apply_record(self, db: "Database", r: Record) -> None:
+        op = r["op"]
+        if op == "insert":
+            heap = db.heaps[r["table"]]
+            heap.restore(r["rid"], r["row"])
+            heap.version = r["version"]
+        elif op == "update":
+            heap = db.heaps[r["table"]]
+            heap.update(r["rid"], r["row"])
+            heap.version = r["version"]
+        elif op == "delete":
+            heap = db.heaps[r["table"]]
+            heap.delete(r["rid"])
+            heap.version = r["version"]
+        elif op == "create_table":
+            schema = load_table_schema(r["schema"])
+            db.catalog.add_table(schema)
+            heap = HeapTable(schema.name)
+            for entry in r["indexes"]:
+                index = load_hash_index(entry)
+                heap.indexes[index.name] = index  # new table: nothing to fill
+            heap.uid = r["uid"]
+            heap.version = r["version"]
+            reserve_heap_uids(heap.uid)
+            db.heaps[schema.name.lower()] = heap
+        elif op == "drop_table":
+            db.drop_table_physical(r["table"])
+        elif op == "add_column":
+            schema = db.catalog.table(r["table"])
+            heap = db.heaps[r["table"].lower()]
+            schema.columns.append(load_column(r["column"]))
+            heap.add_column(r["column"]["name"], r["fill"])
+            heap.version = r["version"]
+        elif op == "drop_column":
+            schema = db.catalog.table(r["table"])
+            heap = db.heaps[r["table"].lower()]
+            column = schema.column(r["column"])
+            schema.columns.remove(column)
+            heap.drop_column(column.name)
+            heap.version = r["version"]
+        elif op == "rename_column":
+            schema = db.catalog.table(r["table"])
+            heap = db.heaps[r["table"].lower()]
+            column = schema.column(r["old"])
+            column.name = r["new"]
+            heap.rename_column(r["old"], r["new"])
+            schema.primary_key = tuple(
+                r["new"] if c == r["old"] else c for c in schema.primary_key
+            )
+            heap.version = r["version"]
+        elif op == "rename_table":
+            db.catalog.rename_table(r["old"], r["new"])
+            db.heaps[r["new"].lower()] = db.heaps.pop(r["old"].lower())
+        elif op == "create_index":
+            entry = r["index"]
+            schema = db.catalog.table(r["table"])
+            db.catalog.add_index(
+                IndexSchema(
+                    entry["name"],
+                    schema.name,
+                    tuple(entry["columns"]),
+                    entry["unique"],
+                )
+            )
+            heap = db.heaps[r["table"].lower()]
+            heap.add_index(load_hash_index(entry))
+            heap.version = r["version"]
+        elif op == "drop_index":
+            db.catalog.remove_index(r["index"])
+            heap = db.heaps[r["table"].lower()]
+            heap.drop_index(r["index"])
+            heap.version = r["version"]
+        elif op == "create_view":
+            view = load_view({"name": r["view"], "sql": r["sql"]})
+            db.catalog.add_view(view, replace=r.get("or_replace", False))
+        elif op == "drop_view":
+            db.catalog.remove_view(r["view"])
+        elif op == "grant":
+            for obj in r["objects"]:
+                for action in r["actions"]:
+                    db.privileges.grant(r["grantee"], action, obj, r["columns"])
+        elif op == "revoke":
+            for obj in r["objects"]:
+                for action in r["actions"]:
+                    db.privileges.revoke(r["grantee"], action, obj, r["columns"])
+        elif op == "create_user":
+            db.privileges.create_user(r["user"])
+        else:
+            raise PersistenceError(f"unknown WAL op {op!r}")

@@ -1,0 +1,22 @@
+"""The default engine: everything lives in process memory.
+
+Kept as an explicit class (rather than ``engine=None`` checks sprinkled
+through the write path) so the database facade, transaction manager, and
+executor speak one interface regardless of backend. Every hook inherits
+the no-op implementation from :class:`~repro.minidb.engines.base.
+StorageEngine`; ``durable = False`` additionally short-circuits redo
+logging at the source, so in-memory workloads never build redo records.
+"""
+
+from __future__ import annotations
+
+from .base import StorageEngine
+
+
+class InMemoryEngine(StorageEngine):
+    """Volatile storage: state dies with the process (the seed behavior)."""
+
+    durable = False
+
+    def describe(self) -> str:
+        return "memory"

@@ -1,0 +1,181 @@
+"""Structural (de)serialization between catalog objects and JSON.
+
+The durable engine persists schema metadata *structurally* — plain JSON
+for everything that is plain data — and leans on the SQL round trip only
+where an AST is unavoidable: CHECK constraints travel as their rendered
+SQL source (``TableSchema.check_sources``) and view definitions as
+:func:`repro.minidb.sqlgen.select_to_sql` text, both re-parsed on load.
+Column defaults are stored as evaluated values (the executor evaluates
+DEFAULT expressions at DDL time), so they are always JSON-safe scalars.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..ast_nodes import Expr, SelectStatement
+from ..catalog import Column, ForeignKey, IndexSchema, TableSchema, ViewSchema
+from ..errors import PersistenceError
+from ..parser import parse
+from ..privileges import Grant, PrivilegeManager
+from ..storage import HashIndex
+from ..types import ColumnType
+
+
+# ---------------------------------------------------------------- SQL bridge
+
+
+def parse_expression(source: str) -> Expr:
+    """Re-parse one rendered expression (CHECK source) back into an AST."""
+    stmt = parse(f"SELECT ({source})")
+    if not isinstance(stmt, SelectStatement) or len(stmt.items) != 1:
+        raise PersistenceError(f"cannot restore expression from {source!r}")
+    return stmt.items[0].expr
+
+
+def parse_view_select(source: str) -> SelectStatement:
+    """Re-parse a persisted view definition back into a SELECT AST."""
+    stmt = parse(source)
+    if not isinstance(stmt, SelectStatement):
+        raise PersistenceError(f"cannot restore view definition from {source!r}")
+    return stmt
+
+
+# ------------------------------------------------------------------- schemas
+
+
+def dump_column(column: Column) -> dict[str, Any]:
+    return {
+        "name": column.name,
+        "type": column.ctype.name,
+        "length": column.ctype.length,
+        "not_null": column.not_null,
+        "default": column.default,
+        "has_default": column.has_default,
+    }
+
+
+def load_column(data: dict[str, Any]) -> Column:
+    return Column(
+        name=data["name"],
+        ctype=ColumnType(data["type"], data.get("length")),
+        not_null=data["not_null"],
+        default=data["default"],
+        has_default=data["has_default"],
+    )
+
+
+def dump_table_schema(schema: TableSchema) -> dict[str, Any]:
+    return {
+        "name": schema.name,
+        "columns": [dump_column(c) for c in schema.columns],
+        "primary_key": list(schema.primary_key),
+        "foreign_keys": [
+            {
+                "columns": list(fk.columns),
+                "ref_table": fk.ref_table,
+                "ref_columns": list(fk.ref_columns),
+            }
+            for fk in schema.foreign_keys
+        ],
+        "uniques": [list(u) for u in schema.uniques],
+        "checks": list(schema.check_sources),
+    }
+
+
+def load_table_schema(data: dict[str, Any]) -> TableSchema:
+    sources = list(data["checks"])
+    return TableSchema(
+        name=data["name"],
+        columns=[load_column(c) for c in data["columns"]],
+        primary_key=tuple(data["primary_key"]),
+        foreign_keys=[
+            ForeignKey(
+                tuple(fk["columns"]), fk["ref_table"], tuple(fk["ref_columns"])
+            )
+            for fk in data["foreign_keys"]
+        ],
+        uniques=[tuple(u) for u in data["uniques"]],
+        checks=[parse_expression(source) for source in sources],
+        check_sources=sources,
+    )
+
+
+# ------------------------------------------------------------------- indexes
+
+
+def dump_hash_index(index: HashIndex) -> dict[str, Any]:
+    """Definition only — buckets are rebuilt from rows on load."""
+    return {
+        "name": index.name,
+        "columns": list(index.columns),
+        "unique": index.unique,
+    }
+
+
+def load_hash_index(data: dict[str, Any]) -> HashIndex:
+    return HashIndex(data["name"], tuple(data["columns"]), data["unique"])
+
+
+def dump_index_schema(schema: IndexSchema) -> dict[str, Any]:
+    return {
+        "name": schema.name,
+        "table": schema.table,
+        "columns": list(schema.columns),
+        "unique": schema.unique,
+    }
+
+
+def load_index_schema(data: dict[str, Any]) -> IndexSchema:
+    return IndexSchema(
+        data["name"], data["table"], tuple(data["columns"]), data["unique"]
+    )
+
+
+# --------------------------------------------------------------------- views
+
+
+def dump_view(view: ViewSchema) -> dict[str, Any]:
+    return {"name": view.name, "sql": view.source_sql}
+
+
+def load_view(data: dict[str, Any]) -> ViewSchema:
+    return ViewSchema(
+        data["name"], parse_view_select(data["sql"]), source_sql=data["sql"]
+    )
+
+
+# ---------------------------------------------------------------- privileges
+
+
+def dump_privileges(manager: PrivilegeManager) -> dict[str, Any]:
+    return {
+        "owner": manager.owner,
+        "users": {
+            user: [
+                [
+                    grant.action,
+                    grant.obj,
+                    sorted(grant.columns) if grant.columns is not None else None,
+                ]
+                for grant in manager._users[user].grants
+            ]
+            for user in sorted(manager._users)
+        },
+    }
+
+
+def load_privileges(data: dict[str, Any]) -> PrivilegeManager:
+    manager = PrivilegeManager(data["owner"])
+    for user, grants in data["users"].items():
+        manager.create_user(user)
+        entry = manager._users[user.lower()]
+        entry.grants = [
+            Grant(
+                action,
+                obj,
+                frozenset(columns) if columns is not None else None,
+            )
+            for action, obj, columns in grants
+        ]
+    return manager

@@ -96,3 +96,11 @@ class ExecutionError(MiniDBError):
 
 class DivisionByZeroError(ExecutionError):
     code = "22012"
+
+
+class PersistenceError(MiniDBError):
+    """Durable-storage failure: unreadable snapshot, corrupt WAL record
+    (other than a torn tail, which recovery repairs), or I/O against a
+    closed engine."""
+
+    code = "58030"

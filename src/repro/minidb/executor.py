@@ -50,8 +50,9 @@ from .planner import (
     plan_select_joins,
     plan_select_paths,
 )
+from .engines.serial import dump_column, dump_hash_index, dump_table_schema
 from .result import ResultSet
-from .sqlgen import expr_to_sql
+from .sqlgen import expr_to_sql, select_to_sql
 from .storage import HashIndex, HeapTable, Row
 from .types import ColumnType, coerce
 
@@ -871,6 +872,8 @@ class Executor:
             ]
 
         inserted = 0
+        redo = session.tx.redo_enabled
+        table_key = schema.name.lower()
         for values in value_rows:
             if len(values) != len(target_columns):
                 raise ExecutionError(
@@ -884,6 +887,17 @@ class Executor:
                 f"insert {schema.name} rid={rid}",
                 lambda heap=heap, rid=rid: heap.delete(rid),
             )
+            if redo:
+                session.tx.log_redo(
+                    {
+                        "op": "insert",
+                        "table": table_key,
+                        "rid": rid,
+                        "row": row,
+                        "uid": heap.uid,
+                        "version": heap.version,
+                    }
+                )
             inserted += 1
         return ResultSet(rowcount=inserted, status=f"INSERT {inserted}")
 
@@ -1032,6 +1046,17 @@ class Executor:
                 f"update {schema.name} rid={rid}",
                 lambda heap=heap, rid=rid, prev=previous: heap.update(rid, prev),
             )
+            if session.tx.redo_enabled:
+                session.tx.log_redo(
+                    {
+                        "op": "update",
+                        "table": schema.name.lower(),
+                        "rid": rid,
+                        "row": new_row,
+                        "uid": heap.uid,
+                        "version": heap.version,
+                    }
+                )
             updated += 1
         return ResultSet(rowcount=updated, status=f"UPDATE {updated}")
 
@@ -1063,6 +1088,16 @@ class Executor:
                 f"delete {schema.name} rid={rid}",
                 lambda heap=heap, rid=rid, old=old: heap.restore(rid, old),
             )
+            if session.tx.redo_enabled:
+                session.tx.log_redo(
+                    {
+                        "op": "delete",
+                        "table": schema.name.lower(),
+                        "rid": rid,
+                        "uid": heap.uid,
+                        "version": heap.version,
+                    }
+                )
             deleted += 1
         return ResultSet(rowcount=deleted, status=f"DELETE {deleted}")
 
@@ -1182,6 +1217,19 @@ class Executor:
             f"create table {schema.name}",
             lambda db=self.db, name=schema.name: db.drop_table_physical(name),
         )
+        if session.tx.redo_enabled:
+            session.tx.log_redo(
+                {
+                    "op": "create_table",
+                    "table": schema.name.lower(),
+                    "schema": dump_table_schema(schema),
+                    "indexes": [
+                        dump_hash_index(ix) for ix in heap.indexes.values()
+                    ],
+                    "uid": heap.uid,
+                    "version": heap.version,
+                }
+            )
         return ResultSet(status="CREATE TABLE")
 
     def _exec_DropTableStatement(
@@ -1199,6 +1247,8 @@ class Executor:
                     f"drop view {name}",
                     lambda catalog=catalog, view=view: catalog.add_view(view),
                 )
+                if session.tx.redo_enabled:
+                    session.tx.log_redo({"op": "drop_view", "view": view.name})
                 continue
             referencing = [
                 t
@@ -1227,6 +1277,10 @@ class Executor:
                     heap=heap,
                     dropped=dropped_indexes: db.restore_table(schema, heap, dropped),
                 )
+                if session.tx.redo_enabled:
+                    session.tx.log_redo(
+                        {"op": "drop_table", "table": schema.name.lower()}
+                    )
         return ResultSet(status="DROP TABLE")
 
     def _exec_AlterTableStatement(
@@ -1271,6 +1325,17 @@ class Executor:
                     heap.drop_column(column.name),
                 ),
             )
+            if session.tx.redo_enabled:
+                session.tx.log_redo(
+                    {
+                        "op": "add_column",
+                        "table": schema.name.lower(),
+                        "column": dump_column(column),
+                        "fill": default,
+                        "uid": heap.uid,
+                        "version": heap.version,
+                    }
+                )
             return ResultSet(status="ALTER TABLE")
         if stmt.action == "DROP_COLUMN":
             column = schema.column(stmt.old_name or "")
@@ -1289,6 +1354,16 @@ class Executor:
                 heap.restore_column(column.name, values)
 
             session.tx.log_undo(f"drop column {schema.name}.{column.name}", undo)
+            if session.tx.redo_enabled:
+                session.tx.log_redo(
+                    {
+                        "op": "drop_column",
+                        "table": schema.name.lower(),
+                        "column": column.name,
+                        "uid": heap.uid,
+                        "version": heap.version,
+                    }
+                )
             return ResultSet(status="ALTER TABLE")
         if stmt.action == "RENAME_COLUMN":
             column = schema.column(stmt.old_name or "")
@@ -1300,13 +1375,32 @@ class Executor:
             schema.primary_key = tuple(
                 column.name if c == old_name else c for c in schema.primary_key
             )
+            def undo_rename(schema=schema, heap=heap, column=column,
+                            old=old_name):
+                new = column.name
+                heap.rename_column(new, old)
+                column.name = old
+                # the forward path rewrote the primary key too; leaving it
+                # pointing at the new name would dangle (and, durably,
+                # snapshot a PK on a nonexistent column)
+                schema.primary_key = tuple(
+                    old if c == new else c for c in schema.primary_key
+                )
+
             session.tx.log_undo(
-                f"rename column {schema.name}.{old_name}",
-                lambda schema=schema, heap=heap, column=column, old=old_name: (
-                    heap.rename_column(column.name, old),
-                    setattr(column, "name", old),
-                ),
+                f"rename column {schema.name}.{old_name}", undo_rename
             )
+            if session.tx.redo_enabled:
+                session.tx.log_redo(
+                    {
+                        "op": "rename_column",
+                        "table": schema.name.lower(),
+                        "old": old_name,
+                        "new": column.name,
+                        "uid": heap.uid,
+                        "version": heap.version,
+                    }
+                )
             return ResultSet(status="ALTER TABLE")
         if stmt.action == "RENAME_TABLE":
             old_name = schema.name
@@ -1320,6 +1414,10 @@ class Executor:
                     db.heaps.__setitem__(old.lower(), db.heaps.pop(new.lower())),
                 ),
             )
+            if session.tx.redo_enabled:
+                session.tx.log_redo(
+                    {"op": "rename_table", "old": old_name, "new": new_name}
+                )
             return ResultSet(status="ALTER TABLE")
         raise ExecutionError(f"unsupported ALTER TABLE action {stmt.action}")
 
@@ -1350,6 +1448,16 @@ class Executor:
                 heap.drop_index(name),
             ),
         )
+        if session.tx.redo_enabled:
+            session.tx.log_redo(
+                {
+                    "op": "create_index",
+                    "table": schema.name.lower(),
+                    "index": dump_hash_index(index),
+                    "uid": heap.uid,
+                    "version": heap.version,
+                }
+            )
         return ResultSet(status="CREATE INDEX")
 
     def _exec_DropIndexStatement(
@@ -1362,20 +1470,34 @@ class Executor:
             raise UnknownTableError(f"index {stmt.name!r} does not exist")
         index_schema = catalog.remove_index(stmt.name)
         heap = self.db.heap(index_schema.table)
-        index = heap.indexes.pop(index_schema.name)
+        index = heap.drop_index(index_schema.name)
         session.tx.log_undo(
             f"drop index {stmt.name}",
             lambda catalog=catalog, heap=heap, ix=index_schema, index=index: (
                 catalog.add_index(ix),
-                heap.indexes.__setitem__(ix.name, index),
+                heap.attach_index(index),
             ),
         )
+        if session.tx.redo_enabled:
+            session.tx.log_redo(
+                {
+                    "op": "drop_index",
+                    "table": index_schema.table.lower(),
+                    "index": index_schema.name,
+                    "uid": heap.uid,
+                    "version": heap.version,
+                }
+            )
         return ResultSet(status="DROP INDEX")
 
     def _exec_CreateViewStatement(
         self, stmt: ast.CreateViewStatement, session: "Session"
     ) -> ResultSet:
-        view = ViewSchema(stmt.name, stmt.select, source_sql="<view definition>")
+        # the rendered definition round-trips through the parser, which is
+        # both the catalog's human-readable DDL and the WAL representation
+        view = ViewSchema(
+            stmt.name, stmt.select, source_sql=select_to_sql(stmt.select)
+        )
         replaced = (
             self.db.catalog.views.get(stmt.name.lower()) if stmt.or_replace else None
         )
@@ -1387,6 +1509,15 @@ class Executor:
                 catalog.add_view(replaced)
 
         session.tx.log_undo(f"create view {stmt.name}", undo)
+        if session.tx.redo_enabled:
+            session.tx.log_redo(
+                {
+                    "op": "create_view",
+                    "view": stmt.name,
+                    "sql": view.source_sql,
+                    "or_replace": stmt.or_replace,
+                }
+            )
         return ResultSet(status="CREATE VIEW")
 
     def _exec_DropViewStatement(
@@ -1402,6 +1533,8 @@ class Executor:
                 f"drop view {name}",
                 lambda catalog=self.db.catalog, view=view: catalog.add_view(view),
             )
+            if session.tx.redo_enabled:
+                session.tx.log_redo({"op": "drop_view", "view": view.name})
         return ResultSet(status="DROP VIEW")
 
 

@@ -1,9 +1,12 @@
-"""Expression-to-SQL serialization.
+"""Expression- and statement-to-SQL serialization.
 
 Used to render catalog metadata (CHECK constraints, view definitions) back
 into parseable SQL, so a schema rendered by minidb can be replayed into
 another minidb instance (the PG-MCP-S sampled-database builder relies on
-this round trip).
+this round trip). The durable storage engine
+(:mod:`repro.minidb.engines.durable`) leans on the same round trip: view
+definitions are persisted as :func:`select_to_sql` text and re-parsed on
+recovery, so the WAL never has to serialize an AST.
 """
 
 from __future__ import annotations
@@ -44,8 +47,13 @@ def expr_to_sql(expr: ast.Expr) -> str:
         if isinstance(expr.candidates, list):
             inner = ", ".join(expr_to_sql(c) for c in expr.candidates)
         else:
-            inner = "<subquery>"
+            inner = select_to_sql(expr.candidates)
         return f"({expr_to_sql(expr.operand)} {negated}IN ({inner}))"
+    if isinstance(expr, ast.ExistsExpr):
+        keyword = "NOT EXISTS" if expr.negated else "EXISTS"
+        return f"({keyword} ({select_to_sql(expr.subquery)}))"
+    if isinstance(expr, ast.ScalarSubquery):
+        return f"({select_to_sql(expr.subquery)})"
     if isinstance(expr, ast.BetweenExpr):
         negated = "NOT " if expr.negated else ""
         return (
@@ -76,3 +84,65 @@ def _literal(value) -> str:
         return repr(value)
     escaped = str(value).replace("'", "''")
     return f"'{escaped}'"
+
+
+def _source_to_sql(source: "ast.TableRef | ast.SubqueryRef") -> str:
+    if isinstance(source, ast.SubqueryRef):
+        return f"({select_to_sql(source.subquery)}) AS {source.alias}"
+    if source.alias:
+        return f"{source.name} AS {source.alias}"
+    return source.name
+
+
+def select_to_sql(stmt: ast.SelectStatement) -> str:
+    """Serialize a full SELECT statement back to parseable SQL.
+
+    Round-trip contract: ``parse(select_to_sql(stmt))`` yields a statement
+    that executes identically to ``stmt`` (expressions are re-parenthesized,
+    so the AST shape may differ but evaluation order cannot). Trailing
+    ORDER BY / LIMIT / OFFSET are rendered *after* any set operation,
+    matching the parser, which attaches them to the outer statement.
+    """
+    parts = ["SELECT"]
+    if stmt.distinct:
+        parts.append("DISTINCT")
+    rendered_items = []
+    for item in stmt.items:
+        text = expr_to_sql(item.expr)
+        if item.alias:
+            text += f" AS {item.alias}"
+        rendered_items.append(text)
+    parts.append(", ".join(rendered_items))
+    if stmt.from_sources:
+        parts.append("FROM")
+        parts.append(", ".join(_source_to_sql(s) for s in stmt.from_sources))
+    for join in stmt.joins:
+        if join.kind == "CROSS" or join.condition is None:
+            parts.append(f"CROSS JOIN {_source_to_sql(join.source)}")
+        else:
+            parts.append(
+                f"{join.kind} JOIN {_source_to_sql(join.source)} "
+                f"ON {expr_to_sql(join.condition)}"
+            )
+    if stmt.where is not None:
+        parts.append(f"WHERE {expr_to_sql(stmt.where)}")
+    if stmt.group_by:
+        parts.append(
+            "GROUP BY " + ", ".join(expr_to_sql(g) for g in stmt.group_by)
+        )
+    if stmt.having is not None:
+        parts.append(f"HAVING {expr_to_sql(stmt.having)}")
+    if stmt.set_op is not None:
+        kind, rhs = stmt.set_op
+        parts.append(f"{kind} {select_to_sql(rhs)}")
+    if stmt.order_by:
+        rendered_orders = [
+            expr_to_sql(o.expr) + (" DESC" if o.descending else "")
+            for o in stmt.order_by
+        ]
+        parts.append("ORDER BY " + ", ".join(rendered_orders))
+    if stmt.limit is not None:
+        parts.append(f"LIMIT {stmt.limit}")
+    if stmt.offset is not None:
+        parts.append(f"OFFSET {stmt.offset}")
+    return " ".join(parts)

@@ -13,7 +13,6 @@ are the enforcement mechanism for PRIMARY KEY and UNIQUE constraints.
 
 from __future__ import annotations
 
-import itertools
 from typing import Any, Iterator
 
 from .errors import UniqueViolation
@@ -23,7 +22,27 @@ Row = dict[str, Any]
 #: process-wide unique ids for heaps — a dropped-and-recreated table gets a
 #: fresh uid, so caches keyed by (uid, version) can never confuse the new
 #: heap with the old one even though both start at version 0
-_HEAP_UIDS = itertools.count(1)
+_next_heap_uid = 1
+
+
+def take_heap_uid() -> int:
+    """Allocate the next process-wide heap uid."""
+    global _next_heap_uid
+    uid = _next_heap_uid
+    _next_heap_uid += 1
+    return uid
+
+
+def reserve_heap_uids(minimum: int) -> None:
+    """Advance the uid counter past ``minimum``.
+
+    Durable-engine recovery restores heaps under their persisted uids;
+    reserving keeps freshly created heaps from colliding with them (uids
+    must stay unique for the life of the process, since retrieval caches
+    and persisted catalogs key on ``(uid, version)``).
+    """
+    global _next_heap_uid
+    _next_heap_uid = max(_next_heap_uid, minimum + 1)
 
 
 class HashIndex:
@@ -67,6 +86,38 @@ class HashIndex:
             if not bucket:
                 del self._buckets[key]
 
+    def bulk_load(self, rows: "Iterator[tuple[int, Row]] | list[tuple[int, Row]]") -> None:
+        """Fill buckets from known-consistent rows without uniqueness checks.
+
+        Snapshot recovery rebuilds indexes over rows that already satisfied
+        every constraint when they were written, so the per-row uniqueness
+        probe of :meth:`insert` is pure overhead there.
+        """
+        buckets = self._buckets
+        columns = self.columns
+        if len(columns) == 1:  # the common case (PK/unique on one column)
+            column = columns[0]
+            for rid, row in rows:
+                value = row.get(column)
+                if value is None:
+                    continue
+                key = (value,)
+                bucket = buckets.get(key)
+                if bucket is None:
+                    buckets[key] = {rid}
+                else:
+                    bucket.add(rid)
+            return
+        for rid, row in rows:
+            key = tuple(row.get(c) for c in columns)
+            if any(v is None for v in key):
+                continue
+            bucket = buckets.get(key)
+            if bucket is None:
+                buckets[key] = {rid}
+            else:
+                bucket.add(rid)
+
     def probe(self, key: tuple) -> set[int]:
         """rids whose indexed columns equal ``key`` exactly."""
         if self._has_null(key):
@@ -97,16 +148,52 @@ class HeapTable:
         self._next_rid = 1
         self.indexes: dict[str, HashIndex] = {}
         #: identity of this heap across DROP/CREATE cycles of the same name
-        self.uid = next(_HEAP_UIDS)
-        #: monotonically increasing change counter, bumped on every row or
-        #: column mutation — including those replayed by transaction undo
-        #: (rollback goes through insert/update/delete/restore below), so
-        #: derived caches keyed on (uid, version) are invalidated by
-        #: INSERT/UPDATE/DELETE *and* ROLLBACK alike
+        self.uid = take_heap_uid()
+        #: monotonically increasing change counter, bumped on every row,
+        #: column, or index mutation — including those replayed by
+        #: transaction undo (rollback goes through insert/update/delete/
+        #: restore below), so derived caches keyed on (uid, version) are
+        #: invalidated by INSERT/UPDATE/DELETE, DDL, *and* ROLLBACK alike
         self.version = 0
+        #: insertion order of ``_rows`` no longer matches rid order; set
+        #: only by out-of-order :meth:`restore` (undo / WAL replay) so the
+        #: common :meth:`rows` scan skips the sort entirely
+        self._rows_unsorted = False
 
     def _bump(self) -> None:
         self.version += 1
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        name: str,
+        rows: "list[tuple[int, Row]] | list[list]",
+        next_rid: int,
+        uid: int,
+        version: int,
+        indexes: "list[HashIndex]",
+    ) -> "HeapTable":
+        """Reconstruct a heap exactly as persisted by the durable engine.
+
+        ``rows`` must already be in rid order (snapshots are written from
+        :meth:`rows`); indexes arrive as empty definitions and are
+        bulk-loaded without uniqueness checks, since the snapshot captured
+        a state that satisfied every constraint when written. The
+        persisted ``(uid, version)`` identity is restored verbatim — and
+        the process-wide uid counter advanced past it — so caches and
+        persisted value catalogs fingerprinted before the restart stay
+        valid after it.
+        """
+        heap = cls(name)
+        heap._rows = {rid: row for rid, row in rows}
+        heap._next_rid = next_rid
+        heap.uid = uid
+        heap.version = version
+        reserve_heap_uids(uid)
+        for index in indexes:
+            index.bulk_load(heap._rows.items())
+            heap.indexes[index.name] = index
+        return heap
 
     # -------------------------------------------------------------- basics
 
@@ -114,8 +201,18 @@ class HeapTable:
         return len(self._rows)
 
     def rows(self) -> Iterator[tuple[int, Row]]:
-        """Iterate (rid, row) pairs in insertion order (rids are monotonic)."""
-        yield from sorted(self._rows.items())
+        """Iterate (rid, row) pairs in rid order.
+
+        Inserts allocate monotonically increasing rids, so dict insertion
+        order already *is* rid order; only an out-of-order :meth:`restore`
+        breaks the invariant, in which case the dict is re-sorted once and
+        the invariant re-established. The snapshot (``list``) keeps callers
+        safe from mutations performed while the iterator is live.
+        """
+        if self._rows_unsorted:
+            self._rows = dict(sorted(self._rows.items()))
+            self._rows_unsorted = False
+        yield from list(self._rows.items())
 
     def get(self, rid: int) -> Row | None:
         return self._rows.get(rid)
@@ -142,6 +239,8 @@ class HeapTable:
 
     def restore(self, rid: int, row: Row) -> None:
         """Put back a previously deleted row under its original rid (undo)."""
+        if self._rows and rid < next(reversed(self._rows)):
+            self._rows_unsorted = True
         self._rows[rid] = dict(row)
         self._next_rid = max(self._next_rid, rid + 1)
         for index in self.indexes.values():
@@ -187,9 +286,19 @@ class HeapTable:
                 index.remove(rid, row)
             raise
         self.indexes[index.name] = index
+        # index DDL changes the heap's access paths (and its durable
+        # representation), so it must move the (uid, version) fingerprint
+        self._bump()
 
-    def drop_index(self, name: str) -> None:
-        del self.indexes[name]
+    def drop_index(self, name: str) -> HashIndex:
+        index = self.indexes.pop(name)
+        self._bump()
+        return index
+
+    def attach_index(self, index: HashIndex) -> None:
+        """Re-attach a previously dropped index, buckets intact (undo)."""
+        self.indexes[index.name] = index
+        self._bump()
 
     def find_index(self, columns: tuple[str, ...]) -> HashIndex | None:
         """An index exactly covering ``columns``, if any."""

@@ -11,17 +11,50 @@ Savepoints are implemented as positions in the undo log.
 
 DDL is transactional too (PostgreSQL-style): CREATE/DROP TABLE record undo
 actions that restore catalog *and* heap state.
+
+Durability hooks
+----------------
+
+When the database runs on a durable storage engine, the manager also
+keeps a **redo log** per transaction: one JSON-able record per committed
+physical mutation (see :mod:`repro.minidb.engines`). Redo records are
+appended by the executor alongside undo records, truncated in lockstep
+with the undo log by savepoint/statement rollbacks, discarded by
+``ROLLBACK``, and flushed to the engine's write-ahead log at the commit
+boundary — so only mutations of *committed* transactions ever reach disk.
+Undo replay itself never logs redo (rolled-back work is invisible to the
+WAL by construction, not by compensation records).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Protocol
 
 from .errors import TransactionError
 
 #: an undo record is just a closure that reverses one physical change
 UndoAction = Callable[[], None]
+
+#: a redo record is a JSON-able description of one committed mutation
+RedoRecord = dict[str, Any]
+
+
+class TransactionHooks(Protocol):
+    """Durability callbacks a :class:`TransactionManager` reports into.
+
+    Implemented by :class:`~repro.minidb.database.Database` when the
+    database runs on a durable engine: ``commit_redo`` appends a committed
+    transaction's redo records to the WAL; the begin/finish pair lets the
+    database track open *explicit* transactions, so checkpoints never
+    snapshot heaps containing uncommitted (undo-pending) mutations.
+    """
+
+    def commit_redo(self, records: list[RedoRecord]) -> None: ...
+
+    def explicit_began(self) -> None: ...
+
+    def explicit_finished(self) -> None: ...
 
 
 @dataclass
@@ -36,7 +69,9 @@ class Transaction:
 
     txid: int
     undo_log: list[UndoRecord] = field(default_factory=list)
-    savepoints: dict[str, int] = field(default_factory=dict)
+    redo_log: list[RedoRecord] = field(default_factory=list)
+    #: savepoint name -> (undo position, redo position)
+    savepoints: dict[str, tuple[int, int]] = field(default_factory=dict)
     implicit: bool = False
 
     def log(self, description: str, action: UndoAction) -> None:
@@ -52,9 +87,10 @@ class TransactionManager:
     exactly the properties the BridgeScope experiments rely on.
     """
 
-    def __init__(self):
+    def __init__(self, hooks: TransactionHooks | None = None):
         self._next_txid = 1
         self.current: Transaction | None = None
+        self.hooks = hooks
         #: statistics the benchmarks read
         self.begun = 0
         self.committed = 0
@@ -66,12 +102,24 @@ class TransactionManager:
     def in_transaction(self) -> bool:
         return self.current is not None and not self.current.implicit
 
+    @property
+    def redo_enabled(self) -> bool:
+        """Whether mutation sites should build redo records at all.
+
+        ``False`` on the default in-memory engine, so the write path pays
+        nothing for durability it does not have.
+        """
+        return self.hooks is not None
+
     # ------------------------------------------------------------- control
 
     def begin(self) -> Transaction:
         if self.in_transaction:
             raise TransactionError("a transaction is already in progress")
-        return self._start(implicit=False)
+        tx = self._start(implicit=False)
+        if self.hooks is not None:
+            self.hooks.explicit_began()
+        return tx
 
     def begin_implicit(self) -> Transaction:
         """Start the autocommit wrapper around a single statement."""
@@ -90,10 +138,24 @@ class TransactionManager:
     def commit(self) -> None:
         if self.current is None:
             raise TransactionError("no transaction in progress")
-        implicit = self.current.implicit
+        tx = self.current
         self.current = None
-        if not implicit:
+        if not tx.implicit:
             self.committed += 1
+        if self.hooks is not None:
+            # flush first: a WAL append failure must surface to the caller
+            # *after* local state says committed — mirroring the undo-log
+            # design where heap state is already final at this point. The
+            # finally keeps the open-transaction count honest even when
+            # the flush fails (disk full, engine closed): the transaction
+            # is locally over either way, and a leaked count would block
+            # every future checkpoint.
+            try:
+                if tx.redo_log:
+                    self.hooks.commit_redo(tx.redo_log)
+            finally:
+                if not tx.implicit:
+                    self.hooks.explicit_finished()
 
     def rollback(self) -> None:
         if self.current is None:
@@ -101,17 +163,19 @@ class TransactionManager:
         tx = self.current
         for record in reversed(tx.undo_log):
             record.action()
-        implicit = tx.implicit
         self.current = None
-        if not implicit:
+        if not tx.implicit:
             self.rolled_back += 1
+            if self.hooks is not None:
+                self.hooks.explicit_finished()
 
     # ---------------------------------------------------------- savepoints
 
     def savepoint(self, name: str) -> None:
         if not self.in_transaction:
             raise TransactionError("SAVEPOINT requires an explicit transaction")
-        self.current.savepoints[name.lower()] = len(self.current.undo_log)
+        tx = self.current
+        tx.savepoints[name.lower()] = (len(tx.undo_log), len(tx.redo_log))
 
     def rollback_to_savepoint(self, name: str) -> None:
         if not self.in_transaction:
@@ -120,11 +184,13 @@ class TransactionManager:
         key = name.lower()
         if key not in tx.savepoints:
             raise TransactionError(f"savepoint {name!r} does not exist")
-        position = tx.savepoints[key]
-        while len(tx.undo_log) > position:
-            tx.undo_log.pop().action()
+        undo_position, redo_position = tx.savepoints[key]
+        self._truncate_to(tx, undo_position, redo_position)
         # drop savepoints created after this one
-        tx.savepoints = {n: p for n, p in tx.savepoints.items() if p <= position}
+        tx.savepoints = {
+            n: marks for n, marks in tx.savepoints.items()
+            if marks[0] <= undo_position
+        }
 
     def release_savepoint(self, name: str) -> None:
         if not self.in_transaction:
@@ -133,6 +199,13 @@ class TransactionManager:
         if key not in self.current.savepoints:
             raise TransactionError(f"savepoint {name!r} does not exist")
         del self.current.savepoints[key]
+
+    @staticmethod
+    def _truncate_to(tx: Transaction, undo_position: int, redo_position: int) -> None:
+        """Undo (and un-log) everything past the given log positions."""
+        while len(tx.undo_log) > undo_position:
+            tx.undo_log.pop().action()
+        del tx.redo_log[redo_position:]
 
     # ------------------------------------------------------------- logging
 
@@ -143,6 +216,14 @@ class TransactionManager:
                 "internal error: mutation outside any transaction context"
             )
         self.current.log(description, action)
+
+    def log_redo(self, record: RedoRecord) -> None:
+        """Record one committed-if-we-commit mutation for the WAL."""
+        if self.current is None:
+            raise TransactionError(
+                "internal error: mutation outside any transaction context"
+            )
+        self.current.redo_log.append(record)
 
 
 class StatementGuard:
@@ -157,14 +238,15 @@ class StatementGuard:
     def __init__(self, manager: TransactionManager):
         self.manager = manager
         self._implicit = False
-        self._mark: int | None = None
+        self._marks: tuple[int, int] | None = None
 
     def __enter__(self) -> "StatementGuard":
         if self.manager.current is None:
             self.manager.begin_implicit()
             self._implicit = True
         else:
-            self._mark = len(self.manager.current.undo_log)
+            tx = self.manager.current
+            self._marks = (len(tx.undo_log), len(tx.redo_log))
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
@@ -177,7 +259,6 @@ class StatementGuard:
             self.manager.rollback()
         else:
             tx = self.manager.current
-            assert tx is not None and self._mark is not None
-            while len(tx.undo_log) > self._mark:
-                tx.undo_log.pop().action()
+            assert tx is not None and self._marks is not None
+            TransactionManager._truncate_to(tx, *self._marks)
         return False  # propagate the exception

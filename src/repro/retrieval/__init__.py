@@ -50,12 +50,22 @@ ROLLBACK bumps (undo replays go through the same heap mutators). A stale
 fingerprint forces a rebuild on the next call, so exemplars never lag the
 data.
 
-Open follow-ups are tracked in ROADMAP.md: catalog persistence across
-restarts, cross-column (table-wide) retrieval, and pluggable ANN backends
+Persistence
+===========
+
+On a durable minidb database (``Database.open(path)``), built catalogs
+are additionally written through a :class:`CatalogStore` into the
+database directory's ``catalogs/`` sidecar folder, keyed by cache key and
+fingerprint. Since the durable engine restores ``(uid, version)``
+counters exactly, a reopened database serves ``get_value`` from the
+persisted catalogs with zero rebuild for unchanged columns.
+
+Open follow-ups are tracked in ROADMAP.md: cross-column (table-wide)
+retrieval, incremental catalog maintenance, and pluggable ANN backends
 for embedding-based scoring.
 """
 
 from .catalog import ValueCatalog
-from .engine import CatalogCache
+from .engine import CatalogCache, CatalogStore
 
-__all__ = ["CatalogCache", "ValueCatalog"]
+__all__ = ["CatalogCache", "CatalogStore", "ValueCatalog"]

@@ -5,31 +5,124 @@ per cache key (for minidb: ``(table, column, scan limit)``), each stamped
 with the *fingerprint* of the data it was built from. Callers pass the
 current fingerprint on every lookup; a mismatch rebuilds lazily. For
 minidb the fingerprint is the owning heap's ``(uid, version)`` pair —
-``version`` is bumped by every row/column mutation including transaction
-undo replays, and ``uid`` changes when a table is dropped and recreated —
-so INSERT/UPDATE/DELETE/ROLLBACK and DDL can never serve stale exemplars,
-and read-only workloads never pay an invalidation check beyond an integer
-compare.
+``version`` is bumped by every row/column/index mutation including
+transaction undo replays, and ``uid`` changes when a table is dropped and
+recreated — so INSERT/UPDATE/DELETE/ROLLBACK and DDL can never serve
+stale exemplars, and read-only workloads never pay an invalidation check
+beyond an integer compare.
+
+Persistence
+-----------
+
+When the database runs on a durable storage engine, the cache can be
+given a :class:`CatalogStore` — a directory of pickled catalogs living
+next to the engine's snapshot (``<db>/catalogs/``), each file named by a
+hash of the cache key plus its fingerprint. Because the durable engine
+restores ``(uid, version)`` change counters *exactly* across restarts, a
+reopened database finds its persisted catalogs byte-for-byte fresh and
+serves indexed ``get_value`` calls with **zero rebuild** for unchanged
+columns; any column mutated since simply misses (stale fingerprint) and
+rebuilds as before. Pickle is appropriate here: the files sit inside the
+database directory, the same trust domain as the data files themselves.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pickle
 from collections import OrderedDict
 from typing import Any, Callable, Hashable
 
 from .catalog import ValueCatalog
 
 
+class CatalogStore:
+    """Directory of persisted value catalogs, one pickle per (key, fingerprint).
+
+    Writes are atomic (temp file + rename) and write-through: a catalog is
+    persisted the moment it is built, so durability never depends on a
+    clean shutdown. Storing a catalog removes files persisted for the same
+    key under older fingerprints (they can never be served again — version
+    counters only grow).
+
+    Fingerprints must be ``(uid, version)`` integer pairs; they are encoded
+    *verbatim* in the filename (``<keyhash>.<uid>-<version>.catalog.pkl``)
+    so durable-engine recovery can prune, without deserializing anything,
+    every sidecar whose fingerprint no longer matches a live heap. That
+    prune is what makes persisted catalogs crash-safe: a catalog built from
+    *uncommitted* data (version counters run ahead of the WAL inside open
+    transactions) dies at recovery instead of colliding with a future
+    committed state that reuses the same counter value.
+    """
+
+    #: filename suffix shared with the durable engine's recovery prune
+    SUFFIX = ".catalog.pkl"
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        #: observability: tests and the storage benchmark read these
+        self.stats = {"loads": 0, "misses": 0, "stores": 0}
+
+    @staticmethod
+    def _digest(value: Hashable) -> str:
+        return hashlib.sha1(repr(value).encode("utf-8")).hexdigest()[:20]
+
+    def _path(self, key: Hashable, fingerprint: Hashable) -> str:
+        uid, version = fingerprint  # contract: (uid, version) integers
+        return os.path.join(
+            self.directory,
+            f"{self._digest(key)}.{int(uid)}-{int(version)}{self.SUFFIX}",
+        )
+
+    def load(self, key: Hashable, fingerprint: Hashable) -> ValueCatalog | None:
+        """The persisted catalog for exactly this fingerprint, or ``None``.
+
+        Any failure to read or deserialize — missing file, torn write,
+        incompatible packed format from an older build — is a cache miss,
+        never an error: the caller rebuilds from the live data.
+        """
+        try:
+            with open(self._path(key, fingerprint), "rb") as fh:
+                catalog = pickle.load(fh)
+        except Exception:
+            self.stats["misses"] += 1
+            return None
+        if not isinstance(catalog, ValueCatalog):
+            self.stats["misses"] += 1
+            return None
+        catalog.stats = {"queries": 0, "candidates": 0, "scored": 0}
+        self.stats["loads"] += 1
+        return catalog
+
+    def store(self, key: Hashable, fingerprint: Hashable, catalog: ValueCatalog) -> None:
+        stem = self._digest(key) + "."
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            for name in os.listdir(self.directory):
+                if name.startswith(stem) and name.endswith(self.SUFFIX):
+                    os.unlink(os.path.join(self.directory, name))
+            path = self._path(key, fingerprint)
+            tmp_path = path + ".tmp"
+            with open(tmp_path, "wb") as fh:
+                pickle.dump(catalog, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_path, path)
+        except OSError:
+            return  # persistence is best-effort; the in-memory copy serves
+        self.stats["stores"] += 1
+
+
 class CatalogCache:
     """LRU cache of value catalogs, invalidated by data fingerprints."""
 
-    def __init__(self, max_entries: int = 128):
+    def __init__(self, max_entries: int = 128, store: CatalogStore | None = None):
         self.max_entries = max_entries
+        self.store = store
         self._entries: OrderedDict[Hashable, tuple[Hashable, ValueCatalog]] = (
             OrderedDict()
         )
         #: lookup counters (observability / tests)
-        self.stats = {"hits": 0, "misses": 0, "rebuilds": 0}
+        self.stats = {"hits": 0, "misses": 0, "rebuilds": 0, "persisted_hits": 0}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -46,19 +139,33 @@ class CatalogCache:
             self._entries.move_to_end(key)
             self.stats["hits"] += 1
             return cached[1]
+        if self.store is not None:
+            catalog = self.store.load(key, fingerprint)
+            if catalog is not None:
+                self.stats["persisted_hits"] += 1
+                self._insert(key, fingerprint, catalog)
+                return catalog
         if cached is None:
             self.stats["misses"] += 1
         else:
             self.stats["rebuilds"] += 1
         catalog = ValueCatalog(build())
+        if self.store is not None:
+            self.store.store(key, fingerprint, catalog)
+        self._insert(key, fingerprint, catalog)
+        return catalog
+
+    def _insert(
+        self, key: Hashable, fingerprint: Hashable, catalog: ValueCatalog
+    ) -> None:
         self._entries[key] = (fingerprint, catalog)
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
-        return catalog
 
     def invalidate(self, key: Hashable | None = None) -> None:
-        """Drop one cached catalog, or all of them."""
+        """Drop one cached catalog, or all of them (memory only; persisted
+        files are superseded by fingerprint, not deleted)."""
         if key is None:
             self._entries.clear()
         else:

@@ -38,8 +38,13 @@ class TestBenchCLI:
     def test_experiments_registry_complete(self):
         assert set(EXPERIMENTS) == {
             "fig5a", "fig5b", "fig5c", "fig6", "table1", "table2", "joins",
-            "retrieval",
+            "retrieval", "storage",
         }
+
+    def test_run_experiment_storage(self):
+        report = run_experiment("storage", 1, 0.02, 100)
+        assert "Storage durability" in report
+        assert "warm reopen" in report
 
     def test_run_experiment_joins(self):
         report = run_experiment("joins", 1, 0.05, 100)

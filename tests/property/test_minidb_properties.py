@@ -11,6 +11,18 @@ from repro.minidb.lexer import tokenize
 from repro.minidb.parser import parse
 
 names = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+
+#: words the parser treats as syntax: generated identifiers colliding with
+#: these produce legitimately unparseable statements (latent flake found by
+#: Hypothesis, e.g. ``SELECT distinct FROM is``)
+_RESERVED = {
+    "select", "from", "where", "as", "is", "distinct", "all", "and", "or",
+    "not", "group", "by", "having", "order", "limit", "offset", "union",
+    "intersect", "except", "join", "inner", "left", "right", "cross", "on",
+    "null", "true", "false", "like", "ilike", "in", "between", "exists",
+    "case", "when", "then", "else", "end", "cast", "asc", "desc", "values",
+}
+identifiers = names.filter(lambda s: s not in _RESERVED)
 ints = st.integers(min_value=-10_000, max_value=10_000)
 floats = st.floats(allow_nan=False, allow_infinity=False, width=32)
 texts = st.text(
@@ -156,7 +168,7 @@ class TestLexerParserProperties:
         result = db.connect("a").execute_statement(stmt)
         assert result.rows[0][0] == value
 
-    @given(names, names)
+    @given(identifiers, identifiers)
     @settings(max_examples=40, deadline=None)
     def test_parse_never_crashes_on_select(self, table, column):
         stmt = parse(f"SELECT {column} FROM {table}")

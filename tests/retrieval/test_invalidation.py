@@ -80,6 +80,29 @@ class TestHeapVersionCounter:
         values = {row["category"] for _, row in heap.rows()}
         assert "women's wear" in values
 
+    def test_bumped_by_index_ddl(self, db):
+        """Regression: add_index/drop_index must move the fingerprint —
+        index DDL changes the heap's durable representation, and WAL/
+        snapshot stamps would otherwise miss it."""
+        heap = db.heap("items")
+        session = db.connect("admin")
+        v0 = heap.version
+        session.execute("CREATE INDEX idx_cat ON items (category)")
+        v1 = heap.version
+        session.execute("DROP INDEX idx_cat")
+        v2 = heap.version
+        assert v0 < v1 < v2
+
+    def test_bumped_by_index_ddl_rollback(self, db):
+        heap = db.heap("items")
+        session = db.connect("admin")
+        session.execute("BEGIN")
+        session.execute("CREATE INDEX idx_cat ON items (category)")
+        mid = heap.version
+        session.execute("ROLLBACK")
+        assert heap.version > mid  # the undo drop bumps too
+        assert "idx_cat" not in heap.indexes
+
     def test_uid_changes_on_recreate(self, db):
         session = db.connect("admin")
         old_uid = db.heap("items").uid

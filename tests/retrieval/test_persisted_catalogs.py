@@ -1,0 +1,171 @@
+"""Persisted value catalogs: zero-rebuild reopen, freshness, crash pruning.
+
+The durable engine restores heap ``(uid, version)`` fingerprints exactly,
+so a reopened database must serve ``get_value`` for unchanged columns
+straight from the pickled catalog sidecars — byte-identically to both the
+pre-restart output and the brute-force scorer — while changed columns and
+catalogs persisted from uncommitted data must never be served.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import BridgeScope, BridgeScopeConfig, MinidbBinding
+from repro.minidb import Database
+from repro.retrieval import CatalogStore, ValueCatalog
+
+NAMES = (
+    "womens wear", "mens shoes", "kids jacket", "coastal dress",
+    "premium boots", "vintage gear", "sport outfit", "eco apparel",
+)
+KEYS = ("women", "sport shoe", "premum boots", "eco", "zzz")
+
+
+@pytest.fixture
+def dbdir(tmp_path):
+    return str(tmp_path / "db")
+
+
+def build(dbdir: str) -> Database:
+    db = Database.open(dbdir)
+    session = db.connect("admin")
+    session.execute("CREATE TABLE products (id INT PRIMARY KEY, name TEXT)")
+    for i, name in enumerate(NAMES):
+        session.execute(f"INSERT INTO products VALUES ({i}, '{name}')")
+    return db
+
+
+def bridge_for(db: Database, use_index: bool = True) -> BridgeScope:
+    return BridgeScope(
+        MinidbBinding.for_user(db, "admin"),
+        BridgeScopeConfig(use_retrieval_index=use_index),
+    )
+
+
+def get_value(bridge: BridgeScope, key: str, k: int = 4) -> str:
+    result = bridge.invoke("get_value", col="products.name", key=key, k=k)
+    assert not result.is_error, result.content
+    return result.content
+
+
+class TestZeroRebuildReopen:
+    def test_reopen_serves_persisted_catalog(self, dbdir):
+        db = build(dbdir)
+        before = {key: get_value(bridge_for(db), key) for key in KEYS}
+        db.close()
+
+        db2 = Database.open(dbdir)
+        bridge = bridge_for(db2)
+        after = {key: get_value(bridge, key) for key in KEYS}
+        assert after == before
+        stats = db2.retrieval_cache.stats
+        assert stats["persisted_hits"] == 1  # loaded once, then memory-hits
+        assert stats["misses"] == 0  # zero rebuild
+        assert stats["rebuilds"] == 0
+        db2.close()
+
+    def test_persisted_catalog_matches_brute_force(self, dbdir):
+        """Freshness oracle: the reopened indexed path must be
+        byte-identical to brute-force scoring over the recovered data."""
+        db = build(dbdir)
+        get_value(bridge_for(db), KEYS[0])  # build + persist
+        db.close()
+        db2 = Database.open(dbdir)
+        indexed = bridge_for(db2, use_index=True)
+        brute = bridge_for(db2, use_index=False)
+        for key in KEYS:
+            assert get_value(indexed, key) == get_value(brute, key)
+        assert db2.retrieval_cache.stats["persisted_hits"] == 1
+        db2.close()
+
+    def test_changed_column_rebuilds_after_reopen(self, dbdir):
+        db = build(dbdir)
+        get_value(bridge_for(db), "women")
+        db.close()
+        db2 = Database.open(dbdir)
+        db2.connect("admin").execute(
+            "INSERT INTO products VALUES (99, 'womens gala dress')"
+        )
+        out = get_value(bridge_for(db2), "women", k=3)
+        assert "gala" in out
+        assert db2.retrieval_cache.stats["persisted_hits"] == 0
+        db2.close()
+
+    def test_in_memory_database_has_no_store(self):
+        db = Database(owner="admin")
+        session = db.connect("admin")
+        session.execute("CREATE TABLE products (id INT PRIMARY KEY, name TEXT)")
+        session.execute("INSERT INTO products VALUES (1, 'womens wear')")
+        get_value(bridge_for(db), "women")
+        assert db.retrieval_cache.store is None
+
+
+class TestCrashSafety:
+    def test_dirty_catalog_pruned_on_recovery(self, dbdir):
+        db = build(dbdir)
+        session = db.connect("admin")
+        session.execute("BEGIN")
+        session.execute("INSERT INTO products VALUES (50, 'dirty uncommitted')")
+        # catalog built from in-flight data gets persisted at a fingerprint
+        # the WAL knows nothing about
+        out = get_value(bridge_for(db), "dirty")
+        assert "uncommitted" in out
+        del db, session  # crash with the transaction still open
+
+        db2 = Database.open(dbdir)
+        out = get_value(bridge_for(db2), "dirty")
+        assert "uncommitted" not in out
+        assert db2.retrieval_cache.stats["persisted_hits"] == 0
+        db2.close()
+
+    def test_stale_fingerprints_pruned_on_recovery(self, dbdir):
+        db = build(dbdir)
+        get_value(bridge_for(db), "women")
+        # supersede the persisted catalog, then crash before rebuilding it
+        db.connect("admin").execute("DELETE FROM products WHERE id = 0")
+        del db
+
+        db2 = Database.open(dbdir)
+        catalog_dir = db2.engine.catalog_dir
+        assert os.listdir(catalog_dir) == []  # stale sidecar removed
+        out = get_value(bridge_for(db2), "women")
+        assert "womens wear" not in out
+        db2.close()
+
+
+class TestCatalogStore:
+    def test_store_and_load_roundtrip(self, tmp_path):
+        store = CatalogStore(str(tmp_path))
+        catalog = ValueCatalog(["alpha", "beta"])
+        store.store(("t", "c", 100), (7, 3), catalog)
+        loaded = store.load(("t", "c", 100), (7, 3))
+        assert isinstance(loaded, ValueCatalog)
+        assert loaded.values == ["alpha", "beta"]
+        assert loaded.stats == {"queries": 0, "candidates": 0, "scored": 0}
+
+    def test_load_misses_on_other_fingerprint(self, tmp_path):
+        store = CatalogStore(str(tmp_path))
+        store.store(("t", "c", 100), (7, 3), ValueCatalog(["alpha"]))
+        assert store.load(("t", "c", 100), (7, 4)) is None
+        assert store.stats["misses"] == 1
+
+    def test_store_replaces_older_fingerprints(self, tmp_path):
+        store = CatalogStore(str(tmp_path))
+        store.store(("t", "c", 100), (7, 3), ValueCatalog(["old"]))
+        store.store(("t", "c", 100), (7, 8), ValueCatalog(["new"]))
+        assert len(os.listdir(str(tmp_path))) == 1
+        assert store.load(("t", "c", 100), (7, 3)) is None
+        assert store.load(("t", "c", 100), (7, 8)).values == ["new"]
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        store = CatalogStore(str(tmp_path))
+        store.store(("t", "c", 100), (7, 3), ValueCatalog(["alpha"]))
+        (path,) = (
+            os.path.join(str(tmp_path), n) for n in os.listdir(str(tmp_path))
+        )
+        with open(path, "wb") as fh:
+            fh.write(b"not a pickle")
+        assert store.load(("t", "c", 100), (7, 3)) is None

@@ -134,7 +134,9 @@ class TestCatalogCache:
         first = cache.lookup("t.c", (1, 0), lambda: ["a"])
         second = cache.lookup("t.c", (1, 0), lambda: ["b"])
         assert second is first
-        assert cache.stats == {"hits": 1, "misses": 1, "rebuilds": 0}
+        assert cache.stats == {
+            "hits": 1, "misses": 1, "rebuilds": 0, "persisted_hits": 0,
+        }
 
     def test_rebuild_on_fingerprint_change(self):
         cache = CatalogCache()
