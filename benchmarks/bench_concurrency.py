@@ -1,0 +1,110 @@
+"""Concurrency benchmark: the multi-session service layer under load.
+
+Runs the two workloads of :mod:`repro.bench.concurrency`:
+
+* a read-heavy mixed workload (8 sessions, 8 workers, 8ms simulated
+  downstream I/O per request) comparing the threaded dispatcher against
+  serialized one-at-a-time execution, and
+* a writer-contention workload (lost-update transactions on a shared
+  counter over a durable database) that must commit every increment with
+  every deadlock detected and retried.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_concurrency.py           # full
+    PYTHONPATH=src python benchmarks/bench_concurrency.py --smoke   # CI-sized
+
+Appends the measured result to ``BENCH_concurrency.json`` (override with
+``--out``; runs accumulate in a ``history`` list so the perf trajectory
+is tracked across PRs). Exits non-zero if the threaded speedup is below
+the acceptance threshold (3x full, 1.5x smoke — CI machines may have few
+cores), if any update was lost, or if any session got stuck.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.concurrency import experiment_concurrency
+from repro.bench.reporting import record_bench_result, render_concurrency
+
+SPEEDUP_THRESHOLD = 3.0
+SMOKE_THRESHOLD = 1.5
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sessions", type=int, default=8,
+                        help="read-heavy workload sessions")
+    parser.add_argument("--workers", type=int, default=8,
+                        help="dispatcher worker threads")
+    parser.add_argument("--ops", type=int, default=40,
+                        help="requests per session (read-heavy)")
+    parser.add_argument("--rows", type=int, default=10_000,
+                        help="rows in the customers table")
+    parser.add_argument("--io-delay-ms", type=float, default=8.0,
+                        help="simulated downstream I/O per request")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (smaller sizes, relaxed threshold)")
+    parser.add_argument("--out", default="BENCH_concurrency.json",
+                        help="where to append the JSON result")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        sizes = dict(
+            sessions=4, workers=4, ops_per_session=15, rows=2_000,
+            io_delay_ms=args.io_delay_ms, writer_sessions=4,
+            increments_per_session=8,
+        )
+        threshold = SMOKE_THRESHOLD
+    else:
+        sizes = dict(
+            sessions=args.sessions, workers=args.workers,
+            ops_per_session=args.ops, rows=args.rows,
+            io_delay_ms=args.io_delay_ms,
+        )
+        threshold = SPEEDUP_THRESHOLD
+
+    result = experiment_concurrency(**sizes)
+    print(render_concurrency(result))
+
+    read = result["read_heavy"]
+    contention = result["writer_contention"]
+    passed = (
+        read["speedup"] >= threshold
+        and read["errors"]["serial"] == 0
+        and read["errors"]["threaded"] == 0
+        and result["contention_ok"]
+    )
+    payload = dict(result, threshold=threshold, smoke=args.smoke, passed=passed)
+    record_bench_result(args.out, payload)
+    print(f"recorded run in {args.out}")
+
+    if contention["lost_updates"] != 0:
+        print(f"FAIL: {contention['lost_updates']} lost updates")
+        return 1
+    if contention["stuck_sessions"] != 0:
+        print(f"FAIL: {contention['stuck_sessions']} sessions never finished")
+        return 1
+    if contention["final_value"] != contention["recovered_value"]:
+        print("FAIL: recovery replayed to a different counter value "
+              f"({contention['recovered_value']} != {contention['final_value']})")
+        return 1
+    if not result["contention_ok"]:
+        print("FAIL: writer-contention workload did not complete cleanly")
+        return 1
+    if read["errors"]["serial"] or read["errors"]["threaded"]:
+        print(f"FAIL: read-heavy workload had errors: {read['errors']}")
+        return 1
+    if read["speedup"] < threshold:
+        print(f"FAIL: speedup {read['speedup']:.2f}x is below "
+              f"{threshold:.1f}x")
+        return 1
+    print(f"OK: speedup {read['speedup']:,.2f}x (threshold {threshold:.1f}x), "
+          "zero lost updates, zero stuck sessions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,8 +13,11 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_join_scale.py            # full (10k rows)
     PYTHONPATH=src python benchmarks/bench_join_scale.py --smoke    # CI-sized
 
-Exits non-zero if the speedup is below the 20x acceptance threshold or if
-EXPLAIN stops reporting a hash join for the benchmark query.
+Appends the measured result to ``BENCH_joins.json`` (override with
+``--out``; runs accumulate in a ``history`` list so the perf trajectory
+is tracked across PRs). Exits non-zero if the speedup is below the 20x
+acceptance threshold or if EXPLAIN stops reporting a hash join for the
+benchmark query.
 """
 
 from __future__ import annotations
@@ -23,7 +26,7 @@ import argparse
 import sys
 
 from repro.bench.join_scale import experiment_join_scale
-from repro.bench.reporting import render_join_scale
+from repro.bench.reporting import record_bench_result, render_join_scale
 
 SPEEDUP_THRESHOLD = 20.0
 
@@ -36,6 +39,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="rows per table for the nested-loop baseline")
     parser.add_argument("--smoke", action="store_true",
                         help="CI-sized run (500 rows, direct comparison)")
+    parser.add_argument("--out", default="BENCH_joins.json",
+                        help="where to append the JSON result")
     args = parser.parse_args(argv)
 
     rows = 500 if args.smoke else args.rows
@@ -44,7 +49,14 @@ def main(argv: list[str] | None = None) -> int:
     result = experiment_join_scale(rows=rows, nl_rows=nl_rows)
     print(render_join_scale(result))
 
-    if not any("Hash Join" in line for line in result["plan"]):
+    hash_planned = any("Hash Join" in line for line in result["plan"])
+    payload = dict(result, threshold=SPEEDUP_THRESHOLD, smoke=args.smoke,
+                   passed=hash_planned
+                   and result["speedup"] >= SPEEDUP_THRESHOLD)
+    record_bench_result(args.out, payload)
+    print(f"recorded run in {args.out}")
+
+    if not hash_planned:
         print("FAIL: EXPLAIN does not report a hash join for the equi-join")
         return 1
     if result["speedup"] < SPEEDUP_THRESHOLD:

@@ -13,8 +13,9 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_retrieval_scale.py           # full (100k)
     PYTHONPATH=src python benchmarks/bench_retrieval_scale.py --smoke   # CI-sized
 
-Writes the measured result to ``BENCH_retrieval.json`` (override with
-``--out``) so the perf trajectory is tracked across PRs. Exits non-zero
+Appends the measured result to ``BENCH_retrieval.json`` (override with
+``--out``; runs accumulate in a ``history`` list) so the perf trajectory
+is tracked across PRs. Exits non-zero
 if the warm-call speedup is below the acceptance threshold (50x full,
 5x smoke — at smoke sizes the brute-force path is not yet pathological)
 or if indexed and brute-force rankings differ on the equivalence suite.
@@ -23,10 +24,9 @@ or if indexed and brute-force rankings differ on the equivalence suite.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 
-from repro.bench.reporting import render_retrieval_scale
+from repro.bench.reporting import record_bench_result, render_retrieval_scale
 from repro.bench.retrieval_scale import experiment_retrieval_scale
 
 SPEEDUP_THRESHOLD = 50.0
@@ -57,10 +57,8 @@ def main(argv: list[str] | None = None) -> int:
     payload = dict(result, threshold=threshold, smoke=args.smoke,
                    passed=result["equivalence_ok"]
                    and result["speedup"] >= threshold)
-    with open(args.out, "w") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    print(f"wrote {args.out}")
+    record_bench_result(args.out, payload)
+    print(f"recorded run in {args.out}")
 
     if not result["equivalence_ok"]:
         print("FAIL: indexed and brute-force rankings differ: "

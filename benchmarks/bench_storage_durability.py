@@ -12,8 +12,9 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_storage_durability.py           # full (100k)
     PYTHONPATH=src python benchmarks/bench_storage_durability.py --smoke   # CI-sized
 
-Writes the measured result to ``BENCH_storage.json`` (override with
-``--out``) so the perf trajectory is tracked across PRs. Exits non-zero
+Appends the measured result to ``BENCH_storage.json`` (override with
+``--out``; runs accumulate in a ``history`` list) so the perf trajectory
+is tracked across PRs. Exits non-zero
 if the warm-reopen speedup is below the acceptance threshold (10x full,
 2x smoke — at smoke sizes fixed per-open costs dominate), if the warm
 path rebuilt anything despite the persisted catalog, or if the warm and
@@ -23,10 +24,9 @@ cold tool outputs differ.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 
-from repro.bench.reporting import render_storage_durability
+from repro.bench.reporting import record_bench_result, render_storage_durability
 from repro.bench.storage_durability import experiment_storage_durability
 
 SPEEDUP_THRESHOLD = 10.0
@@ -55,10 +55,8 @@ def main(argv: list[str] | None = None) -> int:
         and result["speedup"] >= threshold
     )
     payload = dict(result, threshold=threshold, smoke=args.smoke, passed=passed)
-    with open(args.out, "w") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    print(f"wrote {args.out}")
+    record_bench_result(args.out, payload)
+    print(f"recorded run in {args.out}")
 
     if not result["equivalence_ok"]:
         print("FAIL: warm-reopen and cold-rebuild tool outputs differ")

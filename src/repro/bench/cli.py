@@ -12,8 +12,10 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .concurrency import experiment_concurrency
 from .join_scale import experiment_join_scale
 from .reporting import (
+    render_concurrency,
     render_fig5a,
     render_fig5b,
     render_fig5c,
@@ -36,7 +38,7 @@ from .storage_durability import experiment_storage_durability
 
 EXPERIMENTS = (
     "fig5a", "fig5b", "fig5c", "fig6", "table1", "table2", "joins",
-    "retrieval", "storage",
+    "retrieval", "storage", "concurrency",
 )
 
 
@@ -85,6 +87,17 @@ def run_experiment(
         rows = max(2_000, int(100_000 * scale))
         return render_storage_durability(
             experiment_storage_durability(rows=rows)
+        )
+    if name == "concurrency":
+        # scale factor: 1.0 -> 40 requests/session over a 20k-row table
+        ops = max(10, int(40 * scale))
+        rows = max(2_000, int(20_000 * scale))
+        return render_concurrency(
+            experiment_concurrency(
+                ops_per_session=ops,
+                rows=rows,
+                increments_per_session=max(5, int(20 * scale)),
+            )
         )
     raise ValueError(f"unknown experiment {name!r}; choose from {EXPERIMENTS}")
 

@@ -1,8 +1,58 @@
-"""Plain-text rendering of experiment results in the paper's layouts."""
+"""Plain-text rendering of experiment results in the paper's layouts,
+plus the machine-readable ``BENCH_*.json`` writer the benchmark scripts
+share."""
 
 from __future__ import annotations
 
+import json
+import os
+import time
 from typing import Any
+
+#: schema marker for history-bearing BENCH_*.json files
+BENCH_HISTORY_FORMAT = "bench-history-1"
+
+
+def record_bench_result(path: str, payload: dict[str, Any]) -> dict[str, Any]:
+    """Append one benchmark run to ``path`` and return the full document.
+
+    ``BENCH_*.json`` files carry the perf trajectory across PRs, so runs
+    are *appended* to a ``history`` list (each stamped with a UTC
+    timestamp), never overwritten; ``latest`` duplicates the newest entry
+    for easy single-run consumption. A pre-history file (a bare result
+    object) is adopted as the first history entry; an unreadable file is
+    replaced rather than crashing the benchmark that produced a perfectly
+    good result.
+    """
+    entry = dict(payload)
+    entry.setdefault(
+        "recorded_at", time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    )
+    history: list[dict[str, Any]] = []
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            existing = json.load(fh)
+        if isinstance(existing, dict):
+            if existing.get("format") == BENCH_HISTORY_FORMAT and isinstance(
+                existing.get("history"), list
+            ):
+                history = [e for e in existing["history"] if isinstance(e, dict)]
+            else:
+                history = [existing]  # legacy single-run file
+    except (OSError, ValueError):
+        history = []
+    history.append(entry)
+    document = {
+        "format": BENCH_HISTORY_FORMAT,
+        "latest": entry,
+        "history": history,
+    }
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    with open(tmp_path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp_path, path)
+    return document
 
 
 def render_table(headers: list[str], rows: list[list[Any]], title: str = "") -> str:
@@ -182,6 +232,41 @@ def render_storage_durability(result: dict[str, Any]) -> str:
         f"zero catalog rebuild on reopen: {zero}\n"
         f"warm vs cold tool output: {equivalence}\n"
         f"snapshot write (checkpoint) took {result['checkpoint_s']:.2f}s"
+    )
+
+
+def render_concurrency(result: dict[str, Any]) -> str:
+    read = result["read_heavy"]
+    contention = result["writer_contention"]
+    table = render_table(
+        ["dispatcher", "requests", "time (s)", "req/s"],
+        [
+            ["serialized (1 at a time)", read["requests"], read["serial_s"],
+             read["serial_rps"]],
+            [f"threaded ({read['workers']} workers)", read["requests"],
+             read["threaded_s"], read["threaded_rps"]],
+        ],
+        title=(
+            "Concurrency — read-heavy mixed workload "
+            f"({read['sessions']} sessions, {read['io_delay_ms']}ms simulated "
+            "I/O per request)"
+        ),
+    )
+    contention_line = (
+        f"writer contention: {contention['committed']}/{contention['expected']} "
+        f"increments committed, final counter {contention['final_value']} "
+        f"(recovered: {contention['recovered_value']}), "
+        f"{contention['lost_updates']} lost updates, "
+        f"{contention['deadlocks_detected']} deadlocks detected, "
+        f"{contention['retries']} retries, "
+        f"{contention['stuck_sessions']} stuck sessions"
+    )
+    return (
+        f"{table}\n"
+        f"speedup: {read['speedup']:,.2f}x  "
+        f"(p50 {read['p50_latency_ms']}ms / p95 {read['p95_latency_ms']}ms, "
+        f"max queue depth {read['max_queue_depth']})\n"
+        f"{contention_line}"
     )
 
 

@@ -126,11 +126,14 @@ class MinidbBinding(DatabaseBinding):
         schema = db.catalog.table(table)
         column_name = schema.column(column).name  # validate before caching
         heap = db.heap(schema.name)
-        cache = db.retrieval_cache
-        if cache is None:
+
+        def make_cache() -> CatalogCache:
             catalog_dir = db.engine.catalog_dir
             store = CatalogStore(catalog_dir) if catalog_dir else None
-            cache = db.retrieval_cache = CatalogCache(store=store)
+            return CatalogCache(store=store)
+
+        # guarded lazy init: concurrent first callers must share one cache
+        cache = db.ensure_retrieval_cache(make_cache)
         catalog = cache.lookup(
             (schema.name, column_name, limit),
             (heap.uid, heap.version),

@@ -11,6 +11,8 @@ route data to them transparently (MCP-ecosystem integration, Section 2.5).
 
 from __future__ import annotations
 
+from typing import Any
+
 from ..mcp import ToolCall, ToolRegistry, ToolResult, ToolServer
 from .config import BridgeScopeConfig
 from .context import ContextTools
@@ -66,6 +68,26 @@ class BridgeScope:
                 if server in (extra_servers or []):
                     continue  # domain servers keep their own names
                 _apply_namespace(server, namespace)
+
+    @classmethod
+    def for_minidb_user(
+        cls,
+        db: "Any",
+        user: str,
+        config: BridgeScopeConfig | None = None,
+        **kwargs,
+    ) -> "BridgeScope":
+        """Assemble a toolkit for one user over an already-open database.
+
+        This is the session-scoped constructor the multi-session service
+        layer uses: every agent session gets its *own* BridgeScope (its
+        own minidb session, transaction state, and privilege-filtered
+        tool surface) while all of them share the one ``db`` — catalog,
+        heaps, retrieval cache, and lock manager included.
+        """
+        from .minidb_binding import MinidbBinding
+
+        return cls(MinidbBinding.for_user(db, user), config, **kwargs)
 
     @classmethod
     def open_minidb(

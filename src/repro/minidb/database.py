@@ -17,13 +17,15 @@ checks, like a PostgreSQL superuser.
 
 from __future__ import annotations
 
-from typing import Any
+import itertools
+import threading
+from typing import Any, Callable
 
 from . import ast_nodes as ast
 from .analysis import StatementAnalysis, analyze
 from .catalog import Catalog, IndexSchema, TableSchema
 from .engines import DurableEngine, InMemoryEngine, StorageEngine
-from .errors import MiniDBError, PermissionDenied, TransactionError
+from .errors import DeadlockError, MiniDBError, PermissionDenied, TransactionError
 from .executor import Executor
 from .parser import parse, parse_script
 from .privileges import PrivilegeManager
@@ -31,12 +33,23 @@ from .result import ResultSet
 from .storage import HashIndex, HeapTable
 from .transactions import StatementGuard, TransactionManager
 
+_session_ids = itertools.count(1)
+
 
 class Session:
     """One user's connection to a database.
 
     Holds per-connection transaction state; statements run in autocommit
     mode unless BEGIN was issued.
+
+    When the database has a lock manager installed (the multi-session
+    service layer does this), the session is also the lock *owner*: the
+    executor acquires table locks against it per statement, and the
+    session releases them at transaction end (strict two-phase locking —
+    autocommit statements release at statement end, explicit transactions
+    at COMMIT/ROLLBACK). A session chosen as deadlock victim has its whole
+    transaction rolled back, so its locks free immediately and the error
+    it surfaces is safely retryable.
     """
 
     def __init__(self, db: "Database", user: str):
@@ -48,6 +61,26 @@ class Session:
         self.tx = TransactionManager(hooks=db if db.engine.durable else None)
         #: statements executed through this session (benchmark observability)
         self.statement_log: list[str] = []
+        #: stable human-readable lock-owner label for diagnostics
+        self.label = f"{user}#{next(_session_ids)}"
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return f"<Session {self.label}>"
+
+    # ------------------------------------------------------------- locking
+
+    def lock_table(self, table: str, mode: str) -> None:
+        """Acquire a table lock for this session (no-op without a lock
+        manager). Called by the executor: ``S`` per table read, ``X`` per
+        table mutated; held until transaction end."""
+        manager = self.db.lock_manager
+        if manager is not None:
+            manager.acquire(self, table, mode)
+
+    def release_locks(self) -> None:
+        manager = self.db.lock_manager
+        if manager is not None:
+            manager.release_all(self)
 
     # ------------------------------------------------------------ execution
 
@@ -70,7 +103,26 @@ class Session:
         analysis = analyze(stmt, self.db.catalog)
         if not _skip_privileges:
             self.db.authorize(self.user, stmt, analysis)
+        try:
+            return self._dispatch_statement(stmt)
+        except DeadlockError:
+            # deadlock victim: abort the whole transaction so every lock
+            # this session holds releases and the cycle's survivors can
+            # proceed; the error is retryable by contract
+            if self.tx.in_transaction:
+                self.tx.rollback()
+            raise
+        finally:
+            if self.db.lock_manager is not None and not self.tx.in_transaction:
+                # transaction over (autocommit end, COMMIT, ROLLBACK, or
+                # abort above): strict 2PL releases everything here
+                self.release_locks()
+            # deferred auto-checkpoints run here — after lock release, so
+            # the quiesce wait can never face statements blocked on locks
+            # this session still holds
+            self.db.maybe_run_pending_checkpoint()
 
+    def _dispatch_statement(self, stmt: ast.Statement) -> ResultSet:
         # transaction control bypasses the statement guard
         if isinstance(stmt, ast.BeginStatement):
             self.tx.begin()
@@ -100,8 +152,12 @@ class Session:
         if isinstance(stmt, ast.RevokeStatement):
             return self.db.apply_revoke(self.user, stmt)
 
-        with StatementGuard(self.tx):
-            return self.db.executor.execute(stmt, self)
+        self.db.statement_started()
+        try:
+            with StatementGuard(self.tx):
+                return self.db.executor.execute(stmt, self)
+        finally:
+            self.db.statement_finished()
 
     # --------------------------------------------------------- conveniences
 
@@ -115,6 +171,29 @@ class Session:
     @property
     def in_transaction(self) -> bool:
         return self.tx.in_transaction
+
+
+class _QuiesceGuard:
+    """Drains in-flight statements and blocks new ones for a checkpoint."""
+
+    def __init__(self, db: "Database"):
+        self.db = db
+
+    def __enter__(self) -> "_QuiesceGuard":
+        db = self.db
+        with db._quiesce:
+            while db._checkpointing:
+                db._quiesce.wait()
+            db._checkpointing = True
+            while db._inflight > 0:
+                db._quiesce.wait()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        db = self.db
+        with db._quiesce:
+            db._checkpointing = False
+            db._quiesce.notify_all()
 
 
 class Database:
@@ -141,10 +220,28 @@ class Database:
         self.heaps: dict[str, HeapTable] = {}
         self.privileges = PrivilegeManager(owner)
         self.executor = Executor(self)
+        #: optional table-level lock manager (duck-typed: ``acquire(owner,
+        #: table, mode)`` / ``release_all(owner)``). ``None`` — the default
+        #: — means single-threaded use with zero locking overhead; the
+        #: multi-session service layer installs a
+        #: :class:`repro.service.LockManager` here
+        self.lock_manager: Any | None = None
+        #: guards the cross-session counters below (open-transaction and
+        #: in-flight-statement counts, planner stats) against concurrent
+        #: sessions; never held while executing statements
+        self._mutex = threading.Lock()
+        #: condition on the same mutex coordinating statement admission
+        #: with checkpoint quiescence (see :meth:`quiesced`)
+        self._quiesce = threading.Condition(self._mutex)
+        self._checkpointing = False
         #: number of currently open explicit transactions across sessions —
         #: maintained via TransactionHooks on durable engines, used to keep
         #: checkpoints away from heaps holding uncommitted changes
         self._open_explicit = 0
+        #: statements currently inside the executor across all sessions —
+        #: auto-checkpoints defer while any are running, because a snapshot
+        #: taken mid-statement would capture half-applied mutations
+        self._inflight = 0
         #: access-path and join-strategy counters maintained by the
         #: executor (observability)
         self.planner_stats = {
@@ -206,18 +303,79 @@ class Database:
     def open_explicit_transactions(self) -> int:
         return self._open_explicit
 
+    @property
+    def inflight_statements(self) -> int:
+        return self._inflight
+
+    def statement_started(self) -> None:
+        """Admit one statement into the executor.
+
+        Blocks while a checkpoint is snapshotting: heaps must not change
+        under the snapshot writer, and a statement started mid-snapshot
+        could be captured half-applied.
+        """
+        with self._quiesce:
+            while self._checkpointing:
+                self._quiesce.wait()
+            self._inflight += 1
+
+    def statement_finished(self) -> None:
+        with self._quiesce:
+            self._inflight = max(0, self._inflight - 1)
+            self._quiesce.notify_all()
+
+    def maybe_run_pending_checkpoint(self) -> None:
+        """Run a deferred auto-checkpoint if the database looks quiescent.
+
+        Called by sessions at the end of :meth:`Session.execute_statement`
+        — crucially *after* lock release, so the checkpoint's quiesce wait
+        never deadlocks against a statement blocked on this session's
+        locks. The look is racy by design; :meth:`DurableEngine.checkpoint`
+        re-checks (and re-defers) under its own quiesce window.
+        """
+        with self._quiesce:
+            quiesced = self._inflight == 0 and self._open_explicit == 0
+        if quiesced and isinstance(self.engine, DurableEngine):
+            self.engine.run_pending_checkpoint()
+
+    def quiesced(self) -> "_QuiesceGuard":
+        """Context manager giving the caller (a checkpoint) a window with
+        no statement in flight; new statements queue until it exits."""
+        return _QuiesceGuard(self)
+
+    def bump_planner_stat(self, name: str) -> None:
+        """Thread-safe increment of one access-path/join-strategy counter."""
+        with self._mutex:
+            self.planner_stats[name] += 1
+
+    def ensure_retrieval_cache(self, factory: Callable[[], Any]) -> Any:
+        """Lazily attach the shared retrieval cache exactly once.
+
+        Concurrent sessions race to the first ``get_value`` call; without
+        the guard, both would build a cache and one would be silently
+        dropped together with any catalog it already built.
+        """
+        with self._mutex:
+            if self.retrieval_cache is None:
+                self.retrieval_cache = factory()
+            return self.retrieval_cache
+
     # -------------------------------------------- TransactionHooks protocol
 
     def commit_redo(self, records: list[dict[str, Any]]) -> None:
         self.engine.append_commit(records)
 
     def explicit_began(self) -> None:
-        self._open_explicit += 1
+        with self._mutex:
+            self._open_explicit += 1
 
     def explicit_finished(self) -> None:
-        self._open_explicit = max(0, self._open_explicit - 1)
-        if self._open_explicit == 0 and isinstance(self.engine, DurableEngine):
-            self.engine.run_pending_checkpoint()
+        # no checkpoint trigger here: the finishing session may still hold
+        # table locks (released later in execute_statement's finally),
+        # which a quiesce wait must never sit behind — the statement's
+        # epilogue calls maybe_run_pending_checkpoint at the safe point
+        with self._mutex:
+            self._open_explicit = max(0, self._open_explicit - 1)
 
     # ------------------------------------------------------------- sessions
 

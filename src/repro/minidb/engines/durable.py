@@ -81,9 +81,11 @@ snapshotted.
 from __future__ import annotations
 
 import gc
+import itertools
 import json
 import os
 import re
+import threading
 import weakref
 from typing import TYPE_CHECKING, Any
 
@@ -149,6 +151,12 @@ class DurableEngine(StorageEngine):
         self._checkpoint_pending = False
         self._closed = False
         self._locked = False
+        #: serializes WAL appends and checkpoints across sessions: ``seq``
+        #: allocation and the physical write happen under one mutex, so
+        #: concurrent committers can never interleave or reorder records
+        #: (the WAL stays strictly increasing in ``seq``), and a checkpoint
+        #: can never swap the WAL file out from under an in-flight append
+        self._commit_mutex = threading.RLock()
         #: recovery / write-path observability
         self.stats = {
             "snapshot_loaded": False,
@@ -216,16 +224,17 @@ class DurableEngine(StorageEngine):
             del _LIVE_ENGINES[self.path]
 
     def close(self) -> None:
-        if self._closed:
-            return
-        self._closed = True
-        if self._wal is not None:
-            self._wal.flush()
-            os.fsync(self._wal.fileno())
-            self._wal.close()
-            self._wal = None
-        self._deregister_live()
-        self._release_lock()
+        with self._commit_mutex:  # never close mid-append
+            if self._closed:
+                return
+            self._closed = True
+            if self._wal is not None:
+                self._wal.flush()
+                os.fsync(self._wal.fileno())
+                self._wal.close()
+                self._wal = None
+            self._deregister_live()
+            self._release_lock()
 
     def _ensure_open(self) -> None:
         if self._closed or self._wal is None:
@@ -246,6 +255,14 @@ class DurableEngine(StorageEngine):
         or this very process (an earlier engine on the same path that was
         dropped without ``close()``, e.g. a simulated crash) is stale and
         stolen. Cross-process double-opens fail loudly instead.
+
+        Ownership is only ever taken through the ``O_EXCL`` create: a
+        stale lock is first *retired* by atomically renaming it aside
+        (:meth:`_steal_stale_lock`) — a rename of a specific path succeeds
+        for exactly one racer — and then every contender loops back to the
+        ``O_EXCL`` create, which again has exactly one winner. Two
+        processes racing to steal a dead owner's lock therefore can never
+        both conclude they own the directory.
         """
         while True:
             try:
@@ -254,20 +271,75 @@ class DurableEngine(StorageEngine):
                 )
             except FileExistsError:
                 owner = self._lock_owner()
-                if owner is not None and owner != os.getpid():
+                if owner is not None and owner != self._pid():
                     raise PersistenceError(
                         f"database directory {self.path!r} is locked by "
                         f"running process {owner}"
                     ) from None
-                try:  # stale (dead owner, garbage, or our own earlier open)
-                    os.unlink(self.lock_path)
-                except FileNotFoundError:
-                    pass
+                # stale (dead owner, garbage, or our own earlier open):
+                # retire it atomically, then race for the O_EXCL create
+                self._steal_stale_lock()
                 continue
             with os.fdopen(fd, "w") as fh:
-                fh.write(str(os.getpid()))
+                fh.write(str(self._pid()))
+                fh.flush()
+                os.fsync(fh.fileno())
             self._locked = True
             return
+
+    _steal_counter = itertools.count(1)
+
+    def _steal_stale_lock(self) -> bool:
+        """Atomically retire a stale ``LOCK`` file; ``True`` if we did.
+
+        ``os.rename`` of a specific source path is the compare-and-swap
+        here: when several processes race to steal the same stale lock,
+        exactly one rename succeeds and the losers see ``FileNotFoundError``
+        (the unlink-then-recreate protocol this replaces let a slow racer
+        unlink the *winner's fresh lock* and both would claim ownership).
+        After the rename, the retired file's pid is re-checked: if a live
+        foreign owner wrote the file between our staleness read and the
+        rename, we yanked a *live* lock — it is put back via ``os.link``
+        (atomic create-if-absent) and the acquire loop will fail loudly.
+        """
+        aside = (
+            f"{self.lock_path}.stale.{self._pid()}."
+            f"{next(self._steal_counter)}"
+        )
+        try:
+            os.rename(self.lock_path, aside)
+        except OSError:
+            return False  # another contender retired it first
+        try:
+            with open(aside, "r", encoding="utf-8") as fh:
+                pid = int(fh.read().strip())
+        except (OSError, ValueError):
+            pid = None
+        if pid is not None and pid != self._pid() and self._pid_alive(pid):
+            # pid re-check failed: the lock became live under us — restore
+            # it unless its owner (or a new winner) already re-created one
+            try:
+                os.link(aside, self.lock_path)
+            except OSError:
+                pass
+        try:
+            os.unlink(aside)
+        except OSError:
+            pass
+        return True
+
+    def _pid(self) -> int:
+        """This engine's process id (a seam for race-regression tests)."""
+        return os.getpid()
+
+    def _pid_alive(self, pid: int) -> bool:
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return False
+        except (PermissionError, OverflowError, ValueError):
+            return True  # exists (or unknowable): treat as alive
+        return True
 
     def _lock_owner(self) -> int | None:
         """Pid of a *live* process holding the lock, else ``None``."""
@@ -276,13 +348,7 @@ class DurableEngine(StorageEngine):
                 pid = int(fh.read().strip())
         except (OSError, ValueError):
             return None
-        try:
-            os.kill(pid, 0)
-        except ProcessLookupError:
-            return None
-        except PermissionError:
-            return pid  # alive, owned by someone else
-        return pid
+        return pid if self._pid_alive(pid) else None
 
     def _release_lock(self) -> None:
         if self._locked:
@@ -295,47 +361,55 @@ class DurableEngine(StorageEngine):
     # -------------------------------------------------------------- commits
 
     def append_commit(self, records: list[Record]) -> None:
-        self._ensure_open()
-        lines = []
-        last = len(records) - 1
-        for position, record in enumerate(records):
-            self._seq += 1
-            payload = {"seq": self._seq, **record}
-            if position == last:
-                # commit marker: recovery only applies whole batches, so a
-                # crash can never half-apply a multi-record transaction
-                payload["commit"] = True
-            lines.append(json.dumps(payload, separators=(",", ":")))
-        self._wal.write("\n".join(lines) + "\n")
-        self._wal.flush()
-        if self.fsync_commits:
-            os.fsync(self._wal.fileno())
-        self._records_since_snapshot += len(records)
-        self.stats["commits"] += 1
-        self.stats["records"] += len(records)
-        if (
-            self.auto_checkpoint_records
-            and self._records_since_snapshot >= self.auto_checkpoint_records
-        ):
-            self._request_checkpoint()
-
-    def _request_checkpoint(self) -> None:
-        """Checkpoint now if safe, else defer until no transaction is open."""
-        if self.db is not None and self.db.open_explicit_transactions:
-            self._checkpoint_pending = True
-        else:
-            self.checkpoint()
+        with self._commit_mutex:
+            self._ensure_open()
+            lines = []
+            last = len(records) - 1
+            for position, record in enumerate(records):
+                self._seq += 1
+                payload = {"seq": self._seq, **record}
+                if position == last:
+                    # commit marker: recovery only applies whole batches, so
+                    # a crash can never half-apply a multi-record transaction
+                    payload["commit"] = True
+                lines.append(json.dumps(payload, separators=(",", ":")))
+            self._wal.write("\n".join(lines) + "\n")
+            self._wal.flush()
+            if self.fsync_commits:
+                os.fsync(self._wal.fileno())
+            self._records_since_snapshot += len(records)
+            self.stats["commits"] += 1
+            self.stats["records"] += len(records)
+            if (
+                self.auto_checkpoint_records
+                and self._records_since_snapshot >= self.auto_checkpoint_records
+            ):
+                # never checkpoint from inside a commit: the committing
+                # session may be mid-statement and still holds its table
+                # locks, and a quiesce wait here could sit behind other
+                # statements blocked on exactly those locks. Defer to the
+                # statement epilogue (maybe_run_pending_checkpoint), which
+                # runs after lock release.
+                self._checkpoint_pending = True
 
     def run_pending_checkpoint(self) -> None:
-        """Called by the database when the last explicit transaction ends."""
+        """Run a deferred auto-checkpoint; called by the database at the
+        statement epilogue, after the session released its locks and
+        observed a quiescent counter state."""
         if self._checkpoint_pending and not self._closed:
             self._checkpoint_pending = False
-            self._request_checkpoint()
+            self.checkpoint()
 
     # ---------------------------------------------------------- checkpoints
 
     def checkpoint(self) -> None:
-        """Write a full snapshot and truncate the WAL (compaction)."""
+        """Write a full snapshot and truncate the WAL (compaction).
+
+        Runs inside the database's quiesce window (no statement in
+        flight; new statements queue) and under the commit mutex (no WAL
+        append can interleave with the file swap), so the snapshot always
+        captures a statement-consistent state.
+        """
         if self._closed:
             raise PersistenceError("storage engine is closed")
         db = self.db
@@ -345,21 +419,33 @@ class DurableEngine(StorageEngine):
                 "cannot checkpoint while a transaction is in progress: heaps "
                 "contain uncommitted changes"
             )
-        payload = self._snapshot_payload(db)
-        tmp_path = self.snapshot_path + ".tmp"
-        with open(tmp_path, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh, separators=(",", ":"))
-            fh.write("\n")
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp_path, self.snapshot_path)
-        # the snapshot now covers every WAL record; truncate the log
-        if self._wal is not None:
-            self._wal.close()
-        self._wal = open(self.wal_path, "w", encoding="utf-8")
-        self._records_since_snapshot = 0
-        self._checkpoint_pending = False
-        self.stats["checkpoints"] += 1
+        with db.quiesced(), self._commit_mutex:
+            if self._closed:
+                raise PersistenceError("storage engine is closed")
+            if db.open_explicit_transactions:
+                # a transaction slipped in between the pre-check above and
+                # the quiesce window; its uncommitted in-place changes must
+                # not be snapshotted. Re-defer — the transaction's own
+                # statement epilogue will retry once it is over. (Waiting
+                # for it here would deadlock: its next statement queues on
+                # the very quiesce window we hold.)
+                self._checkpoint_pending = True
+                return
+            payload = self._snapshot_payload(db)
+            tmp_path = self.snapshot_path + ".tmp"
+            with open(tmp_path, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, separators=(",", ":"))
+                fh.write("\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_path, self.snapshot_path)
+            # the snapshot now covers every WAL record; truncate the log
+            if self._wal is not None:
+                self._wal.close()
+            self._wal = open(self.wal_path, "w", encoding="utf-8")
+            self._records_since_snapshot = 0
+            self._checkpoint_pending = False
+            self.stats["checkpoints"] += 1
 
     def _snapshot_payload(self, db: "Database") -> dict[str, Any]:
         tables = []

@@ -88,6 +88,38 @@ class TransactionError(MiniDBError):
     code = "25000"
 
 
+class LockError(TransactionError):
+    """Base class for concurrency-control failures.
+
+    Raised only when a lock manager is installed on the database (the
+    multi-session service layer does this); single-threaded use never
+    sees these. ``retryable`` tells the client whether simply re-issuing
+    the work is the correct reaction.
+    """
+
+    code = "55P03"
+    retryable = False
+
+
+class LockTimeoutError(LockError):
+    """A table lock could not be acquired within the configured timeout."""
+
+    code = "55P03"
+    retryable = True
+
+
+class DeadlockError(LockError):
+    """This session was chosen as the victim of a lock-wait cycle.
+
+    The session's transaction has been (or is being) rolled back so its
+    locks release and the other participants can proceed; the client
+    should retry the whole transaction.
+    """
+
+    code = "40P01"
+    retryable = True
+
+
 class ExecutionError(MiniDBError):
     """Runtime evaluation failure (division by zero, bad cast, ...)."""
 

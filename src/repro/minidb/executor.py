@@ -467,7 +467,7 @@ class Executor:
             statement_sources=statement_sources,
         )
         if plan.strategy == "hash":
-            self.db.planner_stats["hash_joins"] += 1
+            self.db.bump_planner_stat("hash_joins")
             return self._hash_join(
                 left_rows, left_sources, right, plan, evaluator, outer
             )
@@ -477,7 +477,7 @@ class Executor:
                 for jr in left_rows
                 for row in right.rows
             ]
-        self.db.planner_stats["nested_loop_joins"] += 1
+        self.db.bump_planner_stat("nested_loop_joins")
         return self._nested_loop_join(
             left_rows, left_sources, right, kind, condition, evaluator, outer
         )
@@ -597,6 +597,10 @@ class Executor:
             resolved = _Source(source.binding, columns, dict_rows)
         else:
             schema = self.db.catalog.table(source.name)
+            # reads take a shared table lock, held to transaction end
+            # (no-op without a lock manager); views never reach this
+            # branch — their expansion re-enters here per underlying table
+            session.lock_table(schema.name, "S")
             heap = self.db.heap(schema.name)
             # access-path planning: probe a covering index for top-level
             # equality conjuncts; the residual WHERE still applies afterwards,
@@ -606,7 +610,7 @@ class Executor:
             )
             _, index, key = choose_access_path(schema.name, heap, bindings)
             if index is not None and key is not None:
-                self.db.planner_stats["index_scans"] += 1
+                self.db.bump_planner_stat("index_scans")
                 rids = sorted(index.probe(key))
                 rows = [
                     dict(heap.get(rid))
@@ -614,7 +618,7 @@ class Executor:
                     if heap.get(rid) is not None
                 ]
             else:
-                self.db.planner_stats["seq_scans"] += 1
+                self.db.bump_planner_stat("seq_scans")
                 # copy: live heap dicts are mutated in place by in-statement
                 # schema changes and must not alias an in-flight scan
                 rows = [dict(row) for _, row in heap.rows()]
@@ -855,6 +859,11 @@ class Executor:
         self, stmt: ast.InsertStatement, session: "Session"
     ) -> ResultSet:
         schema = self.db.catalog.table(stmt.table)
+        # DML takes an exclusive lock on its target and shared locks on
+        # the tables its FK checks read, all held to transaction end
+        session.lock_table(schema.name, "X")
+        for fk in schema.foreign_keys:
+            session.lock_table(fk.ref_table, "S")
         heap = self.db.heap(schema.name)
         evaluator = self._evaluator(session)
         empty_scope = Scope({}, {}, frozenset(), None)
@@ -1002,6 +1011,11 @@ class Executor:
         self, stmt: ast.UpdateStatement, session: "Session"
     ) -> ResultSet:
         schema = self.db.catalog.table(stmt.table)
+        session.lock_table(schema.name, "X")
+        for fk in schema.foreign_keys:
+            session.lock_table(fk.ref_table, "S")  # forward FK checks read these
+        for other in self.db.catalog.referencing_tables(schema.name):
+            session.lock_table(other, "S")  # FK back-reference checks read these
         heap = self.db.heap(schema.name)
         evaluator = self._evaluator(session)
         assignments = []
@@ -1064,6 +1078,9 @@ class Executor:
         self, stmt: ast.DeleteStatement, session: "Session"
     ) -> ResultSet:
         schema = self.db.catalog.table(stmt.table)
+        session.lock_table(schema.name, "X")
+        for other in self.db.catalog.referencing_tables(schema.name):
+            session.lock_table(other, "S")  # FK back-reference checks read these
         heap = self.db.heap(schema.name)
         evaluator = self._evaluator(session)
 
@@ -1128,6 +1145,9 @@ class Executor:
         self, stmt: ast.CreateTableStatement, session: "Session"
     ) -> ResultSet:
         catalog = self.db.catalog
+        # DDL takes an exclusive lock on the object name — for CREATE this
+        # also serializes two sessions racing to create the same table
+        session.lock_table(stmt.table, "X")
         if stmt.if_not_exists and catalog.has_object(stmt.table):
             return ResultSet(status="CREATE TABLE (exists)")
 
@@ -1237,6 +1257,8 @@ class Executor:
     ) -> ResultSet:
         catalog = self.db.catalog
         for name in stmt.tables:
+            session.lock_table(name, "X")
+        for name in stmt.tables:
             if not catalog.has_object(name):
                 if stmt.if_exists:
                     continue
@@ -1287,6 +1309,7 @@ class Executor:
         self, stmt: ast.AlterTableStatement, session: "Session"
     ) -> ResultSet:
         catalog = self.db.catalog
+        session.lock_table(stmt.table, "X")
         schema = catalog.table(stmt.table)
         heap = self.db.heap(schema.name)
         if stmt.action == "ADD_COLUMN":
@@ -1428,6 +1451,7 @@ class Executor:
         if stmt.if_not_exists and stmt.name.lower() in catalog.indexes:
             return ResultSet(status="CREATE INDEX (exists)")
         schema = catalog.table(stmt.table)
+        session.lock_table(schema.name, "X")
         for name in stmt.columns:
             schema.column(name)
         index_schema = IndexSchema(
@@ -1468,6 +1492,7 @@ class Executor:
             if stmt.if_exists:
                 return ResultSet(status="DROP INDEX (absent)")
             raise UnknownTableError(f"index {stmt.name!r} does not exist")
+        session.lock_table(catalog.index(stmt.name).table, "X")
         index_schema = catalog.remove_index(stmt.name)
         heap = self.db.heap(index_schema.table)
         index = heap.drop_index(index_schema.name)
@@ -1493,6 +1518,7 @@ class Executor:
     def _exec_CreateViewStatement(
         self, stmt: ast.CreateViewStatement, session: "Session"
     ) -> ResultSet:
+        session.lock_table(stmt.name, "X")
         # the rendered definition round-trips through the parser, which is
         # both the catalog's human-readable DDL and the WAL representation
         view = ViewSchema(
@@ -1523,6 +1549,8 @@ class Executor:
     def _exec_DropViewStatement(
         self, stmt: ast.DropViewStatement, session: "Session"
     ) -> ResultSet:
+        for name in stmt.names:
+            session.lock_table(name, "X")
         for name in stmt.names:
             if not self.db.catalog.has_view(name):
                 if stmt.if_exists:

@@ -13,6 +13,7 @@ are the enforcement mechanism for PRIMARY KEY and UNIQUE constraints.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Iterator
 
 from .errors import UniqueViolation
@@ -21,16 +22,21 @@ Row = dict[str, Any]
 
 #: process-wide unique ids for heaps — a dropped-and-recreated table gets a
 #: fresh uid, so caches keyed by (uid, version) can never confuse the new
-#: heap with the old one even though both start at version 0
+#: heap with the old one even though both start at version 0. The counter
+#: is shared by every database in the process (concurrent sessions may
+#: CREATE TABLE simultaneously), hence the allocator mutex: a duplicated
+#: uid would silently alias two heaps' retrieval-cache fingerprints.
 _next_heap_uid = 1
+_uid_mutex = threading.Lock()
 
 
 def take_heap_uid() -> int:
-    """Allocate the next process-wide heap uid."""
+    """Allocate the next process-wide heap uid (thread-safe)."""
     global _next_heap_uid
-    uid = _next_heap_uid
-    _next_heap_uid += 1
-    return uid
+    with _uid_mutex:
+        uid = _next_heap_uid
+        _next_heap_uid += 1
+        return uid
 
 
 def reserve_heap_uids(minimum: int) -> None:
@@ -42,7 +48,8 @@ def reserve_heap_uids(minimum: int) -> None:
     and persisted catalogs key on ``(uid, version)``).
     """
     global _next_heap_uid
-    _next_heap_uid = max(_next_heap_uid, minimum + 1)
+    with _uid_mutex:
+        _next_heap_uid = max(_next_heap_uid, minimum + 1)
 
 
 class HashIndex:

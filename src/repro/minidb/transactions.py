@@ -81,10 +81,16 @@ class Transaction:
 class TransactionManager:
     """Per-session transaction state machine.
 
-    The manager is deliberately session-scoped: minidb sessions serialize
-    access to the shared store (the engine is single-threaded), so isolation
-    reduces to statement atomicity plus explicit transaction boundaries —
-    exactly the properties the BridgeScope experiments rely on.
+    The manager is deliberately session-scoped — its undo/redo logs are
+    only ever touched by the session's own thread, so it needs no locking
+    of its own. Concurrency enters at the two shared touchpoints it calls
+    *out* to, both of which are thread-safe: the hooks' counter updates
+    are mutex-guarded by the database, and ``commit_redo`` lands in the
+    durable engine's serialized ``append_commit`` (one mutex allocates
+    WAL ``seq`` numbers and performs the write, so concurrent committers
+    interleave whole transactions, never records, and ``seq`` stays
+    strictly monotonic). Cross-session *data* conflicts are the lock
+    manager's job (see :mod:`repro.service.locks`), not this class's.
     """
 
     def __init__(self, hooks: TransactionHooks | None = None):

@@ -31,6 +31,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import threading
 from collections import OrderedDict
 from typing import Any, Callable, Hashable
 
@@ -113,19 +114,31 @@ class CatalogStore:
 
 
 class CatalogCache:
-    """LRU cache of value catalogs, invalidated by data fingerprints."""
+    """LRU cache of value catalogs, invalidated by data fingerprints.
+
+    Thread-safe: the cache is shared by every session of a database, and
+    concurrent ``get_value`` calls race lookups against invalidations. A
+    mutex guards the LRU ``OrderedDict`` and the counters — an unguarded
+    ``move_to_end``/``popitem`` race corrupts the dict. Catalog *builds*
+    (the expensive part) deliberately run outside the mutex, so two
+    sessions may build the same missing catalog concurrently; last writer
+    wins, which is safe because both catalogs are equivalent for the
+    fingerprint they were built under.
+    """
 
     def __init__(self, max_entries: int = 128, store: CatalogStore | None = None):
         self.max_entries = max_entries
         self.store = store
+        self._mutex = threading.Lock()
         self._entries: OrderedDict[Hashable, tuple[Hashable, ValueCatalog]] = (
             OrderedDict()
         )
-        #: lookup counters (observability / tests)
+        #: lookup counters (observability / tests), guarded by the mutex
         self.stats = {"hits": 0, "misses": 0, "rebuilds": 0, "persisted_hits": 0}
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._mutex:
+            return len(self._entries)
 
     def lookup(
         self,
@@ -134,30 +147,34 @@ class CatalogCache:
         build: Callable[[], list[Any]],
     ) -> ValueCatalog:
         """The catalog for ``key``, rebuilt from ``build()`` when stale."""
-        cached = self._entries.get(key)
-        if cached is not None and cached[0] == fingerprint:
-            self._entries.move_to_end(key)
-            self.stats["hits"] += 1
-            return cached[1]
+        with self._mutex:
+            cached = self._entries.get(key)
+            if cached is not None and cached[0] == fingerprint:
+                self._entries.move_to_end(key)
+                self.stats["hits"] += 1
+                return cached[1]
         if self.store is not None:
             catalog = self.store.load(key, fingerprint)
             if catalog is not None:
-                self.stats["persisted_hits"] += 1
-                self._insert(key, fingerprint, catalog)
+                with self._mutex:
+                    self.stats["persisted_hits"] += 1
+                    self._insert(key, fingerprint, catalog)
                 return catalog
-        if cached is None:
-            self.stats["misses"] += 1
-        else:
-            self.stats["rebuilds"] += 1
         catalog = ValueCatalog(build())
         if self.store is not None:
             self.store.store(key, fingerprint, catalog)
-        self._insert(key, fingerprint, catalog)
+        with self._mutex:
+            if cached is None:
+                self.stats["misses"] += 1
+            else:
+                self.stats["rebuilds"] += 1
+            self._insert(key, fingerprint, catalog)
         return catalog
 
     def _insert(
         self, key: Hashable, fingerprint: Hashable, catalog: ValueCatalog
     ) -> None:
+        # caller holds the mutex
         self._entries[key] = (fingerprint, catalog)
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
@@ -166,7 +183,8 @@ class CatalogCache:
     def invalidate(self, key: Hashable | None = None) -> None:
         """Drop one cached catalog, or all of them (memory only; persisted
         files are superseded by fingerprint, not deleted)."""
-        if key is None:
-            self._entries.clear()
-        else:
-            self._entries.pop(key, None)
+        with self._mutex:
+            if key is None:
+                self._entries.clear()
+            else:
+                self._entries.pop(key, None)

@@ -1,0 +1,306 @@
+"""Request scheduling: a threaded worker pool over the session manager.
+
+The :class:`Dispatcher` is the service front door: clients submit
+``(session token, ToolCall)`` pairs and receive
+:class:`~repro.mcp.ToolResult`\\ s. Scheduling guarantees, in order of
+importance:
+
+* **Per-session FIFO.** Requests of one session run in submission order,
+  one at a time — a session is a conversation with transaction state, so
+  reordering (or overlapping) its statements would be nonsense. Different
+  sessions run concurrently up to the worker count.
+* **Bounded admission with backpressure.** The queue holds at most
+  ``queue_limit`` requests across all sessions. ``submit`` blocks up to
+  ``admission_timeout_s`` for space and then raises
+  :class:`ServiceOverloaded` — the caller sheds load instead of the
+  server accumulating it.
+* **Failure containment.** A request that raises (rather than returning
+  an error ToolResult, which BridgeScope already does for tool-level
+  failures) resolves its future with an error result carrying the
+  exception class name; workers never die. Retryable engine errors
+  (deadlock victim, lock timeout) are marked ``retryable`` in the result
+  metadata so agent clients know to re-issue the transaction.
+
+The scheduling structure is a ready-queue of session tokens: a session is
+*ready* when it has pending requests and no worker is executing it.
+Workers pull a token, run exactly one request, then requeue the token if
+more arrived meanwhile — O(1) per hand-off, no scanning, and fair across
+sessions (round-robin through the ready queue).
+
+:class:`SerialDispatcher` is the zero-thread fast path with the same
+interface: it executes inline on submit, preserving the seed's
+single-threaded semantics exactly (tier-1 behavior, and the baseline the
+concurrency benchmark compares against).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import deque
+from typing import Any, Callable
+
+from ..mcp import ToolCall, ToolResult
+from .metrics import ServiceMetrics
+from .sessions import ServiceSession, SessionError, SessionManager
+
+#: executes one request; swap-in point for benchmarks that model
+#: downstream latency (the default just runs the session's toolkit)
+Handler = Callable[[ServiceSession, ToolCall], ToolResult]
+
+
+class ServiceOverloaded(Exception):
+    """Admission queue full: the service is shedding load (backpressure)."""
+
+
+class PendingResult:
+    """Future for one submitted request."""
+
+    def __init__(self, session_token: str, call: ToolCall):
+        self.session_token = session_token
+        self.call = call
+        self._done = threading.Event()
+        self._result: ToolResult | None = None
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: float | None = None) -> ToolResult:
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"request {self.call.tool!r} not finished within {timeout}s"
+            )
+        assert self._result is not None
+        return self._result
+
+    def _resolve(self, result: ToolResult) -> None:
+        self._result = result
+        self._done.set()
+
+
+def _default_handler(session: ServiceSession, call: ToolCall) -> ToolResult:
+    return session.call(call)
+
+
+#: error codes a client should react to by re-issuing the transaction —
+#: the engine classes carry ``retryable = True``, but tool servers fold
+#: exceptions into ToolResults by class *name*, so the dispatcher maps
+#: the names back
+_RETRYABLE_CODES = frozenset({"DeadlockError", "LockTimeoutError"})
+
+
+def _mark_retryable(result: ToolResult) -> ToolResult:
+    if result.is_error and result.error_code in _RETRYABLE_CODES:
+        result.metadata["retryable"] = True
+    return result
+
+
+def _error_result(exc: BaseException) -> ToolResult:
+    result = ToolResult.error(str(exc), code=type(exc).__name__)
+    if getattr(exc, "retryable", False):
+        result.metadata["retryable"] = True
+    return result
+
+
+class Dispatcher:
+    """Threaded request scheduler with per-session FIFO ordering."""
+
+    def __init__(
+        self,
+        manager: SessionManager,
+        workers: int = 4,
+        queue_limit: int = 64,
+        admission_timeout_s: float = 5.0,
+        handler: Handler | None = None,
+        metrics: ServiceMetrics | None = None,
+    ):
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.manager = manager
+        self.queue_limit = queue_limit
+        self.admission_timeout_s = admission_timeout_s
+        self.handler = handler or _default_handler
+        self.metrics = metrics or ServiceMetrics()
+        self.metrics.attach_sessions(manager)
+        self.metrics.attach_locks(manager.lock_manager)
+
+        self._mutex = threading.Lock()
+        self._space = threading.Condition(self._mutex)
+        #: token -> FIFO of (request, session) not yet executed
+        self._pending: dict[str, deque[tuple[PendingResult, ServiceSession]]] = {}
+        #: sessions with pending work and no active worker
+        self._ready: "queue.Queue[str | None]" = queue.Queue()
+        self._queued = 0
+        self._closed = False
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"dispatcher-{n}", daemon=True
+            )
+            for n in range(workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -------------------------------------------------------------- submit
+
+    def submit(self, token: str, call: ToolCall) -> PendingResult:
+        """Enqueue one request; returns a future.
+
+        Authenticates the token first (so dead sessions fail fast, not
+        from a worker), then waits up to ``admission_timeout_s`` for
+        queue space before raising :class:`ServiceOverloaded`.
+        """
+        if self._closed:
+            raise ServiceOverloaded("dispatcher is shut down")
+        session = self.manager.authenticate(token)
+        request = PendingResult(token, call)
+        deadline = time.monotonic() + self.admission_timeout_s
+        with self._space:
+            while self._queued >= self.queue_limit:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or self._closed:
+                    self.metrics.record_rejected()
+                    raise ServiceOverloaded(
+                        f"admission queue full ({self.queue_limit} requests); "
+                        "retry with backoff"
+                    )
+                self._space.wait(remaining)
+            self._queued += 1
+            bucket = self._pending.get(token)
+            if bucket is None:
+                # no pending work and no active worker: becomes ready now
+                self._pending[token] = deque([(request, session)])
+                self._ready.put(token)
+            else:
+                # worker active or already ready: just extend its FIFO
+                bucket.append((request, session))
+            self.metrics.record_submitted(self._queued)
+        return request
+
+    def call(
+        self, token: str, call: ToolCall, timeout: float | None = 60.0
+    ) -> ToolResult:
+        """Submit and wait: the synchronous client convenience."""
+        return self.submit(token, call).result(timeout)
+
+    # -------------------------------------------------------------- workers
+
+    def _worker_loop(self) -> None:
+        while True:
+            token = self._ready.get()
+            if token is None:  # shutdown sentinel
+                return
+            with self._mutex:
+                bucket = self._pending.get(token)
+                if not bucket:
+                    # session's requests were all flushed (shutdown race)
+                    self._pending.pop(token, None)
+                    continue
+                request, session = bucket.popleft()
+            started = time.perf_counter()
+            try:
+                result = _mark_retryable(self.handler(session, request.call))
+            except BaseException as exc:  # worker must survive anything
+                result = _error_result(exc)
+            latency = time.perf_counter() - started
+            with self._space:
+                bucket = self._pending.get(token)
+                if bucket:
+                    # more requests arrived while we ran: stay scheduled
+                    self._ready.put(token)
+                else:
+                    self._pending.pop(token, None)
+                self._queued -= 1
+                self._space.notify()
+                self.metrics.record_completed(
+                    latency,
+                    self._queued,
+                    is_error=result.is_error,
+                    retryable=bool(result.metadata.get("retryable")),
+                )
+            request._resolve(result)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self, drain: bool = True, timeout_s: float = 30.0) -> None:
+        """Stop the workers; with ``drain`` wait for queued work first."""
+        if self._closed:
+            return
+        if drain:
+            deadline = time.monotonic() + timeout_s
+            with self._space:
+                while self._queued > 0 and time.monotonic() < deadline:
+                    self._space.wait(0.05)
+        self._closed = True
+        for _ in self._workers:
+            self._ready.put(None)
+        for worker in self._workers:
+            worker.join(timeout=timeout_s)
+        # fail any request that never ran
+        with self._mutex:
+            leftovers = [
+                request
+                for bucket in self._pending.values()
+                for request, _ in bucket
+            ]
+            self._pending.clear()
+        for request in leftovers:
+            request._resolve(
+                ToolResult.error("dispatcher shut down", code="ServiceShutdown")
+            )
+
+    def queue_depth(self) -> int:
+        with self._mutex:
+            return self._queued
+
+
+class SerialDispatcher:
+    """Same interface, zero threads: executes inline on submit.
+
+    This is today's behavior (one request at a time, in global submission
+    order) packaged behind the dispatcher interface — the tier-1 fast
+    path and the serialized baseline for the concurrency benchmark.
+    """
+
+    def __init__(
+        self,
+        manager: SessionManager,
+        handler: Handler | None = None,
+        metrics: ServiceMetrics | None = None,
+        **_ignored: Any,
+    ):
+        self.manager = manager
+        self.handler = handler or _default_handler
+        self.metrics = metrics or ServiceMetrics()
+        self.metrics.attach_sessions(manager)
+        self.metrics.attach_locks(manager.lock_manager)
+
+    def submit(self, token: str, call: ToolCall) -> PendingResult:
+        session = self.manager.authenticate(token)
+        request = PendingResult(token, call)
+        self.metrics.record_submitted(1)
+        started = time.perf_counter()
+        try:
+            result = _mark_retryable(self.handler(session, call))
+        except BaseException as exc:
+            result = _error_result(exc)
+        self.metrics.record_completed(
+            time.perf_counter() - started,
+            0,
+            is_error=result.is_error,
+            retryable=bool(result.metadata.get("retryable")),
+        )
+        request._resolve(result)
+        return request
+
+    def call(
+        self, token: str, call: ToolCall, timeout: float | None = None
+    ) -> ToolResult:
+        return self.submit(token, call).result(timeout)
+
+    def close(self, **_ignored: Any) -> None:
+        return None
+
+    def queue_depth(self) -> int:
+        return 0

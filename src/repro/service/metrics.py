@@ -1,0 +1,106 @@
+"""Service observability: counters, gauges, and latency percentiles.
+
+One :class:`ServiceMetrics` instance is shared by the dispatcher, the
+session manager, and (read-only) the lock manager. Everything is guarded
+by a single mutex; latency percentiles come from a bounded ring of recent
+samples, so memory stays constant under sustained traffic and the
+reported p50/p95 track current behavior rather than all-time history.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+
+class ServiceMetrics:
+    """Thread-safe metrics surface for the multi-session service layer."""
+
+    def __init__(self, latency_window: int = 2048):
+        self._mutex = threading.Lock()
+        self.latency_window = latency_window
+        self._latencies: list[float] = []
+        self._latency_pos = 0
+        self.counters = {
+            "submitted": 0,
+            "completed": 0,
+            "errors": 0,
+            "rejected": 0,
+            "retryable_errors": 0,
+        }
+        #: current dispatcher queue depth (gauge, set by the dispatcher)
+        self.queue_depth = 0
+        self.max_queue_depth = 0
+        #: wired by the session manager / dispatcher at construction
+        self._session_source: Any | None = None
+        self._lock_source: Any | None = None
+
+    # -------------------------------------------------------------- wiring
+
+    def attach_sessions(self, manager: Any) -> None:
+        """Source of the ``active_sessions`` gauge (a SessionManager)."""
+        self._session_source = manager
+
+    def attach_locks(self, lock_manager: Any) -> None:
+        """Source of lock-wait/deadlock counters (a LockManager)."""
+        self._lock_source = lock_manager
+
+    # ------------------------------------------------------------ recording
+
+    def record_submitted(self, queue_depth: int) -> None:
+        with self._mutex:
+            self.counters["submitted"] += 1
+            self.queue_depth = queue_depth
+            self.max_queue_depth = max(self.max_queue_depth, queue_depth)
+
+    def record_completed(
+        self, latency_s: float, queue_depth: int,
+        is_error: bool = False, retryable: bool = False,
+    ) -> None:
+        with self._mutex:
+            self.counters["completed"] += 1
+            if is_error:
+                self.counters["errors"] += 1
+            if retryable:
+                self.counters["retryable_errors"] += 1
+            self.queue_depth = queue_depth
+            if len(self._latencies) < self.latency_window:
+                self._latencies.append(latency_s)
+            else:  # ring buffer: overwrite oldest
+                self._latencies[self._latency_pos] = latency_s
+                self._latency_pos = (self._latency_pos + 1) % self.latency_window
+
+    def record_rejected(self) -> None:
+        with self._mutex:
+            self.counters["rejected"] += 1
+
+    # ------------------------------------------------------------- reading
+
+    @staticmethod
+    def _percentile(samples: list[float], fraction: float) -> float:
+        if not samples:
+            return 0.0
+        ordered = sorted(samples)
+        index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+        return ordered[index]
+
+    def snapshot(self) -> dict[str, Any]:
+        """One coherent reading of every gauge/counter the service exposes."""
+        with self._mutex:
+            samples = list(self._latencies)
+            data: dict[str, Any] = {
+                **self.counters,
+                "queue_depth": self.queue_depth,
+                "max_queue_depth": self.max_queue_depth,
+                "latency_samples": len(samples),
+                "p50_latency_s": self._percentile(samples, 0.50),
+                "p95_latency_s": self._percentile(samples, 0.95),
+            }
+        if self._session_source is not None:
+            data["active_sessions"] = self._session_source.active_count()
+        if self._lock_source is not None:
+            stats = self._lock_source.stats
+            data["lock_waits"] = stats["waits"]
+            data["lock_timeouts"] = stats["timeouts"]
+            data["deadlocks"] = stats["deadlocks"]
+        return data

@@ -38,7 +38,7 @@ class TestBenchCLI:
     def test_experiments_registry_complete(self):
         assert set(EXPERIMENTS) == {
             "fig5a", "fig5b", "fig5c", "fig6", "table1", "table2", "joins",
-            "retrieval", "storage",
+            "retrieval", "storage", "concurrency",
         }
 
     def test_run_experiment_storage(self):

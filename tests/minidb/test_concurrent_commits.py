@@ -1,0 +1,253 @@
+"""Durability under concurrency: WAL ordering, recovery, lock stealing.
+
+Covers the two concurrency-hardening changes in the durable engine:
+
+* ``append_commit`` serializes sequence allocation and the physical
+  write, so the WAL of a multi-threaded run is strictly increasing in
+  ``seq``, batch-atomic, and replays to exactly the live state;
+* stale-``LOCK`` takeover is atomic (rename-aside + pid re-check), so
+  two processes racing to steal a dead owner's lock cannot both win.
+"""
+
+import json
+import os
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.minidb import Database
+from repro.minidb.engines.durable import DurableEngine
+from repro.minidb.errors import PersistenceError
+from repro.service import SessionManager
+
+
+def read_wal(path):
+    records = []
+    with open(os.path.join(path, "wal.jsonl"), "r", encoding="utf-8") as fh:
+        for line in fh:
+            records.append(json.loads(line))
+    return records
+
+
+class TestConcurrentCommitOrdering:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        threads=st.integers(min_value=2, max_value=5),
+        rows_per_thread=st.integers(min_value=3, max_value=12),
+    )
+    def test_wal_seq_strictly_increasing_and_recovery_matches(
+        self, tmp_path_factory, threads, rows_per_thread
+    ):
+        """N sessions commit concurrently (each into its own table, so the
+        heap traffic genuinely overlaps); the WAL must come out strictly
+        sequential and batch-terminated, and a reopened database must
+        equal the live one exactly."""
+        path = str(
+            tmp_path_factory.mktemp("wal") / f"db-{threads}-{rows_per_thread}"
+        )
+        db = Database.open(path, auto_checkpoint_records=0)
+        admin = db.connect("admin")
+        for n in range(threads):
+            admin.execute(f"CREATE TABLE t{n} (id INT PRIMARY KEY, v TEXT)")
+        SessionManager(db)  # installs the lock manager
+
+        failures = []
+
+        def writer(index):
+            session = db.connect("admin")
+            try:
+                for row in range(rows_per_thread):
+                    session.execute(
+                        f"INSERT INTO t{index} VALUES ({row}, 'w{index}r{row}')"
+                    )
+                session.execute("BEGIN")
+                session.execute(
+                    f"UPDATE t{index} SET v = 'batch' WHERE id = 0"
+                )
+                session.execute(
+                    f"INSERT INTO t{index} VALUES (10000, 'tail{index}')"
+                )
+                session.execute("COMMIT")
+            except Exception as exc:  # pragma: no cover - diagnostic
+                failures.append(exc)
+
+        workers = [
+            threading.Thread(target=writer, args=(n,), daemon=True)
+            for n in range(threads)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=120.0)
+        assert not failures
+        live_state = db.snapshot()
+
+        records = read_wal(path)
+        seqs = [record["seq"] for record in records]
+        # strictly increasing AND contiguous: no interleaved or lost seq
+        assert seqs == list(range(seqs[0], seqs[0] + len(seqs)))
+        # every batch is commit-terminated (replayability invariant)
+        assert records[-1].get("commit") is True
+
+        db.close()
+        reopened = Database.open(path)
+        assert reopened.snapshot() == live_state
+        # per-table row counts: all commits landed, none duplicated
+        for n in range(threads):
+            assert reopened.table_row_count(f"t{n}") == rows_per_thread + 1
+        reopened.close()
+
+    def test_interleaved_commit_batches_replay_whole(self, tmp_path):
+        """Two sessions' explicit transactions commit back to back from
+        different threads; each batch must replay atomically."""
+        path = str(tmp_path / "db")
+        db = Database.open(path, auto_checkpoint_records=0)
+        admin = db.connect("admin")
+        admin.execute("CREATE TABLE a (id INT PRIMARY KEY)")
+        admin.execute("CREATE TABLE b (id INT PRIMARY KEY)")
+        SessionManager(db)
+        barrier = threading.Barrier(2)
+
+        def batch(table):
+            session = db.connect("admin")
+            barrier.wait(timeout=30.0)
+            session.execute("BEGIN")
+            for n in range(20):
+                session.execute(f"INSERT INTO {table} VALUES ({n})")
+            session.execute("COMMIT")
+
+        threads = [
+            threading.Thread(target=batch, args=(t,), daemon=True)
+            for t in ("a", "b")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+
+        records = read_wal(path)
+        # a batch's records must be contiguous in the file: once a batch
+        # starts, no foreign record appears until its commit marker
+        current_table = None
+        for record in records:
+            if record["op"] != "insert":
+                continue
+            if current_table is None:
+                current_table = record["table"]
+            assert record["table"] == current_table
+            if record.get("commit"):
+                current_table = None
+        db.close()
+        reopened = Database.open(path)
+        assert reopened.table_row_count("a") == 20
+        assert reopened.table_row_count("b") == 20
+        reopened.close()
+
+
+class TestLockStealRace:
+    """Regression: two engines racing to steal one stale LOCK file."""
+
+    @staticmethod
+    def fake_process_engine(path, pid, live_pids):
+        """An engine that believes it runs as ``pid`` and can see which
+        of ``live_pids`` are alive (simulating separate processes in one
+        test process)."""
+        engine = DurableEngine(path)
+        engine._pid = lambda: pid
+        engine._pid_alive = lambda candidate: candidate in live_pids
+        return engine
+
+    def test_forced_interleaving_single_winner(self, tmp_path):
+        """Both contenders observe the stale lock *before* either steals
+        (the exact double-win interleaving of the old unlink+create
+        protocol); exactly one may end up owning the directory."""
+        path = str(tmp_path)
+        dead_pid = 999_999_999
+        with open(os.path.join(path, "LOCK"), "w") as fh:
+            fh.write(str(dead_pid))
+
+        live = {111, 222}
+        engine_a = self.fake_process_engine(path, 111, live)
+        engine_b = self.fake_process_engine(path, 222, live)
+
+        barrier = threading.Barrier(2)
+        for engine in (engine_a, engine_b):
+            original = engine._steal_stale_lock
+
+            def synced_steal(original=original):
+                # force both contenders to the steal point together
+                try:
+                    barrier.wait(timeout=10.0)
+                except threading.BrokenBarrierError:
+                    pass  # the loser already errored out of its loop
+                return original()
+
+            engine._steal_stale_lock = synced_steal
+
+        outcomes = {}
+
+        def contend(name, engine):
+            try:
+                engine._acquire_lock()
+                outcomes[name] = "acquired"
+            except PersistenceError:
+                outcomes[name] = "refused"
+
+        threads = [
+            threading.Thread(target=contend, args=("a", engine_a), daemon=True),
+            threading.Thread(target=contend, args=("b", engine_b), daemon=True),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+
+        assert sorted(outcomes.values()) == ["acquired", "refused"]
+        # the lock file names the winner
+        with open(os.path.join(path, "LOCK")) as fh:
+            owner = int(fh.read().strip())
+        winner = next(n for n, o in outcomes.items() if o == "acquired")
+        assert owner == {"a": 111, "b": 222}[winner]
+        # no stale-aside litter left behind
+        assert [n for n in os.listdir(path) if n.startswith("LOCK.stale")] == []
+
+    def test_steal_restores_lock_that_went_live_under_us(self, tmp_path):
+        """If the lock's owner becomes live between the staleness read and
+        the rename, the steal must put the live lock back and the acquire
+        must refuse."""
+        path = str(tmp_path)
+        live_owner = 333
+        with open(os.path.join(path, "LOCK"), "w") as fh:
+            fh.write(str(live_owner))
+
+        engine = self.fake_process_engine(path, 111, {111, 333})
+        # engine initially believes 333 is dead (simulates the stale read),
+        # but the aside re-check sees it alive
+        liveness = {"checks": 0}
+
+        def flaky_alive(candidate):
+            if candidate == live_owner:
+                liveness["checks"] += 1
+                return liveness["checks"] > 1  # dead on first look, then live
+            return candidate == 111
+
+        engine._pid_alive = flaky_alive
+        with pytest.raises(PersistenceError, match="locked by running process"):
+            engine._acquire_lock()
+        # the live owner's lock survived the attempted steal
+        with open(os.path.join(path, "LOCK")) as fh:
+            assert int(fh.read().strip()) == live_owner
+
+    def test_plain_stale_steal_still_works(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = Database.open(path)
+        db.connect("admin").execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        db.close()
+        # a dead process's lock lingers
+        with open(os.path.join(path, "LOCK"), "w") as fh:
+            fh.write("999999999")
+        reopened = Database.open(path)  # steals and recovers
+        assert reopened.table_row_count("t") == 0
+        reopened.close()

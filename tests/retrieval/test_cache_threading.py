@@ -1,0 +1,109 @@
+"""CatalogCache thread-safety stress: concurrent lookup + invalidate.
+
+Without the cache mutex, concurrent ``move_to_end`` / ``popitem`` /
+``clear`` calls corrupt the LRU ``OrderedDict`` (KeyError / "dictionary
+changed size during iteration" / silently broken LRU order). The stress
+here drives N threads through a hot loop of lookups, stale-fingerprint
+rebuilds, and invalidations and requires zero exceptions plus coherent
+final state.
+"""
+
+import os
+import threading
+
+import pytest
+
+from repro.retrieval import CatalogCache
+
+STRESS_THREADS = int(os.environ.get("REPRO_STRESS_THREADS", "8"))
+
+
+def build_values(key, fingerprint):
+    return [f"{key}-{fingerprint}-{n}" for n in range(20)]
+
+
+class TestCacheThreading:
+    def test_concurrent_lookup_and_invalidate(self):
+        cache = CatalogCache(max_entries=16)
+        keys = [("table", f"col{n}", 100) for n in range(32)]
+        errors = []
+        done = threading.Barrier(STRESS_THREADS + 1)
+
+        def hammer(seed):
+            try:
+                for step in range(400):
+                    key = keys[(seed * 7 + step) % len(keys)]
+                    # fingerprints advance now and then: forces rebuilds
+                    fingerprint = (1, (seed + step) // 50)
+                    catalog = cache.lookup(
+                        key,
+                        fingerprint,
+                        lambda k=key, f=fingerprint: build_values(k, f),
+                    )
+                    assert len(catalog.values) == 20
+                    if step % 37 == 0:
+                        cache.invalidate(key)
+                    if step % 151 == 0:
+                        cache.invalidate()  # full clear
+            except Exception as exc:  # pragma: no cover - the failure mode
+                errors.append(exc)
+            finally:
+                done.wait(timeout=120.0)
+
+        threads = [
+            threading.Thread(target=hammer, args=(n,), daemon=True)
+            for n in range(STRESS_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        done.wait(timeout=120.0)
+        for thread in threads:
+            thread.join(timeout=30.0)
+
+        assert errors == []
+        # LRU bound respected and stats coherent
+        assert len(cache) <= cache.max_entries
+        stats = cache.stats
+        assert stats["hits"] + stats["misses"] + stats["rebuilds"] > 0
+
+    def test_concurrent_same_key_converges(self):
+        """All threads racing one missing key end with a served catalog
+        for the same fingerprint (last build wins; none is torn)."""
+        cache = CatalogCache(max_entries=4)
+        key = ("t", "c", 100)
+        fingerprint = (5, 1)
+        results = []
+        guard = threading.Lock()
+
+        def racer():
+            catalog = cache.lookup(
+                key, fingerprint, lambda: build_values("k", "f")
+            )
+            with guard:
+                results.append(catalog)
+
+        threads = [
+            threading.Thread(target=racer, daemon=True) for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert len(results) == 8
+        assert all(len(c.values) == 20 for c in results)
+        # subsequent lookups hit the cached entry
+        before = cache.stats["hits"]
+        cache.lookup(key, fingerprint, lambda: pytest.fail("must not rebuild"))
+        assert cache.stats["hits"] == before + 1
+
+    def test_single_threaded_semantics_unchanged(self):
+        cache = CatalogCache(max_entries=2)
+        catalog = cache.lookup(("a",), (1, 0), lambda: ["x", "y"])
+        assert cache.lookup(("a",), (1, 0), lambda: pytest.fail("cached")) is catalog
+        assert cache.stats == {
+            "hits": 1, "misses": 1, "rebuilds": 0, "persisted_hits": 0,
+        }
+        # stale fingerprint rebuilds
+        rebuilt = cache.lookup(("a",), (1, 1), lambda: ["z"])
+        assert rebuilt is not catalog
+        assert cache.stats["rebuilds"] == 1

@@ -1,0 +1,233 @@
+"""Dispatcher tests: ordering, concurrency, backpressure, containment."""
+
+import threading
+import time
+
+import pytest
+
+from repro.mcp import ToolCall, ToolResult
+from repro.minidb import Database
+from repro.service import (
+    Dispatcher,
+    SerialDispatcher,
+    ServiceOverloaded,
+    SessionManager,
+)
+
+
+@pytest.fixture
+def db():
+    database = Database(owner="admin")
+    admin = database.connect("admin")
+    admin.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+    admin.execute("INSERT INTO t VALUES (1, 10), (2, 20)")
+    return database
+
+
+@pytest.fixture
+def manager(db):
+    return SessionManager(db, lock_timeout_s=5.0)
+
+
+class TestExecution:
+    def test_call_returns_tool_result(self, manager):
+        dispatcher = Dispatcher(manager, workers=2)
+        token = manager.create_session("admin").token
+        result = dispatcher.call(
+            token, ToolCall("select", {"sql": "SELECT v FROM t WHERE id = 1"})
+        )
+        assert not result.is_error
+        assert result.metadata["rows"] == [(10,)]
+        dispatcher.close()
+
+    def test_unknown_token_fails_fast(self, manager):
+        dispatcher = Dispatcher(manager, workers=1)
+        from repro.service import SessionError
+
+        with pytest.raises(SessionError):
+            dispatcher.submit("bogus", ToolCall("select", {"sql": "SELECT 1"}))
+        dispatcher.close()
+
+    def test_handler_exception_becomes_error_result(self, manager):
+        def broken(session, call):
+            raise RuntimeError("boom")
+
+        dispatcher = Dispatcher(manager, workers=1, handler=broken)
+        token = manager.create_session("admin").token
+        result = dispatcher.call(token, ToolCall("select", {"sql": "SELECT 1"}))
+        assert result.is_error
+        assert result.error_code == "RuntimeError"
+        # the worker survived: a second request still executes
+        result2 = dispatcher.call(token, ToolCall("select", {"sql": "SELECT 1"}))
+        assert result2.is_error  # same broken handler, but it RAN
+        dispatcher.close()
+
+
+class TestOrdering:
+    def test_per_session_fifo(self, manager):
+        """One session's requests execute in submission order even with
+        many workers."""
+        seen = []
+        guard = threading.Lock()
+
+        def recording(session, call):
+            with guard:
+                seen.append(call.args["n"])
+            time.sleep(0.002)
+            return ToolResult.ok("done")
+
+        dispatcher = Dispatcher(manager, workers=8, handler=recording)
+        token = manager.create_session("admin").token
+        futures = [
+            dispatcher.submit(token, ToolCall("noop", {"n": n}))
+            for n in range(50)
+        ]
+        for future in futures:
+            future.result(timeout=30.0)
+        assert seen == list(range(50))
+        dispatcher.close()
+
+    def test_sessions_run_concurrently(self, manager):
+        """K sessions with blocking handlers overlap on K workers."""
+        active = {"now": 0, "peak": 0}
+        guard = threading.Lock()
+
+        def blocking(session, call):
+            with guard:
+                active["now"] += 1
+                active["peak"] = max(active["peak"], active["now"])
+            time.sleep(0.05)
+            with guard:
+                active["now"] -= 1
+            return ToolResult.ok("done")
+
+        dispatcher = Dispatcher(manager, workers=4, handler=blocking)
+        tokens = [manager.create_session("admin").token for _ in range(4)]
+        futures = [
+            dispatcher.submit(token, ToolCall("noop", {})) for token in tokens
+        ]
+        for future in futures:
+            future.result(timeout=30.0)
+        assert active["peak"] >= 3  # genuinely parallel, not serialized
+        dispatcher.close()
+
+
+class TestBackpressure:
+    def test_admission_queue_rejects_when_full(self, manager):
+        release = threading.Event()
+
+        def stalled(session, call):
+            release.wait(10.0)
+            return ToolResult.ok("done")
+
+        dispatcher = Dispatcher(
+            manager,
+            workers=1,
+            queue_limit=2,
+            admission_timeout_s=0.05,
+            handler=stalled,
+        )
+        tokens = [manager.create_session("admin").token for _ in range(3)]
+        dispatcher.submit(tokens[0], ToolCall("noop", {}))
+        time.sleep(0.05)  # let the worker pick it up; queue_limit counts it
+        dispatcher.submit(tokens[1], ToolCall("noop", {}))
+        with pytest.raises(ServiceOverloaded):
+            dispatcher.submit(tokens[2], ToolCall("noop", {}))
+        assert dispatcher.metrics.snapshot()["rejected"] == 1
+        release.set()
+        dispatcher.close()
+
+    def test_admission_blocks_until_space(self, manager):
+        """submit waits for queue space instead of failing immediately."""
+        dispatcher = Dispatcher(
+            manager,
+            workers=1,
+            queue_limit=1,
+            admission_timeout_s=10.0,
+            handler=lambda s, c: (time.sleep(0.02), ToolResult.ok("ok"))[1],
+        )
+        token = manager.create_session("admin").token
+        futures = [
+            dispatcher.submit(token, ToolCall("noop", {"n": n}))
+            for n in range(5)  # each submit waits for the previous to drain
+        ]
+        for future in futures:
+            assert future.result(timeout=30.0).content == "ok"
+        dispatcher.close()
+
+
+class TestMetrics:
+    def test_snapshot_has_service_surface(self, manager):
+        dispatcher = Dispatcher(manager, workers=2)
+        token = manager.create_session("admin").token
+        for _ in range(5):
+            dispatcher.call(token, ToolCall("select", {"sql": "SELECT 1"}))
+        snapshot = dispatcher.metrics.snapshot()
+        assert snapshot["submitted"] == 5
+        assert snapshot["completed"] == 5
+        assert snapshot["active_sessions"] == 1
+        assert snapshot["p50_latency_s"] > 0
+        assert snapshot["p95_latency_s"] >= snapshot["p50_latency_s"]
+        assert "deadlocks" in snapshot and "lock_waits" in snapshot
+        dispatcher.close()
+
+
+class TestSerialDispatcher:
+    def test_same_interface_inline_execution(self, manager):
+        dispatcher = SerialDispatcher(manager)
+        token = manager.create_session("admin").token
+        future = dispatcher.submit(
+            token, ToolCall("select", {"sql": "SELECT v FROM t WHERE id = 2"})
+        )
+        assert future.done()  # inline: resolved before submit returned
+        assert future.result().metadata["rows"] == [(20,)]
+        assert dispatcher.queue_depth() == 0
+        dispatcher.close()
+
+    def test_matches_threaded_results(self, db):
+        calls = [
+            ToolCall("select", {"sql": "SELECT v FROM t ORDER BY id"}),
+            ToolCall("insert", {"sql": "INSERT INTO t VALUES (3, 30)"}),
+            ToolCall("select", {"sql": "SELECT SUM(v) FROM t"}),
+        ]
+        outputs = {}
+        for label in ("serial", "threaded"):
+            database = Database(owner="admin")
+            admin = database.connect("admin")
+            admin.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+            admin.execute("INSERT INTO t VALUES (1, 10), (2, 20)")
+            manager = SessionManager(database)
+            token = manager.create_session("admin").token
+            dispatcher = (
+                SerialDispatcher(manager)
+                if label == "serial"
+                else Dispatcher(manager, workers=4)
+            )
+            outputs[label] = [
+                dispatcher.call(token, call).render() for call in calls
+            ]
+            dispatcher.close()
+            manager.close()
+        assert outputs["serial"] == outputs["threaded"]
+
+
+class TestShutdown:
+    def test_close_resolves_unrun_requests(self, manager):
+        release = threading.Event()
+
+        def stalled(session, call):
+            release.wait(5.0)
+            return ToolResult.ok("done")
+
+        dispatcher = Dispatcher(
+            manager, workers=1, queue_limit=10, handler=stalled
+        )
+        token = manager.create_session("admin").token
+        first = dispatcher.submit(token, ToolCall("noop", {}))
+        queued = [dispatcher.submit(token, ToolCall("noop", {})) for _ in range(3)]
+        release.set()
+        dispatcher.close(drain=False)
+        # every future resolves one way or the other — nothing hangs
+        for future in [first, *queued]:
+            result = future.result(timeout=10.0)
+            assert result.content in ("done",) or result.error_code == "ServiceShutdown"

@@ -1,0 +1,266 @@
+"""LockManager unit tests: compatibility, fairness, timeout, deadlock."""
+
+import threading
+import time
+
+import pytest
+
+from repro.minidb.errors import DeadlockError, LockTimeoutError
+from repro.service import EXCLUSIVE, SHARED, LockManager
+
+
+def spawn(fn, *args):
+    thread = threading.Thread(target=fn, args=args, daemon=True)
+    thread.start()
+    return thread
+
+
+class TestCompatibility:
+    def test_shared_locks_coexist(self):
+        lm = LockManager()
+        lm.acquire("a", "t", SHARED)
+        lm.acquire("b", "t", SHARED)
+        assert lm.held_by("a") == {"t": "S"}
+        assert lm.held_by("b") == {"t": "S"}
+
+    def test_exclusive_excludes_everything(self):
+        lm = LockManager(timeout_s=0.05)
+        lm.acquire("a", "t", EXCLUSIVE)
+        with pytest.raises(LockTimeoutError):
+            lm.acquire("b", "t", SHARED)
+        with pytest.raises(LockTimeoutError):
+            lm.acquire("b", "t", EXCLUSIVE)
+
+    def test_reentrant_and_sufficient_holds(self):
+        lm = LockManager()
+        lm.acquire("a", "t", EXCLUSIVE)
+        lm.acquire("a", "t", EXCLUSIVE)  # re-entrant
+        lm.acquire("a", "t", SHARED)  # X satisfies S
+        lm.acquire("a", "t2", SHARED)
+        lm.acquire("a", "t2", SHARED)
+        assert lm.held_by("a") == {"t": "X", "t2": "S"}
+
+    def test_table_names_case_insensitive(self):
+        lm = LockManager(timeout_s=0.05)
+        lm.acquire("a", "Orders", EXCLUSIVE)
+        with pytest.raises(LockTimeoutError):
+            lm.acquire("b", "orders", SHARED)
+
+    def test_release_all_wakes_waiter(self):
+        lm = LockManager(timeout_s=5.0)
+        lm.acquire("a", "t", EXCLUSIVE)
+        got = threading.Event()
+
+        def waiter():
+            lm.acquire("b", "t", EXCLUSIVE)
+            got.set()
+
+        thread = spawn(waiter)
+        time.sleep(0.05)
+        assert not got.is_set()
+        lm.release_all("a")
+        thread.join(timeout=5.0)
+        assert got.is_set()
+        assert lm.held_by("a") == {}
+        assert lm.held_by("b") == {"t": "X"}
+
+
+class TestFairness:
+    def test_no_reader_barging_past_queued_writer(self):
+        """S requests queue behind a waiting X (no writer starvation)."""
+        lm = LockManager(timeout_s=5.0)
+        lm.acquire("r1", "t", SHARED)
+        order = []
+
+        def writer():
+            lm.acquire("w", "t", EXCLUSIVE)
+            order.append("w")
+
+        def late_reader():
+            lm.acquire("r2", "t", SHARED)
+            order.append("r2")
+
+        w_thread = spawn(writer)
+        time.sleep(0.05)  # writer is queued now
+        r_thread = spawn(late_reader)
+        time.sleep(0.05)
+        # late reader must be waiting even though r1's S is compatible
+        assert order == []
+        lm.release_all("r1")
+        w_thread.join(timeout=5.0)
+        lm.release_all("w")
+        r_thread.join(timeout=5.0)
+        assert order == ["w", "r2"]
+
+    def test_fifo_grant_order_for_writers(self):
+        lm = LockManager(timeout_s=5.0)
+        lm.acquire("holder", "t", EXCLUSIVE)
+        order = []
+        threads = []
+
+        def writer(name):
+            lm.acquire(name, "t", EXCLUSIVE)
+            order.append(name)
+            lm.release_all(name)
+
+        for name in ("w1", "w2", "w3"):
+            threads.append(spawn(writer, name))
+            time.sleep(0.05)  # deterministic queue order
+        lm.release_all("holder")
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert order == ["w1", "w2", "w3"]
+
+
+class TestUpgrade:
+    def test_sole_holder_upgrades_in_place(self):
+        lm = LockManager()
+        lm.acquire("a", "t", SHARED)
+        lm.acquire("a", "t", EXCLUSIVE)
+        assert lm.held_by("a") == {"t": "X"}
+        assert lm.stats["upgrades"] == 1
+
+    def test_upgrade_waits_for_other_readers(self):
+        lm = LockManager(timeout_s=5.0)
+        lm.acquire("a", "t", SHARED)
+        lm.acquire("b", "t", SHARED)
+        done = threading.Event()
+
+        def upgrader():
+            lm.acquire("a", "t", EXCLUSIVE)
+            done.set()
+
+        thread = spawn(upgrader)
+        time.sleep(0.05)
+        assert not done.is_set()
+        lm.release_all("b")
+        thread.join(timeout=5.0)
+        assert done.is_set()
+        assert lm.held_by("a") == {"t": "X"}
+
+    def test_upgrade_jumps_queued_writer(self):
+        """An upgrade must not queue behind a stranger's X request —
+        that would deadlock against our own S hold."""
+        lm = LockManager(timeout_s=5.0)
+        lm.acquire("a", "t", SHARED)
+        order = []
+
+        def stranger():
+            lm.acquire("w", "t", EXCLUSIVE)
+            order.append("w")
+            lm.release_all("w")
+
+        thread = spawn(stranger)
+        time.sleep(0.05)
+        lm.acquire("a", "t", EXCLUSIVE)  # upgrade goes first
+        order.append("a")
+        lm.release_all("a")
+        thread.join(timeout=5.0)
+        assert order == ["a", "w"]
+
+
+class TestDeadlock:
+    def test_upgrade_upgrade_deadlock_aborts_one(self):
+        """The classic: two S holders both upgrade; one must die."""
+        lm = LockManager(timeout_s=10.0)
+        lm.acquire("a", "t", SHARED)
+        lm.acquire("b", "t", SHARED)
+        outcomes = {}
+
+        def upgrade(name):
+            try:
+                lm.acquire(name, "t", EXCLUSIVE)
+                outcomes[name] = "granted"
+            except DeadlockError:
+                outcomes[name] = "deadlock"
+                lm.release_all(name)
+
+        t_a = spawn(upgrade, "a")
+        time.sleep(0.1)
+        t_b = spawn(upgrade, "b")
+        t_a.join(timeout=5.0)
+        t_b.join(timeout=5.0)
+        assert sorted(outcomes.values()) == ["deadlock", "granted"]
+        assert lm.stats["deadlocks"] == 1
+
+    def test_cross_table_cycle_detected(self):
+        """A holds t1, B holds t2, each requests the other's table."""
+        lm = LockManager(timeout_s=10.0)
+        lm.acquire("a", "t1", EXCLUSIVE)
+        lm.acquire("b", "t2", EXCLUSIVE)
+        outcomes = {}
+
+        def cross(name, table):
+            try:
+                lm.acquire(name, table, EXCLUSIVE)
+                outcomes[name] = "granted"
+            except DeadlockError:
+                outcomes[name] = "deadlock"
+                lm.release_all(name)
+
+        t_a = spawn(cross, "a", "t2")
+        time.sleep(0.1)
+        t_b = spawn(cross, "b", "t1")
+        t_a.join(timeout=5.0)
+        t_b.join(timeout=5.0)
+        assert sorted(outcomes.values()) == ["deadlock", "granted"]
+
+    def test_deadlock_error_is_retryable(self):
+        assert DeadlockError.retryable is True
+        assert LockTimeoutError.retryable is True
+
+    def test_victim_removal_promotes_follower(self):
+        """Aborting a queue-front waiter must wake a grantable follower."""
+        lm = LockManager(timeout_s=10.0)
+        lm.acquire("a", "t", SHARED)
+        lm.acquire("b", "t", SHARED)
+        follower_done = threading.Event()
+
+        def upgrade_a():
+            try:
+                lm.acquire("a", "t", EXCLUSIVE)
+            except DeadlockError:
+                lm.release_all("a")
+
+        def upgrade_b():
+            try:
+                lm.acquire("b", "t", EXCLUSIVE)
+            except DeadlockError:
+                lm.release_all("b")
+
+        def follower():
+            lm.acquire("c", "t", SHARED)
+            follower_done.set()
+            lm.release_all("c")
+
+        threads = [spawn(upgrade_a)]
+        time.sleep(0.05)
+        threads.append(spawn(follower))  # queues behind the upgrade
+        time.sleep(0.05)
+        threads.append(spawn(upgrade_b))  # closes the cycle
+        for thread in threads:
+            thread.join(timeout=5.0)
+        lm.release_all("a")
+        lm.release_all("b")
+        assert follower_done.wait(timeout=5.0)
+
+
+class TestTimeout:
+    def test_timeout_raises_and_cleans_queue(self):
+        lm = LockManager(timeout_s=0.05)
+        lm.acquire("a", "t", EXCLUSIVE)
+        with pytest.raises(LockTimeoutError):
+            lm.acquire("b", "t", EXCLUSIVE)
+        assert lm.waiting_count() == 0
+        assert lm.stats["timeouts"] == 1
+        # the manager is still healthy afterwards
+        lm.release_all("a")
+        lm.acquire("b", "t", EXCLUSIVE)
+
+    def test_per_call_timeout_override(self):
+        lm = LockManager(timeout_s=30.0)
+        lm.acquire("a", "t", EXCLUSIVE)
+        started = time.monotonic()
+        with pytest.raises(LockTimeoutError):
+            lm.acquire("b", "t", SHARED, timeout_s=0.05)
+        assert time.monotonic() - started < 5.0

@@ -1,0 +1,155 @@
+"""SessionManager tests: authentication, expiry, teardown semantics."""
+
+import pytest
+
+from repro.mcp import ToolCall
+from repro.minidb import Database
+from repro.minidb.errors import PermissionDenied
+from repro.service import LockManager, SessionError, SessionManager
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def db():
+    database = Database(owner="admin")
+    admin = database.connect("admin")
+    admin.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+    admin.execute("INSERT INTO t VALUES (1, 'one')")
+    return database
+
+
+class TestLifecycle:
+    def test_create_session_authenticates_against_db_roles(self, db):
+        manager = SessionManager(db)
+        session = manager.create_session("admin")
+        assert session.user == "admin"
+        assert manager.active_count() == 1
+        with pytest.raises(PermissionDenied):
+            manager.create_session("nobody")
+        assert manager.active_count() == 1
+
+    def test_installs_lock_manager_once(self, db):
+        assert db.lock_manager is None
+        manager = SessionManager(db)
+        assert isinstance(db.lock_manager, LockManager)
+        again = SessionManager(db)
+        assert again.lock_manager is manager.lock_manager
+
+    def test_tokens_are_unique_and_resolvable(self, db):
+        manager = SessionManager(db)
+        s1 = manager.create_session("admin")
+        s2 = manager.create_session("admin")
+        assert s1.token != s2.token
+        assert manager.authenticate(s1.token) is s1
+        assert manager.authenticate(s2.token) is s2
+        with pytest.raises(SessionError):
+            manager.authenticate("not-a-token")
+
+    def test_each_session_owns_its_toolkit_and_minidb_session(self, db):
+        manager = SessionManager(db)
+        s1 = manager.create_session("admin")
+        s2 = manager.create_session("admin")
+        assert s1.bridge is not s2.bridge
+        assert s1.minidb_session is not s2.minidb_session
+        assert s1.minidb_session.db is db
+
+    def test_session_limit_rejects(self, db):
+        manager = SessionManager(db, max_sessions=2)
+        manager.create_session("admin")
+        manager.create_session("admin")
+        with pytest.raises(SessionError):
+            manager.create_session("admin")
+        assert manager.stats["rejected"] == 1
+
+
+class TestExpiry:
+    def test_idle_session_expires(self, db):
+        clock = FakeClock()
+        manager = SessionManager(db, session_ttl_s=60.0, clock=clock)
+        session = manager.create_session("admin")
+        clock.advance(30)
+        assert manager.authenticate(session.token) is session  # touches
+        clock.advance(59)
+        assert manager.authenticate(session.token) is session
+        clock.advance(61)
+        with pytest.raises(SessionError, match="expired"):
+            manager.authenticate(session.token)
+        assert manager.active_count() == 0
+        assert session.closed
+
+    def test_expire_idle_reaps_only_stale(self, db):
+        clock = FakeClock()
+        manager = SessionManager(db, session_ttl_s=60.0, clock=clock)
+        stale = manager.create_session("admin")
+        clock.advance(40)
+        fresh = manager.create_session("admin")
+        clock.advance(30)  # stale idle 70s > TTL; fresh idle 30s
+        assert manager.expire_idle() == 1
+        assert stale.closed and not fresh.closed
+        assert manager.stats["expired"] == 1
+
+    def test_expired_session_rolls_back_and_releases_locks(self, db):
+        clock = FakeClock()
+        manager = SessionManager(db, session_ttl_s=60.0, clock=clock)
+        session = manager.create_session("admin")
+        session.call(ToolCall("begin", {}))
+        session.call(
+            ToolCall("update", {"sql": "UPDATE t SET v = 'dirty' WHERE id = 1"})
+        )
+        owner = session.minidb_session
+        assert manager.lock_manager.held_by(owner)  # X lock held mid-tx
+        clock.advance(120)
+        manager.expire_idle()
+        assert manager.lock_manager.held_by(owner) == {}
+        # the uncommitted change was rolled back
+        assert db.connect("admin").scalar("SELECT v FROM t WHERE id = 1") == "one"
+
+
+class TestTeardown:
+    def test_close_session_is_idempotent(self, db):
+        manager = SessionManager(db)
+        session = manager.create_session("admin")
+        manager.close_session(session.token)
+        manager.close_session(session.token)
+        assert manager.active_count() == 0
+        assert manager.stats["closed"] == 1
+        with pytest.raises(SessionError):
+            session.call(ToolCall("select", {"sql": "SELECT * FROM t"}))
+
+    def test_manager_close_tears_down_everything(self, db):
+        manager = SessionManager(db)
+        sessions = [manager.create_session("admin") for _ in range(3)]
+        manager.close()
+        assert manager.active_count() == 0
+        assert all(s.closed for s in sessions)
+
+
+class TestCalls:
+    def test_call_routes_through_bridge(self, db):
+        manager = SessionManager(db)
+        session = manager.create_session("admin")
+        result = session.call(
+            ToolCall("select", {"sql": "SELECT v FROM t WHERE id = 1"})
+        )
+        assert not result.is_error
+        assert result.metadata["rows"] == [("one",)]
+        assert session.calls == 1
+
+    def test_privileges_scope_the_tool_surface(self, db):
+        db.create_user("reader")
+        db.connect("admin").execute("GRANT SELECT ON t TO reader")
+        manager = SessionManager(db)
+        session = manager.create_session("reader")
+        names = session.bridge.tool_names()
+        assert "select" in names
+        assert "insert" not in names  # no INSERT grant, no insert tool
