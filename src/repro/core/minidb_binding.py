@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Any
+from contextlib import contextmanager
+from typing import Any, Iterator
 
 from ..minidb import Database, Session, analyze, parse
+from ..minidb.errors import DeadlockError, LockTimeoutError
 from .interfaces import AccessFootprint, DatabaseBinding, ObjectInfo, SqlOutcome
 
 
@@ -85,20 +87,55 @@ class MinidbBinding(DatabaseBinding):
             ddl=schema.render_create(),
         )
 
+    @contextmanager
+    def _shared_scan(self, table_name: str) -> Iterator[None]:
+        """Hold an S lock on ``table_name`` for a heap scan outside the
+        executor (value-retrieval tool calls).
+
+        Without it, a concurrent writer's UPDATE mutates row dicts
+        mid-scan and uncommitted rows from open transactions leak into
+        the catalog (dirty reads) — breaking the 2PL serializability the
+        service layer promises. Inside an explicit transaction the lock
+        joins the transaction's lock set (strict 2PL, released at
+        commit/rollback); in autocommit it is released when the scan
+        ends. Deadlock victims and lock-wait timeouts abort the whole
+        transaction (both are retryable), matching
+        :meth:`repro.minidb.Session.execute_statement`. No-op on
+        databases without a lock manager.
+        """
+        session = self.session
+        try:
+            session.lock_table(table_name, "S")
+        except (DeadlockError, LockTimeoutError):
+            if session.tx.in_transaction:
+                session.tx.rollback()
+            session.release_locks()
+            raise
+        try:
+            yield
+        finally:
+            if not session.in_transaction:
+                session.release_locks()
+
     def distinct_values(self, table: str, column: str, limit: int) -> list[Any]:
-        schema = self.session.db.catalog.table(table)
-        column_name = schema.column(column).name  # resolve + validate once
-        heap = self.session.db.heap(schema.name)
-        seen: list[Any] = []
-        seen_set: set[Any] = set()
-        for _, row in heap.rows():
-            value = row.get(column_name)
-            if value is None or value in seen_set:
-                continue
-            seen_set.add(value)
-            seen.append(value)
-            if len(seen) >= limit:
-                break
+        schema = self.session.db.catalog.table(table)  # validate pre-lock
+        with self._shared_scan(schema.name):
+            # re-resolve after the lock grant: a scan that blocked behind
+            # DROP + CREATE must see the recreated schema (an old column
+            # name would silently yield [] instead of unknown-column)
+            schema = self.session.db.catalog.table(table)
+            column_name = schema.column(column).name
+            heap = self.session.db.heap(schema.name)
+            seen: list[Any] = []
+            seen_set: set[Any] = set()
+            for _, row in heap.rows():
+                value = row.get(column_name)
+                if value is None or value in seen_set:
+                    continue
+                seen_set.add(value)
+                seen.append(value)
+                if len(seen) >= limit:
+                    break
         return seen
 
     def retrieve_values(
@@ -123,9 +160,7 @@ class MinidbBinding(DatabaseBinding):
         from ..retrieval import CatalogCache, CatalogStore
 
         db = self.session.db
-        schema = db.catalog.table(table)
-        column_name = schema.column(column).name  # validate before caching
-        heap = db.heap(schema.name)
+        schema = db.catalog.table(table)  # validate pre-lock
 
         def make_cache() -> CatalogCache:
             catalog_dir = db.engine.catalog_dir
@@ -134,11 +169,21 @@ class MinidbBinding(DatabaseBinding):
 
         # guarded lazy init: concurrent first callers must share one cache
         cache = db.ensure_retrieval_cache(make_cache)
-        catalog = cache.lookup(
-            (schema.name, column_name, limit),
-            (heap.uid, heap.version),
-            lambda: self.distinct_values(table, column, limit),
-        )
+        # hold the S lock across schema/heap resolution, fingerprint read,
+        # *and* build: resolving before the grant would let a call that
+        # blocked behind DROP + CREATE fingerprint (and serve) the dropped
+        # heap's cached catalog; resolving inside makes the cached entry
+        # reflect exactly the rows the fingerprint describes
+        # (distinct_values re-acquires reentrantly inside the builder)
+        with self._shared_scan(schema.name):
+            schema = db.catalog.table(table)
+            column_name = schema.column(column).name
+            heap = db.heap(schema.name)
+            catalog = cache.lookup(
+                (schema.name, column_name, limit),
+                (heap.uid, heap.version),
+                lambda: self.distinct_values(table, column, limit),
+            )
         return catalog.top_k(key, k, synonyms)
 
     # ---------------------------------------------------------- privileges

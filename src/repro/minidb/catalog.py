@@ -8,6 +8,7 @@ token-count experiments depend on reproducible schema strings.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -122,6 +123,11 @@ class Catalog:
         self.tables: dict[str, TableSchema] = {}
         self.views: dict[str, ViewSchema] = {}
         self.indexes: dict[str, IndexSchema] = {}
+        #: index names are a database-wide namespace, but concurrent
+        #: CREATE INDEX statements only hold X locks on their (possibly
+        #: different) tables — the name check-then-set must be atomic on
+        #: its own
+        self._index_name_mutex = threading.Lock()
 
     # ------------------------------------------------------------- lookups
 
@@ -202,9 +208,12 @@ class Catalog:
         return self.views.pop(self._key(name))
 
     def add_index(self, schema: IndexSchema) -> None:
-        if self._key(schema.name) in self.indexes:
-            raise DuplicateObjectError(f"index {schema.name!r} already exists")
-        self.indexes[self._key(schema.name)] = schema
+        with self._index_name_mutex:
+            if self._key(schema.name) in self.indexes:
+                raise DuplicateObjectError(
+                    f"index {schema.name!r} already exists"
+                )
+            self.indexes[self._key(schema.name)] = schema
 
     def remove_index(self, name: str) -> IndexSchema:
         return self.indexes.pop(self._key(name))

@@ -25,7 +25,13 @@ from . import ast_nodes as ast
 from .analysis import StatementAnalysis, analyze
 from .catalog import Catalog, IndexSchema, TableSchema
 from .engines import DurableEngine, InMemoryEngine, StorageEngine
-from .errors import DeadlockError, MiniDBError, PermissionDenied, TransactionError
+from .errors import (
+    DeadlockError,
+    LockTimeoutError,
+    MiniDBError,
+    PermissionDenied,
+    TransactionError,
+)
 from .executor import Executor
 from .parser import parse, parse_script
 from .privileges import PrivilegeManager
@@ -105,10 +111,13 @@ class Session:
             self.db.authorize(self.user, stmt, analysis)
         try:
             return self._dispatch_statement(stmt)
-        except DeadlockError:
-            # deadlock victim: abort the whole transaction so every lock
-            # this session holds releases and the cycle's survivors can
-            # proceed; the error is retryable by contract
+        except (DeadlockError, LockTimeoutError):
+            # deadlock victim or lock-wait timeout: abort the whole
+            # transaction so every lock this session holds releases (the
+            # cycle's survivors / the blocked peers can proceed). Both
+            # errors are retryable by contract, and retryable means the
+            # client may simply re-issue BEGIN — which only works if the
+            # old transaction is gone and its locks are free
             if self.tx.in_transaction:
                 self.tx.rollback()
             raise
@@ -147,10 +156,18 @@ class Session:
             self.tx.release_savepoint(stmt.name)
             return ResultSet(status=f"RELEASE {stmt.name}")
 
-        if isinstance(stmt, ast.GrantStatement):
-            return self.db.apply_grant(self.user, stmt)
-        if isinstance(stmt, ast.RevokeStatement):
-            return self.db.apply_revoke(self.user, stmt)
+        if isinstance(stmt, (ast.GrantStatement, ast.RevokeStatement)):
+            # privilege mutations run inside the statement-admission
+            # window so a deferred checkpoint never snapshots them
+            # half-applied (the WAL append and the _users mutation must
+            # both land on the same side of the snapshot)
+            self.db.statement_started()
+            try:
+                if isinstance(stmt, ast.GrantStatement):
+                    return self.db.apply_grant(self.user, stmt)
+                return self.db.apply_revoke(self.user, stmt)
+            finally:
+                self.db.statement_finished()
 
         self.db.statement_started()
         try:
@@ -312,14 +329,20 @@ class Database:
 
         Blocks while a checkpoint is snapshotting: heaps must not change
         under the snapshot writer, and a statement started mid-snapshot
-        could be captured half-applied.
+        could be captured half-applied. In-memory engines never
+        checkpoint, so they skip the shared mutex entirely (the module's
+        zero-overhead-when-unused contract).
         """
+        if not self.engine.durable:
+            return
         with self._quiesce:
             while self._checkpointing:
                 self._quiesce.wait()
             self._inflight += 1
 
     def statement_finished(self) -> None:
+        if not self.engine.durable:
+            return
         with self._quiesce:
             self._inflight = max(0, self._inflight - 1)
             self._quiesce.notify_all()
@@ -333,9 +356,11 @@ class Database:
         locks. The look is racy by design; :meth:`DurableEngine.checkpoint`
         re-checks (and re-defers) under its own quiesce window.
         """
+        if not isinstance(self.engine, DurableEngine):
+            return
         with self._quiesce:
             quiesced = self._inflight == 0 and self._open_explicit == 0
-        if quiesced and isinstance(self.engine, DurableEngine):
+        if quiesced:
             self.engine.run_pending_checkpoint()
 
     def quiesced(self) -> "_QuiesceGuard":
@@ -387,9 +412,19 @@ class Database:
         return Session(self, user)
 
     def create_user(self, name: str) -> None:
-        self.privileges.create_user(name)
-        if self.engine.durable:
-            self.engine.append_commit([{"op": "create_user", "user": name}])
+        # same admission-window + ordering-point discipline as
+        # apply_grant: keeps the mutation out of checkpoint snapshots
+        # mid-flight and the WAL order identical to the memory order
+        self.statement_started()
+        try:
+            with self.privileges.mutex:
+                self.privileges.create_user(name)
+                if self.engine.durable:
+                    self.engine.append_commit(
+                        [{"op": "create_user", "user": name}]
+                    )
+        finally:
+            self.statement_finished()
 
     # ---------------------------------------------------------- authorizing
 
@@ -418,21 +453,30 @@ class Database:
     def apply_grant(self, issuer: str, stmt: ast.GrantStatement) -> ResultSet:
         if not self.privileges.is_owner(issuer):
             raise PermissionDenied(f"user {issuer!r} may not GRANT privileges")
-        for obj in stmt.objects:
-            if obj != "*" and not self.catalog.has_object(obj):
-                raise MiniDBError(f"relation {obj!r} does not exist")
-            for action in stmt.actions:
-                self.privileges.grant(stmt.grantee, action, obj, stmt.columns)
-        self._log_privilege_op("grant", stmt)
+        # one ordering point: the in-memory mutation and the WAL append
+        # must land in the same order for every concurrent GRANT/REVOKE,
+        # or recovery replays a different privilege state than the live
+        # database had. Safe against the checkpoint's opposite-order
+        # acquisition (commit mutex, then privileges.mutex in the dump)
+        # because grants run inside the statement-admission window the
+        # checkpoint quiesces first.
+        with self.privileges.mutex:
+            for obj in stmt.objects:
+                if obj != "*" and not self.catalog.has_object(obj):
+                    raise MiniDBError(f"relation {obj!r} does not exist")
+                for action in stmt.actions:
+                    self.privileges.grant(stmt.grantee, action, obj, stmt.columns)
+            self._log_privilege_op("grant", stmt)
         return ResultSet(status="GRANT")
 
     def apply_revoke(self, issuer: str, stmt: ast.RevokeStatement) -> ResultSet:
         if not self.privileges.is_owner(issuer):
             raise PermissionDenied(f"user {issuer!r} may not REVOKE privileges")
-        for obj in stmt.objects:
-            for action in stmt.actions:
-                self.privileges.revoke(stmt.grantee, action, obj, stmt.columns)
-        self._log_privilege_op("revoke", stmt)
+        with self.privileges.mutex:  # see apply_grant
+            for obj in stmt.objects:
+                for action in stmt.actions:
+                    self.privileges.revoke(stmt.grantee, action, obj, stmt.columns)
+            self._log_privilege_op("revoke", stmt)
         return ResultSet(status="REVOKE")
 
     def _log_privilege_op(

@@ -398,7 +398,16 @@ class DurableEngine(StorageEngine):
         observed a quiescent counter state."""
         if self._checkpoint_pending and not self._closed:
             self._checkpoint_pending = False
-            self.checkpoint()
+            try:
+                self.checkpoint()
+            except TransactionError:
+                # a BEGIN raced in between the caller's quiescence
+                # observation and checkpoint()'s own pre-check
+                # (transaction control bypasses statement admission).
+                # Re-defer instead of erroring out the innocent
+                # statement whose epilogue triggered us — the racing
+                # transaction's own epilogue will retry.
+                self._checkpoint_pending = True
 
     # ---------------------------------------------------------- checkpoints
 

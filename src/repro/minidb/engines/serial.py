@@ -149,20 +149,26 @@ def load_view(data: dict[str, Any]) -> ViewSchema:
 
 
 def dump_privileges(manager: PrivilegeManager) -> dict[str, Any]:
-    return {
-        "owner": manager.owner,
-        "users": {
-            user: [
-                [
-                    grant.action,
-                    grant.obj,
-                    sorted(grant.columns) if grant.columns is not None else None,
+    # hold the manager's mutex across the whole dump: a concurrent
+    # GRANT/create_user mutating _users mid-iteration would crash the
+    # snapshot (or persist it half-applied)
+    with manager.mutex:
+        return {
+            "owner": manager.owner,
+            "users": {
+                user: [
+                    [
+                        grant.action,
+                        grant.obj,
+                        sorted(grant.columns)
+                        if grant.columns is not None
+                        else None,
+                    ]
+                    for grant in manager._users[user].grants
                 ]
-                for grant in manager._users[user].grants
-            ]
-            for user in sorted(manager._users)
-        },
-    }
+                for user in sorted(manager._users)
+            },
+        }
 
 
 def load_privileges(data: dict[str, Any]) -> PrivilegeManager:

@@ -32,6 +32,7 @@ from . import ast_nodes as ast
 from .catalog import Column, ForeignKey, IndexSchema, TableSchema, ViewSchema
 from .errors import (
     CheckViolation,
+    DuplicateObjectError,
     ExecutionError,
     ForeignKeyViolation,
     NotNullViolation,
@@ -596,11 +597,13 @@ class Executor:
             dict_rows = [dict(zip(columns, row)) for row in rows]
             resolved = _Source(source.binding, columns, dict_rows)
         else:
-            schema = self.db.catalog.table(source.name)
             # reads take a shared table lock, held to transaction end
             # (no-op without a lock manager); views never reach this
-            # branch — their expansion re-enters here per underlying table
-            session.lock_table(schema.name, "S")
+            # branch — their expansion re-enters here per underlying
+            # table. Schema resolved after the lock grant (see
+            # _locked_table): a scan that blocked behind DROP + CREATE
+            # must see the recreated columns
+            schema = self._locked_table(session, source.name, "S")
             heap = self.db.heap(schema.name)
             # access-path planning: probe a covering index for top-level
             # equality conjuncts; the residual WHERE still applies afterwards,
@@ -855,13 +858,31 @@ class Executor:
 
         return Evaluator(run_subquery)
 
+    def _locked_table(
+        self, session: "Session", name: str, mode: str
+    ) -> TableSchema:
+        """Acquire the table lock, then resolve the schema.
+
+        Resolution must happen *after* the (name-keyed) lock is granted:
+        a statement that blocked behind a concurrent DROP + CREATE of
+        the same name must see the recreated schema, not the object it
+        resolved before sleeping — constraint checks and column
+        resolution against the stale schema would silently bypass the
+        new table's contract. The pre-lock resolve only validates
+        existence so an unknown table fails without touching the lock
+        manager; a table dropped while we waited raises here, after the
+        grant, like any other vanished relation.
+        """
+        schema = self.db.catalog.table(name)
+        session.lock_table(schema.name, mode)
+        return self.db.catalog.table(name)
+
     def _exec_InsertStatement(
         self, stmt: ast.InsertStatement, session: "Session"
     ) -> ResultSet:
-        schema = self.db.catalog.table(stmt.table)
         # DML takes an exclusive lock on its target and shared locks on
         # the tables its FK checks read, all held to transaction end
-        session.lock_table(schema.name, "X")
+        schema = self._locked_table(session, stmt.table, "X")
         for fk in schema.foreign_keys:
             session.lock_table(fk.ref_table, "S")
         heap = self.db.heap(schema.name)
@@ -1010,8 +1031,7 @@ class Executor:
     def _exec_UpdateStatement(
         self, stmt: ast.UpdateStatement, session: "Session"
     ) -> ResultSet:
-        schema = self.db.catalog.table(stmt.table)
-        session.lock_table(schema.name, "X")
+        schema = self._locked_table(session, stmt.table, "X")
         for fk in schema.foreign_keys:
             session.lock_table(fk.ref_table, "S")  # forward FK checks read these
         for other in self.db.catalog.referencing_tables(schema.name):
@@ -1077,8 +1097,7 @@ class Executor:
     def _exec_DeleteStatement(
         self, stmt: ast.DeleteStatement, session: "Session"
     ) -> ResultSet:
-        schema = self.db.catalog.table(stmt.table)
-        session.lock_table(schema.name, "X")
+        schema = self._locked_table(session, stmt.table, "X")
         for other in self.db.catalog.referencing_tables(schema.name):
             session.lock_table(other, "S")  # FK back-reference checks read these
         heap = self.db.heap(schema.name)
@@ -1448,16 +1467,28 @@ class Executor:
         self, stmt: ast.CreateIndexStatement, session: "Session"
     ) -> ResultSet:
         catalog = self.db.catalog
+        # lock before the IF NOT EXISTS probe: racing creators on the
+        # same table serialize here, so the loser sees "(exists)" instead
+        # of a duplicate-index error (and the schema is the post-lock
+        # one). Creators on *different* tables hold non-conflicting
+        # locks — their name race is settled by add_index's atomic
+        # check-then-set, caught below.
+        schema = self._locked_table(session, stmt.table, "X")
         if stmt.if_not_exists and stmt.name.lower() in catalog.indexes:
             return ResultSet(status="CREATE INDEX (exists)")
-        schema = catalog.table(stmt.table)
-        session.lock_table(schema.name, "X")
         for name in stmt.columns:
             schema.column(name)
         index_schema = IndexSchema(
             stmt.name, schema.name, tuple(stmt.columns), stmt.unique
         )
-        catalog.add_index(index_schema)
+        try:
+            catalog.add_index(index_schema)
+        except DuplicateObjectError:
+            if stmt.if_not_exists:
+                # lost a cross-table name race after the probe: same
+                # contract as losing the probe itself
+                return ResultSet(status="CREATE INDEX (exists)")
+            raise
         heap = self.db.heap(schema.name)
         index = HashIndex(stmt.name, tuple(stmt.columns), stmt.unique)
         try:
@@ -1488,11 +1519,22 @@ class Executor:
         self, stmt: ast.DropIndexStatement, session: "Session"
     ) -> ResultSet:
         catalog = self.db.catalog
-        if stmt.name.lower() not in catalog.indexes:
-            if stmt.if_exists:
-                return ResultSet(status="DROP INDEX (absent)")
-            raise UnknownTableError(f"index {stmt.name!r} does not exist")
-        session.lock_table(catalog.index(stmt.name).table, "X")
+        # existence (and the owning table) must hold *after* the lock
+        # grant: a DROP that blocked behind a concurrent drop of the same
+        # index would otherwise crash on remove; loop in case the index
+        # was re-created on a different table while we waited
+        while True:
+            if stmt.name.lower() not in catalog.indexes:
+                if stmt.if_exists:
+                    return ResultSet(status="DROP INDEX (absent)")
+                raise UnknownTableError(f"index {stmt.name!r} does not exist")
+            table = catalog.index(stmt.name).table
+            session.lock_table(table, "X")
+            if (
+                stmt.name.lower() in catalog.indexes
+                and catalog.index(stmt.name).table == table
+            ):
+                break
         index_schema = catalog.remove_index(stmt.name)
         heap = self.db.heap(index_schema.table)
         index = heap.drop_index(index_schema.name)

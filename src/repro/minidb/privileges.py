@@ -17,6 +17,7 @@ granted on the pseudo-object ``*`` (database-wide).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from .errors import PermissionDenied
@@ -57,17 +58,25 @@ class PrivilegeManager:
             owner.lower(): _UserEntry(),
             PUBLIC: _UserEntry(),
         }
+        #: guards ``_users`` and every grants list against concurrent
+        #: sessions: GRANT/REVOKE mutate while other sessions' authorize()
+        #: checks and checkpoint snapshots iterate. Re-entrant because
+        #: ``ALL`` grants/revokes recurse per action. Public so the
+        #: snapshot serializer can hold it across a whole dump.
+        self.mutex = threading.RLock()
 
     # ------------------------------------------------------------- users
 
     def create_user(self, name: str) -> None:
-        self._users.setdefault(name.lower(), _UserEntry())
+        with self.mutex:
+            self._users.setdefault(name.lower(), _UserEntry())
 
     def has_user(self, name: str) -> bool:
         return name.lower() in self._users
 
     def users(self) -> list[str]:
-        return sorted(self._users)
+        with self.mutex:
+            return sorted(self._users)
 
     def _entry(self, name: str) -> _UserEntry:
         key = name.lower()
@@ -95,12 +104,13 @@ class PrivilegeManager:
             return
         if action not in ACTIONS:
             raise PermissionDenied(f"unknown privilege action {action!r}")
-        self.create_user(user)
-        entry = self._entry(user)
-        cols = frozenset(c.lower() for c in columns) if columns else None
-        grant = Grant(action, obj.lower(), cols)
-        if grant not in entry.grants:
-            entry.grants.append(grant)
+        with self.mutex:
+            self.create_user(user)
+            entry = self._entry(user)
+            cols = frozenset(c.lower() for c in columns) if columns else None
+            grant = Grant(action, obj.lower(), cols)
+            if grant not in entry.grants:
+                entry.grants.append(grant)
 
     def revoke(
         self,
@@ -116,28 +126,34 @@ class PrivilegeManager:
             for each in ACTIONS:
                 self.revoke(user, each, obj, columns)
             return
-        entry = self._entry(user)
-        obj_key = obj.lower()
-        if columns:
-            wanted = frozenset(c.lower() for c in columns)
-            entry.grants = [
-                g
-                for g in entry.grants
-                if not (g.action == action and g.obj == obj_key and g.columns == wanted)
-            ]
-        else:
-            entry.grants = [
-                g
-                for g in entry.grants
-                if not (g.action == action and g.obj == obj_key)
-            ]
+        with self.mutex:
+            entry = self._entry(user)
+            obj_key = obj.lower()
+            if columns:
+                wanted = frozenset(c.lower() for c in columns)
+                entry.grants = [
+                    g
+                    for g in entry.grants
+                    if not (
+                        g.action == action
+                        and g.obj == obj_key
+                        and g.columns == wanted
+                    )
+                ]
+            else:
+                entry.grants = [
+                    g
+                    for g in entry.grants
+                    if not (g.action == action and g.obj == obj_key)
+                ]
 
     # -------------------------------------------------------------- checks
 
     def _grants_for(self, user: str) -> list[Grant]:
-        grants = list(self._entry(user).grants)
-        grants.extend(self._users[PUBLIC].grants)
-        return grants
+        with self.mutex:
+            grants = list(self._entry(user).grants)
+            grants.extend(self._users[PUBLIC].grants)
+            return grants
 
     def allows(
         self,

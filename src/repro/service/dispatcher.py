@@ -152,20 +152,30 @@ class Dispatcher:
         queue space before raising :class:`ServiceOverloaded`.
         """
         if self._closed:
+            self.metrics.record_rejected()
             raise ServiceOverloaded("dispatcher is shut down")
         session = self.manager.authenticate(token)
         request = PendingResult(token, call)
         deadline = time.monotonic() + self.admission_timeout_s
         with self._space:
             while self._queued >= self.queue_limit:
+                if self._closed:
+                    self.metrics.record_rejected()
+                    raise ServiceOverloaded("dispatcher is shut down")
                 remaining = deadline - time.monotonic()
-                if remaining <= 0 or self._closed:
+                if remaining <= 0:
                     self.metrics.record_rejected()
                     raise ServiceOverloaded(
                         f"admission queue full ({self.queue_limit} requests); "
                         "retry with backoff"
                     )
                 self._space.wait(remaining)
+            # re-check under the mutex: a close() racing with admission
+            # must not let a request slip into _pending after the workers
+            # exited and leftovers were flushed (its future would hang)
+            if self._closed:
+                self.metrics.record_rejected()
+                raise ServiceOverloaded("dispatcher is shut down")
             self._queued += 1
             bucket = self._pending.get(token)
             if bucket is None:
@@ -211,7 +221,9 @@ class Dispatcher:
                     self._ready.put(token)
                 else:
                     self._pending.pop(token, None)
-                self._queued -= 1
+                # clamp: a worker outliving close()'s join timeout lands
+                # here after the flush already zeroed the counter
+                self._queued = max(0, self._queued - 1)
                 self._space.notify()
                 self.metrics.record_completed(
                     latency,
@@ -225,26 +237,34 @@ class Dispatcher:
 
     def close(self, drain: bool = True, timeout_s: float = 30.0) -> None:
         """Stop the workers; with ``drain`` wait for queued work first."""
-        if self._closed:
-            return
-        if drain:
-            deadline = time.monotonic() + timeout_s
-            with self._space:
+        with self._space:
+            if self._closed:
+                return
+            if drain:
+                deadline = time.monotonic() + timeout_s
                 while self._queued > 0 and time.monotonic() < deadline:
                     self._space.wait(0.05)
-        self._closed = True
+            # set under the mutex so submit()'s admission critical section
+            # observes it, and wake admission-blocked submitters so they
+            # fail fast instead of sleeping out their full timeout
+            self._closed = True
+            self._space.notify_all()
         for _ in self._workers:
             self._ready.put(None)
         for worker in self._workers:
             worker.join(timeout=timeout_s)
-        # fail any request that never ran
-        with self._mutex:
+        # fail any request that never ran; _closed is set, so no new
+        # request can join _pending after this flush
+        with self._space:
             leftovers = [
                 request
                 for bucket in self._pending.values()
                 for request, _ in bucket
             ]
             self._pending.clear()
+            # the flushed requests will never be worker-completed, so the
+            # depth gauge must not report them queued forever
+            self._queued = 0
         for request in leftovers:
             request._resolve(
                 ToolResult.error("dispatcher shut down", code="ServiceShutdown")

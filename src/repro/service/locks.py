@@ -164,15 +164,18 @@ class LockManager:
                 )
             assert waiter.granted
 
+    @staticmethod
+    def _compatible(lock: _TableLock, owner: Hashable, mode: str) -> bool:
+        """Whether ``mode`` coexists with every *other* holder of ``lock``."""
+        others = [m for o, m in lock.holders.items() if o != owner]
+        if mode == EXCLUSIVE:
+            return not others
+        return EXCLUSIVE not in others
+
     def _grantable(
         self, lock: _TableLock, owner: Hashable, mode: str, upgrade: bool
     ) -> bool:
-        others = [m for o, m in lock.holders.items() if o != owner]
-        if mode == EXCLUSIVE:
-            compatible = not others
-        else:
-            compatible = EXCLUSIVE not in others
-        if not compatible:
+        if not self._compatible(lock, owner, mode):
             return False
         # FIFO: a fresh request must not barge past earlier waiters;
         # upgrades are exempt (see module docstring)
@@ -188,7 +191,10 @@ class LockManager:
     def _discard_waiter(self, key: str, lock: _TableLock, waiter: _Waiter) -> None:
         if waiter in lock.queue:
             lock.queue.remove(waiter)
-        if lock.idle():
+        # identity check: a woken victim may hold a stale _TableLock whose
+        # key has since been re-created — popping blindly would orphan the
+        # *live* lock's holders and waiters
+        if lock.idle() and self._tables.get(key) is lock:
             self._tables.pop(key, None)
 
     def _abandon_wait(self, key: str, lock: _TableLock, waiter: _Waiter) -> None:
@@ -223,20 +229,15 @@ class LockManager:
                 # would leak a lock its owner is about to abandon
                 lock.queue.pop(0)
                 continue
-            others = [
-                m for o, m in lock.holders.items() if o != waiter.owner
-            ]
-            if waiter.mode == EXCLUSIVE:
-                compatible = not others
-            else:
-                compatible = EXCLUSIVE not in others
-            if not compatible:
+            if not self._compatible(lock, waiter.owner, waiter.mode):
                 break
             lock.queue.pop(0)
             self._grant(lock, key, waiter.owner, waiter.mode)
             waiter.granted = True
             waiter.event.set()
-        if lock.idle():
+        # same identity check as _discard_waiter: never pop a live lock
+        # that replaced this (possibly stale) object under the same key
+        if lock.idle() and self._tables.get(key) is lock:
             self._tables.pop(key, None)
 
     # ---------------------------------------------------- deadlock detection

@@ -171,6 +171,15 @@ class SessionManager:
             clock=self._clock,
         )
         with self._mutex:
+            # re-check in the same critical section that inserts: N
+            # concurrent creates near the limit can all pass the pre-build
+            # check above, which exists only to fail fast before the
+            # (comparatively expensive) bridge construction
+            if len(self._sessions) >= self.max_sessions:
+                self.stats["rejected"] += 1
+                raise SessionError(
+                    f"session limit reached ({self.max_sessions}); retry later"
+                )
             self._sessions[session.token] = session
             self.stats["created"] += 1
         return session

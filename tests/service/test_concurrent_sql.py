@@ -6,6 +6,7 @@ higher count than the local default to shake out scheduling races).
 
 import os
 import threading
+import time
 
 import pytest
 
@@ -191,6 +192,174 @@ class TestReadersAndWriters:
         manager.close()
         assert violations == []
         assert final == {"a": 30, "b": 30}
+
+
+class TestRetryableAborts:
+    def test_lock_timeout_rolls_back_transaction(self):
+        """Regression: a lock-wait timeout is surfaced as retryable, so
+        it must abort the transaction like a deadlock does — otherwise a
+        client retrying with BEGIN hits a nested-transaction error while
+        the stale locks linger until session teardown."""
+        from repro.minidb.errors import LockTimeoutError
+        from repro.service import LockManager
+
+        db = make_db()
+        db.lock_manager = LockManager(timeout_s=0.1)
+        blocker = db.connect("admin")
+        blocker.execute("BEGIN")
+        blocker.execute("UPDATE counters SET val = 1 WHERE id = 1")  # X held
+        victim = db.connect("admin")
+        victim.execute("BEGIN")
+        with pytest.raises(LockTimeoutError):
+            victim.execute("SELECT * FROM counters")  # S blocked by X
+        # the timeout aborted the whole transaction and freed its locks
+        assert not victim.in_transaction
+        assert db.lock_manager.held_by(victim) == {}
+        victim.execute("BEGIN")  # the retryable contract: BEGIN just works
+        victim.execute("ROLLBACK")
+        blocker.execute("ROLLBACK")
+
+    def test_value_retrieval_respects_table_locks(self):
+        """Regression: the binding's catalog-building heap scans take an
+        S lock, so they block on a writer's uncommitted X instead of
+        reading dirty rows (and release at scan end in autocommit)."""
+        from repro.core.minidb_binding import MinidbBinding
+        from repro.minidb.errors import LockTimeoutError
+        from repro.service import LockManager
+
+        db = make_db()
+        db.lock_manager = LockManager(timeout_s=0.1)
+        writer = db.connect("admin")
+        writer.execute("BEGIN")
+        writer.execute("UPDATE counters SET val = 99 WHERE id = 1")
+        binding = MinidbBinding(db.connect("admin"))
+        with pytest.raises(LockTimeoutError):
+            binding.distinct_values("counters", "val", 10)
+        writer.execute("ROLLBACK")
+        assert binding.distinct_values("counters", "val", 10) == [0]
+        # autocommit: the S lock does not outlive the scan
+        assert db.lock_manager.held_by(binding.session) == {}
+
+
+class TestSchemaResolutionUnderLocks:
+    def test_blocked_dml_sees_recreated_schema(self):
+        """Regression: DML resolves its table schema *after* the table
+        lock is granted, so a statement that blocked behind a concurrent
+        DROP + CREATE runs against the recreated table's contract — not
+        the dropped schema it saw before sleeping."""
+        from repro.service import LockManager
+
+        db = Database(owner="admin")
+        db.lock_manager = LockManager(timeout_s=10.0)
+        admin = db.connect("admin")
+        admin.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+
+        ddl = db.connect("admin")
+        ddl.execute("BEGIN")
+        ddl.execute("DELETE FROM t")  # takes and holds X on t
+
+        writer = db.connect("admin")
+        outcome = {}
+
+        def blocked_insert():
+            try:
+                # legal against the old schema (v is nullable) — must be
+                # judged against whatever schema exists once the lock is
+                # finally granted
+                writer.execute("INSERT INTO t (id) VALUES (1)")
+                outcome["error"] = None
+            except Exception as exc:
+                outcome["error"] = exc
+
+        thread = threading.Thread(target=blocked_insert, daemon=True)
+        thread.start()
+        time.sleep(0.2)  # let the insert park on the X lock
+        assert thread.is_alive()
+        ddl.execute("DROP TABLE t")
+        ddl.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT NOT NULL)")
+        ddl.execute("COMMIT")
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        # the recreated schema's NOT NULL constraint applied: the insert
+        # was rejected instead of writing a mis-shaped row into the new heap
+        assert outcome["error"] is not None
+        assert db.connect("admin").scalar("SELECT COUNT(*) FROM t") == 0
+
+    def test_blocked_retrieval_serves_recreated_table(self):
+        """Regression: retrieve_values resolves schema/heap (and thus the
+        cache fingerprint) *inside* the S lock, so a call that blocked
+        behind DROP + CREATE rebuilds from the recreated heap instead of
+        serving the dropped table's warm cached catalog."""
+        from repro.core.minidb_binding import MinidbBinding
+        from repro.service import LockManager
+
+        db = Database(owner="admin")
+        db.lock_manager = LockManager(timeout_s=10.0)
+        admin = db.connect("admin")
+        admin.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+        admin.execute("INSERT INTO t VALUES (1, 'old_value')")
+        binding = MinidbBinding(db.connect("admin"))
+        warm = [v for v, _ in binding.retrieve_values("t", "v", "value", 5, 100)]
+        assert warm == ["old_value"]
+
+        writer = db.connect("admin")
+        writer.execute("BEGIN")
+        writer.execute("DELETE FROM t WHERE id = 999")  # X on t, no rows hit
+
+        outcome = {}
+
+        def blocked_retrieve():
+            outcome["values"] = [
+                v for v, _ in binding.retrieve_values("t", "v", "value", 5, 100)
+            ]
+
+        thread = threading.Thread(target=blocked_retrieve, daemon=True)
+        thread.start()
+        time.sleep(0.2)
+        assert thread.is_alive()  # parked on the S lock
+        writer.execute("DROP TABLE t")
+        writer.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+        writer.execute("INSERT INTO t VALUES (1, 'new_value')")
+        writer.execute("COMMIT")
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert outcome["values"] == ["new_value"]
+
+    def test_blocked_drop_index_if_exists_sees_concurrent_drop(self):
+        """Regression: DROP INDEX re-checks existence after the lock
+        grant, so losing the race to another drop yields '(absent)'
+        rather than a raw KeyError from the catalog."""
+        from repro.service import LockManager
+
+        db = Database(owner="admin")
+        db.lock_manager = LockManager(timeout_s=10.0)
+        admin = db.connect("admin")
+        admin.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        admin.execute("CREATE INDEX i ON t (v)")
+
+        holder = db.connect("admin")
+        holder.execute("BEGIN")
+        holder.execute("DELETE FROM t")  # X on t
+
+        dropper = db.connect("admin")
+        outcome = {}
+
+        def blocked_drop():
+            try:
+                outcome["status"] = dropper.execute("DROP INDEX IF EXISTS i").status
+            except Exception as exc:
+                outcome["error"] = exc
+
+        thread = threading.Thread(target=blocked_drop, daemon=True)
+        thread.start()
+        time.sleep(0.2)
+        assert thread.is_alive()  # parked behind holder's X
+        holder.execute("DROP INDEX i")
+        holder.execute("COMMIT")
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert outcome.get("error") is None, outcome
+        assert outcome["status"] == "DROP INDEX (absent)"
 
 
 class TestZeroThreadFastPath:

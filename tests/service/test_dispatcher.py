@@ -231,3 +231,56 @@ class TestShutdown:
         for future in [first, *queued]:
             result = future.result(timeout=10.0)
             assert result.content in ("done",) or result.error_code == "ServiceShutdown"
+
+    def test_submit_after_close_rejects(self, manager):
+        dispatcher = Dispatcher(manager, workers=1)
+        token = manager.create_session("admin").token
+        dispatcher.close()
+        with pytest.raises(ServiceOverloaded):
+            dispatcher.submit(token, ToolCall("noop", {}))
+
+    def test_close_wakes_admission_blocked_submitters(self, manager):
+        """Regression: close() must notify submitters waiting for queue
+        space (they fail fast instead of sleeping out their admission
+        timeout), and a submit racing with close must never leave a
+        future that nothing resolves."""
+        release = threading.Event()
+
+        def stalled(session, call):
+            release.wait(10.0)
+            return ToolResult.ok("done")
+
+        dispatcher = Dispatcher(
+            manager,
+            workers=1,
+            queue_limit=1,
+            admission_timeout_s=30.0,
+            handler=stalled,
+        )
+        token = manager.create_session("admin").token
+        first = dispatcher.submit(token, ToolCall("noop", {}))
+        outcome = {}
+
+        def blocked_submit():
+            try:
+                outcome["future"] = dispatcher.submit(
+                    token, ToolCall("noop", {})
+                )
+            except ServiceOverloaded:
+                outcome["rejected"] = True
+
+        thread = threading.Thread(target=blocked_submit, daemon=True)
+        thread.start()
+        time.sleep(0.1)  # let it block on admission (queue is full)
+        release.set()
+        dispatcher.close(drain=False)
+        thread.join(timeout=5.0)  # well under the 30s admission timeout
+        assert not thread.is_alive()
+        assert outcome  # it either got in or was rejected — never lost
+        if "future" in outcome:  # admitted in the race window: resolves
+            result = outcome["future"].result(timeout=5.0)
+            assert (
+                result.content == "done"
+                or result.error_code == "ServiceShutdown"
+            )
+        assert first.result(timeout=5.0).content == "done"

@@ -264,3 +264,31 @@ class TestTimeout:
         with pytest.raises(LockTimeoutError):
             lm.acquire("b", "t", SHARED, timeout_s=0.05)
         assert time.monotonic() - started < 5.0
+
+
+class TestStaleLockReferences:
+    def test_abandoning_stale_lock_never_pops_the_live_one(self):
+        """Regression: a woken victim can hold a reference to a
+        _TableLock whose key went idle and was re-created by another
+        session; abandoning its wait must not pop the NEW live lock from
+        the table map (that would orphan the live holders — release_all
+        could no longer find them, and fresh acquirers could grant a
+        second X on a table still exclusively held)."""
+        from repro.service.locks import _TableLock, _Waiter
+
+        lm = LockManager(timeout_s=0.05)
+        stale = _TableLock()
+        orphan = _Waiter("victim", EXCLUSIVE)
+        orphan.victim = True
+        # key "t" has since been re-created: a live session holds X on it
+        lm.acquire("a", "t", EXCLUSIVE)
+        with lm._mutex:
+            lm._abandon_wait("t", stale, orphan)
+        # mutual exclusion must survive: "a" still holds X and blocks "b"
+        assert lm.held_by("a") == {"t": "X"}
+        with pytest.raises(LockTimeoutError):
+            lm.acquire("b", "t", EXCLUSIVE)
+        # and release_all still finds the holder, so the lock drains
+        lm.release_all("a")
+        lm.acquire("b", "t", EXCLUSIVE)
+        assert lm.held_by("b") == {"t": "X"}

@@ -71,6 +71,30 @@ class TestLifecycle:
             manager.create_session("admin")
         assert manager.stats["rejected"] == 1
 
+    def test_session_limit_holds_under_racing_creates(self, db, monkeypatch):
+        """Regression: the limit is re-checked in the same critical
+        section that inserts, so a create that sneaks in while another's
+        bridge is being built cannot push the count past max_sessions."""
+        from repro.core.server import BridgeScope
+
+        manager = SessionManager(db, max_sessions=1)
+        original = BridgeScope.for_minidb_user.__func__
+        state = {"raced": False}
+
+        def racing(cls, database, user, config=None, **kwargs):
+            if not state["raced"]:
+                state["raced"] = True
+                manager.create_session("admin")  # wins the race mid-build
+            return original(cls, database, user, config, **kwargs)
+
+        monkeypatch.setattr(
+            BridgeScope, "for_minidb_user", classmethod(racing)
+        )
+        with pytest.raises(SessionError, match="limit"):
+            manager.create_session("admin")
+        assert manager.active_count() == 1
+        assert manager.stats["rejected"] == 1
+
 
 class TestExpiry:
     def test_idle_session_expires(self, db):
