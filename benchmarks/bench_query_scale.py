@@ -1,0 +1,92 @@
+"""Query-scale benchmark: ordered indexes, range-scan planning, and
+compiled predicates vs the seed execution paths.
+
+Times three agent-shaped query classes at scale (see
+:mod:`repro.bench.query_scale` for the measurement harness):
+
+* a selective range filter through a ``USING BTREE`` index slice,
+* ``ORDER BY ... LIMIT 10`` through the early-exit ordered index scan,
+* a multi-conjunct sequential-scan WHERE through compiled predicates,
+
+each against its forced baseline (``db.planner_options`` toggles), with
+results asserted byte-identical between the two plans.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_query_scale.py           # full (100k rows)
+    PYTHONPATH=src python benchmarks/bench_query_scale.py --smoke   # CI-sized
+
+Appends the measured result to ``BENCH_query.json`` (override with
+``--out``; runs accumulate in a ``history`` list so the perf trajectory
+is tracked across PRs). Exits non-zero if any speedup falls below its
+acceptance threshold, if the fast plans stop appearing in EXPLAIN, or if
+either plan's rows diverge.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.query_scale import experiment_query_scale
+from repro.bench.reporting import record_bench_result, render_query_scale
+
+#: acceptance thresholds per query class (full-size run); smoke runs use
+#: laxer floors since tiny tables leave little work to skip
+THRESHOLDS = {"range": 20.0, "topn": 5.0, "predicate": 1.5}
+SMOKE_THRESHOLDS = {"range": 3.0, "topn": 1.5, "predicate": 1.1}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=100_000,
+                        help="rows in the events table")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (10k rows, relaxed thresholds)")
+    parser.add_argument("--out", default="BENCH_query.json",
+                        help="where to append the JSON result")
+    args = parser.parse_args(argv)
+
+    rows = 10_000 if args.smoke else args.rows
+    thresholds = SMOKE_THRESHOLDS if args.smoke else THRESHOLDS
+
+    result = experiment_query_scale(rows=rows)
+    print(render_query_scale(result))
+
+    plans_ok = (
+        any("Index Range Scan" in line for line in result["range"]["plan"])
+        and any("Ordered Index Scan" in line for line in result["topn"]["plan"])
+        and result["planner_stats"]["ordered_scans"] > 0
+        and all("Seq Scan" in line for line in result["predicate"]["plan"])
+    )
+    failures = [
+        name
+        for name, floor in thresholds.items()
+        if result[name]["speedup"] < floor
+    ]
+    passed = plans_ok and result["identical"] and not failures
+
+    payload = dict(result, thresholds=thresholds, smoke=args.smoke,
+                   passed=passed)
+    record_bench_result(args.out, payload)
+    print(f"recorded run in {args.out}")
+
+    if not result["identical"]:
+        print("FAIL: fast-path and baseline plans returned different rows")
+        return 1
+    if not plans_ok:
+        print("FAIL: EXPLAIN/planner stats no longer show the fast plans")
+        return 1
+    if failures:
+        for name in failures:
+            print(f"FAIL: {name} speedup {result[name]['speedup']:.1f}x is "
+                  f"below {thresholds[name]:.1f}x")
+        return 1
+    print("OK: " + ", ".join(
+        f"{name} {result[name]['speedup']:,.1f}x (>= {floor:.1f}x)"
+        for name, floor in thresholds.items()))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,11 +21,13 @@ from .reporting import (
     render_fig5c,
     render_fig6,
     render_join_scale,
+    render_query_scale,
     render_retrieval_scale,
     render_storage_durability,
     render_table1,
     render_table2,
 )
+from .query_scale import experiment_query_scale
 from .retrieval_scale import experiment_retrieval_scale
 from .runner import (
     experiment_fig5a,
@@ -38,7 +40,7 @@ from .storage_durability import experiment_storage_durability
 
 EXPERIMENTS = (
     "fig5a", "fig5b", "fig5c", "fig6", "table1", "table2", "joins",
-    "retrieval", "storage", "concurrency",
+    "retrieval", "storage", "concurrency", "query",
 )
 
 
@@ -74,6 +76,10 @@ def run_experiment(
         return render_join_scale(
             experiment_join_scale(rows=rows, nl_rows=min(1_000, rows))
         )
+    if name == "query":
+        # scale factor reuses the --scale knob: 1.0 -> a 100k-row table
+        rows = max(2_000, int(100_000 * scale))
+        return render_query_scale(experiment_query_scale(rows=rows))
     if name == "retrieval":
         # scale factor: 1.0 -> a 100k-distinct-value column
         distinct = max(2_000, int(100_000 * scale))

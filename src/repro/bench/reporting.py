@@ -270,6 +270,43 @@ def render_concurrency(result: dict[str, Any]) -> str:
     )
 
 
+def render_query_scale(result: dict[str, Any]) -> str:
+    labels = {
+        "range": "selective range (btree slice vs seq scan)",
+        "topn": "ORDER BY LIMIT 10 (ordered scan vs full sort)",
+        "predicate": "seq-scan WHERE (compiled vs interpreted)",
+    }
+    table = render_table(
+        ["query class", "rows", "fast (ms)", "baseline (ms)", "speedup"],
+        [
+            [
+                label,
+                result["rows"],
+                result[name]["fast_ms"],
+                result[name]["baseline_ms"],
+                f"{result[name]['speedup']:,.1f}x",
+            ]
+            for name, label in labels.items()
+        ],
+        title="Query scale — indexed/compiled execution vs seed paths (minidb)",
+    )
+    stats = result["planner_stats"]
+    plans = "\n".join(
+        f"  {line}"
+        for name in labels
+        for line in result[name]["plan"]
+    )
+    equivalence = "identical" if result["identical"] else "MISMATCH"
+    return (
+        f"{table}\n"
+        f"fast vs baseline rows: {equivalence}\n"
+        f"planner stats: {stats['range_scans']} range scans, "
+        f"{stats['ordered_scans']} ordered scans, "
+        f"{stats['topn_limits']} top-N limits\n"
+        f"query plans:\n{plans}"
+    )
+
+
 def render_join_scale(result: dict[str, Any]) -> str:
     suffix = (
         f" (measured at {result['nl_rows']} rows, extrapolated)"

@@ -258,6 +258,7 @@ class CreateIndexStatement:
     columns: list[str]
     unique: bool = False
     if_not_exists: bool = False
+    using: str | None = None  # "BTREE" | "HASH" | None (defaults to hash)
 
 
 @dataclass

@@ -100,10 +100,15 @@ class IndexSchema:
     table: str
     columns: tuple[str, ...]
     unique: bool = False
+    kind: str = "hash"  # "hash" | "btree" (CREATE INDEX ... USING <kind>)
 
     def describe(self) -> str:
-        kind = "UNIQUE INDEX" if self.unique else "INDEX"
-        return f"{kind} {self.name} ON {self.table}({', '.join(self.columns)})"
+        prefix = "UNIQUE INDEX" if self.unique else "INDEX"
+        using = " USING BTREE" if self.kind == "btree" else ""
+        return (
+            f"{prefix} {self.name} ON "
+            f"{self.table}{using}({', '.join(self.columns)})"
+        )
 
 
 @dataclass

@@ -264,12 +264,25 @@ class Database:
         self.planner_stats = {
             "seq_scans": 0,
             "index_scans": 0,
+            "range_scans": 0,
+            "ordered_scans": 0,
+            "topn_limits": 0,
             "hash_joins": 0,
             "nested_loop_joins": 0,
         }
-        #: planner toggles; ``enable_hash_join=False`` forces the
-        #: nested-loop fallback (benchmark baseline / debugging)
-        self.planner_options = {"enable_hash_join": True}
+        #: planner toggles (benchmark baselines / debugging):
+        #: ``enable_hash_join=False`` forces the nested-loop fallback;
+        #: ``enable_index_scan=False`` forces sequential scans (disables
+        #: equality probes, range scans, and ordered index scans);
+        #: ``enable_topn=False`` forces full sorts under ORDER BY+LIMIT;
+        #: ``enable_compiled_predicates=False`` forces the AST-walking
+        #: expression interpreter
+        self.planner_options = {
+            "enable_hash_join": True,
+            "enable_index_scan": True,
+            "enable_topn": True,
+            "enable_compiled_predicates": True,
+        }
         #: shared column-exemplar catalog cache, lazily attached by
         #: ``repro.core.minidb_binding`` (kept as a plain slot so minidb
         #: has no dependency on the retrieval layer)

@@ -94,13 +94,13 @@ from ..errors import PersistenceError, TransactionError
 from ..storage import HeapTable, reserve_heap_uids
 from .base import Record, StorageEngine
 from .serial import (
-    dump_hash_index,
+    dump_index,
     dump_index_schema,
     dump_privileges,
     dump_table_schema,
     dump_view,
     load_column,
-    load_hash_index,
+    load_index,
     load_index_schema,
     load_privileges,
     load_table_schema,
@@ -467,7 +467,7 @@ class DurableEngine(StorageEngine):
                     "version": heap.version,
                     "next_rid": heap._next_rid,
                     "indexes": [
-                        dump_hash_index(ix) for ix in heap.indexes.values()
+                        dump_index(ix) for ix in heap.indexes.values()
                     ],
                     "rows": [[rid, row] for rid, row in heap.rows()],
                 }
@@ -509,7 +509,7 @@ class DurableEngine(StorageEngine):
                 next_rid=entry["next_rid"],
                 uid=entry["uid"],
                 version=entry["version"],
-                indexes=[load_hash_index(ix) for ix in entry["indexes"]],
+                indexes=[load_index(ix) for ix in entry["indexes"]],
             )
         for entry in data["views"]:
             db.catalog.add_view(load_view(entry))
@@ -640,7 +640,7 @@ class DurableEngine(StorageEngine):
             db.catalog.add_table(schema)
             heap = HeapTable(schema.name)
             for entry in r["indexes"]:
-                index = load_hash_index(entry)
+                index = load_index(entry)
                 heap.indexes[index.name] = index  # new table: nothing to fill
             heap.uid = r["uid"]
             heap.version = r["version"]
@@ -683,10 +683,11 @@ class DurableEngine(StorageEngine):
                     schema.name,
                     tuple(entry["columns"]),
                     entry["unique"],
+                    kind=entry.get("kind", "hash"),
                 )
             )
             heap = db.heaps[r["table"].lower()]
-            heap.add_index(load_hash_index(entry))
+            heap.add_index(load_index(entry))
             heap.version = r["version"]
         elif op == "drop_index":
             db.catalog.remove_index(r["index"])

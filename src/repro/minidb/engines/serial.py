@@ -18,7 +18,7 @@ from ..catalog import Column, ForeignKey, IndexSchema, TableSchema, ViewSchema
 from ..errors import PersistenceError
 from ..parser import parse
 from ..privileges import Grant, PrivilegeManager
-from ..storage import HashIndex
+from ..storage import HashIndex, SortedIndex
 from ..types import ColumnType
 
 
@@ -104,17 +104,20 @@ def load_table_schema(data: dict[str, Any]) -> TableSchema:
 # ------------------------------------------------------------------- indexes
 
 
-def dump_hash_index(index: HashIndex) -> dict[str, Any]:
-    """Definition only — buckets are rebuilt from rows on load."""
+def dump_index(index: "HashIndex | SortedIndex") -> dict[str, Any]:
+    """Definition only — buckets/arrays are rebuilt from rows on load."""
     return {
         "name": index.name,
         "columns": list(index.columns),
         "unique": index.unique,
+        "kind": index.kind,
     }
 
 
-def load_hash_index(data: dict[str, Any]) -> HashIndex:
-    return HashIndex(data["name"], tuple(data["columns"]), data["unique"])
+def load_index(data: dict[str, Any]) -> "HashIndex | SortedIndex":
+    # pre-PR-5 snapshots and WAL records carry no "kind": they are hash
+    cls = SortedIndex if data.get("kind") == "btree" else HashIndex
+    return cls(data["name"], tuple(data["columns"]), data["unique"])
 
 
 def dump_index_schema(schema: IndexSchema) -> dict[str, Any]:
@@ -123,12 +126,17 @@ def dump_index_schema(schema: IndexSchema) -> dict[str, Any]:
         "table": schema.table,
         "columns": list(schema.columns),
         "unique": schema.unique,
+        "kind": schema.kind,
     }
 
 
 def load_index_schema(data: dict[str, Any]) -> IndexSchema:
     return IndexSchema(
-        data["name"], data["table"], tuple(data["columns"]), data["unique"]
+        data["name"],
+        data["table"],
+        tuple(data["columns"]),
+        data["unique"],
+        kind=data.get("kind", "hash"),
     )
 
 

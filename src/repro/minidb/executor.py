@@ -6,11 +6,33 @@ through the session's transaction manager so every statement is atomic and
 every explicit transaction can roll back.
 
 The SELECT pipeline is a materializing implementation: resolve FROM sources
-(expanding views, probing covering indexes, and pre-filtering with pushed-
-down single-source predicates), fold sources and explicit joins one at a
-time, WHERE filter, GROUP BY with accumulator aggregates, HAVING,
-projection, DISTINCT, set operations, ORDER BY, LIMIT/OFFSET. Correlated
-subqueries are supported via scope chaining.
+(expanding views, probing covering indexes, slicing sorted indexes for
+range conjuncts, and pre-filtering with pushed-down single-source
+predicates), fold sources and explicit joins one at a time, WHERE filter,
+GROUP BY with accumulator aggregates, HAVING, projection, DISTINCT, set
+operations, ORDER BY, LIMIT/OFFSET. Correlated subqueries are supported
+via scope chaining.
+
+Three ordered-access fast paths ride on that pipeline (PR 5):
+
+* **Range scans** — WHERE range conjuncts slice a ``USING BTREE``
+  :class:`SortedIndex` (``planner_stats["range_scans"]``); candidates
+  still get the full WHERE re-applied, so the plan is a pure reduction.
+* **Ordered scans** — when a sorted index's order is exactly the
+  statement's ORDER BY (equality-bound prefix + order columns), rows are
+  read from the index in output order, the sort is skipped, and the scan
+  stops after OFFSET+LIMIT surviving rows (``ordered_scans``).
+* **Top-N** — ``ORDER BY ... LIMIT k`` without such an index keeps a
+  bounded ``heapq`` selection instead of sorting everything
+  (``topn_limits``).
+
+WHERE/residual/pushdown predicates are compiled once per statement into
+closure chains (:func:`repro.minidb.expressions.compile_predicate`),
+falling back to the AST interpreter for subquery-bearing or correlated
+expressions; UPDATE/DELETE resolve their target rows through the same
+access-path planning as SELECT sources. All of it is toggleable through
+``db.planner_options`` (``enable_index_scan``, ``enable_topn``,
+``enable_compiled_predicates``) for baselines and debugging.
 
 Joins follow the strategy chosen by :mod:`repro.minidb.planner`: equi-joins
 (keys harvested from ON and WHERE conjuncts) build a hash table over the
@@ -26,6 +48,7 @@ The chosen strategies are observable via ``EXPLAIN`` and
 
 from __future__ import annotations
 
+import heapq
 from typing import TYPE_CHECKING, Any
 
 from . import ast_nodes as ast
@@ -40,21 +63,33 @@ from .errors import (
     UnknownColumnError,
     UnknownTableError,
 )
-from .expressions import Evaluator, Scope
+from .expressions import (
+    CannotCompile,
+    Evaluator,
+    Scope,
+    compile_predicate,
+)
 from .functions import AGGREGATE_NAMES, make_aggregate
 from .planner import (
     JoinPlan,
     choose_access_path,
     extract_equality_bindings,
     extract_pushdown_filter,
+    extract_range_bindings,
     plan_join,
     plan_select_joins,
     plan_select_paths,
 )
-from .engines.serial import dump_column, dump_hash_index, dump_table_schema
+from .engines.serial import dump_column, dump_index, dump_table_schema
 from .result import ResultSet
 from .sqlgen import expr_to_sql, select_to_sql
-from .storage import HashIndex, HeapTable, Row
+from .storage import (
+    HashIndex,
+    HeapTable,
+    Row,
+    SortedIndex,
+    ordering_key_element,
+)
 from .types import ColumnType, coerce
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -176,6 +211,58 @@ class _ScopeLayout:
         return self.scope_parts(_PartsOverlay(jr.parts, binding, row))
 
 
+def _raising_accessor(exc: Exception):
+    def fn(ctx, exc=exc):
+        raise exc
+
+    return fn
+
+
+def _layout_resolver(layout: _ScopeLayout):
+    """Column resolver for :func:`compile_predicate` over a scope layout.
+
+    Resolution happens once at compile time; the returned accessors read
+    the addressed part row directly per evaluation — no per-row scope
+    object, no per-lookup name formatting. Names the layout cannot resolve
+    compile to closures raising the interpreter's exact error (preserving
+    "no rows evaluated, no error"), except when an outer scope exists:
+    there the name may be a correlated reference, so compilation bails to
+    the interpreter via :class:`CannotCompile`.
+    """
+    qualified = layout._qualified
+    unqualified = layout._unqualified
+    ambiguous = layout.ambiguous
+    has_outer = layout.outer is not None
+
+    def resolve(ref: ast.ColumnRef):
+        if ref.table is not None:
+            target = qualified.get(f"{ref.table.lower()}.{ref.name.lower()}")
+        else:
+            name = ref.name.lower()
+            if name in ambiguous:
+                return _raising_accessor(
+                    UnknownColumnError(
+                        f"column reference {ref.name!r} is ambiguous"
+                    )
+                )
+            target = unqualified.get(name)
+        if target is None:
+            if has_outer:
+                raise CannotCompile
+            return _raising_accessor(
+                UnknownColumnError(f"column {ref} does not exist")
+            )
+        binding, column = target
+
+        def accessor(parts, binding=binding, column=column):
+            row = parts.get(binding)
+            return None if row is None else row.get(column)
+
+        return accessor
+
+    return resolve
+
+
 def _collect_aggregates(expr: ast.Expr | None, out: list[ast.FunctionCall]) -> None:
     """Find aggregate FunctionCall nodes (not descending into subqueries)."""
     if expr is None:
@@ -218,6 +305,78 @@ def _collect_aggregates(expr: ast.Expr | None, out: list[ast.FunctionCall]) -> N
         _collect_aggregates(expr.operand, out)
 
 
+def _order_sensitive_expr(expr: ast.Expr | None) -> bool:
+    """Whether evaluating ``expr`` for a single ungrouped aggregate row can
+    observe the input row order (bare column refs read the group's first
+    row; subqueries may correlate against it). Conservative: unknown node
+    kinds count as sensitive."""
+    if expr is None:
+        return False
+    if isinstance(expr, ast.Literal):
+        return False
+    if isinstance(expr, (ast.ColumnRef, ast.Star)):
+        return True
+    if isinstance(expr, (ast.ScalarSubquery, ast.ExistsExpr)):
+        return True
+    if isinstance(expr, ast.FunctionCall):
+        if expr.name in AGGREGATE_NAMES:
+            return False  # caller restricts to COUNT, which is order-free
+        return any(_order_sensitive_expr(a) for a in expr.args)
+    if isinstance(expr, ast.BinaryOp):
+        return _order_sensitive_expr(expr.left) or _order_sensitive_expr(expr.right)
+    if isinstance(expr, ast.UnaryOp):
+        return _order_sensitive_expr(expr.operand)
+    if isinstance(expr, ast.CaseExpr):
+        return (
+            _order_sensitive_expr(expr.operand)
+            or any(
+                _order_sensitive_expr(when) or _order_sensitive_expr(then)
+                for when, then in expr.whens
+            )
+            or _order_sensitive_expr(expr.default)
+        )
+    if isinstance(expr, ast.InExpr):
+        if not isinstance(expr.candidates, list):
+            return True  # IN (SELECT ...) may correlate
+        return _order_sensitive_expr(expr.operand) or any(
+            _order_sensitive_expr(c) for c in expr.candidates
+        )
+    if isinstance(expr, ast.BetweenExpr):
+        return (
+            _order_sensitive_expr(expr.operand)
+            or _order_sensitive_expr(expr.low)
+            or _order_sensitive_expr(expr.high)
+        )
+    if isinstance(expr, ast.LikeExpr):
+        return _order_sensitive_expr(expr.operand) or _order_sensitive_expr(
+            expr.pattern
+        )
+    if isinstance(expr, (ast.IsNullExpr, ast.CastExpr)):
+        return _order_sensitive_expr(expr.operand)
+    return True
+
+
+def _order_insensitive_output(
+    stmt: ast.SelectStatement, aggregates: list[ast.FunctionCall]
+) -> bool:
+    """True when the statement's output provably ignores input row order.
+
+    The qualifying shape is the agent-common ``SELECT COUNT(*) FROM ...``:
+    one ungrouped aggregate row whose expressions never read a concrete
+    row (COUNT only — SUM/AVG float accumulation is order-sensitive at the
+    bit level, and bare columns read the first row of the group). Index
+    probes feeding such statements may skip their rid sort.
+    """
+    if stmt.group_by or stmt.distinct or stmt.set_op is not None:
+        return False
+    if not aggregates or any(a.name != "COUNT" for a in aggregates):
+        return False
+    exprs: list[ast.Expr | None] = [item.expr for item in stmt.items]
+    exprs.append(stmt.having)
+    exprs.extend(order.expr for order in stmt.order_by)
+    return not any(_order_sensitive_expr(e) for e in exprs)
+
+
 class _AggregateEvaluator(Evaluator):
     """Evaluator that resolves aggregate calls from a precomputed map."""
 
@@ -238,16 +397,10 @@ class _AggregateEvaluator(Evaluator):
 
 _NULL_SENTINEL = ("<null>",)
 
-
-def _sort_key_element(value: Any) -> tuple:
-    """Total-order key: NULLs last, numbers before strings within a column."""
-    if value is None:
-        return (2, 0, "")
-    if isinstance(value, bool):
-        return (0, int(value), "")
-    if isinstance(value, (int, float)):
-        return (0, value, "")
-    return (1, 0, str(value))
+#: ORDER BY sort keys and SortedIndex entry order share one total order —
+#: that identity is what lets an index-ordered scan replace a sort
+#: bit-for-bit, so there is exactly one definition (storage.py)
+_sort_key_element = ordering_key_element
 
 
 # --------------------------------------------------------------------------
@@ -293,55 +446,93 @@ class Executor:
         prefilter = (len(stmt.from_sources) + len(stmt.joins)) > 1
         statement_sources = self._statement_sources(stmt) if prefilter else None
 
-        # fold FROM sources one at a time (hash-joining on WHERE equi
-        # conjuncts where possible) instead of materializing the full
-        # cross product, then fold the explicit joins the same way
-        all_sources: list[_Source] = []
-        joined: list[_JoinedRow] = [_JoinedRow({})]
-        for src in stmt.from_sources:
-            source = self._resolve_source(
-                src, session, outer, stmt.where, statement_sources
-            )
-            if all_sources:
-                joined = self._join_relation(
-                    joined, all_sources, source, "INNER", None,
-                    stmt.where, evaluator, outer, statement_sources,
-                )
-            else:
-                joined = [_JoinedRow({source.binding: row}) for row in source.rows]
-            all_sources.append(source)
-
-        for join in stmt.joins:
-            right = self._resolve_source(
-                join.source, session, outer, stmt.where, statement_sources
-            )
-            joined = self._join_relation(
-                joined, all_sources, right, join.kind, join.condition,
-                stmt.where, evaluator, outer, statement_sources,
-            )
-            all_sources.append(right)
-
-        make_scope = _ScopeLayout(all_sources, outer).scope
-
-        if stmt.where is not None:
-            joined = [
-                jr
-                for jr in joined
-                if evaluator.evaluate_predicate(stmt.where, make_scope(jr))
-            ]
-
-        # expand stars into concrete items
-        items = self._expand_items(stmt.items, all_sources)
-        out_columns = [self._item_name(item, index) for index, item in enumerate(items)]
-
+        # aggregates are collected from the raw select list (star items can
+        # never contain one), so grouping — and with it order sensitivity —
+        # is known before any source is scanned
         aggregates: list[ast.FunctionCall] = []
-        for item in items:
+        for item in stmt.items:
             _collect_aggregates(item.expr, aggregates)
         _collect_aggregates(stmt.having, aggregates)
         for order in stmt.order_by:
             _collect_aggregates(order.expr, aggregates)
-
         grouped = bool(stmt.group_by) or bool(aggregates)
+        order_insensitive = _order_insensitive_output(stmt, aggregates)
+
+        # single-table ORDER BY fast path: when a sorted index already
+        # yields rows in ORDER BY order, scan it directly (early-exiting
+        # after OFFSET+LIMIT surviving rows) and skip the sort below
+        where_handled = False
+        order_handled = False
+        ordered_source = None
+        if (
+            not grouped
+            and not stmt.distinct
+            and stmt.set_op is None
+            and stmt.order_by
+            and len(stmt.from_sources) == 1
+            and not stmt.joins
+            and isinstance(stmt.from_sources[0], ast.TableRef)
+        ):
+            ordered_source = self._try_ordered_scan(stmt, session, outer, evaluator)
+
+        if ordered_source is not None:
+            all_sources = [ordered_source]
+            joined = [
+                _JoinedRow({ordered_source.binding: row})
+                for row in ordered_source.rows
+            ]
+            where_handled = True
+            order_handled = True
+        else:
+            # fold FROM sources one at a time (hash-joining on WHERE equi
+            # conjuncts where possible) instead of materializing the full
+            # cross product, then fold the explicit joins the same way
+            all_sources = []
+            joined = [_JoinedRow({})]
+            for src in stmt.from_sources:
+                source = self._resolve_source(
+                    src, session, outer, stmt.where, statement_sources,
+                    order_insensitive,
+                )
+                if all_sources:
+                    joined = self._join_relation(
+                        joined, all_sources, source, "INNER", None,
+                        stmt.where, evaluator, outer, statement_sources,
+                    )
+                else:
+                    joined = [
+                        _JoinedRow({source.binding: row}) for row in source.rows
+                    ]
+                all_sources.append(source)
+
+            for join in stmt.joins:
+                right = self._resolve_source(
+                    join.source, session, outer, stmt.where, statement_sources,
+                    order_insensitive,
+                )
+                joined = self._join_relation(
+                    joined, all_sources, right, join.kind, join.condition,
+                    stmt.where, evaluator, outer, statement_sources,
+                )
+                all_sources.append(right)
+
+        layout = _ScopeLayout(all_sources, outer)
+        make_scope = layout.scope
+
+        if stmt.where is not None and not where_handled:
+            where_fn = self._compile_filter(stmt.where, layout)
+            if where_fn is not None:
+                joined = [jr for jr in joined if where_fn(jr.parts)]
+            else:
+                joined = [
+                    jr
+                    for jr in joined
+                    if evaluator.evaluate_predicate(stmt.where, make_scope(jr))
+                ]
+
+        # expand stars into concrete items
+        items = self._expand_items(stmt.items, all_sources)
+        out_columns = [self._item_name(item, index) for index, item in enumerate(items)]
 
         if grouped:
             out_rows, order_keys = self._run_grouped(
@@ -355,7 +546,7 @@ class Executor:
                 out_rows.append(
                     tuple(evaluator.evaluate(item.expr, scope) for item in items)
                 )
-                if stmt.order_by:
+                if stmt.order_by and not order_handled:
                     order_keys.append(
                         self._order_key(
                             stmt.order_by, items, out_rows[-1], scope, evaluator
@@ -375,8 +566,25 @@ class Executor:
             out_rows = self._apply_set_op(kind, out_rows, rhs_rows)
             order_keys = []
 
-        if stmt.order_by and order_keys:
-            paired = sorted(zip(order_keys, out_rows), key=lambda p: p[0])
+        if order_handled:
+            pass  # rows arrived in ORDER BY order from the sorted index
+        elif stmt.order_by and order_keys:
+            bound = None
+            if stmt.limit is not None and self.db.planner_options.get(
+                "enable_topn", True
+            ):
+                bound = stmt.limit + (stmt.offset or 0)
+            if bound is not None and bound < len(out_rows):
+                # bounded top-N: heapq.nsmallest with a key is documented
+                # equivalent to sorted(...)[:n] (stable on equal keys), so
+                # this returns the same rows in the same order without
+                # sorting the discarded tail
+                self.db.bump_planner_stat("topn_limits")
+                paired = heapq.nsmallest(
+                    bound, zip(order_keys, out_rows), key=lambda p: p[0]
+                )
+            else:
+                paired = sorted(zip(order_keys, out_rows), key=lambda p: p[0])
             out_rows = [row for _, row in paired]
         elif stmt.order_by and not order_keys and out_rows:
             # set-op result ordered by ordinal/alias only
@@ -508,6 +716,13 @@ class Executor:
             if residual is not None
             else None
         )
+        # probe-side residuals run once per candidate pair: compile them
+        # (falling back to the interpreter for subquery-bearing residuals)
+        residual_fn = (
+            self._compile_filter(residual, pair_layout)
+            if residual is not None
+            else None
+        )
         kind = plan.kind
         track_rights = kind == "RIGHT"
         matched_rights: set[int] = set()
@@ -524,10 +739,18 @@ class Executor:
             )
             matched = False
             for index, right_row in matches:
-                if residual is not None and not evaluator.evaluate_predicate(
-                    residual, pair_layout.pair_scope(jr, right_binding, right_row)
-                ):
-                    continue
+                if residual is not None:
+                    if residual_fn is not None:
+                        keep = residual_fn(
+                            _PartsOverlay(parts, right_binding, right_row)
+                        )
+                    else:
+                        keep = evaluator.evaluate_predicate(
+                            residual,
+                            pair_layout.pair_scope(jr, right_binding, right_row),
+                        )
+                    if not keep:
+                        continue
                 result.append(jr.extended(right_binding, right_row))
                 matched = True
                 if track_rights:
@@ -586,6 +809,7 @@ class Executor:
         outer: Scope | None,
         where: ast.Expr | None = None,
         statement_sources: list[tuple[str, list[str] | None]] | None = None,
+        order_insensitive: bool = False,
     ) -> _Source:
         if isinstance(source, ast.SubqueryRef):
             columns, rows = self._run_select(source.subquery, session, outer)
@@ -606,20 +830,51 @@ class Executor:
             schema = self._locked_table(session, source.name, "S")
             heap = self.db.heap(schema.name)
             # access-path planning: probe a covering index for top-level
-            # equality conjuncts; the residual WHERE still applies afterwards,
-            # so this is purely a scan reduction
+            # equality conjuncts, or slice a sorted index for range
+            # conjuncts; the residual WHERE still applies afterwards, so
+            # both are purely scan reductions
             bindings = extract_equality_bindings(
                 where, source.binding, statement_sources
             )
-            _, index, key = choose_access_path(schema.name, heap, bindings)
-            if index is not None and key is not None:
+            ranges = extract_range_bindings(
+                where, source.binding, statement_sources
+            )
+            path, index, key = choose_access_path(
+                schema.name,
+                heap,
+                bindings,
+                ranges,
+                allow_index=self.db.planner_options.get(
+                    "enable_index_scan", True
+                ),
+            )
+            if path.kind == "index":
                 self.db.bump_planner_stat("index_scans")
-                rids = sorted(index.probe(key))
-                rows = [
-                    dict(heap.get(rid))
-                    for rid in rids
-                    if heap.get(rid) is not None
-                ]
+                rids: "list[int] | set[int]" = index.probe(key)
+            elif path.kind == "range":
+                self.db.bump_planner_stat("range_scans")
+                rng = path.range
+                rids = index.range_rids(
+                    path.prefix_values,
+                    rng.low,
+                    rng.high,
+                    rng.incl_low,
+                    rng.incl_high,
+                )
+            else:
+                rids = None
+            if rids is not None:
+                # probed rids come back in rid order so the source feeds
+                # the pipeline exactly like a seq scan would — except when
+                # the statement's output provably ignores row order (pure
+                # COUNT aggregation), where the sort is skipped
+                if not order_insensitive:
+                    rids = sorted(rids)
+                rows = []
+                for rid in rids:
+                    row = heap.get(rid)  # fetched once per rid
+                    if row is not None:
+                        rows.append(dict(row))
             else:
                 self.db.bump_planner_stat("seq_scans")
                 # copy: live heap dicts are mutated in place by in-statement
@@ -629,6 +884,225 @@ class Executor:
         if statement_sources is not None:
             self._prefilter_source(resolved, where, statement_sources)
         return resolved
+
+    def _compile_filter(self, expr: ast.Expr | None, layout: _ScopeLayout):
+        """Compile a predicate for direct parts-based evaluation.
+
+        Returns ``fn(parts) -> bool`` or ``None`` (interpreter required,
+        or compiled predicates disabled via ``planner_options``)."""
+        if expr is None:
+            return None
+        if not self.db.planner_options.get("enable_compiled_predicates", True):
+            return None
+        return compile_predicate(expr, _layout_resolver(layout))
+
+    def _explain_ordered_scan(self, stmt: ast.SelectStatement) -> str | None:
+        """EXPLAIN text for the ordered-scan fast path, when it applies."""
+        if not self._ordered_scan_shape(stmt):
+            return None
+        src = stmt.from_sources[0]
+        if self.db.catalog.has_view(src.name) or not self.db.catalog.has_table(
+            src.name
+        ):
+            return None
+        plan = self._order_columns_of(stmt)
+        if plan is None:
+            return None
+        schema = self.db.catalog.table(src.name)
+        heap = self.db.heap(schema.name)
+        match = self._match_ordered_index(stmt, src.binding, schema, heap, plan)
+        if match is None:
+            return None
+        index, prefix_values, rng, reverse = match
+        conditions = [
+            f"{column} = {expr_to_sql(ast.Literal(value))}"
+            for column, value in zip(index.columns, prefix_values)
+        ]
+        if rng is not None:
+            conditions.append(rng.describe(index.columns[len(prefix_values)]))
+        order_text = ", ".join(plan[0]) + (" DESC" if reverse else "")
+        line = (
+            f"Ordered Index Scan using {index.name} on {schema.name} "
+            f"(ORDER BY {order_text})"
+        )
+        if conditions:
+            line += f" (cond: {' AND '.join(conditions)})"
+        if stmt.limit is not None:
+            line += f" (limit {stmt.limit})"
+        return line
+
+    @staticmethod
+    def _ordered_scan_shape(stmt: ast.SelectStatement) -> bool:
+        """Structural gate for the ordered-scan fast path: one base-table
+        source, a real ORDER BY, and no machinery (grouping, aggregates,
+        DISTINCT, set ops) between scan order and output order. Mirrors
+        the gate in :meth:`_run_select`; EXPLAIN uses it to report the
+        plan without executing."""
+        if stmt.group_by or stmt.distinct or stmt.set_op is not None:
+            return False
+        if not stmt.order_by or len(stmt.from_sources) != 1 or stmt.joins:
+            return False
+        if not isinstance(stmt.from_sources[0], ast.TableRef):
+            return False
+        aggregates: list[ast.FunctionCall] = []
+        for item in stmt.items:
+            _collect_aggregates(item.expr, aggregates)
+        _collect_aggregates(stmt.having, aggregates)
+        for order in stmt.order_by:
+            _collect_aggregates(order.expr, aggregates)
+        return not aggregates
+
+    def _order_columns_of(
+        self, stmt: ast.SelectStatement
+    ) -> tuple[list[str], bool] | None:
+        """ORDER BY as (lowered column list, reverse) when every item is a
+        plain same-direction column of the single source (not shadowed by
+        an output alias); DESC only for single columns."""
+        directions = {order.descending for order in stmt.order_by}
+        if len(directions) != 1:
+            return None  # mixed ASC/DESC: no single index order matches
+        reverse = directions.pop()
+        aliases = {item.alias.lower() for item in stmt.items if item.alias}
+        binding_key = stmt.from_sources[0].binding.lower()
+        order_columns: list[str] = []
+        for order in stmt.order_by:
+            expr = order.expr
+            if not isinstance(expr, ast.ColumnRef):
+                return None
+            if expr.table is not None and expr.table.lower() != binding_key:
+                return None
+            if expr.table is None and expr.name.lower() in aliases:
+                return None  # orders by the output item, not the column
+            order_columns.append(expr.name.lower())
+        if reverse and len(order_columns) != 1:
+            return None
+        return order_columns, reverse
+
+    def _match_ordered_index(
+        self,
+        stmt: ast.SelectStatement,
+        binding: str,
+        schema: TableSchema,
+        heap: HeapTable,
+        plan: tuple[list[str], bool],
+    ):
+        """A sorted index whose order satisfies the statement's ORDER BY:
+        columns are exactly the WHERE-equality-bound prefix followed by
+        the ORDER BY columns. Returns ``(index, prefix_values, range,
+        reverse)`` or ``None``."""
+        if not self.db.planner_options.get("enable_index_scan", True):
+            return None
+        order_columns, reverse = plan
+        sources = [(binding, schema.column_names())]
+        bindings = extract_equality_bindings(stmt.where, binding, sources)
+        ranges = extract_range_bindings(stmt.where, binding, sources)
+        by_column = {b.column: b.value for b in bindings}
+        chosen = None
+        for index in heap.indexes.values():
+            if index.kind != "btree":
+                continue
+            columns = tuple(c.lower() for c in index.columns)
+            prefix_len = len(columns) - len(order_columns)
+            if prefix_len < 0 or list(columns[prefix_len:]) != order_columns:
+                continue
+            if all(c in by_column for c in columns[:prefix_len]):
+                chosen = (index, prefix_len)
+                break
+        if chosen is None:
+            return None
+        index, prefix_len = chosen
+        # cost check: a fully equality-bound probe is strictly more
+        # selective than scanning in order, and a range on a column this
+        # index does not cover prunes rows the ordered scan would have to
+        # filter one by one — in both cases the generic path plus the
+        # bounded top-N sort wins
+        path, _, _ = choose_access_path(schema.name, heap, bindings, ranges)
+        if path.kind == "index":
+            return None
+        if path.kind == "range":
+            covered = {c.lower() for c in index.columns}
+            if (path.range_column or "").lower() not in covered:
+                return None
+        prefix_values = tuple(
+            by_column[c.lower()] for c in index.columns[:prefix_len]
+        )
+        rng = ranges.get(index.columns[prefix_len].lower())
+        return index, prefix_values, rng, reverse
+
+    def _try_ordered_scan(
+        self,
+        stmt: ast.SelectStatement,
+        session: "Session",
+        outer: Scope | None,
+        evaluator: Evaluator,
+    ) -> _Source | None:
+        """Resolve a single-table SELECT through a sorted index in ORDER BY
+        order, or return ``None``.
+
+        Applies when every ORDER BY item is a plain same-direction column
+        of the table (not shadowed by an output alias) and some sorted
+        index's columns are exactly the WHERE-equality-bound prefix
+        followed by the ORDER BY columns — then index order *is* the
+        statement's sort order, ties included: equal keys store rids
+        ascending, matching the stable sort over a rid-ordered scan.
+        DESC is served for single-column suffixes only (see
+        :meth:`SortedIndex.ordered_rids` for why reverse order is not a
+        plain reversal). The returned source has the WHERE predicate
+        already applied, stopping after OFFSET+LIMIT surviving rows — the
+        early exit that makes ``ORDER BY ... LIMIT k`` O(k) instead of
+        O(n log n). Rows past the exit are never evaluated, so a
+        predicate whose error only a later row would trigger does not
+        raise here — the planner's documented error-surfacing contract
+        (see :mod:`repro.minidb.planner`), shared with every other
+        row-pruning plan.
+        """
+        db = self.db
+        src = stmt.from_sources[0]
+        if db.catalog.has_view(src.name) or not db.catalog.has_table(src.name):
+            return None
+        plan = self._order_columns_of(stmt)
+        if plan is None:
+            return None
+        schema = self._locked_table(session, src.name, "S")
+        heap = db.heap(schema.name)
+        match = self._match_ordered_index(stmt, src.binding, schema, heap, plan)
+        if match is None:
+            return None
+        index, prefix_values, rng, reverse = match
+        if rng is None:
+            start, end = index.slice_bounds(prefix_values)
+        else:
+            start, end = index.slice_bounds(
+                prefix_values, rng.low, rng.high, rng.incl_low, rng.incl_high
+            )
+        db.bump_planner_stat("ordered_scans")
+        source = _Source(src.binding, schema.column_names(), [])
+        layout = _ScopeLayout([source], outer)
+        where = stmt.where
+        where_fn = self._compile_filter(where, layout)
+        needed = (
+            stmt.limit + (stmt.offset or 0) if stmt.limit is not None else None
+        )
+        binding = source.binding
+        rows = source.rows
+        for rid in index.ordered_rids(reverse, start, end, prefix_values):
+            if needed is not None and len(rows) >= needed:
+                break
+            row = heap.get(rid)
+            if row is None:
+                continue
+            row = dict(row)
+            if where is not None:
+                if where_fn is not None:
+                    keep = where_fn({binding: row})
+                else:
+                    keep = evaluator.evaluate_predicate(
+                        where, layout.scope_parts({binding: row})
+                    )
+                if not keep:
+                    continue
+            rows.append(row)
+        return source
 
     def _statement_sources(
         self, stmt: ast.SelectStatement
@@ -656,17 +1130,20 @@ class Executor:
         if predicate is None:
             return
         layout = _ScopeLayout([source], None)
-        evaluator = Evaluator(None)  # pushdown conjuncts are subquery-free
         binding = source.binding
+        predicate_fn = self._compile_filter(predicate, layout)
+        if predicate_fn is None:
+            evaluator = Evaluator(None)  # pushdown conjuncts are subquery-free
+            predicate_fn = lambda parts: evaluator.evaluate_predicate(  # noqa: E731
+                predicate, layout.scope_parts(parts)
+            )
 
         def keep(row: Row) -> bool:
             # on evaluation errors (e.g. type-mismatched ordering), keep the
             # row and defer to the final WHERE pass: it raises only if the
             # row survives the joins, exactly as without pushdown
             try:
-                return evaluator.evaluate_predicate(
-                    predicate, layout.scope_parts({binding: row})
-                )
+                return predicate_fn({binding: row})
             except ExecutionError:
                 return True
 
@@ -692,9 +1169,17 @@ class Executor:
             else:
                 columns_of_binding[source.alias] = None
         paths = plan_select_paths(
-            select, table_of_binding, self.db.heap, columns_of_binding
+            select,
+            table_of_binding,
+            self.db.heap,
+            columns_of_binding,
+            allow_index=self.db.planner_options.get("enable_index_scan", True),
         )
         rows = [(path.describe(),) for path in paths]
+        ordered_line = self._explain_ordered_scan(select)
+        if ordered_line is not None:
+            # the ordered scan replaces the source's generic access path
+            rows = [(ordered_line,)] if len(rows) == 1 else rows + [(ordered_line,)]
         allow_hash = self.db.planner_options.get("enable_hash_join", True)
         for plan in plan_select_joins(select, columns_of_binding, allow_hash):
             rows.append((plan.describe(),))
@@ -1051,11 +1536,7 @@ class Executor:
             for c in fk.ref_columns
         }
 
-        targets: list[tuple[int, Row]] = []
-        for rid, row in heap.rows():
-            scope = self._row_scope(schema, stmt.table, row)
-            if stmt.where is None or evaluator.evaluate_predicate(stmt.where, scope):
-                targets.append((rid, row))
+        targets = self._dml_targets(schema, stmt.table, heap, stmt.where, evaluator)
 
         updated = 0
         for rid, old_row in targets:
@@ -1103,11 +1584,7 @@ class Executor:
         heap = self.db.heap(schema.name)
         evaluator = self._evaluator(session)
 
-        targets: list[tuple[int, Row]] = []
-        for rid, row in heap.rows():
-            scope = self._row_scope(schema, stmt.table, row)
-            if stmt.where is None or evaluator.evaluate_predicate(stmt.where, scope):
-                targets.append((rid, row))
+        targets = self._dml_targets(schema, stmt.table, heap, stmt.where, evaluator)
 
         deleted_rids = {rid for rid, _ in targets}
         for rid, row in targets:
@@ -1148,6 +1625,80 @@ class Executor:
         # the referencing row is also being deleted — approximated by the
         # plain check for non-self references.
         return self._referencing_violation(schema, old_row, session)
+
+    def _dml_targets(
+        self,
+        schema: TableSchema,
+        binding: str,
+        heap: HeapTable,
+        where: ast.Expr | None,
+        evaluator: Evaluator,
+    ) -> list[tuple[int, Row]]:
+        """Resolve UPDATE/DELETE target rows through access-path planning.
+
+        The same :func:`choose_access_path` machinery that accelerates
+        SELECT sources narrows the candidate set here — a covering index
+        probe or sorted-index range slice instead of the unconditional
+        heap scan. Candidates always get the *full* WHERE re-applied
+        (compiled when possible), and targets come back in rid order, the
+        order the heap scan produced — so undo logs, WAL records, and
+        constraint-error attribution are byte-identical to the seq-scan
+        plan.
+        """
+        candidates: "list[tuple[int, Row]] | None" = None
+        if where is not None:
+            sources = [(binding, schema.column_names())]
+            bindings = extract_equality_bindings(where, binding, sources)
+            ranges = extract_range_bindings(where, binding, sources)
+            path, index, key = choose_access_path(
+                schema.name,
+                heap,
+                bindings,
+                ranges,
+                allow_index=self.db.planner_options.get(
+                    "enable_index_scan", True
+                ),
+            )
+            rids = None
+            if path.kind == "index":
+                self.db.bump_planner_stat("index_scans")
+                rids = sorted(index.probe(key))
+            elif path.kind == "range":
+                self.db.bump_planner_stat("range_scans")
+                rng = path.range
+                rids = sorted(
+                    index.range_rids(
+                        path.prefix_values,
+                        rng.low,
+                        rng.high,
+                        rng.incl_low,
+                        rng.incl_high,
+                    )
+                )
+            if rids is not None:
+                candidates = []
+                for rid in rids:
+                    row = heap.get(rid)
+                    if row is not None:
+                        candidates.append((rid, row))
+        if candidates is None:
+            self.db.bump_planner_stat("seq_scans")
+            candidates = list(heap.rows())
+        if where is None:
+            return candidates
+        layout = _ScopeLayout([_Source(binding, schema.column_names(), [])], None)
+        where_fn = self._compile_filter(where, layout)
+        targets: list[tuple[int, Row]] = []
+        if where_fn is not None:
+            for rid, row in candidates:
+                if where_fn({binding: row}):
+                    targets.append((rid, row))
+        else:
+            for rid, row in candidates:
+                scope = self._row_scope(schema, binding, row)
+                if evaluator.evaluate_predicate(where, scope):
+                    targets.append((rid, row))
+        return targets
 
     @staticmethod
     def _row_scope(schema: TableSchema, binding: str, row: Row) -> Scope:
@@ -1263,7 +1814,7 @@ class Executor:
                     "table": schema.name.lower(),
                     "schema": dump_table_schema(schema),
                     "indexes": [
-                        dump_hash_index(ix) for ix in heap.indexes.values()
+                        dump_index(ix) for ix in heap.indexes.values()
                     ],
                     "uid": heap.uid,
                     "version": heap.version,
@@ -1478,8 +2029,9 @@ class Executor:
             return ResultSet(status="CREATE INDEX (exists)")
         for name in stmt.columns:
             schema.column(name)
+        kind = "btree" if (stmt.using or "").upper() == "BTREE" else "hash"
         index_schema = IndexSchema(
-            stmt.name, schema.name, tuple(stmt.columns), stmt.unique
+            stmt.name, schema.name, tuple(stmt.columns), stmt.unique, kind=kind
         )
         try:
             catalog.add_index(index_schema)
@@ -1490,7 +2042,8 @@ class Executor:
                 return ResultSet(status="CREATE INDEX (exists)")
             raise
         heap = self.db.heap(schema.name)
-        index = HashIndex(stmt.name, tuple(stmt.columns), stmt.unique)
+        index_cls = SortedIndex if kind == "btree" else HashIndex
+        index = index_cls(stmt.name, tuple(stmt.columns), stmt.unique)
         try:
             heap.add_index(index)
         except Exception:
@@ -1508,7 +2061,7 @@ class Executor:
                 {
                     "op": "create_index",
                     "table": schema.name.lower(),
-                    "index": dump_hash_index(index),
+                    "index": dump_index(index),
                     "uid": heap.uid,
                     "version": heap.version,
                 }

@@ -1,10 +1,26 @@
 """Expression evaluation with SQL three-valued logic.
 
-The evaluator walks the AST produced by :mod:`repro.minidb.parser` against a
-:class:`Row` scope (a mapping from column bindings to values). Aggregate
-functions are *not* evaluated here — the executor rewrites aggregate calls
-into pre-computed literals before projection; this module raises if it meets
-one, which doubles as a safety net against mis-planned queries.
+Two evaluation strategies live here:
+
+* The :class:`Evaluator` walks the AST produced by
+  :mod:`repro.minidb.parser` against a :class:`Row` scope (a mapping from
+  column bindings to values) — the general path, required for subqueries
+  and outer-scope (correlated) references.
+* :func:`compile_predicate` compiles an expression tree *once per
+  statement* into a chain of Python closures — constants folded, AND/OR
+  short-circuited, LIKE patterns pre-compiled to regexes, and column
+  references resolved at compile time to direct slot reads — so per-row
+  evaluation skips the AST walk, the method dispatch, and the per-lookup
+  name formatting entirely. Expressions the compiler cannot handle
+  (subqueries, aggregates, names that may resolve to an outer scope)
+  return ``None`` and the caller falls back to the interpreter; both
+  paths share the same arithmetic/comparison kernels, so results and
+  errors are identical.
+
+Aggregate functions are *not* evaluated here — the executor rewrites
+aggregate calls into pre-computed literals before projection; this module
+raises if it meets one, which doubles as a safety net against mis-planned
+queries.
 """
 
 from __future__ import annotations
@@ -16,6 +32,7 @@ from . import ast_nodes as ast
 from .errors import (
     DivisionByZeroError,
     ExecutionError,
+    MiniDBError,
     UnknownColumnError,
 )
 from .functions import AGGREGATE_NAMES, SCALAR_FUNCTIONS
@@ -341,7 +358,367 @@ def _to_text(value: Any) -> str:
     return str(value)
 
 
-def _like_match(text: str, pattern: str, case_insensitive: bool) -> bool:
+# --------------------------------------------------------------------------
+# predicate compilation
+# --------------------------------------------------------------------------
+
+#: a compiled accessor/evaluator: called with the caller-defined row
+#: context (joined-row parts, a plain row dict, ...) and returns a value
+CompiledFn = Callable[[Any], Any]
+
+#: resolves one column reference to an accessor at compile time; raises
+#: :class:`CannotCompile` when the name might belong to an outer scope
+ColumnResolver = Callable[[ast.ColumnRef], CompiledFn]
+
+
+class CannotCompile(Exception):
+    """The expression needs the interpreter (subquery, aggregate, outer
+    scope). Internal control flow of :func:`compile_predicate`."""
+
+
+#: compiled node: (is_const, constant_value, runtime_fn) — exactly one of
+#: the last two is meaningful
+_Compiled = "tuple[bool, Any, CompiledFn | None]"
+
+
+def _const(value: Any):
+    return (True, value, None)
+
+
+def _thunk(fn: CompiledFn):
+    return (False, None, fn)
+
+
+def _as_fn(node) -> CompiledFn:
+    is_const, value, fn = node
+    if is_const:
+        return lambda ctx, value=value: value
+    return fn
+
+
+def _raiser(exc: Exception) -> CompiledFn:
+    def fn(ctx, exc=exc):
+        raise exc
+
+    return fn
+
+
+def _fold(operands: list, compute: Callable[..., Any]):
+    """Combine compiled operands through a pure, eager ``compute``.
+
+    All-constant operands evaluate once at compile time; an evaluation
+    error is *deferred* into a raising closure rather than raised here, so
+    a folded constant that the interpreter would only have evaluated
+    per-row (e.g. ``1/0`` behind a short-circuiting AND) still errors at
+    the same moment it would have interpreted. Only valid for operators
+    the interpreter evaluates eagerly — AND/OR/CASE build their own lazy
+    closures.
+    """
+    if all(node[0] for node in operands):
+        values = [node[1] for node in operands]
+        try:
+            return _const(compute(*values))
+        except MiniDBError as exc:
+            return _thunk(_raiser(exc))
+    fns = [_as_fn(node) for node in operands]
+    if len(fns) == 1:
+        f0 = fns[0]
+        return _thunk(lambda ctx: compute(f0(ctx)))
+    if len(fns) == 2:
+        f0, f1 = fns
+        return _thunk(lambda ctx: compute(f0(ctx), f1(ctx)))
+    return _thunk(lambda ctx: compute(*[fn(ctx) for fn in fns]))
+
+
+def compile_predicate(
+    expr: ast.Expr, resolve: ColumnResolver
+) -> CompiledFn | None:
+    """Compile a WHERE/ON/HAVING-style predicate to ``fn(ctx) -> bool``.
+
+    The returned closure applies the same NULL-counts-as-false rule as
+    :meth:`Evaluator.evaluate_predicate`. Returns ``None`` when any part
+    of the expression needs the interpreter; callers keep the AST around
+    and fall back. ``resolve`` maps each column reference to a per-row
+    accessor (or raises :class:`CannotCompile`); references that are
+    statically unresolvable compile to closures raising the interpreter's
+    exact error, preserving "no rows scanned, no error" behavior.
+    """
+    try:
+        node = _compile(expr, resolve)
+    except CannotCompile:
+        return None
+    if node[0]:
+        result = node[1] is True
+        return lambda ctx, result=result: result
+    fn = node[2]
+    return lambda ctx, fn=fn: fn(ctx) is True
+
+
+def _compile(expr: ast.Expr, resolve: ColumnResolver):
+    if isinstance(expr, ast.Literal):
+        return _const(expr.value)
+    if isinstance(expr, ast.ColumnRef):
+        return _thunk(resolve(expr))
+    if isinstance(expr, ast.Star):
+        return _thunk(
+            _raiser(
+                ExecutionError("'*' is only valid in a select list or COUNT(*)")
+            )
+        )
+    if isinstance(expr, ast.UnaryOp):
+        return _compile_unary(expr, resolve)
+    if isinstance(expr, ast.BinaryOp):
+        return _compile_binary(expr, resolve)
+    if isinstance(expr, ast.FunctionCall):
+        return _compile_function(expr, resolve)
+    if isinstance(expr, ast.CaseExpr):
+        return _compile_case(expr, resolve)
+    if isinstance(expr, ast.InExpr):
+        return _compile_in(expr, resolve)
+    if isinstance(expr, ast.BetweenExpr):
+        return _compile_between(expr, resolve)
+    if isinstance(expr, ast.LikeExpr):
+        return _compile_like(expr, resolve)
+    if isinstance(expr, ast.IsNullExpr):
+        negated = expr.negated
+
+        def compute(value, negated=negated):
+            is_null = value is None
+            return (not is_null) if negated else is_null
+
+        return _fold([_compile(expr.operand, resolve)], compute)
+    if isinstance(expr, ast.CastExpr):
+        try:
+            ctype = ColumnType.parse(expr.target_type)
+        except MiniDBError as exc:
+            return _thunk(_raiser(exc))
+
+        def compute(value, ctype=ctype):
+            return coerce(value, ctype, column="<cast>")
+
+        return _fold([_compile(expr.operand, resolve)], compute)
+    # subqueries (ExistsExpr, ScalarSubquery, IN (SELECT ...)) and anything
+    # unrecognized: the interpreter owns it
+    raise CannotCompile
+
+
+def _compile_unary(expr: ast.UnaryOp, resolve: ColumnResolver):
+    op = expr.op
+    if op == "NOT":
+
+        def compute(value):
+            if value is None:
+                return None
+            return not _truthy(value)
+
+    elif op in ("-", "+"):
+        negate = op == "-"
+
+        def compute(value, negate=negate, op=op):
+            if value is None:
+                return None
+            _require_number(value, f"unary {op}")
+            return -value if negate else value
+
+    else:
+        raise CannotCompile
+    return _fold([_compile(expr.operand, resolve)], compute)
+
+
+def _compile_binary(expr: ast.BinaryOp, resolve: ColumnResolver):
+    op = expr.op
+    if op in ("AND", "OR"):
+        left = _compile(expr.left, resolve)
+        right = _compile(expr.right, resolve)
+        lf, rf = _as_fn(left), _as_fn(right)
+        if op == "AND":
+
+            def fn(ctx):
+                l = lf(ctx)
+                if l is not None and not _truthy(l):
+                    return False
+                r = rf(ctx)
+                if r is not None and not _truthy(r):
+                    return False
+                if l is None or r is None:
+                    return None
+                return True
+
+        else:
+
+            def fn(ctx):
+                l = lf(ctx)
+                if l is not None and _truthy(l):
+                    return True
+                r = rf(ctx)
+                if r is not None and _truthy(r):
+                    return True
+                if l is None or r is None:
+                    return None
+                return False
+
+        if left[0] and right[0]:
+            try:
+                return _const(fn(None))
+            except MiniDBError as exc:
+                return _thunk(_raiser(exc))
+        return _thunk(fn)
+    if op == "||":
+
+        def compute(l, r):
+            if l is None or r is None:
+                return None
+            return _to_text(l) + _to_text(r)
+
+    elif op in ("+", "-", "*", "/", "%"):
+
+        def compute(l, r, op=op):
+            if l is None or r is None:
+                return None
+            return _arith(op, l, r)
+
+    elif op in ("=", "<>", "<", "<=", ">", ">="):
+
+        def compute(l, r, op=op):
+            if l is None or r is None:
+                return None
+            return _compare(op, l, r)
+
+    else:
+        raise CannotCompile
+    return _fold(
+        [_compile(expr.left, resolve), _compile(expr.right, resolve)], compute
+    )
+
+
+def _compile_function(expr: ast.FunctionCall, resolve: ColumnResolver):
+    if expr.name in AGGREGATE_NAMES:
+        raise CannotCompile  # the interpreter raises the contextual error
+    fn = SCALAR_FUNCTIONS.get(expr.name)
+    if fn is None:
+        return _thunk(_raiser(ExecutionError(f"unknown function {expr.name}()")))
+    arg_fns = [_as_fn(_compile(a, resolve)) for a in expr.args]
+
+    def call(ctx, fn=fn, arg_fns=arg_fns):
+        return fn([f(ctx) for f in arg_fns])
+
+    # never folded: keeps compile-time evaluation away from function
+    # implementations (and their argument-validation errors)
+    return _thunk(call)
+
+
+def _compile_case(expr: ast.CaseExpr, resolve: ColumnResolver):
+    # lazy like the interpreter: branches after the first match (and the
+    # ELSE of a matched CASE) are never evaluated, errors included
+    whens = [
+        (_as_fn(_compile(when, resolve)), _as_fn(_compile(then, resolve)))
+        for when, then in expr.whens
+    ]
+    default = (
+        _as_fn(_compile(expr.default, resolve))
+        if expr.default is not None
+        else None
+    )
+    if expr.operand is not None:
+        operand_fn = _as_fn(_compile(expr.operand, resolve))
+
+        def fn(ctx):
+            subject = operand_fn(ctx)
+            for when_fn, then_fn in whens:
+                candidate = when_fn(ctx)
+                if (
+                    subject is not None
+                    and candidate is not None
+                    and _compare("=", subject, candidate) is True
+                ):
+                    return then_fn(ctx)
+            return default(ctx) if default is not None else None
+
+    else:
+
+        def fn(ctx):
+            for when_fn, then_fn in whens:
+                if when_fn(ctx) is True:
+                    return then_fn(ctx)
+            return default(ctx) if default is not None else None
+
+    return _thunk(fn)
+
+
+def _compile_in(expr: ast.InExpr, resolve: ColumnResolver):
+    if isinstance(expr.candidates, ast.SelectStatement):
+        raise CannotCompile
+    negated = expr.negated
+
+    def compute(operand, *values, negated=negated):
+        if operand is None:
+            return None
+        saw_null = False
+        for value in values:
+            if value is None:
+                saw_null = True
+                continue
+            if _compare("=", operand, value) is True:
+                return not negated
+        if saw_null:
+            return None
+        return negated
+
+    operands = [_compile(expr.operand, resolve)]
+    operands.extend(_compile(c, resolve) for c in expr.candidates)
+    return _fold(operands, compute)
+
+
+def _compile_between(expr: ast.BetweenExpr, resolve: ColumnResolver):
+    negated = expr.negated
+
+    def compute(operand, low, high, negated=negated):
+        if operand is None or low is None or high is None:
+            return None
+        result = (
+            _compare(">=", operand, low) is True
+            and _compare("<=", operand, high) is True
+        )
+        return (not result) if negated else result
+
+    return _fold(
+        [
+            _compile(expr.operand, resolve),
+            _compile(expr.low, resolve),
+            _compile(expr.high, resolve),
+        ],
+        compute,
+    )
+
+
+def _compile_like(expr: ast.LikeExpr, resolve: ColumnResolver):
+    negated = expr.negated
+    case_insensitive = expr.case_insensitive
+    operand = _compile(expr.operand, resolve)
+    pattern = _compile(expr.pattern, resolve)
+    if pattern[0] and pattern[1] is not None:
+        # constant pattern (the overwhelmingly common case): compile the
+        # regex once per statement instead of once per row
+        regex = _like_regex(_to_text(pattern[1]), case_insensitive)
+
+        def compute(value, regex=regex, negated=negated):
+            if value is None:
+                return None
+            result = regex.match(_to_text(value)) is not None
+            return (not result) if negated else result
+
+        return _fold([operand], compute)
+
+    def compute(value, pattern_value, negated=negated, ci=case_insensitive):
+        if value is None or pattern_value is None:
+            return None
+        result = _like_match(_to_text(value), _to_text(pattern_value), ci)
+        return (not result) if negated else result
+
+    return _fold([operand, pattern], compute)
+
+
+def _like_regex(pattern: str, case_insensitive: bool) -> "re.Pattern[str]":
     regex_parts = ["^"]
     for ch in pattern:
         if ch == "%":
@@ -352,4 +729,8 @@ def _like_match(text: str, pattern: str, case_insensitive: bool) -> bool:
             regex_parts.append(re.escape(ch))
     regex_parts.append("$")
     flags = re.IGNORECASE | re.DOTALL if case_insensitive else re.DOTALL
-    return re.match("".join(regex_parts), text, flags) is not None
+    return re.compile("".join(regex_parts), flags)
+
+
+def _like_match(text: str, pattern: str, case_insensitive: bool) -> bool:
+    return _like_regex(pattern, case_insensitive).match(text) is not None

@@ -573,8 +573,16 @@ class _Parser:
         name = self.expect_identifier("index name")
         self.expect_keyword("ON")
         table = self.expect_identifier("table name")
+        using = None
+        if self.match_keyword("USING"):
+            method = self.expect_identifier("index method").upper()
+            if method not in ("BTREE", "HASH"):
+                raise self.error(f"unknown index method {method!r}")
+            using = method
         columns = self.parse_paren_name_list()
-        return ast.CreateIndexStatement(name, table, columns, unique, if_not_exists)
+        return ast.CreateIndexStatement(
+            name, table, columns, unique, if_not_exists, using
+        )
 
     def parse_drop(self) -> ast.Statement:
         self.expect_keyword("DROP")

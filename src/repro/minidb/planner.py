@@ -5,12 +5,18 @@ module plans two kinds of optimizations, both pure scan/pair reductions that
 never change statement semantics:
 
 * **Access paths** — for the common agent-issued query shape
-  ``SELECT ... FROM t WHERE col = literal [AND ...]`` the planner finds a
-  hash index covering an equality-bound column set and probes it, reducing
-  the scan to the matching row ids. Additionally, null-rejecting
-  single-source conjuncts (``col <op> literal``) are pushed down into the
-  scan of multi-source queries so join inputs shrink before pairing. The
-  residual WHERE predicate is still evaluated afterwards.
+  ``SELECT ... FROM t WHERE col = literal [AND ...]`` the planner finds an
+  index covering an equality-bound column set and probes it, reducing
+  the scan to the matching row ids. Range conjuncts (``<, <=, >, >=``,
+  ``BETWEEN``) over a ``USING BTREE`` sorted index — optionally behind an
+  equality-bound column prefix — become *range* access paths that slice
+  the index's sorted array instead of scanning the heap
+  (:func:`extract_range_bindings`, :func:`choose_access_path`).
+  Additionally, null-rejecting single-source conjuncts
+  (``col <op> literal``) are pushed down into the scan of multi-source
+  queries so join inputs shrink before pairing. The residual WHERE
+  predicate is still evaluated afterwards, so every access path is a pure
+  candidate-set reduction.
 
 * **Join strategies** — :func:`plan_join` splits a join's ON condition (and,
   because the full WHERE clause is re-applied after all joins, any
@@ -34,11 +40,19 @@ filters, or index probes when provably unambiguous across the whole
 statement. Data-dependent *evaluation* errors (e.g. comparing an ``INT``
 column to a ``TEXT`` literal), however, follow standard SQL-optimizer
 semantics: a predicate that planning proved unnecessary to evaluate (its
-rows were already pruned by an index probe, pushed filter, or join key)
-may never run, so such a query can return its rows — or empty — where an
-unoptimized plan would raise. The seed behaved the same way on its
-index-probe path; the row-pruning optimizations here extend that contract
-rather than break it.
+rows were already pruned by an index probe, range slice, pushed filter,
+or join key — or never reached because an ordered scan's LIMIT early
+exit stopped first) may never run, so such a query can return its rows —
+or empty — where an unoptimized plan would raise. A range bound whose
+type differs from the column's values is the sharpest instance: the
+sorted index's total order places whole type classes outside the slice,
+so ``v >= 'abc'`` over an INT column returns empty instead of raising
+the per-row comparison error — exactly the rows the slice excluded are
+the rows whose evaluation would have raised. The seed behaved the same
+way on its index-probe path; the row-pruning optimizations here extend
+that contract rather than break it. (The equivalence suites therefore
+compare plans on type-consistent predicates, where results are
+byte-identical.)
 """
 
 from __future__ import annotations
@@ -48,7 +62,7 @@ from typing import Any
 
 from . import ast_nodes as ast
 from .sqlgen import expr_to_sql
-from .storage import HashIndex, HeapTable
+from .storage import HashIndex, HeapTable, SortedIndex, ordering_key_element
 
 #: comparison operators that can never be true when an operand is NULL;
 #: only these may be pushed below an outer join's nullable side
@@ -64,19 +78,87 @@ class EqualityBinding:
 
 
 @dataclass
+class RangeBinding:
+    """Combined range bounds on one column, harvested from WHERE conjuncts.
+
+    Built from top-level AND-ed ``col < / <= / > / >= literal`` comparisons
+    and non-negated ``col BETWEEN lo AND hi``; multiple conjuncts on the
+    same column keep the tightest bound on each side. ``None`` means
+    unbounded on that side.
+    """
+
+    column: str  # lower-cased
+    low: Any = None
+    high: Any = None
+    incl_low: bool = True
+    incl_high: bool = True
+
+    @property
+    def bounded_sides(self) -> int:
+        return (self.low is not None) + (self.high is not None)
+
+    def tighten_low(self, value: Any, inclusive: bool) -> None:
+        if value is None:
+            return
+        if self.low is None:
+            self.low, self.incl_low = value, inclusive
+            return
+        new, old = ordering_key_element(value), ordering_key_element(self.low)
+        if new > old or (new == old and self.incl_low and not inclusive):
+            self.low, self.incl_low = value, inclusive
+
+    def tighten_high(self, value: Any, inclusive: bool) -> None:
+        if value is None:
+            return
+        if self.high is None:
+            self.high, self.incl_high = value, inclusive
+            return
+        new, old = ordering_key_element(value), ordering_key_element(self.high)
+        if new < old or (new == old and self.incl_high and not inclusive):
+            self.high, self.incl_high = value, inclusive
+
+    def describe(self, column: str | None = None) -> str:
+        name = column or self.column
+        parts = []
+        if self.low is not None:
+            op = ">=" if self.incl_low else ">"
+            parts.append(f"{name} {op} {expr_to_sql(ast.Literal(self.low))}")
+        if self.high is not None:
+            op = "<=" if self.incl_high else "<"
+            parts.append(f"{name} {op} {expr_to_sql(ast.Literal(self.high))}")
+        return " AND ".join(parts)
+
+
+@dataclass
 class AccessPath:
     """The chosen way to read one table."""
 
     table: str
-    kind: str  # "seq" | "index"
+    kind: str  # "seq" | "index" | "range"
     index_name: str | None = None
     key_columns: tuple[str, ...] = ()
     filter_sql: str | None = None  # pushed-down single-source predicate
+    # range-path details (kind == "range"): equality-bound leading values,
+    # then bounds on the next index column
+    prefix_values: tuple = ()
+    range_column: str | None = None
+    range: "RangeBinding | None" = None
 
     def describe(self) -> str:
         if self.kind == "index":
             keys = ", ".join(self.key_columns)
             base = f"Index Scan using {self.index_name} on {self.table} (key: {keys})"
+        elif self.kind == "range":
+            conditions = [
+                f"{column} = {expr_to_sql(ast.Literal(value))}"
+                for column, value in zip(self.key_columns, self.prefix_values)
+            ]
+            if self.range is not None:
+                conditions.append(self.range.describe(self.range_column))
+            base = (
+                f"Index Range Scan using {self.index_name} on {self.table} "
+                f"({' AND '.join(conditions)})"
+            )
         else:
             base = f"Seq Scan on {self.table}"
         if self.filter_sql:
@@ -196,6 +278,82 @@ def _unqualified_unambiguous(
             return False
         count += sum(1 for c in columns if c.lower() == name)
     return count == 1
+
+
+#: comparison op -> (is_lower_bound, inclusive) with the column on the left
+_RANGE_OPS = {
+    ">": (True, False),
+    ">=": (True, True),
+    "<": (False, False),
+    "<=": (False, True),
+}
+
+
+def extract_range_bindings(
+    where: ast.Expr | None,
+    binding: str,
+    statement_sources: list[tuple[str, list[str] | None]] | None = None,
+) -> dict[str, RangeBinding]:
+    """Top-level AND-ed range conjuncts attributable to ``binding``.
+
+    Harvests ``col <op> literal`` (either operand order) for the four
+    ordering comparisons, plus non-negated ``col BETWEEN lo AND hi``; NULL
+    literals never bind (the comparison is three-valued false anyway).
+    Name-resolution rules match :func:`extract_equality_bindings`:
+    unqualified columns only bind when provably unambiguous across the
+    whole statement. The harvested bounds only ever *narrow* a scan — the
+    executor re-applies the full predicate to the candidate rows, so a
+    range probe that over-approximates (e.g. across type ranks) stays
+    correct.
+    """
+    lowered = binding.lower()
+    ranges: dict[str, RangeBinding] = {}
+
+    def usable(column_ref: ast.ColumnRef) -> bool:
+        if column_ref.table is not None:
+            return column_ref.table.lower() == lowered
+        return statement_sources is None or _unqualified_unambiguous(
+            column_ref.name.lower(), statement_sources
+        )
+
+    def bind(column: str) -> RangeBinding:
+        return ranges.setdefault(column, RangeBinding(column))
+
+    for conjunct in split_conjuncts(where):
+        if isinstance(conjunct, ast.BinaryOp) and conjunct.op in _RANGE_OPS:
+            for column_side, literal_side, flip in (
+                (conjunct.left, conjunct.right, False),
+                (conjunct.right, conjunct.left, True),
+            ):
+                if (
+                    isinstance(column_side, ast.ColumnRef)
+                    and isinstance(literal_side, ast.Literal)
+                    and literal_side.value is not None
+                    and usable(column_side)
+                ):
+                    is_low, inclusive = _RANGE_OPS[conjunct.op]
+                    if flip:  # literal <op> column reads backwards
+                        is_low = not is_low
+                    entry = bind(column_side.name.lower())
+                    if is_low:
+                        entry.tighten_low(literal_side.value, inclusive)
+                    else:
+                        entry.tighten_high(literal_side.value, inclusive)
+                    break
+        elif (
+            isinstance(conjunct, ast.BetweenExpr)
+            and not conjunct.negated
+            and isinstance(conjunct.operand, ast.ColumnRef)
+            and isinstance(conjunct.low, ast.Literal)
+            and isinstance(conjunct.high, ast.Literal)
+            and conjunct.low.value is not None
+            and conjunct.high.value is not None
+            and usable(conjunct.operand)
+        ):
+            entry = bind(conjunct.operand.name.lower())
+            entry.tighten_low(conjunct.low.value, True)
+            entry.tighten_high(conjunct.high.value, True)
+    return ranges
 
 
 def extract_pushdown_filter(
@@ -413,30 +571,75 @@ def choose_access_path(
     table: str,
     heap: HeapTable,
     bindings: list[EqualityBinding],
-) -> tuple[AccessPath, HashIndex | None, tuple | None]:
-    """Pick the best index whose columns are fully equality-bound."""
+    ranges: dict[str, RangeBinding] | None = None,
+    allow_index: bool = True,
+) -> "tuple[AccessPath, HashIndex | SortedIndex | None, tuple | None]":
+    """Pick the best access path for one table.
+
+    Candidates, in cost order:
+
+    1. an index whose columns are *fully* equality-bound — prefer unique,
+       then wider keys, then hash over btree (O(1) probe);
+    2. a sorted index with an equality-bound column prefix followed by a
+       range-bound column — prefer the longest equality prefix, then
+       bounds on both sides over one;
+    3. the sequential scan.
+
+    Returns ``(path, index, key)``; ``key`` is the probe key for equality
+    paths and ``None`` otherwise (range details live on the path).
+    """
+    if not allow_index:
+        return AccessPath(table, "seq"), None, None
     by_column = {b.column: b.value for b in bindings}
-    best: HashIndex | None = None
+    best = None
     for index in heap.indexes.values():
         columns = tuple(c.lower() for c in index.columns)
         if all(c in by_column for c in columns):
-            # prefer unique indexes, then wider keys (more selective)
-            if best is None:
-                best = index
+            rank = (index.unique, len(columns), index.kind == "hash")
+            if best is None or rank > best[0]:
+                best = (rank, index)
+    if best is not None:
+        index = best[1]
+        key = tuple(by_column[c.lower()] for c in index.columns)
+        path = AccessPath(
+            table,
+            "index",
+            index_name=index.name,
+            key_columns=tuple(index.columns),
+        )
+        return path, index, key
+    best_range = None
+    if ranges:
+        for index in heap.indexes.values():
+            if index.kind != "btree":
                 continue
-            best_cols = tuple(c.lower() for c in best.columns)
-            if (index.unique, len(columns)) > (best.unique, len(best_cols)):
-                best = index
-    if best is None:
-        return AccessPath(table, "seq"), None, None
-    key = tuple(by_column[c.lower()] for c in best.columns)
-    path = AccessPath(
-        table,
-        "index",
-        index_name=best.name,
-        key_columns=tuple(best.columns),
-    )
-    return path, best, key
+            columns = tuple(c.lower() for c in index.columns)
+            prefix_len = 0
+            while prefix_len < len(columns) and columns[prefix_len] in by_column:
+                prefix_len += 1
+            if prefix_len >= len(columns):
+                continue  # fully bound would have matched above
+            entry = ranges.get(columns[prefix_len])
+            if entry is None:
+                continue
+            rank = (prefix_len, entry.bounded_sides)
+            if best_range is None or rank > best_range[0]:
+                best_range = (rank, index, prefix_len, entry)
+    if best_range is not None:
+        _, index, prefix_len, entry = best_range
+        path = AccessPath(
+            table,
+            "range",
+            index_name=index.name,
+            key_columns=tuple(index.columns[:prefix_len]),
+            prefix_values=tuple(
+                by_column[c.lower()] for c in index.columns[:prefix_len]
+            ),
+            range_column=index.columns[prefix_len],
+            range=entry,
+        )
+        return path, index, None
+    return AccessPath(table, "seq"), None, None
 
 
 def _binding_of(source: "ast.TableRef | ast.SubqueryRef") -> str:
@@ -448,6 +651,7 @@ def plan_select_paths(
     table_of_binding: dict[str, str],
     heap_of_table,
     columns_of_binding: dict[str, list[str] | None] | None = None,
+    allow_index: bool = True,
 ) -> list[AccessPath]:
     """Access paths for every base-table source of a SELECT (for EXPLAIN)."""
     paths: list[AccessPath] = []
@@ -460,7 +664,10 @@ def plan_select_paths(
     for binding, table in table_of_binding.items():
         heap = heap_of_table(table)
         bindings = extract_equality_bindings(stmt.where, binding, statement_sources)
-        path, _, _ = choose_access_path(table, heap, bindings)
+        ranges = extract_range_bindings(stmt.where, binding, statement_sources)
+        path, _, _ = choose_access_path(
+            table, heap, bindings, ranges, allow_index=allow_index
+        )
         if multi_source and columns_of_binding:
             columns = columns_of_binding.get(binding)
             if columns:

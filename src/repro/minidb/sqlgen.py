@@ -146,3 +146,24 @@ def select_to_sql(stmt: ast.SelectStatement) -> str:
     if stmt.offset is not None:
         parts.append(f"OFFSET {stmt.offset}")
     return " ".join(parts)
+
+
+def create_index_to_sql(stmt: ast.CreateIndexStatement) -> str:
+    """Serialize a CREATE INDEX statement back to parseable SQL.
+
+    Round-trip contract mirrors :func:`select_to_sql`:
+    ``parse(create_index_to_sql(stmt))`` reproduces the statement,
+    including the ``USING BTREE`` / ``USING HASH`` access method.
+    """
+    parts = ["CREATE"]
+    if stmt.unique:
+        parts.append("UNIQUE")
+    parts.append("INDEX")
+    if stmt.if_not_exists:
+        parts.append("IF NOT EXISTS")
+    parts.append(stmt.name)
+    parts.append(f"ON {stmt.table}")
+    if stmt.using:
+        parts.append(f"USING {stmt.using.upper()}")
+    parts.append(f"({', '.join(stmt.columns)})")
+    return " ".join(parts)

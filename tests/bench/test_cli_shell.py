@@ -38,8 +38,13 @@ class TestBenchCLI:
     def test_experiments_registry_complete(self):
         assert set(EXPERIMENTS) == {
             "fig5a", "fig5b", "fig5c", "fig6", "table1", "table2", "joins",
-            "retrieval", "storage", "concurrency",
+            "retrieval", "storage", "concurrency", "query",
         }
+
+    def test_run_experiment_query(self):
+        report = run_experiment("query", 1, 0.02, 100)
+        assert "Query scale" in report
+        assert "Index Range Scan" in report
 
     def test_run_experiment_storage(self):
         report = run_experiment("storage", 1, 0.02, 100)

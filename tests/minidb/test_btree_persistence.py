@@ -1,0 +1,191 @@
+"""Durability of ``USING BTREE`` indexes: snapshot, WAL replay, torn tail.
+
+Sorted indexes persist as *definitions* (name/columns/unique/kind) in both
+the snapshot and ``create_index`` WAL records; recovery rebuilds the
+sorted arrays from rows via the bulk loader. These tests pin the whole
+contract: a recovered database plans and executes the same range/ordered
+scans as the one that crashed, and a torn ``create_index`` record is
+discarded whole.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+
+import pytest
+
+from repro.minidb import Database, UniqueViolation
+from repro.minidb.storage import SortedIndex
+
+
+@pytest.fixture
+def dbdir(tmp_path):
+    return str(tmp_path / "db")
+
+
+def reopen(path: str) -> Database:
+    return Database.open(path)
+
+
+def seeded(path: str) -> Database:
+    db = Database.open(path)
+    session = db.connect("admin")
+    session.execute("CREATE TABLE t (id INT PRIMARY KEY, val INT, name TEXT)")
+    session.execute(
+        "INSERT INTO t VALUES (1, 30, 'a'), (2, 10, 'b'), (3, NULL, 'c'), "
+        "(4, 20, 'd')"
+    )
+    session.execute("CREATE INDEX ix_val ON t USING BTREE (val)")
+    return db
+
+
+class TestSnapshotRoundTrip:
+    def test_kind_and_order_survive_checkpointed_reopen(self, dbdir):
+        db = seeded(dbdir)
+        db.checkpoint()
+        db.close()
+        db2 = reopen(dbdir)
+        index = db2.heap("t").indexes["ix_val"]
+        assert isinstance(index, SortedIndex)
+        assert db2.catalog.index("ix_val").kind == "btree"
+        assert index.range_rids(low=10, high=25) == [2, 4]
+        db2.close()
+
+    def test_recovered_planner_uses_range_and_ordered_scans(self, dbdir):
+        seeded(dbdir).close()
+        db2 = reopen(dbdir)
+        session = db2.connect("admin")
+        plan = session.execute(
+            "EXPLAIN SELECT * FROM t WHERE val >= 10 AND val < 25"
+        ).rows[0][0]
+        assert "Index Range Scan using ix_val on t" in plan
+        assert session.execute(
+            "SELECT id FROM t WHERE val >= 10 AND val < 25"
+        ).rows == [(2,), (4,)]
+        assert session.execute(
+            "SELECT id FROM t ORDER BY val LIMIT 2"
+        ).rows == [(2,), (4,)]
+        assert db2.planner_stats["range_scans"] == 1
+        assert db2.planner_stats["ordered_scans"] == 1
+        db2.close()
+
+    def test_pre_kind_snapshot_defaults_to_hash(self, dbdir):
+        # forward-compat check for PR-3/4 directories: index dumps without
+        # a "kind" field must come back as hash indexes
+        import json
+
+        db = seeded(dbdir)
+        db.checkpoint()
+        db.close()
+        snapshot_path = os.path.join(dbdir, "snapshot.json")
+        with open(snapshot_path) as fh:
+            data = json.load(fh)
+        for table in data["tables"]:
+            for index in table["indexes"]:
+                index.pop("kind", None)
+        for index in data["indexes"]:
+            index.pop("kind", None)
+        with open(snapshot_path, "w") as fh:
+            json.dump(data, fh)
+        db2 = reopen(dbdir)
+        assert db2.catalog.index("ix_val").kind == "hash"
+        assert not isinstance(db2.heap("t").indexes["ix_val"], SortedIndex)
+        db2.close()
+
+
+class TestWalReplay:
+    def test_create_index_after_checkpoint_survives_crash(self, dbdir):
+        db = Database.open(dbdir)
+        session = db.connect("admin")
+        session.execute("CREATE TABLE t (id INT PRIMARY KEY, val INT)")
+        session.execute("INSERT INTO t VALUES (1, 5), (2, 3)")
+        db.checkpoint()
+        session.execute("INSERT INTO t VALUES (3, 9)")
+        session.execute("CREATE UNIQUE INDEX ux ON t USING BTREE (val)")
+        del db, session  # simulated crash: no close(), no checkpoint
+        gc.collect()
+        db2 = reopen(dbdir)
+        index = db2.heap("t").indexes["ux"]
+        assert isinstance(index, SortedIndex)
+        assert index.unique
+        assert index.range_rids() == [2, 1, 3]
+        # the rebuilt unique index still enforces
+        with pytest.raises(UniqueViolation):
+            db2.connect("admin").execute("INSERT INTO t VALUES (4, 9)")
+        db2.close()
+
+    def test_dropped_btree_stays_dropped(self, dbdir):
+        db = seeded(dbdir)
+        db.connect("admin").execute("DROP INDEX ix_val")
+        del db  # simulated crash
+        gc.collect()
+        db2 = reopen(dbdir)
+        assert "ix_val" not in db2.heap("t").indexes
+        assert "ix_val" not in db2.catalog.indexes
+        db2.close()
+
+    def test_rolled_back_create_index_not_durable(self, dbdir):
+        db = seeded(dbdir)
+        session = db.connect("admin")
+        session.execute("BEGIN")
+        session.execute("CREATE INDEX ix2 ON t USING BTREE (name)")
+        session.execute("ROLLBACK")
+        db.close()
+        db2 = reopen(dbdir)
+        assert "ix2" not in db2.heap("t").indexes
+        db2.close()
+
+    def test_index_tracks_post_checkpoint_dml(self, dbdir):
+        db = seeded(dbdir)
+        db.checkpoint()
+        session = db.connect("admin")
+        session.execute("INSERT INTO t VALUES (5, 15, 'e')")
+        session.execute("DELETE FROM t WHERE id = 2")
+        session.execute("UPDATE t SET val = 40 WHERE id = 4")
+        del db, session  # simulated crash
+        gc.collect()
+        db2 = reopen(dbdir)
+        index = db2.heap("t").indexes["ix_val"]
+        assert index.range_rids(low=0, high=100) == [5, 1, 4]
+        db2.close()
+
+
+class TestTornTail:
+    def test_torn_create_index_discarded_whole(self, dbdir):
+        db = seeded(dbdir)
+        db.checkpoint()
+        session = db.connect("admin")
+        session.execute("CREATE INDEX ix2 ON t USING BTREE (name)")
+        db.close()
+        wal_path = os.path.join(dbdir, "wal.jsonl")
+        with open(wal_path, "rb") as fh:
+            data = fh.read()
+        # tear the final (create_index) record a few bytes short of its
+        # newline: recovery must truncate it, not half-apply it
+        with open(wal_path, "wb") as fh:
+            fh.write(data[:-3])
+        db2 = reopen(dbdir)
+        assert "ix2" not in db2.heap("t").indexes
+        assert "ix2" not in db2.catalog.indexes
+        # the surviving snapshot-borne index still works
+        assert db2.heap("t").indexes["ix_val"].range_rids(low=10, high=30) == [
+            2, 4, 1,
+        ]
+        db2.close()
+
+    def test_garbage_tail_after_create_index(self, dbdir):
+        db = seeded(dbdir)
+        db.checkpoint()
+        session = db.connect("admin")
+        session.execute("CREATE INDEX ix2 ON t USING BTREE (name)")
+        db.close()
+        wal_path = os.path.join(dbdir, "wal.jsonl")
+        with open(wal_path, "ab") as fh:
+            fh.write(b'{"seq": not json\n')
+        db2 = reopen(dbdir)
+        # the complete create_index record replays; the garbage is gone
+        assert isinstance(db2.heap("t").indexes["ix2"], SortedIndex)
+        with open(wal_path, "rb") as fh:
+            assert b"not json" not in fh.read()
+        db2.close()

@@ -1,0 +1,252 @@
+"""Unit tests for :class:`SortedIndex` and the ``USING BTREE`` DDL surface.
+
+The ordered index must mirror :class:`HashIndex`'s equality/uniqueness
+semantics exactly (NULL keys invisible to probes and constraints) while
+adding the ordered-access contract the executor's fast paths rely on:
+``range_rids``/``slice_bounds`` return key-ordered candidates, and
+``ordered_rids`` yields ORDER BY order — including the non-obvious DESC
+order (rank classes forward, values backward, ties in rid order).
+"""
+
+import pytest
+
+from repro.minidb import Database, UniqueViolation, parse
+from repro.minidb import ast_nodes as ast
+from repro.minidb.sqlgen import create_index_to_sql
+from repro.minidb.storage import (
+    HashIndex,
+    HeapTable,
+    SortedIndex,
+    ordering_key,
+    ordering_key_element,
+)
+
+
+def make_index(rows, columns=("a",), unique=False):
+    index = SortedIndex("ix", columns, unique=unique)
+    for rid, row in rows:
+        index.insert(rid, row)
+    return index
+
+
+class TestOrderingKey:
+    def test_numbers_before_text_before_null(self):
+        elements = [ordering_key_element(v) for v in (3, "b", None)]
+        assert elements == sorted(elements)
+
+    def test_bool_orders_as_int(self):
+        assert ordering_key_element(True) == ordering_key_element(1)
+        assert ordering_key_element(False) < ordering_key_element(0.5)
+
+    def test_composite(self):
+        assert ordering_key((1, "x")) < ordering_key((1, None))
+
+
+class TestEqualitySurface:
+    def test_probe_exact_matches(self):
+        index = make_index([(1, {"a": 5}), (2, {"a": 5}), (3, {"a": 6})])
+        assert index.probe((5,)) == {1, 2}
+        assert index.probe((7,)) == set()
+
+    def test_null_keys_invisible_to_probe(self):
+        index = make_index([(1, {"a": None}), (2, {"a": 1})])
+        assert index.probe((None,)) == set()
+        assert len(index) == 2  # stored (for ordered scans), not probeable
+
+    def test_unique_violation_on_insert(self):
+        index = make_index([(1, {"a": 5})], unique=True)
+        with pytest.raises(UniqueViolation):
+            index.insert(2, {"a": 5})
+
+    def test_unique_allows_duplicate_nulls(self):
+        index = make_index([(1, {"a": None})], unique=True)
+        index.insert(2, {"a": None})  # NULL != NULL
+        assert len(index) == 2
+
+    def test_would_violate_ignores_own_rid(self):
+        index = make_index([(1, {"a": 5})], unique=True)
+        assert index.would_violate({"a": 5})
+        assert not index.would_violate({"a": 5}, ignore_rid=1)
+
+    def test_remove_then_reinsert(self):
+        index = make_index([(1, {"a": 5}), (2, {"a": 5})])
+        index.remove(1, {"a": 5})
+        assert index.probe((5,)) == {2}
+        index.insert(1, {"a": 5})
+        assert index.probe((5,)) == {1, 2}
+
+    def test_backfill_detects_adjacent_duplicates(self):
+        index = SortedIndex("ix", ("a",), unique=True)
+        with pytest.raises(UniqueViolation):
+            index.backfill([(1, {"a": 3}), (2, {"a": 3})].__iter__())
+        assert len(index) == 0  # left detached-clean
+
+    def test_backfill_unique_tolerates_nulls(self):
+        index = SortedIndex("ix", ("a",), unique=True)
+        index.backfill(iter([(1, {"a": None}), (2, {"a": None}), (3, {"a": 1})]))
+        assert len(index) == 3
+
+
+class TestRangeAccess:
+    def rows(self):
+        return [(rid, {"a": value}) for rid, value in
+                [(1, 5), (2, 3), (3, 8), (4, 3), (5, None), (6, 1)]]
+
+    def test_inclusive_and_exclusive_bounds(self):
+        index = make_index(self.rows())
+        assert index.range_rids(low=3, high=5) == [2, 4, 1]
+        assert index.range_rids(low=3, high=5, incl_low=False) == [1]
+        assert index.range_rids(low=3, high=5, incl_high=False) == [2, 4]
+        assert index.range_rids(low=3, high=3) == [2, 4]
+
+    def test_unbounded_sides(self):
+        index = make_index(self.rows())
+        assert index.range_rids(low=5) == [1, 3, 5]  # NULL sorts past numbers
+        assert index.range_rids(high=3) == [6, 2, 4]
+        assert index.range_rids() == [6, 2, 4, 1, 3, 5]
+
+    def test_equality_prefix_slice(self):
+        rows = [(1, {"a": 1, "b": 9}), (2, {"a": 1, "b": 2}),
+                (3, {"a": 2, "b": 1}), (4, {"a": 1, "b": 5})]
+        index = make_index(rows, columns=("a", "b"))
+        assert index.range_rids(prefix=(1,)) == [2, 4, 1]
+        assert index.range_rids(prefix=(1,), low=3, high=9, incl_high=False) == [4]
+        assert index.range_rids(prefix=(2,)) == [3]
+        assert index.range_rids(prefix=(3,)) == []
+
+    def test_duplicate_keys_keep_rid_order(self):
+        index = make_index([(9, {"a": 1}), (2, {"a": 1}), (5, {"a": 1})])
+        assert index.range_rids(low=1, high=1) == [2, 5, 9]
+
+
+class TestOrderedIteration:
+    def test_forward_is_entry_order(self):
+        index = make_index([(1, {"a": "b"}), (2, {"a": 2}), (3, {"a": None}),
+                            (4, {"a": 1}), (5, {"a": "a"})])
+        assert list(index.ordered_rids()) == [4, 2, 5, 1, 3]
+
+    def test_reverse_keeps_rank_classes_and_rid_ties(self):
+        # DESC order: numbers descending, then text descending, NULLs last
+        # — and equal keys stay in ascending-rid (stable-sort) order
+        index = make_index([(1, {"a": "b"}), (2, {"a": 2}), (3, {"a": None}),
+                            (4, {"a": 1}), (5, {"a": "a"}), (6, {"a": 2})])
+        assert list(index.ordered_rids(reverse=True)) == [2, 6, 4, 1, 5, 3]
+
+    def test_reverse_within_slice_and_prefix(self):
+        rows = [(1, {"a": 1, "b": 3}), (2, {"a": 1, "b": 7}),
+                (3, {"a": 1, "b": 3}), (4, {"a": 2, "b": 9})]
+        index = make_index(rows, columns=("a", "b"))
+        start, end = index.slice_bounds((1,))
+        assert list(index.ordered_rids(True, start, end, (1,))) == [2, 1, 3]
+
+
+class TestHeapIntegration:
+    def heap_with_btree(self):
+        heap = HeapTable("t")
+        for value in (5, 3, None, 3):
+            heap.insert({"a": value, "b": "x"})
+        index = SortedIndex("ix", ("a",))
+        heap.add_index(index)
+        return heap, index
+
+    def test_backfill_then_maintenance(self):
+        heap, index = self.heap_with_btree()
+        assert index.range_rids(low=3, high=5) == [2, 4, 1]
+        rid = heap.insert({"a": 4, "b": "y"})
+        assert index.range_rids(low=3, high=5) == [2, 4, rid, 1]
+        heap.delete(2)
+        assert index.range_rids(low=3, high=5) == [4, rid, 1]
+        heap.update(4, {"a": 9, "b": "x"})
+        assert index.range_rids(low=3, high=5) == [rid, 1]
+
+    def test_add_unique_index_rolls_back_on_violation(self):
+        heap = HeapTable("t")
+        heap.insert({"a": 1})
+        heap.insert({"a": 1})
+        with pytest.raises(UniqueViolation):
+            heap.add_index(SortedIndex("u", ("a",), unique=True))
+        assert "u" not in heap.indexes
+
+    def test_rename_column_tracked_by_both_kinds(self):
+        heap = HeapTable("t")
+        heap.insert({"a": 1})
+        heap.add_index(SortedIndex("s", ("a",)))
+        heap.add_index(HashIndex("h", ("a",)))
+        heap.rename_column("a", "z")
+        assert heap.indexes["s"].columns == ("z",)
+        assert heap.indexes["h"].columns == ("z",)
+        assert heap.indexes["s"].probe((1,)) == {1}
+        assert heap.indexes["h"].probe((1,)) == {1}
+
+    def test_find_index_prefers_hash(self):
+        heap = HeapTable("t")
+        heap.add_index(SortedIndex("s", ("a",)))
+        heap.add_index(HashIndex("h", ("a",)))
+        assert heap.find_index(("a",)).name == "h"
+        heap.drop_index("h")
+        assert heap.find_index(("a",)).name == "s"
+
+
+class TestBtreeDDL:
+    @pytest.fixture
+    def s(self):
+        db = Database(owner="a")
+        session = db.connect("a")
+        session.execute("CREATE TABLE t (id INT PRIMARY KEY, a INT, b TEXT)")
+        session.execute("INSERT INTO t VALUES (1, 5, 'x'), (2, 3, 'y')")
+        return session
+
+    def test_using_btree_builds_sorted_index(self, s):
+        s.execute("CREATE INDEX ix ON t USING BTREE (a)")
+        index = s.db.heap("t").indexes["ix"]
+        assert isinstance(index, SortedIndex)
+        assert s.db.catalog.index("ix").kind == "btree"
+        assert "USING BTREE" in s.db.catalog.index("ix").describe()
+
+    def test_using_hash_and_default_build_hash_index(self, s):
+        s.execute("CREATE INDEX ih ON t USING HASH (a)")
+        s.execute("CREATE INDEX id2 ON t (b)")
+        assert isinstance(s.db.heap("t").indexes["ih"], HashIndex)
+        assert isinstance(s.db.heap("t").indexes["id2"], HashIndex)
+        assert s.db.catalog.index("ih").kind == "hash"
+
+    def test_unknown_method_rejected(self, s):
+        with pytest.raises(Exception):
+            s.execute("CREATE INDEX ix ON t USING GIN (a)")
+
+    def test_unique_btree_enforced_through_sql(self, s):
+        s.execute("CREATE UNIQUE INDEX ux ON t USING BTREE (a)")
+        with pytest.raises(UniqueViolation):
+            s.execute("INSERT INTO t VALUES (3, 5, 'z')")
+        with pytest.raises(UniqueViolation):
+            s.execute("UPDATE t SET a = 5 WHERE id = 2")
+        s.execute("INSERT INTO t VALUES (3, NULL, 'z')")  # NULLs exempt
+
+    def test_create_index_rollback_detaches(self, s):
+        s.execute("BEGIN")
+        s.execute("CREATE INDEX ix ON t USING BTREE (a)")
+        s.execute("ROLLBACK")
+        assert "ix" not in s.db.heap("t").indexes
+        assert "ix" not in s.db.catalog.indexes
+
+    def test_drop_index_undo_reattaches_sorted(self, s):
+        s.execute("CREATE INDEX ix ON t USING BTREE (a)")
+        s.execute("BEGIN")
+        s.execute("DROP INDEX ix")
+        s.execute("ROLLBACK")
+        index = s.db.heap("t").indexes["ix"]
+        assert isinstance(index, SortedIndex)
+        assert index.range_rids(low=3, high=5) == [2, 1]
+
+    def test_parser_sqlgen_round_trip(self):
+        sql = "CREATE UNIQUE INDEX IF NOT EXISTS ix ON t USING BTREE (a, b)"
+        stmt = parse(sql)
+        assert isinstance(stmt, ast.CreateIndexStatement)
+        assert stmt.using == "BTREE"
+        rendered = create_index_to_sql(stmt)
+        assert parse(rendered) == stmt
+
+    def test_round_trip_without_using_clause(self):
+        stmt = parse("CREATE INDEX ix ON t (a)")
+        assert stmt.using is None
+        assert parse(create_index_to_sql(stmt)) == stmt
