@@ -133,8 +133,7 @@ def make_sampled_binding(
         sampled.create_user(target)
     # replicate grants wholesale (owner-level copy)
     for target in db.privileges.users():
-        entry = db.privileges._users[target]
-        for grant in entry.grants:
+        for grant in db.privileges.grants_of(target):
             sampled.privileges.grant(
                 target,
                 grant.action,

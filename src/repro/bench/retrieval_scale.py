@@ -129,7 +129,7 @@ def experiment_retrieval_scale(
     cold_seconds = time.perf_counter() - start
     indexed_seconds = _time_calls(indexed, rounds)
     cache = indexed.binding.session.db.retrieval_cache
-    catalog = next(iter(cache._entries.values()))[1]
+    catalog = cache.cached_catalogs()[0]
     queries = max(catalog.stats["queries"], 1)
 
     brute = build_bridge(brute_distinct, use_index=False)

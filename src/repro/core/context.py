@@ -167,7 +167,7 @@ class ContextTools(ToolServer):
                     table, column, self.config.exemplar_scan_limit
                 )
                 ranked = top_k(key, values, k)
-        except Exception as exc:
+        except Exception as exc:  # staticcheck: ignore[broad-except] — binding-agnostic tool surface: whatever backend failure occurs must come back as the ERROR string the agent reads and reacts to
             return f"ERROR: {exc}"
         if not ranked:
             return f"(no values in {col})"

@@ -155,8 +155,4 @@ def combine_bridges(
 
 def _apply_namespace(server: ToolServer, namespace: str) -> None:
     """Rename every tool of ``server`` to ``<namespace>__<name>``."""
-    renamed = {}
-    for name, (spec, fn) in server._tools.items():
-        spec.name = f"{namespace}__{name}"
-        renamed[spec.name] = (spec, fn)
-    server._tools = renamed
+    server.rename_tools(lambda name: f"{namespace}__{name}")

@@ -88,6 +88,18 @@ class ToolServer:
     def unregister(self, name: str) -> None:
         self._tools.pop(name, None)
 
+    def rename_tools(self, mapper: Callable[[str], str]) -> None:
+        """Rename every registered tool via ``mapper(old_name) -> new_name``.
+
+        Used by the multi-datasource combiner to namespace colliding tool
+        tables; specs are updated in place so held references stay valid.
+        """
+        renamed = {}
+        for name, (spec, fn) in self._tools.items():
+            spec.name = mapper(name)
+            renamed[spec.name] = (spec, fn)
+        self._tools = renamed
+
     def visible_tools(self) -> list[ToolSpec]:
         """Tool specs exposed to the caller; subclasses may filter."""
         return [spec for spec, _ in self._tools.values()]

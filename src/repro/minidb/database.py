@@ -250,17 +250,20 @@ class Database:
         #: condition on the same mutex coordinating statement admission
         #: with checkpoint quiescence (see :meth:`quiesced`)
         self._quiesce = threading.Condition(self._mutex)
-        self._checkpointing = False
+        self._checkpointing = False  #: guarded by self._mutex
         #: number of currently open explicit transactions across sessions —
         #: maintained via TransactionHooks on durable engines, used to keep
         #: checkpoints away from heaps holding uncommitted changes
+        #: guarded by self._mutex
         self._open_explicit = 0
         #: statements currently inside the executor across all sessions —
         #: auto-checkpoints defer while any are running, because a snapshot
         #: taken mid-statement would capture half-applied mutations
+        #: guarded by self._mutex
         self._inflight = 0
         #: access-path and join-strategy counters maintained by the
         #: executor (observability)
+        #: guarded by self._mutex
         self.planner_stats = {
             "seq_scans": 0,
             "index_scans": 0,
@@ -331,11 +334,11 @@ class Database:
 
     @property
     def open_explicit_transactions(self) -> int:
-        return self._open_explicit
+        return self._open_explicit  # staticcheck: ignore[guarded-by] — racy monitoring/pre-check read; every correctness-bearing check re-runs under the quiesce window
 
     @property
     def inflight_statements(self) -> int:
-        return self._inflight
+        return self._inflight  # staticcheck: ignore[guarded-by] — racy monitoring read (observability only)
 
     def statement_started(self) -> None:
         """Admit one statement into the executor.

@@ -145,11 +145,13 @@ class DurableEngine(StorageEngine):
         #: off by default: flush survives process death, which is the
         #: failure model the tests exercise
         self.fsync_commits = fsync_commits
-        self._wal = None
-        self._seq = 0  # last sequence number written or recovered
-        self._records_since_snapshot = 0
-        self._checkpoint_pending = False
-        self._closed = False
+        self._wal = None  #: guarded by self._commit_mutex
+        #: last sequence number written or recovered
+        #: guarded by self._commit_mutex
+        self._seq = 0
+        self._records_since_snapshot = 0  #: guarded by self._commit_mutex
+        self._checkpoint_pending = False  #: guarded by self._commit_mutex
+        self._closed = False  #: guarded by self._commit_mutex
         self._locked = False
         #: serializes WAL appends and checkpoints across sessions: ``seq``
         #: allocation and the physical write happen under one mutex, so
@@ -177,6 +179,8 @@ class DurableEngine(StorageEngine):
     def describe(self) -> str:
         return f"durable({self.path})"
 
+    # staticcheck: ignore[guarded-by] — recovery runs single-threaded,
+    # before the engine (or its Database) is shared with any session
     def attach(self, db: "Database") -> None:
         super().attach(db)
         os.makedirs(self.path, exist_ok=True)
@@ -236,6 +240,7 @@ class DurableEngine(StorageEngine):
             self._deregister_live()
             self._release_lock()
 
+    #: requires self._commit_mutex
     def _ensure_open(self) -> None:
         if self._closed or self._wal is None:
             raise PersistenceError("storage engine is closed")
@@ -392,6 +397,8 @@ class DurableEngine(StorageEngine):
                 # runs after lock release.
                 self._checkpoint_pending = True
 
+    # staticcheck: ignore[guarded-by] — benign pre-check race: checkpoint()
+    # re-checks every condition under the quiesce window and commit mutex
     def run_pending_checkpoint(self) -> None:
         """Run a deferred auto-checkpoint; called by the database at the
         statement epilogue, after the session released its locks and
@@ -419,8 +426,6 @@ class DurableEngine(StorageEngine):
         append can interleave with the file swap), so the snapshot always
         captures a statement-consistent state.
         """
-        if self._closed:
-            raise PersistenceError("storage engine is closed")
         db = self.db
         assert db is not None
         if db.open_explicit_transactions:
@@ -456,6 +461,7 @@ class DurableEngine(StorageEngine):
             self._checkpoint_pending = False
             self.stats["checkpoints"] += 1
 
+    #: requires self._commit_mutex
     def _snapshot_payload(self, db: "Database") -> dict[str, Any]:
         tables = []
         for schema in db.catalog.tables.values():
@@ -463,13 +469,10 @@ class DurableEngine(StorageEngine):
             tables.append(
                 {
                     "schema": dump_table_schema(schema),
-                    "uid": heap.uid,
-                    "version": heap.version,
-                    "next_rid": heap._next_rid,
                     "indexes": [
                         dump_index(ix) for ix in heap.indexes.values()
                     ],
-                    "rows": [[rid, row] for rid, row in heap.rows()],
+                    **heap.snapshot_state(),
                 }
             )
         return {
@@ -486,6 +489,8 @@ class DurableEngine(StorageEngine):
 
     # ------------------------------------------------------------- recovery
 
+    # staticcheck: ignore[guarded-by] — recovery runs single-threaded,
+    # before the engine is shared with any session
     def _load_snapshot(self, db: "Database") -> None:
         try:
             with open(self.snapshot_path, "r", encoding="utf-8") as fh:
@@ -518,6 +523,8 @@ class DurableEngine(StorageEngine):
         self._seq = data["applied_seq"]
         self.stats["snapshot_loaded"] = True
 
+    # staticcheck: ignore[guarded-by] — recovery runs single-threaded,
+    # before the engine is shared with any session
     def _replay_wal(self, db: "Database") -> None:
         """Apply the longest durable WAL prefix; truncate everything after.
 

@@ -157,9 +157,9 @@ def load_view(data: dict[str, Any]) -> ViewSchema:
 
 
 def dump_privileges(manager: PrivilegeManager) -> dict[str, Any]:
-    # hold the manager's mutex across the whole dump: a concurrent
-    # GRANT/create_user mutating _users mid-iteration would crash the
-    # snapshot (or persist it half-applied)
+    # hold the manager's (re-entrant) mutex across the whole dump: a
+    # concurrent GRANT/create_user mutating the user table mid-iteration
+    # would tear the snapshot (or persist it half-applied)
     with manager.mutex:
         return {
             "owner": manager.owner,
@@ -172,9 +172,9 @@ def dump_privileges(manager: PrivilegeManager) -> dict[str, Any]:
                         if grant.columns is not None
                         else None,
                     ]
-                    for grant in manager._users[user].grants
+                    for grant in manager.grants_of(user)
                 ]
-                for user in sorted(manager._users)
+                for user in manager.users()
             },
         }
 
@@ -182,14 +182,15 @@ def dump_privileges(manager: PrivilegeManager) -> dict[str, Any]:
 def load_privileges(data: dict[str, Any]) -> PrivilegeManager:
     manager = PrivilegeManager(data["owner"])
     for user, grants in data["users"].items():
-        manager.create_user(user)
-        entry = manager._users[user.lower()]
-        entry.grants = [
-            Grant(
-                action,
-                obj,
-                frozenset(columns) if columns is not None else None,
-            )
-            for action, obj, columns in grants
-        ]
+        manager.set_grants(
+            user,
+            [
+                Grant(
+                    action,
+                    obj,
+                    frozenset(columns) if columns is not None else None,
+                )
+                for action, obj, columns in grants
+            ],
+        )
     return manager

@@ -78,6 +78,18 @@ class PrivilegeManager:
         with self.mutex:
             return sorted(self._users)
 
+    def grants_of(self, user: str) -> list[Grant]:
+        """Copy of ``user``'s direct grants (no PUBLIC merge, no owner
+        implication) — the serialization surface for snapshot dumps."""
+        with self.mutex:
+            return list(self._entry(user).grants)
+
+    def set_grants(self, user: str, grants: list[Grant]) -> None:
+        """Replace ``user``'s grant list wholesale (snapshot restore)."""
+        with self.mutex:
+            self.create_user(user)
+            self._entry(user).grants = list(grants)
+
     def _entry(self, name: str) -> _UserEntry:
         key = name.lower()
         if key not in self._users:

@@ -12,6 +12,7 @@ recovery, so the WAL never has to serialize an AST.
 from __future__ import annotations
 
 from . import ast_nodes as ast
+from .errors import MiniDBError
 
 
 def expr_to_sql(expr: ast.Expr) -> str:
@@ -72,7 +73,7 @@ def expr_to_sql(expr: ast.Expr) -> str:
         return f"({expr_to_sql(expr.operand)} {suffix})"
     if isinstance(expr, ast.CastExpr):
         return f"CAST({expr_to_sql(expr.operand)} AS {expr.target_type})"
-    raise ValueError(f"cannot serialize {type(expr).__name__} to SQL")
+    raise MiniDBError(f"cannot serialize {type(expr).__name__} to SQL")
 
 
 def _literal(value) -> str:

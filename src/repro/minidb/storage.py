@@ -451,15 +451,43 @@ class HeapTable:
         valid after it.
         """
         heap = cls(name)
-        heap._rows = {rid: row for rid, row in rows}
-        heap._next_rid = next_rid
-        heap.uid = uid
-        heap.version = version
+        heap.restore_state(
+            rows, next_rid=next_rid, uid=uid, version=version, indexes=indexes
+        )
+        return heap
+
+    def snapshot_state(self) -> dict[str, Any]:
+        """Persistable dump of this heap's state (rows in rid order).
+
+        The inverse of :meth:`restore_state`; the durable engine embeds
+        this dict (JSON-compatible once rows are serialized) into its
+        snapshot payload instead of reading the heap's representation
+        directly.
+        """
+        return {
+            "uid": self.uid,
+            "version": self.version,
+            "next_rid": self._next_rid,
+            "rows": [[rid, row] for rid, row in self.rows()],
+        }
+
+    def restore_state(
+        self,
+        rows: "list[tuple[int, Row]] | list[list]",
+        next_rid: int,
+        uid: int,
+        version: int,
+        indexes: "list[HashIndex | SortedIndex]",
+    ) -> None:
+        """Overwrite this (fresh) heap's state with a persisted dump."""
+        self._rows = {rid: row for rid, row in rows}
+        self._next_rid = next_rid
+        self.uid = uid
+        self.version = version
         reserve_heap_uids(uid)
         for index in indexes:
-            index.bulk_load(heap._rows.items())
-            heap.indexes[index.name] = index
-        return heap
+            index.bulk_load(self._rows.items())
+            self.indexes[index.name] = index
 
     # -------------------------------------------------------------- basics
 

@@ -21,6 +21,17 @@ from .errors import TypeMismatchError
 
 _DATE_RE = re.compile(r"^\d{4}-\d{2}-\d{2}$")
 
+
+class _CoercionFailure(ValueError):
+    """Internal signal: a ``_coerce_*`` helper rejected the value.
+
+    A ``ValueError`` subclass so it funnels through the same ``except``
+    as the failures ``int()``/``float()`` raise natively, while staying
+    out of the public error taxonomy — it never escapes this module
+    (``coerce_value`` converts it to :class:`TypeMismatchError`).
+    """
+
+
 #: canonical type names
 INTEGER = "INTEGER"
 FLOAT = "FLOAT"
@@ -134,10 +145,10 @@ def _coerce_integer(value: Any) -> int:
     if isinstance(value, float):
         if value.is_integer():
             return int(value)
-        raise ValueError(value)
+        raise _CoercionFailure(value)
     if isinstance(value, str):
         return int(value.strip())
-    raise ValueError(value)
+    raise _CoercionFailure(value)
 
 
 def _coerce_float(value: Any) -> float:
@@ -147,7 +158,7 @@ def _coerce_float(value: Any) -> float:
         return float(value)
     if isinstance(value, str):
         return float(value.strip())
-    raise ValueError(value)
+    raise _CoercionFailure(value)
 
 
 def _coerce_boolean(value: Any) -> bool:
@@ -161,7 +172,7 @@ def _coerce_boolean(value: Any) -> bool:
             return True
         if lowered in ("f", "false", "no", "off", "0"):
             return False
-    raise ValueError(value)
+    raise _CoercionFailure(value)
 
 
 def _coerce_date(value: Any) -> str:
@@ -170,7 +181,7 @@ def _coerce_date(value: Any) -> str:
         # accept full timestamps but keep them verbatim
         if _DATE_RE.match(text[:10]):
             return text
-    raise ValueError(value)
+    raise _CoercionFailure(value)
 
 
 def _coerce_text(value: Any) -> str:
@@ -180,7 +191,7 @@ def _coerce_text(value: Any) -> str:
         return "true" if value else "false"
     if isinstance(value, (int, float)):
         return str(value)
-    raise ValueError(value)
+    raise _CoercionFailure(value)
 
 
 def is_comparable(left: Any, right: Any) -> bool:

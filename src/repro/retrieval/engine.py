@@ -86,7 +86,7 @@ class CatalogStore:
         try:
             with open(self._path(key, fingerprint), "rb") as fh:
                 catalog = pickle.load(fh)
-        except Exception:
+        except Exception:  # staticcheck: ignore[broad-except] — pickle.load can raise nearly anything on a torn or stale file; by contract every such failure is a cache miss, and the caller rebuilds from live data
             self.stats["misses"] += 1
             return None
         if not isinstance(catalog, ValueCatalog):
@@ -130,10 +130,12 @@ class CatalogCache:
         self.max_entries = max_entries
         self.store = store
         self._mutex = threading.Lock()
+        #: guarded by self._mutex
         self._entries: OrderedDict[Hashable, tuple[Hashable, ValueCatalog]] = (
             OrderedDict()
         )
-        #: lookup counters (observability / tests), guarded by the mutex
+        #: lookup counters (observability / tests)
+        #: guarded by self._mutex
         self.stats = {"hits": 0, "misses": 0, "rebuilds": 0, "persisted_hits": 0}
 
     def __len__(self) -> int:
@@ -171,14 +173,19 @@ class CatalogCache:
             self._insert(key, fingerprint, catalog)
         return catalog
 
+    #: requires self._mutex
     def _insert(
         self, key: Hashable, fingerprint: Hashable, catalog: ValueCatalog
     ) -> None:
-        # caller holds the mutex
         self._entries[key] = (fingerprint, catalog)
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
+
+    def cached_catalogs(self) -> list[ValueCatalog]:
+        """Snapshot of the cached catalogs, LRU order (observability)."""
+        with self._mutex:
+            return [catalog for _, catalog in self._entries.values()]
 
     def invalidate(self, key: Hashable | None = None) -> None:
         """Drop one cached catalog, or all of them (memory only; persisted

@@ -128,11 +128,12 @@ class Dispatcher:
         self._mutex = threading.Lock()
         self._space = threading.Condition(self._mutex)
         #: token -> FIFO of (request, session) not yet executed
+        #: guarded by self._mutex
         self._pending: dict[str, deque[tuple[PendingResult, ServiceSession]]] = {}
         #: sessions with pending work and no active worker
         self._ready: "queue.Queue[str | None]" = queue.Queue()
-        self._queued = 0
-        self._closed = False
+        self._queued = 0  #: guarded by self._mutex
+        self._closed = False  #: guarded by self._mutex
         self._workers = [
             threading.Thread(
                 target=self._worker_loop, name=f"dispatcher-{n}", daemon=True
@@ -151,7 +152,7 @@ class Dispatcher:
         from a worker), then waits up to ``admission_timeout_s`` for
         queue space before raising :class:`ServiceOverloaded`.
         """
-        if self._closed:
+        if self._closed:  # staticcheck: ignore[guarded-by] — racy fail-fast read; the admission critical section below re-checks under the mutex
             self.metrics.record_rejected()
             raise ServiceOverloaded("dispatcher is shut down")
         session = self.manager.authenticate(token)
@@ -211,7 +212,7 @@ class Dispatcher:
             started = time.perf_counter()
             try:
                 result = _mark_retryable(self.handler(session, request.call))
-            except BaseException as exc:  # worker must survive anything
+            except BaseException as exc:  # staticcheck: ignore[broad-except] — worker must survive anything the handler raises; _error_result folds it into an error ToolResult for the waiting client
                 result = _error_result(exc)
             latency = time.perf_counter() - started
             with self._space:
@@ -303,7 +304,7 @@ class SerialDispatcher:
         started = time.perf_counter()
         try:
             result = _mark_retryable(self.handler(session, call))
-        except BaseException as exc:
+        except BaseException as exc:  # staticcheck: ignore[broad-except] — inline execution mirrors the threaded worker's containment: _error_result folds the failure into an error ToolResult
             result = _error_result(exc)
         self.metrics.record_completed(
             time.perf_counter() - started,

@@ -84,10 +84,12 @@ class LockManager:
     def __init__(self, timeout_s: float = 10.0):
         self.timeout_s = timeout_s
         self._mutex = threading.Lock()
-        self._tables: dict[str, _TableLock] = {}
+        self._tables: dict[str, _TableLock] = {}  #: guarded by self._mutex
         #: owner -> set of table keys it holds (for O(1) release_all)
+        #: guarded by self._mutex
         self._held: dict[Hashable, set[str]] = {}
         #: observability for ServiceMetrics and tests
+        #: guarded by self._mutex
         self.stats = {
             "acquisitions": 0,
             "waits": 0,
@@ -164,6 +166,7 @@ class LockManager:
                 )
             assert waiter.granted
 
+    #: requires self._mutex
     @staticmethod
     def _compatible(lock: _TableLock, owner: Hashable, mode: str) -> bool:
         """Whether ``mode`` coexists with every *other* holder of ``lock``."""
@@ -172,6 +175,7 @@ class LockManager:
             return not others
         return EXCLUSIVE not in others
 
+    #: requires self._mutex
     def _grantable(
         self, lock: _TableLock, owner: Hashable, mode: str, upgrade: bool
     ) -> bool:
@@ -181,6 +185,7 @@ class LockManager:
         # upgrades are exempt (see module docstring)
         return upgrade or not lock.queue
 
+    #: requires self._mutex
     def _grant(
         self, lock: _TableLock, key: str, owner: Hashable, mode: str
     ) -> None:
@@ -188,6 +193,7 @@ class LockManager:
         self._held.setdefault(owner, set()).add(key)
         self.stats["acquisitions"] += 1
 
+    #: requires self._mutex
     def _discard_waiter(self, key: str, lock: _TableLock, waiter: _Waiter) -> None:
         if waiter in lock.queue:
             lock.queue.remove(waiter)
@@ -197,6 +203,7 @@ class LockManager:
         if lock.idle() and self._tables.get(key) is lock:
             self._tables.pop(key, None)
 
+    #: requires self._mutex
     def _abandon_wait(self, key: str, lock: _TableLock, waiter: _Waiter) -> None:
         """Remove an aborted waiter *and* re-promote the queue: discarding
         a mid-queue waiter (deadlock victim, timeout) can make a follower
@@ -220,6 +227,7 @@ class LockManager:
                 lock.holders.pop(owner, None)
                 self._promote(key, lock)
 
+    #: requires self._mutex
     def _promote(self, key: str, lock: _TableLock) -> None:
         """Grant queued waiters from the front while compatible (FIFO)."""
         while lock.queue:
@@ -242,6 +250,7 @@ class LockManager:
 
     # ---------------------------------------------------- deadlock detection
 
+    #: requires self._mutex
     def _wait_edges(self) -> dict[Hashable, set[Hashable]]:
         """Wait-for graph derived from the live holder/queue state."""
         edges: dict[Hashable, set[Hashable]] = {}
@@ -260,6 +269,7 @@ class LockManager:
                     edges.setdefault(waiter.owner, set()).update(blockers)
         return edges
 
+    #: requires self._mutex
     def _abort_deadlock_victims(self, requester: Hashable) -> None:
         """Find wait-for cycles and mark one victim per cycle.
 
@@ -281,6 +291,7 @@ class LockManager:
             for blockers in edges.values():
                 blockers.discard(victim)
 
+    #: requires self._mutex
     def _mark_victim(self, owner: Hashable, wake: bool) -> None:
         for lock in self._tables.values():
             for waiter in lock.queue:
@@ -289,6 +300,7 @@ class LockManager:
                     if wake:
                         waiter.event.set()
 
+    #: requires self._mutex
     def _youngest(self, cycle: Iterable[Hashable]) -> Hashable:
         members = set(cycle)
         best: tuple[int, Hashable] | None = None

@@ -19,8 +19,11 @@ class ServiceMetrics:
     def __init__(self, latency_window: int = 2048):
         self._mutex = threading.Lock()
         self.latency_window = latency_window
+        #: bounded ring of recent latency samples
+        #: guarded by self._mutex
         self._latencies: list[float] = []
-        self._latency_pos = 0
+        self._latency_pos = 0  #: guarded by self._mutex
+        #: guarded by self._mutex
         self.counters = {
             "submitted": 0,
             "completed": 0,
@@ -29,8 +32,9 @@ class ServiceMetrics:
             "retryable_errors": 0,
         }
         #: current dispatcher queue depth (gauge, set by the dispatcher)
+        #: guarded by self._mutex
         self.queue_depth = 0
-        self.max_queue_depth = 0
+        self.max_queue_depth = 0  #: guarded by self._mutex
         #: wired by the session manager / dispatcher at construction
         self._session_source: Any | None = None
         self._lock_source: Any | None = None

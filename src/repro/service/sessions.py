@@ -132,7 +132,8 @@ class SessionManager:
         self.max_sessions = max_sessions
         self._clock = clock
         self._mutex = threading.Lock()
-        self._sessions: dict[str, ServiceSession] = {}
+        self._sessions: dict[str, ServiceSession] = {}  #: guarded by self._mutex
+        #: guarded by self._mutex
         self.stats = {"created": 0, "expired": 0, "closed": 0, "rejected": 0}
         if db.lock_manager is None:
             db.lock_manager = LockManager(timeout_s=lock_timeout_s)

@@ -1,0 +1,82 @@
+"""Committed baselines: grandfathered findings that do not fail the gate.
+
+A baseline file is the ratchet that lets a new checker land before every
+historical violation is fixed: known findings are recorded once (with
+``--write-baseline``), committed, and from then on only *new* findings
+fail the build. Entries match on ``(rule, path, context, message)`` —
+deliberately not on line numbers, so unrelated edits above a
+grandfathered site do not resurrect it.
+
+A baseline entry that no longer matches anything is reported by the CLI
+as stale (informational): fixing the underlying code should shrink the
+committed file, keeping the ratchet one-directional.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from .core import Finding, MiniStaticError
+
+FORMAT_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Set of grandfathered finding identities."""
+
+    entries: set[tuple[str, str, str, str]] = field(default_factory=set)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except FileNotFoundError:
+            return cls()
+        except (OSError, ValueError) as exc:
+            raise MiniStaticError(f"unreadable baseline {path!r}: {exc}") from exc
+        if data.get("version") != FORMAT_VERSION:
+            raise MiniStaticError(
+                f"unsupported baseline version {data.get('version')!r} in {path!r}"
+            )
+        entries = set()
+        for entry in data.get("findings", []):
+            entries.add(
+                (
+                    entry["rule"],
+                    entry["path"],
+                    entry.get("context", ""),
+                    entry["message"],
+                )
+            )
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: "list[Finding]") -> "Baseline":
+        return cls({finding.key() for finding in findings})
+
+    def save(self, path: str) -> None:
+        findings = [
+            {"rule": rule, "path": file, "context": context, "message": message}
+            for rule, file, context, message in sorted(self.entries)
+        ]
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(
+                {"version": FORMAT_VERSION, "findings": findings},
+                fh,
+                indent=2,
+                sort_keys=True,
+            )
+            fh.write("\n")
+
+    def covers(self, finding: Finding) -> bool:
+        return finding.key() in self.entries
+
+    def stale_entries(
+        self, findings: "list[Finding]"
+    ) -> list[tuple[str, str, str, str]]:
+        """Baselined identities no longer produced by any live finding."""
+        live = {finding.key() for finding in findings}
+        return sorted(self.entries - live)

@@ -1,0 +1,10 @@
+"""Checker implementations — importing this package registers every rule."""
+
+from . import (  # noqa: F401  — import-for-registration
+    broad_except,
+    cond_wait,
+    encapsulation,
+    error_taxonomy,
+    guarded_by,
+    wal_pairing,
+)

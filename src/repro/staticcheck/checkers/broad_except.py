@@ -1,0 +1,86 @@
+"""Rule ``broad-except``: catching everything needs an exit or a reason.
+
+``except Exception`` swallows ``MiniDBError`` channels, lock-manager
+abort signals, and programming errors alike. It is sometimes exactly
+right — a dispatcher worker must survive anything, a tool boundary must
+fold every failure into an error result — but each such site is a
+deliberate containment boundary and must say so. A handler for
+``Exception``/``BaseException`` (or a bare ``except:``) is compliant
+when it:
+
+* re-raises (``raise`` or ``raise Wrapped(...) from exc`` — narrowing
+  the blast radius while preserving failure), or
+* converts to an error ``ToolResult`` (a ``ToolResult.error(...)`` call
+  in the handler body — the service boundary contract), or
+* carries a rationale suppression:
+  ``# staticcheck: ignore[broad-except] — <why containment is correct>``.
+
+Anything else is a silent failure sink and gets flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Checker, Finding, ModuleSource, register
+
+_BROAD = ("Exception", "BaseException")
+
+
+def _is_broad(handler: ast.ExceptHandler) -> str | None:
+    """The broad name this handler catches, or ``None`` if it is narrow."""
+    if handler.type is None:
+        return "bare except"
+    types = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for node in types:
+        if isinstance(node, ast.Name) and node.id in _BROAD:
+            return node.id
+    return None
+
+
+def _handler_escapes(handler: ast.ExceptHandler) -> bool:
+    """Re-raise or ToolResult.error conversion anywhere in the body."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "error"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "ToolResult"
+        ):
+            return True
+    return False
+
+
+@register
+class BroadExceptChecker(Checker):
+    name = "broad-except"
+    description = (
+        "'except Exception' needs a re-raise, a ToolResult.error "
+        "conversion, or a rationale suppression"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            caught = _is_broad(node)
+            if caught is None:
+                continue
+            if _handler_escapes(node):
+                continue
+            yield module.finding(
+                self.name,
+                node,
+                f"broad '{caught}' handler neither re-raises nor converts "
+                f"to an error ToolResult — narrow it, or mark the "
+                f"deliberate containment boundary with "
+                f"'# staticcheck: ignore[broad-except] — <rationale>'",
+            )

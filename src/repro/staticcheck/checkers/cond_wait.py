@@ -1,0 +1,103 @@
+"""Rule ``cond-wait``: ``Condition.wait()`` only inside a ``while`` re-check.
+
+``threading.Condition`` makes no ordering promise between ``notify`` and
+the predicate a waiter cares about: wakeups can be spurious, and the
+predicate can be re-falsified between ``notify`` and the waiter re-taking
+the lock (the quiesce/checkpoint races of PR 4 were exactly this). The
+only correct shape is::
+
+    with cond:
+        while not predicate():
+            cond.wait()
+
+An ``if``-guarded wait compiles and almost always works — until two
+waiters race. This checker finds every attribute assigned
+``threading.Condition(...)`` anywhere in the module and requires each
+``.wait(...)`` on such an attribute to sit lexically inside a ``while``
+loop in the same function. ``wait_for`` is exempt (it loops internally);
+``threading.Event.wait`` is naturally out of scope because Events are not
+Conditions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Checker, Finding, ModuleSource, register
+
+
+def _condition_names(module: ModuleSource) -> set[str]:
+    """Attribute/variable names bound to ``threading.Condition(...)``."""
+    names: set[str] = set()
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        value = node.value
+        if not isinstance(value, ast.Call):
+            continue
+        func = value.func
+        callee = (
+            func.attr
+            if isinstance(func, ast.Attribute)
+            else getattr(func, "id", None)
+        )
+        if callee != "Condition":
+            continue
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if isinstance(target, ast.Attribute):
+                names.add(target.attr)
+            elif isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+@register
+class ConditionWaitChecker(Checker):
+    name = "cond-wait"
+    description = (
+        "Condition.wait() must run inside a while re-check loop, never a "
+        "plain if (spurious wakeups, notify/predicate races)"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        conditions = _condition_names(module)
+        if not conditions:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or func.attr != "wait":
+                continue
+            receiver = func.value
+            if isinstance(receiver, ast.Attribute):
+                name = receiver.attr
+            elif isinstance(receiver, ast.Name):
+                name = receiver.id
+            else:
+                continue
+            if name not in conditions:
+                continue
+            if not self._inside_while(module, node):
+                yield module.finding(
+                    self.name,
+                    node,
+                    f"'{name}.wait()' outside a while re-check loop — wrap "
+                    f"it as 'while not <predicate>: {name}.wait()' so "
+                    f"spurious wakeups and notify races re-test the "
+                    f"predicate",
+                )
+
+    @staticmethod
+    def _inside_while(module: ModuleSource, node: ast.AST) -> bool:
+        for ancestor in module.ancestors(node):
+            if isinstance(ancestor, ast.While):
+                return True
+            if isinstance(
+                ancestor,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef),
+            ):
+                return False
+        return False

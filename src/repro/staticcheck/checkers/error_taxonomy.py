@@ -1,0 +1,73 @@
+"""Rule ``error-taxonomy``: minidb raises its own error hierarchy.
+
+The agent layer dispatches on error *channels* (syntax error → SQL
+repair, unknown identifier → context retrieval, permission → abort), and
+the service layer maps error classes to SQLSTATE codes and retryability
+metadata. A ``raise ValueError`` inside the engine silently falls out of
+every one of those channels: the MCP server folds it into a generic
+result, the dispatcher cannot tag it retryable, and the agent loop
+cannot react. Inside ``src/repro/minidb/`` every raise must use the
+:mod:`repro.minidb.errors` taxonomy (or a subclass of a builtin defined
+locally for intra-module control flow — defining the subclass is the
+declaration of intent).
+
+Bare ``raise`` re-raises are fine. Modules outside a ``minidb`` package
+directory are out of scope — the taxonomy is the engine's contract, not
+the whole repo's.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Checker, Finding, ModuleSource, register
+
+#: builtins whose raising inside the engine loses the SQLSTATE channel
+BANNED = frozenset(
+    {
+        "Exception",
+        "BaseException",
+        "ValueError",
+        "TypeError",
+        "RuntimeError",
+        "KeyError",
+        "IndexError",
+        "AttributeError",
+    }
+)
+
+
+def _in_scope(module: ModuleSource) -> bool:
+    parts = module.rel_path.split("/")
+    return "minidb" in parts[:-1]
+
+
+@register
+class ErrorTaxonomyChecker(Checker):
+    name = "error-taxonomy"
+    description = (
+        "raises inside src/repro/minidb/ must use the errors.py hierarchy "
+        "(MiniDBError subclasses), not bare builtin exceptions"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if not _in_scope(module):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            name = None
+            if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+                name = exc.func.id
+            elif isinstance(exc, ast.Name):
+                name = exc.id
+            if name in BANNED:
+                yield module.finding(
+                    self.name,
+                    node,
+                    f"raise {name} inside minidb — use a MiniDBError "
+                    f"subclass from errors.py so the SQLSTATE mapping and "
+                    f"the agent's error channels survive",
+                )

@@ -1,0 +1,203 @@
+"""Rule ``guarded-by``: annotated attributes only touched under their lock.
+
+The PR-4 race class: state shared across sessions ("``_sessions`` is only
+touched under ``_mutex``") is protected by convention, and a forgotten
+``with self._mutex`` compiles, passes single-threaded tests, and corrupts
+state under the threaded dispatcher. This checker makes the convention
+machine-checked:
+
+* An attribute assignment in ``__init__`` annotated ``#: guarded by
+  self._mutex`` (trailing on the line, or in the comment block directly
+  above) declares the lock discipline.
+* Every other read or write of ``self.<attr>`` in the class must be
+  lexically inside a ``with self._mutex`` block — or inside a method
+  annotated ``#: requires self._mutex``, which shifts the obligation to
+  its callers: any ``self.<method>()`` call site of a requires-annotated
+  method is itself checked for the lock.
+* ``self.<cond> = threading.Condition(self.<lock>)`` makes the two names
+  aliases — holding the condition *is* holding the lock — so ``with
+  self._quiesce`` satisfies ``guarded by self._mutex`` and vice versa.
+
+``__init__`` is exempt (construction happens-before sharing). The check
+is lexical: a closure defined under the lock is treated as guarded even
+though it may run later — annotate state captured by escaping closures
+with care.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..core import Checker, Finding, ModuleSource, register
+
+GUARDED_RE = re.compile(r"#:\s*guarded by\s+self\.(\w+)")
+REQUIRES_RE = re.compile(r"#:\s*requires\s+self\.(\w+)")
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """``attr`` when ``node`` is exactly ``self.<attr>``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class _ClassDiscipline:
+    """Annotations declared by one class's ``__init__`` and method headers."""
+
+    def __init__(self, module: ModuleSource, cls: ast.ClassDef):
+        self.module = module
+        self.cls = cls
+        #: attr name -> lock attr name it is guarded by
+        self.guarded: dict[str, str] = {}
+        #: lock name -> its full alias group (Condition-over-Lock pairs)
+        self.aliases: dict[str, frozenset[str]] = {}
+        #: method name -> lock it requires held on entry
+        self.requires: dict[str, str] = {}
+        self._scan()
+
+    def _scan(self) -> None:
+        alias_pairs: list[tuple[str, str]] = []
+        for item in self.cls.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for comment in self.module.header_comments(item):
+                match = REQUIRES_RE.search(comment)
+                if match:
+                    self.requires[item.name] = match.group(1)
+            if item.name != "__init__":
+                continue
+            for stmt in ast.walk(item):
+                if isinstance(stmt, ast.Assign):
+                    targets, value = stmt.targets, stmt.value
+                elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                    targets, value = [stmt.target], stmt.value
+                else:
+                    continue
+                for target in targets:
+                    attr = _self_attr(target)
+                    if attr is None:
+                        continue
+                    for comment in self.module.header_comments(stmt):
+                        match = GUARDED_RE.search(comment)
+                        if match:
+                            self.guarded[attr] = match.group(1)
+                    alias = _condition_alias(value)
+                    if alias is not None:
+                        alias_pairs.append((attr, alias))
+        # union alias pairs into groups; every lock is its own alias too
+        for a, b in alias_pairs:
+            group = frozenset({a, b}) | self.aliases.get(a, frozenset()) | self.aliases.get(b, frozenset())
+            for name in group:
+                self.aliases[name] = group
+
+    def alias_group(self, lock: str) -> frozenset[str]:
+        return self.aliases.get(lock, frozenset({lock}))
+
+
+def _condition_alias(value: ast.AST) -> str | None:
+    """``lock`` for ``threading.Condition(self.<lock>)`` / ``Condition(...)``."""
+    if not isinstance(value, ast.Call) or not value.args:
+        return None
+    func = value.func
+    name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", None)
+    if name != "Condition":
+        return None
+    return _self_attr(value.args[0])
+
+
+@register
+class GuardedByChecker(Checker):
+    name = "guarded-by"
+    description = (
+        "attributes annotated '#: guarded by self.<lock>' in __init__ may "
+        "only be accessed inside 'with self.<lock>' (or a method annotated "
+        "'#: requires self.<lock>')"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    def _check_class(
+        self, module: ModuleSource, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        discipline = _ClassDiscipline(module, cls)
+        if not discipline.guarded and not discipline.requires:
+            return
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name == "__init__":
+                continue  # construction happens-before sharing
+            held_on_entry = discipline.requires.get(method.name)
+            for node in ast.walk(method):
+                attr = self._accessed_attr(node)
+                if attr is not None and attr in discipline.guarded:
+                    lock = discipline.guarded[attr]
+                    if not self._holds(
+                        module, node, method, discipline, lock, held_on_entry
+                    ):
+                        yield module.finding(
+                            self.name,
+                            node,
+                            f"'self.{attr}' is guarded by 'self.{lock}' but "
+                            f"accessed without holding it (wrap in 'with "
+                            f"self.{lock}' or annotate the method "
+                            f"'#: requires self.{lock}')",
+                        )
+                required = self._required_call(node, discipline)
+                if required is not None and not self._holds(
+                    module, node, method, discipline, required, held_on_entry
+                ):
+                    callee = node.func.attr  # type: ignore[union-attr]
+                    yield module.finding(
+                        self.name,
+                        node,
+                        f"call to 'self.{callee}()' requires "
+                        f"'self.{required}' held, but the caller does not "
+                        f"hold it here",
+                    )
+
+    @staticmethod
+    def _accessed_attr(node: ast.AST) -> str | None:
+        return _self_attr(node)
+
+    @staticmethod
+    def _required_call(
+        node: ast.AST, discipline: _ClassDiscipline
+    ) -> str | None:
+        if not isinstance(node, ast.Call):
+            return None
+        attr = _self_attr(node.func)
+        if attr is None:
+            return None
+        return discipline.requires.get(attr)
+
+    def _holds(
+        self,
+        module: ModuleSource,
+        node: ast.AST,
+        method: ast.AST,
+        discipline: _ClassDiscipline,
+        lock: str,
+        held_on_entry: str | None,
+    ) -> bool:
+        group = discipline.alias_group(lock)
+        if held_on_entry is not None and held_on_entry in group:
+            return True
+        for ancestor in module.ancestors(node):
+            if ancestor is method:
+                break
+            if isinstance(ancestor, ast.With):
+                for item in ancestor.items:
+                    context_attr = _self_attr(item.context_expr)
+                    if context_attr in group:
+                        return True
+        return False

@@ -1,0 +1,98 @@
+"""Rule ``wal-pairing``: every ``log_undo`` pairs with a ``log_redo``.
+
+The durability contract (ROADMAP, PR 3): the executor appends a redo
+record next to every undo record, and the transaction manager flushes,
+truncates, and discards the two logs in lockstep. A mutation site that
+logs undo but forgets redo produces a database whose live state and
+crash-recovered state silently diverge — the worst failure mode a WAL
+can have, and invisible to tests that never crash.
+
+The check is per-path within a function: for each ``*.log_undo(...)``
+call, a ``*.log_redo(...)`` call must appear in the statements *after* it
+on the same branch — the rest of its own statement list, or the rest of
+any enclosing statement list up to the function boundary. This accepts
+the repo's idiom::
+
+    session.tx.log_undo("...", undo_action)
+    if session.tx.redo_enabled:
+        session.tx.log_redo({...})
+
+and rejects an undo logged inside a branch whose redo only exists on a
+different branch. Functions *named* ``log_undo`` (the API definition
+itself) are exempt. Pure in-memory mutations with no durable footprint
+should suppress with a rationale rather than skip the redo silently.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Checker, Finding, ModuleSource, register
+
+
+def _calls_named(node: ast.AST, method: str) -> bool:
+    """Whether ``node``'s subtree contains a call to ``*.<method>(...)``."""
+    for child in ast.walk(node):
+        if (
+            isinstance(child, ast.Call)
+            and isinstance(child.func, ast.Attribute)
+            and child.func.attr == method
+        ):
+            return True
+    return False
+
+
+_STMT_LIST_FIELDS = ("body", "orelse", "finalbody", "handlers")
+
+
+@register
+class WalPairingChecker(Checker):
+    name = "wal-pairing"
+    description = (
+        "a log_undo call must be followed by a log_redo call on the same "
+        "path, so recovered state matches live state"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "log_undo"
+            ):
+                continue
+            function = module.enclosing_function(node)
+            if function is not None and function.name == "log_undo":
+                continue  # the API definition itself
+            if not self._redo_follows(module, node, function):
+                yield module.finding(
+                    self.name,
+                    node,
+                    "log_undo without a matching log_redo on this path — "
+                    "crash recovery would replay a state the live database "
+                    "never reached (add the redo append, or suppress with "
+                    "a rationale if this mutation has no durable footprint)",
+                )
+
+    def _redo_follows(
+        self,
+        module: ModuleSource,
+        undo_call: ast.AST,
+        function: ast.AST | None,
+    ) -> bool:
+        # walk up from the undo call; at every enclosing statement list,
+        # search the statements after the one containing the call
+        node: ast.AST = undo_call
+        while True:
+            parent = module.parent(node)
+            if parent is None or node is function:
+                return False
+            for field in _STMT_LIST_FIELDS:
+                statements = getattr(parent, field, None)
+                if not isinstance(statements, list) or node not in statements:
+                    continue
+                after = statements[statements.index(node) + 1 :]
+                if any(_calls_named(stmt, "log_redo") for stmt in after):
+                    return True
+            node = parent

@@ -1,0 +1,441 @@
+"""Fixture triples for every checker: a bad fixture the rule must flag,
+a good fixture it must leave alone, and a suppressed fixture it must
+honor. These are the proof that the CI gate actually guards each
+invariant — a checker that never fires is indistinguishable from no
+checker at all."""
+
+import textwrap
+
+from repro.staticcheck import ModuleSource, all_checkers, check_module
+
+
+def run_rule(rule, source, rel_path="src/repro/fixture.py"):
+    """Run one named rule over fixture source; returns (findings, suppressed)."""
+    module = ModuleSource("fixture.py", textwrap.dedent(source), rel_path=rel_path)
+    checker = all_checkers()[rule]()
+    result = check_module(module, [checker])
+    named = [f for f in result.findings if f.rule == rule]
+    return named, [f for f in result.suppressed if f.rule == rule]
+
+
+# ------------------------------------------------------------- guarded-by
+
+
+GUARDED_BAD = """\
+    import threading
+
+    class Box:
+        def __init__(self):
+            self._mutex = threading.Lock()
+            self._items = []  #: guarded by self._mutex
+
+        def add(self, item):
+            self._items.append(item)
+"""
+
+GUARDED_GOOD = """\
+    import threading
+
+    class Box:
+        def __init__(self):
+            self._mutex = threading.Lock()
+            self._items = []  #: guarded by self._mutex
+
+        def add(self, item):
+            with self._mutex:
+                self._items.append(item)
+"""
+
+
+def test_guarded_by_flags_unlocked_access():
+    findings, _ = run_rule("guarded-by", GUARDED_BAD)
+    assert len(findings) == 1
+    assert "_items" in findings[0].message
+    assert "_mutex" in findings[0].message
+    assert findings[0].context == "Box.add"
+
+
+def test_guarded_by_clean_when_locked():
+    findings, _ = run_rule("guarded-by", GUARDED_GOOD)
+    assert findings == []
+
+
+def test_guarded_by_suppression_honored():
+    source = GUARDED_BAD.replace(
+        "self._items.append(item)\n",
+        "self._items.append(item)"
+        "  # staticcheck: ignore[guarded-by] — fixture rationale\n",
+        1,
+    ).replace("self._items = []  #", "self._items = []  #", 1)
+    # only the access line is suppressed, not the annotation line
+    findings, suppressed = run_rule("guarded-by", source)
+    assert findings == []
+    assert len(suppressed) == 1
+
+
+def test_guarded_by_init_exempt_and_annotation_above():
+    findings, _ = run_rule(
+        "guarded-by",
+        """\
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._mutex = threading.Lock()
+                #: guarded by self._mutex
+                self._items = []
+                self._items.append(0)  # __init__ happens-before sharing
+
+            def peek(self):
+                return self._items
+        """,
+    )
+    assert len(findings) == 1
+    assert findings[0].context == "Box.peek"
+
+
+def test_guarded_by_requires_annotation_shifts_obligation():
+    source = """\
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._mutex = threading.Lock()
+                self._items = []  #: guarded by self._mutex
+
+            #: requires self._mutex
+            def _append(self, item):
+                self._items.append(item)
+
+            def good(self, item):
+                with self._mutex:
+                    self._append(item)
+
+            def bad(self, item):
+                self._append(item)
+        """
+    findings, _ = run_rule("guarded-by", source)
+    assert len(findings) == 1
+    assert findings[0].context == "Box.bad"
+    assert "_append" in findings[0].message
+
+
+def test_guarded_by_condition_aliases_lock():
+    findings, _ = run_rule(
+        "guarded-by",
+        """\
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._mutex = threading.Lock()
+                self._space = threading.Condition(self._mutex)
+                self._items = []  #: guarded by self._mutex
+
+            def add(self, item):
+                with self._space:
+                    self._items.append(item)
+        """,
+    )
+    assert findings == []
+
+
+# --------------------------------------------------------- encapsulation
+
+
+def test_encapsulation_flags_foreign_private_access():
+    findings, _ = run_rule(
+        "encapsulation",
+        """\
+        def peek(obj):
+            return obj._hidden
+        """,
+    )
+    assert len(findings) == 1
+    assert "_hidden" in findings[0].message
+
+
+def test_encapsulation_allows_self_and_module_friends():
+    findings, _ = run_rule(
+        "encapsulation",
+        """\
+        class Owner:
+            def __init__(self):
+                self._secret = 1
+
+            def mine(self):
+                return self._secret
+
+        def module_friend(owner):
+            return owner._secret  # declared by a class in this module
+        """,
+    )
+    assert findings == []
+
+
+def test_encapsulation_suppression_honored():
+    findings, suppressed = run_rule(
+        "encapsulation",
+        """\
+        def peek(obj):
+            return obj._hidden  # staticcheck: ignore[encapsulation] — fixture rationale
+        """,
+    )
+    assert findings == []
+    assert len(suppressed) == 1
+
+
+def test_encapsulation_dunder_exempt():
+    findings, _ = run_rule(
+        "encapsulation",
+        """\
+        def name_of(obj):
+            return obj.__class__.__name__
+        """,
+    )
+    assert findings == []
+
+
+# ------------------------------------------------------------- cond-wait
+
+
+COND_WAIT_BAD = """\
+    import threading
+
+    class Q:
+        def __init__(self):
+            self._mutex = threading.Lock()
+            self._ready = threading.Condition(self._mutex)
+            self.items = []
+
+        def get(self):
+            with self._ready:
+                if not self.items:
+                    self._ready.wait()
+                return self.items.pop()
+"""
+
+
+def test_cond_wait_flags_if_recheck():
+    findings, _ = run_rule("cond-wait", COND_WAIT_BAD)
+    assert len(findings) == 1
+    assert "while" in findings[0].message
+
+
+def test_cond_wait_clean_in_while_loop():
+    findings, _ = run_rule(
+        "cond-wait", COND_WAIT_BAD.replace("if not self.items:", "while not self.items:")
+    )
+    assert findings == []
+
+
+def test_cond_wait_suppression_honored():
+    source = COND_WAIT_BAD.replace(
+        "self._ready.wait()",
+        "self._ready.wait()  # staticcheck: ignore[cond-wait] — fixture rationale",
+    )
+    findings, suppressed = run_rule("cond-wait", source)
+    assert findings == []
+    assert len(suppressed) == 1
+
+
+def test_cond_wait_ignores_event_wait():
+    findings, _ = run_rule(
+        "cond-wait",
+        """\
+        import threading
+
+        class Latch:
+            def __init__(self):
+                self._done = threading.Event()
+
+            def join(self):
+                self._done.wait()  # Event.wait has no predicate to re-check
+        """,
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------- wal-pairing
+
+
+WAL_BAD = """\
+    def delete_row(session, heap, rid, old_row):
+        session.tx.log_undo("delete", heap.name, rid, old_row)
+        heap.delete(rid)
+"""
+
+WAL_GOOD = """\
+    def delete_row(session, heap, rid, old_row):
+        session.tx.log_undo("delete", heap.name, rid, old_row)
+        heap.delete(rid)
+        if session.tx.redo_enabled:
+            session.tx.log_redo("delete", heap.name, rid)
+"""
+
+
+def test_wal_pairing_flags_unpaired_undo():
+    findings, _ = run_rule("wal-pairing", WAL_BAD)
+    assert len(findings) == 1
+    assert "log_redo" in findings[0].message
+
+
+def test_wal_pairing_accepts_conditional_redo():
+    findings, _ = run_rule("wal-pairing", WAL_GOOD)
+    assert findings == []
+
+
+def test_wal_pairing_suppression_honored():
+    source = WAL_BAD.replace(
+        'session.tx.log_undo("delete", heap.name, rid, old_row)',
+        'session.tx.log_undo("delete", heap.name, rid, old_row)'
+        "  # staticcheck: ignore[wal-pairing] — fixture rationale",
+    )
+    findings, suppressed = run_rule("wal-pairing", source)
+    assert findings == []
+    assert len(suppressed) == 1
+
+
+def test_wal_pairing_redo_in_branch_after_undo_in_branch():
+    # undo inside an if-arm pairs with a redo later in the same arm
+    findings, _ = run_rule(
+        "wal-pairing",
+        """\
+        def update(session, heap, rid, row, old_row):
+            if old_row is not None:
+                session.tx.log_undo("update", heap.name, rid, old_row)
+                heap.update(rid, row)
+                session.tx.log_redo("update", heap.name, rid, row)
+        """,
+    )
+    assert findings == []
+
+
+# -------------------------------------------------------- error-taxonomy
+
+
+MINIDB_PATH = "src/repro/minidb/fixture.py"
+
+
+def test_error_taxonomy_flags_builtin_raise_in_minidb():
+    findings, _ = run_rule(
+        "error-taxonomy",
+        """\
+        def parse(text):
+            raise ValueError("bad input")
+        """,
+        rel_path=MINIDB_PATH,
+    )
+    assert len(findings) == 1
+    assert "ValueError" in findings[0].message
+
+
+def test_error_taxonomy_allows_taxonomy_and_local_subclasses():
+    findings, _ = run_rule(
+        "error-taxonomy",
+        """\
+        from .errors import SQLSyntaxError
+
+        class _Internal(ValueError):
+            pass
+
+        def parse(text):
+            if not text:
+                raise _Internal(text)
+            raise SQLSyntaxError("unexpected end of input")
+        """,
+        rel_path=MINIDB_PATH,
+    )
+    assert findings == []
+
+
+def test_error_taxonomy_out_of_scope_module_exempt():
+    findings, _ = run_rule(
+        "error-taxonomy",
+        """\
+        def validate(n):
+            raise ValueError(n)
+        """,
+        rel_path="src/repro/bench/fixture.py",
+    )
+    assert findings == []
+
+
+def test_error_taxonomy_suppression_honored():
+    findings, suppressed = run_rule(
+        "error-taxonomy",
+        """\
+        def parse(text):
+            raise ValueError("bad input")  # staticcheck: ignore[error-taxonomy] — fixture rationale
+        """,
+        rel_path=MINIDB_PATH,
+    )
+    assert findings == []
+    assert len(suppressed) == 1
+
+
+# --------------------------------------------------------- broad-except
+
+
+BROAD_BAD = """\
+    def swallow():
+        try:
+            return risky()
+        except Exception:
+            return None
+"""
+
+
+def test_broad_except_flags_silent_handler():
+    findings, _ = run_rule("broad-except", BROAD_BAD)
+    assert len(findings) == 1
+
+
+def test_broad_except_allows_reraise_and_tool_result():
+    findings, _ = run_rule(
+        "broad-except",
+        """\
+        def convert():
+            try:
+                return risky()
+            except Exception as exc:
+                raise WrappedError(str(exc)) from exc
+
+        def fold():
+            try:
+                return risky()
+            except Exception as exc:
+                return ToolResult.error(str(exc), code=type(exc).__name__)
+
+        def narrow():
+            try:
+                return risky()
+            except (OSError, ValueError):
+                return None
+        """,
+    )
+    assert findings == []
+
+
+def test_broad_except_flags_bare_except():
+    findings, _ = run_rule(
+        "broad-except",
+        """\
+        def swallow():
+            try:
+                return risky()
+            except:
+                return None
+        """,
+    )
+    assert len(findings) == 1
+
+
+def test_broad_except_suppression_honored():
+    source = BROAD_BAD.replace(
+        "except Exception:",
+        "except Exception:  # staticcheck: ignore[broad-except] — fixture rationale",
+    )
+    findings, suppressed = run_rule("broad-except", source)
+    assert findings == []
+    assert len(suppressed) == 1

@@ -1,0 +1,73 @@
+"""The gate itself, as a tier-1 test: the repository's own sources must
+be clean (so CI's staticcheck step and this suite can never disagree),
+and the lock-discipline annotations must be load-bearing — deleting any
+``with self._mutex`` guard in the session manager must produce a
+guarded-by finding, proving the checker would catch exactly the race
+class it was built for."""
+
+import ast
+from pathlib import Path
+
+from repro.staticcheck import ModuleSource, all_checkers, check_module, run_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src" / "repro"
+
+
+def test_repository_sources_are_clean():
+    result = run_paths([str(SRC)], root=str(REPO_ROOT))
+    assert result.findings == [], "\n".join(
+        f.render() for f in result.findings
+    )
+    assert result.files_checked > 50  # the walk really covered the tree
+
+
+def test_every_mutex_guard_in_session_manager_is_load_bearing():
+    source_path = SRC / "service" / "sessions.py"
+    source = source_path.read_text(encoding="utf-8")
+    lines = source.splitlines(keepends=True)
+    tree = ast.parse(source)
+    manager = next(
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, ast.ClassDef) and node.name == "SessionManager"
+    )
+    guards = [
+        node
+        for node in ast.walk(manager)
+        if isinstance(node, ast.With)
+        and any(
+            isinstance(item.context_expr, ast.Attribute)
+            and item.context_expr.attr == "_mutex"
+            for item in node.items
+        )
+    ]
+    assert len(guards) >= 5, "expected SessionManager to be mutex-heavy"
+
+    checker = all_checkers()["guarded-by"]()
+    for guard in guards:
+        mutated = _delete_with_guard(lines, guard)
+        module = ModuleSource(
+            str(source_path), mutated, rel_path="src/repro/service/sessions.py"
+        )
+        result = check_module(module, [checker])
+        flagged = [f for f in result.findings if f.rule == "guarded-by"]
+        assert flagged, (
+            f"deleting the 'with self._mutex' guard at "
+            f"sessions.py:{guard.lineno} went undetected"
+        )
+
+
+def _delete_with_guard(lines, guard):
+    """Source with one ``with`` line removed and its body dedented."""
+    body_start = guard.body[0].lineno
+    body_end = guard.end_lineno
+    mutated = []
+    for number, line in enumerate(lines, start=1):
+        if number == guard.lineno:
+            continue
+        if body_start <= number <= body_end and line.startswith("    "):
+            mutated.append(line[4:])
+        else:
+            mutated.append(line)
+    return "".join(mutated)
