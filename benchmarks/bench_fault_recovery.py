@@ -1,0 +1,146 @@
+"""Fault-recovery benchmark: seam overhead, torture sweep, retry litmus.
+
+Runs the three measurements of :mod:`repro.bench.fault_recovery`:
+
+* the Filesystem seam's passthrough overhead on WAL-shaped I/O (the
+  production configuration must cost at most a few percent over raw
+  builtin calls),
+* a bounded crash/EIO torture sweep (every sampled recovery must
+  surface an exact committed prefix — zero violations allowed), and
+* the PR-4 zero-lost-updates writer-contention litmus re-run through
+  ``run_with_retries`` with jittered backoff vs zero-backoff re-issue
+  (both must lose zero updates at comparable commit throughput).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fault_recovery.py           # full
+    PYTHONPATH=src python benchmarks/bench_fault_recovery.py --smoke   # CI
+
+Appends the measured result to ``BENCH_faults.json`` (override with
+``--out``; runs accumulate in a ``history`` list so the trajectory is
+tracked across PRs). Exits non-zero if the passthrough overhead gate,
+the torture sweep, or the retry litmus fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.fault_recovery import (
+    experiment_fault_recovery,
+    measure_seam_overhead,
+)
+from repro.bench.reporting import record_bench_result, render_faults
+
+PASSTHROUGH_OVERHEAD_PCT = 5.0
+#: the litmus tolerates throughput noise; backoff must not collapse
+#: against immediate re-issue
+THROUGHPUT_RATIO_FLOOR = 0.5
+#: a one-shot timing burst must not fail CI: the overhead gate re-measures
+#: (each measurement is already best-of-N) and takes the minimum
+SEAM_REMEASURES = 3
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seam-cycles", type=int, default=20_000,
+                        help="write+flush cycles per seam variant")
+    parser.add_argument("--torture-rows", type=int, default=20,
+                        help="autocommit inserts in the torture workload")
+    parser.add_argument("--torture-stride", type=int, default=3,
+                        help="sample every Nth filesystem operation")
+    parser.add_argument("--writer-sessions", type=int, default=4,
+                        help="concurrent writers in the retry litmus")
+    parser.add_argument("--increments", type=int, default=8,
+                        help="increments per writer session")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (smaller sizes)")
+    parser.add_argument("--out", default="BENCH_faults.json",
+                        help="where to append the JSON result")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        sizes = dict(
+            seam_cycles=8_000, torture_rows=10, torture_stride=4,
+            writer_sessions=3, increments_per_session=5,
+        )
+    else:
+        sizes = dict(
+            seam_cycles=args.seam_cycles, torture_rows=args.torture_rows,
+            torture_stride=args.torture_stride,
+            writer_sessions=args.writer_sessions,
+            increments_per_session=args.increments,
+        )
+
+    result = experiment_fault_recovery(**sizes)
+    # the overhead gate is a few-percent threshold on a noisy host: on a
+    # miss, re-measure and keep the best reading before concluding the
+    # seam itself (rather than a scheduler burst) costs too much
+    attempts = 1
+    while (
+        result["seam"]["passthrough_overhead_pct"] > PASSTHROUGH_OVERHEAD_PCT
+        and attempts < SEAM_REMEASURES
+    ):
+        attempts += 1
+        remeasured = measure_seam_overhead(cycles=sizes["seam_cycles"])
+        if (
+            remeasured["passthrough_overhead_pct"]
+            < result["seam"]["passthrough_overhead_pct"]
+        ):
+            result["seam"] = remeasured
+    result["seam"]["measurements"] = attempts
+
+    print(render_faults(result))
+
+    seam = result["seam"]
+    torture = result["torture"]
+    litmus = result["retry_litmus"]
+    passed = (
+        seam["passthrough_overhead_pct"] <= PASSTHROUGH_OVERHEAD_PCT
+        and torture["violations"] == 0
+        and litmus["litmus_ok"]
+        and litmus["throughput_ratio"] >= THROUGHPUT_RATIO_FLOOR
+    )
+    payload = dict(
+        result,
+        smoke=args.smoke,
+        passthrough_threshold_pct=PASSTHROUGH_OVERHEAD_PCT,
+        throughput_ratio_floor=THROUGHPUT_RATIO_FLOOR,
+        passed=passed,
+    )
+    record_bench_result(args.out, payload)
+    print(f"recorded run in {args.out}")
+
+    if torture["violations"] != 0:
+        print(f"FAIL: {torture['violations']} recovery violations in the "
+              "torture sweep")
+        return 1
+    if not litmus["litmus_ok"]:
+        print("FAIL: retry litmus lost updates or stuck sessions: "
+              f"backoff={litmus['backoff']['lost_updates']} lost / "
+              f"{litmus['backoff']['stuck_sessions']} stuck, "
+              f"immediate={litmus['immediate']['lost_updates']} lost / "
+              f"{litmus['immediate']['stuck_sessions']} stuck")
+        return 1
+    if litmus["throughput_ratio"] < THROUGHPUT_RATIO_FLOOR:
+        print(f"FAIL: backoff throughput collapsed to "
+              f"{litmus['throughput_ratio']:.2f}x of immediate re-issue "
+              f"(floor {THROUGHPUT_RATIO_FLOOR:.1f}x)")
+        return 1
+    if seam["passthrough_overhead_pct"] > PASSTHROUGH_OVERHEAD_PCT:
+        print(f"FAIL: passthrough seam overhead "
+              f"{seam['passthrough_overhead_pct']:.2f}% exceeds "
+              f"{PASSTHROUGH_OVERHEAD_PCT:.1f}% "
+              f"(after {seam['measurements']} measurements)")
+        return 1
+    print(f"OK: passthrough overhead {seam['passthrough_overhead_pct']:+.2f}% "
+          f"(threshold {PASSTHROUGH_OVERHEAD_PCT:.1f}%), "
+          f"{torture['crash_points']}+{torture['error_points']} fault points "
+          "with 0 violations, retry litmus clean at "
+          f"{litmus['throughput_ratio']:.2f}x relative throughput")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,9 +13,11 @@ import argparse
 import sys
 
 from .concurrency import experiment_concurrency
+from .fault_recovery import experiment_fault_recovery
 from .join_scale import experiment_join_scale
 from .reporting import (
     render_concurrency,
+    render_faults,
     render_fig5a,
     render_fig5b,
     render_fig5c,
@@ -40,7 +42,7 @@ from .storage_durability import experiment_storage_durability
 
 EXPERIMENTS = (
     "fig5a", "fig5b", "fig5c", "fig6", "table1", "table2", "joins",
-    "retrieval", "storage", "concurrency", "query",
+    "retrieval", "storage", "concurrency", "query", "faults",
 )
 
 
@@ -103,6 +105,16 @@ def run_experiment(
                 ops_per_session=ops,
                 rows=rows,
                 increments_per_session=max(5, int(20 * scale)),
+            )
+        )
+    if name == "faults":
+        # scale factor: 1.0 -> 2k seam I/O cycles, 20-row torture workload
+        return render_faults(
+            experiment_fault_recovery(
+                seam_cycles=max(200, int(2_000 * scale)),
+                torture_rows=max(8, int(20 * scale)),
+                writer_sessions=4,
+                increments_per_session=max(4, int(8 * scale)),
             )
         )
     raise ValueError(f"unknown experiment {name!r}; choose from {EXPERIMENTS}")

@@ -36,7 +36,14 @@ from typing import Any
 
 from ..mcp import ToolCall, ToolResult
 from ..minidb import Database
-from ..service import Dispatcher, SerialDispatcher, SessionManager
+from ..service import (
+    Dispatcher,
+    RetryPolicy,
+    SerialDispatcher,
+    SessionManager,
+    retryable_result,
+    run_with_retries,
+)
 from ..service.sessions import ServiceSession
 
 _FIRST = ["ada", "grace", "edsger", "barbara", "donald", "alan", "margaret"]
@@ -185,8 +192,16 @@ def run_writer_contention(
     increments_per_session: int = 20,
     lock_timeout_s: float = 5.0,
     session_deadline_s: float = 120.0,
+    retry_policy: RetryPolicy | None = None,
 ) -> dict[str, Any]:
-    """Lost-update stress through the threaded dispatcher, durably."""
+    """Lost-update stress through the threaded dispatcher, durably.
+
+    Each session re-issues its deadlock-aborted transactions through the
+    blessed :func:`~repro.service.run_with_retries` primitive.
+    ``retry_policy`` overrides the backoff schedule — the fault-recovery
+    benchmark passes a zero-backoff policy to measure what the jitter
+    costs (and buys) against immediate re-issue.
+    """
     data_dir = tempfile.mkdtemp(prefix="bench-concurrency-")
     try:
         db = Database.open(os.path.join(data_dir, "db"))
@@ -210,45 +225,70 @@ def run_writer_contention(
         def one_session(index: int) -> None:
             token = manager.create_session("admin").token
             deadline = time.monotonic() + session_deadline_s
+            # generous attempt budget: under heavy upgrade-deadlock storms
+            # most attempts are victims; the deadline below bounds time
+            policy = retry_policy or RetryPolicy(
+                max_attempts=1000,
+                base_delay_s=0.001,
+                max_delay_s=0.05,
+                seed=index,
+            )
+
+            def attempt() -> ToolResult:
+                """One whole read-modify-write transaction; returns the
+                first error result (after rolling back) or the commit."""
+                begin = dispatcher.call(token, ToolCall("begin", {}))
+                if begin.is_error:
+                    return begin
+                read = dispatcher.call(
+                    token,
+                    ToolCall(
+                        "select",
+                        {"sql": "SELECT val FROM counters WHERE id = 1"},
+                    ),
+                )
+                if read.is_error:
+                    # the deadlock abort already rolled the transaction
+                    # back; this rollback is a harmless no-op then
+                    dispatcher.call(token, ToolCall("rollback", {}))
+                    return read
+                value = read.metadata["rows"][0][0]
+                write = dispatcher.call(
+                    token,
+                    ToolCall(
+                        "update",
+                        {
+                            "sql": (
+                                f"UPDATE counters SET val = {value + 1} "
+                                "WHERE id = 1"
+                            )
+                        },
+                    ),
+                )
+                if write.is_error:
+                    dispatcher.call(token, ToolCall("rollback", {}))
+                    return write
+                return dispatcher.call(token, ToolCall("commit", {}))
+
+            def note_retry(attempt_number: int, failure: Any) -> None:
+                with guard:
+                    outcome["retries"] += 1
+
             done = 0
             while done < increments_per_session:
                 if time.monotonic() > deadline:
                     with guard:
                         outcome["stuck_sessions"] += 1
                     return
-                dispatcher.call(token, ToolCall("begin", {}))
-                read = dispatcher.call(
-                    token,
-                    ToolCall("select", {"sql": "SELECT val FROM counters WHERE id = 1"}),
+                result = run_with_retries(
+                    attempt,
+                    policy,
+                    retry_result=retryable_result,
+                    on_retry=note_retry,
                 )
-                if read.is_error:
+                if result.is_error:
                     with guard:
-                        outcome["retries"] += 1
-                        if not read.metadata.get("retryable"):
-                            outcome["unexpected_errors"] += 1
-                    dispatcher.call(token, ToolCall("rollback", {}))
-                    continue
-                value = read.metadata["rows"][0][0]
-                write = dispatcher.call(
-                    token,
-                    ToolCall(
-                        "update",
-                        {"sql": f"UPDATE counters SET val = {value + 1} WHERE id = 1"},
-                    ),
-                )
-                if write.is_error:
-                    with guard:
-                        outcome["retries"] += 1
-                        if not write.metadata.get("retryable"):
-                            outcome["unexpected_errors"] += 1
-                    # the deadlock abort already rolled the transaction
-                    # back; this rollback is a harmless no-op then
-                    dispatcher.call(token, ToolCall("rollback", {}))
-                    continue
-                commit = dispatcher.call(token, ToolCall("commit", {}))
-                if commit.is_error:
-                    with guard:
-                        outcome["retries"] += 1
+                        outcome["unexpected_errors"] += 1
                     continue
                 done += 1
                 with guard:

@@ -327,3 +327,46 @@ def render_join_scale(result: dict[str, Any]) -> str:
         f"speedup: {result['speedup']:,.1f}x on {result['matches']} matches\n"
         f"query plan:\n{plan}"
     )
+
+
+def render_faults(result: dict[str, Any]) -> str:
+    seam = result["seam"]
+    torture = result["torture"]
+    litmus = result["retry_litmus"]
+    seam_table = render_table(
+        ["filesystem variant", "cycles", "time (s)", "overhead"],
+        [
+            ["raw builtins (no seam)", seam["cycles"], seam["raw_s"], "-"],
+            [
+                "passthrough seam (production)",
+                seam["cycles"],
+                seam["passthrough_s"],
+                f"{seam['passthrough_overhead_pct']:+.2f}%",
+            ],
+            [
+                "FaultyFilesystem wrapper (tests)",
+                seam["cycles"],
+                seam["wrapper_s"],
+                f"{seam['wrapper_overhead_pct']:+.2f}%",
+            ],
+        ],
+        title="Fault injection — Filesystem seam overhead (WAL-shaped I/O)",
+    )
+    torture_line = (
+        f"torture sweep: {torture['crash_points']} crash points + "
+        f"{torture['error_points']} EIO points over {torture['total_ops']} ops "
+        f"(stride {torture['stride']}): {torture['panics']} fail-stop panics, "
+        f"{torture['open_failures']} failed opens, "
+        f"{torture['violations']} recovery violations"
+    )
+    litmus_line = (
+        "retry litmus: jittered backoff "
+        f"{litmus['backoff_commits_per_s']} commits/s vs zero-backoff "
+        f"{litmus['immediate_commits_per_s']} commits/s "
+        f"(ratio {litmus['throughput_ratio']}), lost updates "
+        f"{litmus['backoff']['lost_updates']}/"
+        f"{litmus['immediate']['lost_updates']}, "
+        f"retries {litmus['backoff']['retries']}/"
+        f"{litmus['immediate']['retries']}"
+    )
+    return f"{seam_table}\n{torture_line}\n{litmus_line}"

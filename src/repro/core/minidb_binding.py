@@ -164,7 +164,13 @@ class MinidbBinding(DatabaseBinding):
 
         def make_cache() -> CatalogCache:
             catalog_dir = db.engine.catalog_dir
-            store = CatalogStore(catalog_dir) if catalog_dir else None
+            # share the engine's I/O seam so fault injection (and the
+            # fs-seam rule) covers sidecar persistence too
+            store = (
+                CatalogStore(catalog_dir, filesystem=db.engine.filesystem)
+                if catalog_dir
+                else None
+            )
             return CatalogCache(store=store)
 
         # guarded lazy init: concurrent first callers must share one cache

@@ -33,6 +33,7 @@ from .errors import (
     PermissionDenied,
     PersistenceError,
     SQLSyntaxError,
+    StorageFailedError,
     TransactionError,
     TypeMismatchError,
     UniqueViolation,
@@ -70,6 +71,7 @@ __all__ = [
     "Session",
     "StatementAnalysis",
     "StorageEngine",
+    "StorageFailedError",
     "TableSchema",
     "TransactionError",
     "TypeMismatchError",

@@ -30,6 +30,7 @@ from .errors import (
     LockTimeoutError,
     MiniDBError,
     PermissionDenied,
+    StorageFailedError,
     TransactionError,
 )
 from .executor import Executor
@@ -109,6 +110,7 @@ class Session:
         analysis = analyze(stmt, self.db.catalog)
         if not _skip_privileges:
             self.db.authorize(self.user, stmt, analysis)
+        self.db.ensure_writable(analysis)
         try:
             return self._dispatch_statement(stmt)
         except (DeadlockError, LockTimeoutError):
@@ -305,13 +307,17 @@ class Database:
         name: str = "main",
         auto_checkpoint_records: int = 10_000,
         fsync_commits: bool = False,
+        filesystem: Any | None = None,
     ) -> "Database":
         """Open (or create) a durable database rooted at directory ``path``.
 
         An existing directory is recovered exactly: snapshot load, then
         WAL-after-snapshot replay with torn-tail truncation. ``owner`` and
         ``name`` only seed a *fresh* directory; a recovered snapshot's
-        persisted identity takes precedence.
+        persisted identity takes precedence. ``filesystem`` substitutes
+        the engine's I/O seam (a :class:`repro.faults.Filesystem`) —
+        fault-injection harnesses pass a scripted
+        :class:`repro.faults.FaultyFilesystem` here.
         """
         return cls(
             owner=owner,
@@ -320,6 +326,7 @@ class Database:
                 path,
                 auto_checkpoint_records=auto_checkpoint_records,
                 fsync_commits=fsync_commits,
+                filesystem=filesystem,
             ),
         )
 
@@ -339,6 +346,25 @@ class Database:
     @property
     def inflight_statements(self) -> int:
         return self._inflight  # staticcheck: ignore[guarded-by] — racy monitoring read (observability only)
+
+    def ensure_writable(self, analysis: StatementAnalysis) -> None:
+        """Refuse mutating statements while the engine is in fail-stop
+        panic mode (see :class:`~repro.minidb.errors.StorageFailedError`).
+
+        Checked *before* execution so the in-memory heaps never apply a
+        mutation whose WAL append is known to be impossible — reads keep
+        serving a consistent (pre-failure) state instead of one that
+        silently diverges from what recovery will reconstruct.
+        Transaction control stays allowed: a client must still be able to
+        ROLLBACK its way out of an open transaction.
+        """
+        if analysis.is_read_only or analysis.is_transaction_control:
+            return
+        if self.engine.panicked:
+            raise StorageFailedError(
+                "storage engine is in fail-stop mode: the database is "
+                "serving reads only; close, repair storage, and reopen"
+            )
 
     def statement_started(self) -> None:
         """Admit one statement into the executor.
@@ -431,6 +457,10 @@ class Database:
         # same admission-window + ordering-point discipline as
         # apply_grant: keeps the mutation out of checkpoint snapshots
         # mid-flight and the WAL order identical to the memory order
+        if self.engine.panicked:
+            raise StorageFailedError(
+                "storage engine is in fail-stop mode: cannot create users"
+            )
         self.statement_started()
         try:
             with self.privileges.mutex:

@@ -59,6 +59,22 @@ class StorageEngine:
     # ------------------------------------------------------------ side data
 
     @property
+    def panicked(self) -> bool:
+        """Whether the engine is in fail-stop panic mode (durable engines
+        only; see :class:`~repro.minidb.errors.StorageFailedError`). The
+        base engine has no storage to fail."""
+        return False
+
+    @property
+    def filesystem(self) -> Any | None:
+        """The :class:`repro.faults.Filesystem` seam this engine performs
+        file I/O through, or ``None`` for engines that do none. Sidecar
+        writers (persisted retrieval catalogs) must use the same seam so
+        fault injection covers them too. Typed ``Any`` so minidb never
+        imports the faults package at class-definition time."""
+        return None
+
+    @property
     def catalog_dir(self) -> str | None:
         """Directory for derived-cache sidecar files (persisted retrieval
         catalogs), or ``None`` when the engine has no durable home for

@@ -89,8 +89,9 @@ import threading
 import weakref
 from typing import TYPE_CHECKING, Any
 
+from ...faults import OS_FILESYSTEM, Filesystem
 from ..catalog import IndexSchema
-from ..errors import PersistenceError, TransactionError
+from ..errors import PersistenceError, StorageFailedError, TransactionError
 from ..storage import HeapTable, reserve_heap_uids
 from .base import Record, StorageEngine
 from .serial import (
@@ -133,8 +134,14 @@ class DurableEngine(StorageEngine):
         path: str,
         auto_checkpoint_records: int = 10_000,
         fsync_commits: bool = False,
+        filesystem: Filesystem | None = None,
     ):
         super().__init__()
+        #: the I/O seam — every file operation of this engine goes through
+        #: it (enforced by the ``fs-seam`` staticcheck rule), so fault
+        #: injection can reach each one; the default passthrough returns
+        #: raw builtin file objects and costs nothing
+        self.fs = filesystem or OS_FILESYSTEM
         self.path = os.path.abspath(path)
         self.snapshot_path = os.path.join(self.path, SNAPSHOT_NAME)
         self.wal_path = os.path.join(self.path, WAL_NAME)
@@ -152,6 +159,13 @@ class DurableEngine(StorageEngine):
         self._records_since_snapshot = 0  #: guarded by self._commit_mutex
         self._checkpoint_pending = False  #: guarded by self._commit_mutex
         self._closed = False  #: guarded by self._commit_mutex
+        #: fail-stop panic mode: the OSError that poisoned the WAL, or
+        #: ``None`` while healthy. Once set it never clears — a torn or
+        #: unflushable WAL write leaves records of unknowable durability,
+        #: so all further writes refuse with StorageFailedError while
+        #: in-memory reads keep serving (degraded read-only operation)
+        #: guarded by self._commit_mutex
+        self._panic: OSError | None = None
         self._locked = False
         #: serializes WAL appends and checkpoints across sessions: ``seq``
         #: allocation and the physical write happen under one mutex, so
@@ -168,6 +182,8 @@ class DurableEngine(StorageEngine):
             "commits": 0,
             "records": 0,
             "checkpoints": 0,
+            "checkpoint_failures": 0,
+            "storage_failures": 0,
         }
 
     # ------------------------------------------------------------ lifecycle
@@ -176,6 +192,14 @@ class DurableEngine(StorageEngine):
     def catalog_dir(self) -> str | None:
         return self._catalog_dir
 
+    @property
+    def filesystem(self) -> Filesystem:
+        return self.fs
+
+    @property
+    def panicked(self) -> bool:
+        return self._panic is not None  # staticcheck: ignore[guarded-by] — monotonic flag; racy reads only ever lag the (permanent) transition
+
     def describe(self) -> str:
         return f"durable({self.path})"
 
@@ -183,17 +207,18 @@ class DurableEngine(StorageEngine):
     # before the engine (or its Database) is shared with any session
     def attach(self, db: "Database") -> None:
         super().attach(db)
-        os.makedirs(self.path, exist_ok=True)
-        os.makedirs(self._catalog_dir, exist_ok=True)
+        self.fs.makedirs(self.path, exist_ok=True)
+        self.fs.makedirs(self._catalog_dir, exist_ok=True)
         self._register_live()
-        self._acquire_lock()
         try:
-            fresh = not os.path.exists(self.snapshot_path)
+            self._acquire_lock()
+            self._remove_orphan_temps()
+            fresh = not self.fs.exists(self.snapshot_path)
             if not fresh:
                 self._load_snapshot(db)
             self._replay_wal(db)
             self._prune_catalog_sidecars(db)
-            self._wal = open(self.wal_path, "a", encoding="utf-8")
+            self._wal = self.fs.open(self.wal_path, "a", encoding="utf-8")
             if fresh:
                 # persist the base state (owner, empty catalog) immediately
                 # so a WAL-only directory is never ambiguous about its origin
@@ -227,23 +252,80 @@ class DurableEngine(StorageEngine):
         if existing is not None and existing() is self:
             del _LIVE_ENGINES[self.path]
 
+    def _remove_orphan_temps(self) -> None:
+        """Drop temp files a crashed predecessor left behind.
+
+        A checkpoint that died between temp write and atomic replace
+        leaves ``snapshot.json.tmp``; a crashed lock steal leaves
+        ``LOCK.stale.*`` asides. Neither is ever read again — the atomic
+        protocols only trust the final names — so they are garbage.
+        Runs after :meth:`_acquire_lock`: we own the directory, so no
+        live contender's aside can be yanked from under it.
+        """
+        tmp = self.snapshot_path + ".tmp"
+        if self.fs.exists(tmp):
+            try:
+                self.fs.unlink(tmp)
+            except OSError:
+                pass
+        try:
+            names = self.fs.listdir(self.path)
+        except OSError:
+            return
+        for name in names:
+            if name.startswith(LOCK_NAME + ".stale."):
+                try:
+                    self.fs.unlink(os.path.join(self.path, name))
+                except OSError:
+                    pass
+
     def close(self) -> None:
         with self._commit_mutex:  # never close mid-append
             if self._closed:
                 return
             self._closed = True
             if self._wal is not None:
-                self._wal.flush()
-                os.fsync(self._wal.fileno())
-                self._wal.close()
+                try:
+                    self._wal.flush()
+                    self.fs.fsync(self._wal)
+                except (OSError, ValueError):
+                    # a panicked (or newly failing) device, or a handle a
+                    # failed WAL swap already closed (ValueError): the
+                    # final flush is best-effort — close must stay
+                    # idempotent and never raise, or degraded shutdown
+                    # paths would leak the LOCK file and the live-engine
+                    # registration
+                    pass
+                try:
+                    self._wal.close()
+                except (OSError, ValueError):
+                    pass
                 self._wal = None
             self._deregister_live()
             self._release_lock()
 
     #: requires self._commit_mutex
     def _ensure_open(self) -> None:
+        # panic outranks closed: a failed WAL swap leaves a dead handle
+        # behind, and "storage failed" is the error that explains it
+        if self._panic is not None:
+            raise StorageFailedError(
+                f"storage engine is in fail-stop mode after a WAL write "
+                f"failure ({self._panic}); reads still serve from memory — "
+                "close, repair the storage, and reopen to recover"
+            )
         if self._closed or self._wal is None:
             raise PersistenceError("storage engine is closed")
+
+    #: requires self._commit_mutex
+    def _enter_panic(self, exc: OSError) -> None:
+        """Flip to fail-stop mode: the WAL can no longer be trusted to
+        accept appends, so no further write must reach it (a torn record
+        followed by a good one would make the good one unrecoverable —
+        replay stops at the tear)."""
+        if self._panic is None:
+            self._panic = exc
+            self.stats["storage_failures"] += 1
 
     # ---------------------------------------------------- single-writer lock
 
@@ -271,9 +353,9 @@ class DurableEngine(StorageEngine):
         """
         while True:
             try:
-                fd = os.open(
-                    self.lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
-                )
+                # "x" = O_CREAT|O_EXCL through the seam: exactly one
+                # creator wins, every other racer sees FileExistsError
+                fh = self.fs.open(self.lock_path, "x")
             except FileExistsError:
                 owner = self._lock_owner()
                 if owner is not None and owner != self._pid():
@@ -285,10 +367,16 @@ class DurableEngine(StorageEngine):
                 # retire it atomically, then race for the O_EXCL create
                 self._steal_stale_lock()
                 continue
-            with os.fdopen(fd, "w") as fh:
-                fh.write(str(self._pid()))
+            try:
+                # newline-terminated like WAL records: a torn write of a
+                # pid prefix (e.g. "6" of "61234") would otherwise parse
+                # as a *different* process and brick the directory —
+                # without the terminator the pid is not trusted
+                fh.write(f"{self._pid()}\n")
                 fh.flush()
-                os.fsync(fh.fileno())
+                self.fs.fsync(fh)
+            finally:
+                fh.close()
             self._locked = True
             return
 
@@ -312,23 +400,23 @@ class DurableEngine(StorageEngine):
             f"{next(self._steal_counter)}"
         )
         try:
-            os.rename(self.lock_path, aside)
+            self.fs.rename(self.lock_path, aside)
         except OSError:
             return False  # another contender retired it first
         try:
-            with open(aside, "r", encoding="utf-8") as fh:
-                pid = int(fh.read().strip())
-        except (OSError, ValueError):
+            with self.fs.open(aside, "r", encoding="utf-8") as fh:
+                pid = self._parse_lock_pid(fh.read())
+        except OSError:
             pid = None
         if pid is not None and pid != self._pid() and self._pid_alive(pid):
             # pid re-check failed: the lock became live under us — restore
             # it unless its owner (or a new winner) already re-created one
             try:
-                os.link(aside, self.lock_path)
+                self.fs.link(aside, self.lock_path)
             except OSError:
                 pass
         try:
-            os.unlink(aside)
+            self.fs.unlink(aside)
         except OSError:
             pass
         return True
@@ -346,12 +434,30 @@ class DurableEngine(StorageEngine):
             return True  # exists (or unknowable): treat as alive
         return True
 
+    @staticmethod
+    def _parse_lock_pid(content: str) -> int | None:
+        """Owner pid from lock-file content; ``None`` if untrustworthy.
+
+        Only a ``\\n``-terminated record is trusted: a crash mid-write
+        leaves a prefix of the pid ("6" of "61234"), which would parse as
+        an unrelated — possibly live — process and wrongly refuse every
+        future open. No terminator, no owner: the lock is stale.
+        """
+        if not content.endswith("\n"):
+            return None
+        try:
+            return int(content.strip())
+        except ValueError:
+            return None
+
     def _lock_owner(self) -> int | None:
         """Pid of a *live* process holding the lock, else ``None``."""
         try:
-            with open(self.lock_path, "r", encoding="utf-8") as fh:
-                pid = int(fh.read().strip())
-        except (OSError, ValueError):
+            with self.fs.open(self.lock_path, "r", encoding="utf-8") as fh:
+                pid = self._parse_lock_pid(fh.read())
+        except OSError:
+            return None
+        if pid is None:
             return None
         return pid if self._pid_alive(pid) else None
 
@@ -359,7 +465,7 @@ class DurableEngine(StorageEngine):
         if self._locked:
             self._locked = False
             try:
-                os.unlink(self.lock_path)
+                self.fs.unlink(self.lock_path)
             except OSError:
                 pass
 
@@ -378,10 +484,23 @@ class DurableEngine(StorageEngine):
                     # a crash can never half-apply a multi-record transaction
                     payload["commit"] = True
                 lines.append(json.dumps(payload, separators=(",", ":")))
-            self._wal.write("\n".join(lines) + "\n")
-            self._wal.flush()
-            if self.fsync_commits:
-                os.fsync(self._wal.fileno())
+            try:
+                self._wal.write("\n".join(lines) + "\n")
+                self._wal.flush()
+                if self.fsync_commits:
+                    self.fs.fsync(self._wal)
+            except OSError as exc:
+                # the append may be torn on disk (recovery will truncate
+                # it); nothing must ever be written after a tear, so the
+                # engine goes fail-stop. NOTE the heap mutation this
+                # append was persisting is already applied in memory —
+                # reads keep serving it, consistent until close/reopen
+                # rolls the durable state back to the last good commit.
+                self._enter_panic(exc)
+                raise StorageFailedError(
+                    f"WAL append failed ({exc}); storage engine is now "
+                    "fail-stop: writes refuse, in-memory reads keep serving"
+                ) from exc
             self._records_since_snapshot += len(records)
             self.stats["commits"] += 1
             self.stats["records"] += len(records)
@@ -403,17 +522,29 @@ class DurableEngine(StorageEngine):
         """Run a deferred auto-checkpoint; called by the database at the
         statement epilogue, after the session released its locks and
         observed a quiescent counter state."""
-        if self._checkpoint_pending and not self._closed:
+        if self._checkpoint_pending and not self._closed and self._panic is None:
             self._checkpoint_pending = False
             try:
                 self.checkpoint()
-            except TransactionError:
-                # a BEGIN raced in between the caller's quiescence
-                # observation and checkpoint()'s own pre-check
-                # (transaction control bypasses statement admission).
-                # Re-defer instead of erroring out the innocent
-                # statement whose epilogue triggered us — the racing
-                # transaction's own epilogue will retry.
+            except StorageFailedError:
+                # the engine went fail-stop mid-checkpoint (WAL swap
+                # failure): no retry can ever succeed, and the innocent
+                # statement whose epilogue triggered us already has its
+                # own result — writes will surface the panic themselves
+                pass
+            except (TransactionError, PersistenceError):
+                # two transient shapes, one reaction — re-defer and let a
+                # later epilogue retry, instead of erroring out the
+                # innocent statement whose epilogue triggered us:
+                # * TransactionError: a BEGIN raced in between the
+                #   caller's quiescence observation and checkpoint()'s
+                #   own pre-check (transaction control bypasses
+                #   statement admission); the racing transaction's own
+                #   epilogue will retry.
+                # * PersistenceError: the snapshot temp write failed
+                #   (ENOSPC, EIO) — the previous snapshot + WAL are
+                #   intact and compaction is merely deferred until the
+                #   condition clears (e.g. space returns).
                 self._checkpoint_pending = True
 
     # ---------------------------------------------------------- checkpoints
@@ -434,8 +565,7 @@ class DurableEngine(StorageEngine):
                 "contain uncommitted changes"
             )
         with db.quiesced(), self._commit_mutex:
-            if self._closed:
-                raise PersistenceError("storage engine is closed")
+            self._ensure_open()  # closed or panicked engines never compact
             if db.open_explicit_transactions:
                 # a transaction slipped in between the pre-check above and
                 # the quiesce window; its uncommitted in-place changes must
@@ -447,17 +577,48 @@ class DurableEngine(StorageEngine):
                 return
             payload = self._snapshot_payload(db)
             tmp_path = self.snapshot_path + ".tmp"
-            with open(tmp_path, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh, separators=(",", ":"))
-                fh.write("\n")
-                fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp_path, self.snapshot_path)
+            try:
+                fh = self.fs.open(tmp_path, "w", encoding="utf-8")
+                try:
+                    # one write call: serialize first, so a torn snapshot
+                    # write is one fault point, not thousands
+                    fh.write(json.dumps(payload, separators=(",", ":")) + "\n")
+                    fh.flush()
+                    self.fs.fsync(fh)
+                finally:
+                    fh.close()
+                self.fs.replace(tmp_path, self.snapshot_path)
+            except OSError as exc:
+                # checkpoint failure is *recoverable*, not fail-stop: the
+                # previous snapshot and the (still-growing) WAL are intact,
+                # so nothing is lost — compaction is merely deferred (an
+                # ENOSPC here clears when space returns). Remove the torn
+                # temp so it never accumulates or shadows a later attempt.
+                self.stats["checkpoint_failures"] += 1
+                if self.fs.exists(tmp_path):
+                    try:
+                        self.fs.unlink(tmp_path)
+                    except OSError:
+                        pass
+                raise PersistenceError(
+                    f"checkpoint failed ({exc}); previous snapshot and WAL "
+                    "remain authoritative, compaction deferred"
+                ) from exc
             # the snapshot now covers every WAL record; truncate the log
-            if self._wal is not None:
-                self._wal.close()
-            self._wal = open(self.wal_path, "w", encoding="utf-8")
-            self._records_since_snapshot = 0
+            try:
+                if self._wal is not None:
+                    self._wal.close()
+                self._wal = self.fs.open(self.wal_path, "w", encoding="utf-8")
+                self._records_since_snapshot = 0
+            except OSError as exc:
+                # the old WAL handle is gone and no new one could be
+                # opened: appends have nowhere to go — fail-stop. The
+                # data is safe (the snapshot just written covers it).
+                self._enter_panic(exc)
+                raise StorageFailedError(
+                    f"WAL truncation after checkpoint failed ({exc}); "
+                    "storage engine is now fail-stop"
+                ) from exc
             self._checkpoint_pending = False
             self.stats["checkpoints"] += 1
 
@@ -493,8 +654,8 @@ class DurableEngine(StorageEngine):
     # before the engine is shared with any session
     def _load_snapshot(self, db: "Database") -> None:
         try:
-            with open(self.snapshot_path, "r", encoding="utf-8") as fh:
-                data = json.load(fh)
+            with self.fs.open(self.snapshot_path, "r", encoding="utf-8") as fh:
+                data = json.loads(fh.read())
         except (OSError, ValueError) as exc:
             raise PersistenceError(
                 f"unreadable snapshot {self.snapshot_path!r}: {exc}"
@@ -535,9 +696,9 @@ class DurableEngine(StorageEngine):
         truncated together with any torn bytes, so crash recovery is
         atomic at transaction granularity, not just record granularity.
         """
-        if not os.path.exists(self.wal_path):
+        if not self.fs.exists(self.wal_path):
             return
-        with open(self.wal_path, "rb") as fh:
+        with self.fs.open(self.wal_path, "rb") as fh:
             data = fh.read()
         valid_end = 0
         offset = 0
@@ -576,7 +737,7 @@ class DurableEngine(StorageEngine):
                 valid_end = offset
         if valid_end < len(data):
             self.stats["wal_truncated_bytes"] += len(data) - valid_end
-            with open(self.wal_path, "r+b") as fh:
+            with self.fs.open(self.wal_path, "r+b") as fh:
                 fh.truncate(valid_end)
         self._records_since_snapshot += self.stats["wal_replayed"]
 
@@ -595,7 +756,7 @@ class DurableEngine(StorageEngine):
         fingerprint set makes both impossible.
         """
         try:
-            names = os.listdir(self._catalog_dir)
+            names = self.fs.listdir(self._catalog_dir)
         except OSError:
             return
         valid = {(heap.uid, heap.version) for heap in db.heaps.values()}
@@ -611,7 +772,7 @@ class DurableEngine(StorageEngine):
                 remove = fingerprint not in valid
             if remove:
                 try:
-                    os.unlink(path)
+                    self.fs.unlink(path)
                 except OSError:
                     pass
 

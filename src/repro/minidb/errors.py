@@ -136,3 +136,19 @@ class PersistenceError(MiniDBError):
     closed engine."""
 
     code = "58030"
+
+
+class StorageFailedError(PersistenceError):
+    """The durable engine is in fail-stop panic mode.
+
+    Raised once a WAL append or fsync fails (the write may be torn on
+    disk; continuing to append would put records of unknowable durability
+    after it) and by every write attempted afterwards. Deliberately
+    **not** retryable: re-issuing the statement against the same engine
+    cannot succeed — the remedy is to close, fix the storage, and reopen
+    (recovery truncates the torn tail). In-memory reads keep serving in
+    the meantime: the service degrades to read-only instead of dying.
+    """
+
+    code = "57P02"
+    retryable = False

@@ -35,6 +35,7 @@ import threading
 from collections import OrderedDict
 from typing import Any, Callable, Hashable
 
+from ..faults import OS_FILESYSTEM, Filesystem
 from .catalog import ValueCatalog
 
 
@@ -60,8 +61,12 @@ class CatalogStore:
     #: filename suffix shared with the durable engine's recovery prune
     SUFFIX = ".catalog.pkl"
 
-    def __init__(self, directory: str):
+    def __init__(self, directory: str, filesystem: Filesystem | None = None):
         self.directory = directory
+        #: the same I/O seam as the owning durable engine, so fault
+        #: injection covers sidecar writes too (``fs-seam`` staticcheck
+        #: rule); the default passthrough costs nothing
+        self.fs = filesystem or OS_FILESYSTEM
         #: observability: tests and the storage benchmark read these
         self.stats = {"loads": 0, "misses": 0, "stores": 0}
 
@@ -84,7 +89,7 @@ class CatalogStore:
         never an error: the caller rebuilds from the live data.
         """
         try:
-            with open(self._path(key, fingerprint), "rb") as fh:
+            with self.fs.open(self._path(key, fingerprint), "rb") as fh:
                 catalog = pickle.load(fh)
         except Exception:  # staticcheck: ignore[broad-except] — pickle.load can raise nearly anything on a torn or stale file; by contract every such failure is a cache miss, and the caller rebuilds from live data
             self.stats["misses"] += 1
@@ -98,18 +103,28 @@ class CatalogStore:
 
     def store(self, key: Hashable, fingerprint: Hashable, catalog: ValueCatalog) -> None:
         stem = self._digest(key) + "."
+        tmp_path: str | None = None
         try:
-            os.makedirs(self.directory, exist_ok=True)
-            for name in os.listdir(self.directory):
+            self.fs.makedirs(self.directory, exist_ok=True)
+            for name in self.fs.listdir(self.directory):
                 if name.startswith(stem) and name.endswith(self.SUFFIX):
-                    os.unlink(os.path.join(self.directory, name))
+                    self.fs.unlink(os.path.join(self.directory, name))
             path = self._path(key, fingerprint)
             tmp_path = path + ".tmp"
-            with open(tmp_path, "wb") as fh:
-                pickle.dump(catalog, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp_path, path)
+            with self.fs.open(tmp_path, "wb") as fh:
+                # one write call: a torn sidecar write is one fault point
+                fh.write(pickle.dumps(catalog, protocol=pickle.HIGHEST_PROTOCOL))
+            self.fs.replace(tmp_path, path)
         except OSError:
-            return  # persistence is best-effort; the in-memory copy serves
+            # persistence is best-effort; the in-memory copy serves — but
+            # never leak the torn temp file (it would sit in the catalog
+            # directory until the next recovery prune)
+            if tmp_path is not None and self.fs.exists(tmp_path):
+                try:
+                    self.fs.unlink(tmp_path)
+                except OSError:
+                    pass
+            return
         self.stats["stores"] += 1
 
 

@@ -29,6 +29,12 @@ from .dispatcher import (
 )
 from .locks import EXCLUSIVE, SHARED, LockManager
 from .metrics import ServiceMetrics
+from .retry import (
+    RetryPolicy,
+    is_retryable_error,
+    retryable_result,
+    run_with_retries,
+)
 from .sessions import ServiceSession, SessionError, SessionManager
 
 __all__ = [
@@ -43,4 +49,8 @@ __all__ = [
     "SessionManager",
     "ServiceSession",
     "SessionError",
+    "RetryPolicy",
+    "run_with_retries",
+    "retryable_result",
+    "is_retryable_error",
 ]

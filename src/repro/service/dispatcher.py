@@ -89,6 +89,11 @@ def _default_handler(session: ServiceSession, call: ToolCall) -> ToolResult:
 #: the names back
 _RETRYABLE_CODES = frozenset({"DeadlockError", "LockTimeoutError"})
 
+#: error codes meaning the backing storage went fail-stop: the request
+#: failed because the engine refuses writes, i.e. the service is now
+#: degraded to read-only (NOT retryable — re-issuing cannot succeed)
+_STORAGE_CODES = frozenset({"StorageFailedError"})
+
 
 def _mark_retryable(result: ToolResult) -> ToolResult:
     if result.is_error and result.error_code in _RETRYABLE_CODES:
@@ -124,6 +129,7 @@ class Dispatcher:
         self.metrics = metrics or ServiceMetrics()
         self.metrics.attach_sessions(manager)
         self.metrics.attach_locks(manager.lock_manager)
+        self.metrics.attach_engine(manager.db.engine)
 
         self._mutex = threading.Lock()
         self._space = threading.Condition(self._mutex)
@@ -232,6 +238,9 @@ class Dispatcher:
                     is_error=result.is_error,
                     retryable=bool(result.metadata.get("retryable")),
                 )
+            if result.is_error and result.error_code in _STORAGE_CODES:
+                # panic mode observed: the service is degraded read-only
+                self.metrics.record_storage_error()
             request._resolve(result)
 
     # ------------------------------------------------------------ lifecycle
@@ -296,6 +305,7 @@ class SerialDispatcher:
         self.metrics = metrics or ServiceMetrics()
         self.metrics.attach_sessions(manager)
         self.metrics.attach_locks(manager.lock_manager)
+        self.metrics.attach_engine(manager.db.engine)
 
     def submit(self, token: str, call: ToolCall) -> PendingResult:
         session = self.manager.authenticate(token)
@@ -312,6 +322,8 @@ class SerialDispatcher:
             is_error=result.is_error,
             retryable=bool(result.metadata.get("retryable")),
         )
+        if result.is_error and result.error_code in _STORAGE_CODES:
+            self.metrics.record_storage_error()
         request._resolve(result)
         return request
 

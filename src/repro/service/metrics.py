@@ -30,7 +30,13 @@ class ServiceMetrics:
             "errors": 0,
             "rejected": 0,
             "retryable_errors": 0,
+            "storage_errors": 0,
         }
+        #: latched true on the first storage failure: the backing engine
+        #: went fail-stop, the service is degraded to read-only (also
+        #: reflected live from the engine via :meth:`attach_engine`)
+        #: guarded by self._mutex
+        self._degraded = False
         #: current dispatcher queue depth (gauge, set by the dispatcher)
         #: guarded by self._mutex
         self.queue_depth = 0
@@ -38,6 +44,7 @@ class ServiceMetrics:
         #: wired by the session manager / dispatcher at construction
         self._session_source: Any | None = None
         self._lock_source: Any | None = None
+        self._engine_source: Any | None = None
 
     # -------------------------------------------------------------- wiring
 
@@ -48,6 +55,12 @@ class ServiceMetrics:
     def attach_locks(self, lock_manager: Any) -> None:
         """Source of lock-wait/deadlock counters (a LockManager)."""
         self._lock_source = lock_manager
+
+    def attach_engine(self, engine: Any) -> None:
+        """Source of the ``degraded`` flag's live half (a StorageEngine):
+        a panicked engine means degraded read-only service even before
+        any request has observed the failure."""
+        self._engine_source = engine
 
     # ------------------------------------------------------------ recording
 
@@ -78,6 +91,13 @@ class ServiceMetrics:
         with self._mutex:
             self.counters["rejected"] += 1
 
+    def record_storage_error(self) -> None:
+        """One request hit the fail-stop engine (StorageFailedError):
+        count it and latch the service as degraded."""
+        with self._mutex:
+            self.counters["storage_errors"] += 1
+            self._degraded = True
+
     # ------------------------------------------------------------- reading
 
     @staticmethod
@@ -92,6 +112,7 @@ class ServiceMetrics:
         """One coherent reading of every gauge/counter the service exposes."""
         with self._mutex:
             samples = list(self._latencies)
+            degraded = self._degraded
             data: dict[str, Any] = {
                 **self.counters,
                 "queue_depth": self.queue_depth,
@@ -100,6 +121,11 @@ class ServiceMetrics:
                 "p50_latency_s": self._percentile(samples, 0.50),
                 "p95_latency_s": self._percentile(samples, 0.95),
             }
+        if self._engine_source is not None:
+            degraded = degraded or bool(
+                getattr(self._engine_source, "panicked", False)
+            )
+        data["degraded"] = degraded
         if self._session_source is not None:
             data["active_sessions"] = self._session_source.active_count()
         if self._lock_source is not None:

@@ -1,0 +1,127 @@
+"""The blessed retry/backoff primitive for transient service failures.
+
+The service layer tags exactly which failures are worth re-issuing —
+:class:`~repro.minidb.errors.DeadlockError` and
+:class:`~repro.minidb.errors.LockTimeoutError` carry ``retryable = True``,
+:class:`~repro.service.ServiceOverloaded` signals backpressure shedding,
+and dispatcher results mark the same taxonomy in
+``result.metadata["retryable"]``. What it did *not* provide until now is
+the loop: every benchmark and stress test hand-rolled its own
+retry-immediately spin, which is both duplicated policy and the worst
+possible behavior under a contention storm (all victims re-collide at
+once). :func:`run_with_retries` centralizes the loop with jittered
+exponential backoff:
+
+    delay(attempt) = min(max_delay, base * multiplier^(attempt-1))
+                     * (1 - jitter * U[0, 1))
+
+Jitter decorrelates retriers (victims of one deadlock do not stampede
+back in lockstep); the cap keeps the tail latency bounded. The RNG is
+seeded per call, and ``sleep`` is injectable, so tests are deterministic
+and instant.
+
+Non-retryable failures — including the fail-stop
+:class:`~repro.minidb.errors.StorageFailedError`, whose contract is that
+re-issuing *cannot* help — propagate immediately, never consuming
+attempts.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, TypeVar
+
+from .dispatcher import ServiceOverloaded
+
+T = TypeVar("T")
+
+
+@dataclass
+class RetryPolicy:
+    """Knobs of the backoff schedule.
+
+    ``max_attempts`` counts total tries, so ``1`` means "no retries".
+    ``jitter`` in ``[0, 1]`` is the fraction of each delay randomly
+    shaved off (0 = fixed schedule, 1 = full jitter down to zero).
+    ``seed`` makes the jitter sequence reproducible.
+    """
+
+    max_attempts: int = 8
+    base_delay_s: float = 0.005
+    max_delay_s: float = 0.5
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    seed: int | None = None
+
+    def delay_s(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before the retry that follows attempt ``attempt``."""
+        delay = min(
+            self.max_delay_s,
+            self.base_delay_s * self.multiplier ** max(0, attempt - 1),
+        )
+        return delay * (1.0 - self.jitter * rng.random())
+
+
+def is_retryable_error(exc: BaseException) -> bool:
+    """The exception half of the retryable taxonomy: engine errors whose
+    class carries ``retryable = True`` (deadlock victim, lock timeout)
+    and dispatcher backpressure."""
+    return bool(getattr(exc, "retryable", False)) or isinstance(
+        exc, ServiceOverloaded
+    )
+
+
+def retryable_result(result: Any) -> bool:
+    """The ToolResult half of the taxonomy: dispatchers fold engine errors
+    into error results and mark the retryable ones in metadata."""
+    return bool(
+        getattr(result, "is_error", False)
+        and getattr(result, "metadata", {}).get("retryable")
+    )
+
+
+def run_with_retries(
+    fn: Callable[[], T],
+    policy: RetryPolicy | None = None,
+    *,
+    retry_result: Callable[[T], bool] | None = None,
+    on_retry: Callable[[int, Any], None] | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> T:
+    """Run ``fn`` until it succeeds, with jittered exponential backoff.
+
+    A try fails retryably when ``fn`` raises an exception for which
+    :func:`is_retryable_error` holds, or — for callers speaking the
+    dispatcher's result channel instead of exceptions — when
+    ``retry_result(value)`` returns true for ``fn``'s return value (pass
+    :func:`retryable_result` for the standard metadata convention).
+
+    Exhausting ``policy.max_attempts`` re-raises the last exception (or
+    returns the last result, leaving the error visible to the caller);
+    non-retryable failures propagate immediately. ``on_retry(attempt,
+    failure)`` observes each scheduled retry; ``sleep`` is injectable for
+    deterministic tests.
+    """
+    policy = policy or RetryPolicy()
+    rng = random.Random(policy.seed)
+    attempt = 0
+    while True:
+        attempt += 1
+        failure: Any
+        try:
+            value = fn()
+        except Exception as exc:
+            if not is_retryable_error(exc) or attempt >= policy.max_attempts:
+                raise
+            failure = exc
+        else:
+            if retry_result is None or not retry_result(value):
+                return value
+            if attempt >= policy.max_attempts:
+                return value  # exhausted: the error result speaks for itself
+            failure = value
+        if on_retry is not None:
+            on_retry(attempt, failure)
+        sleep(policy.delay_s(attempt, rng))

@@ -5,6 +5,7 @@ from . import (  # noqa: F401  — import-for-registration
     cond_wait,
     encapsulation,
     error_taxonomy,
+    fs_seam,
     guarded_by,
     wal_pairing,
 )

@@ -38,7 +38,7 @@ class TestBenchCLI:
     def test_experiments_registry_complete(self):
         assert set(EXPERIMENTS) == {
             "fig5a", "fig5b", "fig5c", "fig6", "table1", "table2", "joins",
-            "retrieval", "storage", "concurrency", "query",
+            "retrieval", "storage", "concurrency", "query", "faults",
         }
 
     def test_run_experiment_query(self):
@@ -60,6 +60,12 @@ class TestBenchCLI:
         report = run_experiment("retrieval", 1, 0.02, 100)
         assert "Retrieval scale" in report
         assert "rankings: identical" in report
+
+    def test_run_experiment_faults(self):
+        report = run_experiment("faults", 1, 0.02, 100)
+        assert "Fault injection" in report
+        assert "recovery violations" in report
+        assert "retry litmus" in report
 
 
 class TestMinidbShell:

@@ -166,7 +166,7 @@ class TestLockStealRace:
         path = str(tmp_path)
         dead_pid = 999_999_999
         with open(os.path.join(path, "LOCK"), "w") as fh:
-            fh.write(str(dead_pid))
+            fh.write(f"{dead_pid}\n")
 
         live = {111, 222}
         engine_a = self.fake_process_engine(path, 111, live)
@@ -219,8 +219,10 @@ class TestLockStealRace:
         must refuse."""
         path = str(tmp_path)
         live_owner = 333
+        # the engine's lock records are newline-terminated; an unterminated
+        # pid would read as torn and be stolen without the liveness check
         with open(os.path.join(path, "LOCK"), "w") as fh:
-            fh.write(str(live_owner))
+            fh.write(f"{live_owner}\n")
 
         engine = self.fake_process_engine(path, 111, {111, 333})
         # engine initially believes 333 is dead (simulates the stale read),
@@ -247,7 +249,7 @@ class TestLockStealRace:
         db.close()
         # a dead process's lock lingers
         with open(os.path.join(path, "LOCK"), "w") as fh:
-            fh.write("999999999")
+            fh.write("999999999\n")
         reopened = Database.open(path)  # steals and recovers
         assert reopened.table_row_count("t") == 0
         reopened.close()

@@ -298,7 +298,7 @@ class TestEngineLifecycle:
         assert not os.path.exists(db.engine.lock_path)
         os.makedirs(dbdir, exist_ok=True)
         with open(os.path.join(dbdir, "LOCK"), "w") as fh:
-            fh.write("1")
+            fh.write("1\n")
         with pytest.raises(PersistenceError, match="locked by running process"):
             Database.open(dbdir)
         os.unlink(os.path.join(dbdir, "LOCK"))
@@ -328,7 +328,7 @@ class TestEngineLifecycle:
         expected = db.snapshot()
         db.close()
         with open(os.path.join(dbdir, "LOCK"), "w") as fh:
-            fh.write("999999999")  # beyond pid_max: never a live process
+            fh.write("999999999\n")  # beyond pid_max: never a live process
         db2 = reopen(dbdir)  # steals the stale lock instead of failing
         assert db2.snapshot() == expected
         db2.close()

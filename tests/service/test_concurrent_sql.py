@@ -12,7 +12,13 @@ import pytest
 
 from repro.mcp import ToolCall
 from repro.minidb import Database
-from repro.service import Dispatcher, SessionManager
+from repro.service import (
+    Dispatcher,
+    RetryPolicy,
+    SessionManager,
+    retryable_result,
+    run_with_retries,
+)
 
 STRESS_SESSIONS = int(os.environ.get("REPRO_STRESS_THREADS", "6"))
 
@@ -27,26 +33,29 @@ def make_db():
 
 
 def run_increments(dispatcher, manager, sessions, increments):
-    """Each session commits `increments` read-modify-write transactions."""
+    """Each session commits `increments` read-modify-write transactions,
+    re-issuing deadlock/timeout victims through the blessed retry
+    primitive (`run_with_retries` + the result-metadata taxonomy)."""
     stats = {"committed": 0, "retries": 0, "nonretryable": 0}
     guard = threading.Lock()
 
     def work(index):
         token = manager.create_session("admin").token
-        done = 0
-        while done < increments:
+        policy = RetryPolicy(
+            max_attempts=1000, base_delay_s=0.001, max_delay_s=0.05, seed=index
+        )
+
+        def attempt():
             dispatcher.call(token, ToolCall("begin", {}))
             read = dispatcher.call(
                 token,
                 ToolCall("select", {"sql": "SELECT val FROM counters WHERE id = 1"}),
             )
             if read.is_error:
-                with guard:
-                    stats["retries"] += 1
-                    if not read.metadata.get("retryable"):
-                        stats["nonretryable"] += 1
+                # a deadlock abort already rolled the transaction back;
+                # the explicit rollback is then a harmless no-op
                 dispatcher.call(token, ToolCall("rollback", {}))
-                continue
+                return read
             value = read.metadata["rows"][0][0]
             write = dispatcher.call(
                 token,
@@ -56,16 +65,25 @@ def run_increments(dispatcher, manager, sessions, increments):
                 ),
             )
             if write.is_error:
-                with guard:
-                    stats["retries"] += 1
-                    if not write.metadata.get("retryable"):
-                        stats["nonretryable"] += 1
                 dispatcher.call(token, ToolCall("rollback", {}))
-                continue
-            commit = dispatcher.call(token, ToolCall("commit", {}))
-            if commit.is_error:
+                return write
+            return dispatcher.call(token, ToolCall("commit", {}))
+
+        def note_retry(attempt_number, failure):
+            with guard:
+                stats["retries"] += 1
+
+        done = 0
+        while done < increments:
+            result = run_with_retries(
+                attempt,
+                policy,
+                retry_result=retryable_result,
+                on_retry=note_retry,
+            )
+            if result.is_error:
                 with guard:
-                    stats["retries"] += 1
+                    stats["nonretryable"] += 1
                 continue
             done += 1
             with guard:

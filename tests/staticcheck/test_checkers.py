@@ -439,3 +439,91 @@ def test_broad_except_suppression_honored():
     findings, suppressed = run_rule("broad-except", source)
     assert findings == []
     assert len(suppressed) == 1
+
+
+# ---------------------------------------------------------------- fs-seam
+
+
+FS_SEAM_BAD = """\
+    import json
+    import os
+
+    class Engine:
+        def checkpoint(self, payload, tmp_path, final_path):
+            with open(tmp_path, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps(payload))
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_path, final_path)
+"""
+
+FS_SEAM_GOOD = """\
+    import json
+
+    class Engine:
+        def checkpoint(self, payload, tmp_path, final_path):
+            fh = self.fs.open(tmp_path, "w", encoding="utf-8")
+            try:
+                fh.write(json.dumps(payload))
+                fh.flush()
+                self.fs.fsync(fh)
+            finally:
+                fh.close()
+            self.fs.replace(tmp_path, final_path)
+"""
+
+#: the rule is scoped to the durable stack; fixtures must claim that path
+FS_SEAM_PATH = "src/repro/minidb/engines/durable.py"
+
+
+def test_fs_seam_flags_bare_io_in_seamed_module():
+    findings, _ = run_rule("fs-seam", FS_SEAM_BAD, rel_path=FS_SEAM_PATH)
+    assert len(findings) == 3  # open(), os.fsync(), os.replace()
+    messages = " ".join(f.message for f in findings)
+    assert "open()" in messages
+    assert "os.fsync()" in messages
+    assert "os.replace()" in messages
+
+
+def test_fs_seam_clean_through_the_seam():
+    findings, _ = run_rule("fs-seam", FS_SEAM_GOOD, rel_path=FS_SEAM_PATH)
+    assert findings == []
+
+
+def test_fs_seam_ignores_unseamed_modules():
+    # the same bare I/O outside the durable stack is not a finding — the
+    # seam is a durability contract, not a repo-wide style rule
+    findings, _ = run_rule("fs-seam", FS_SEAM_BAD, rel_path="src/repro/bench/cli.py")
+    assert findings == []
+
+
+def test_fs_seam_allows_pid_probes_and_path_helpers():
+    findings, _ = run_rule(
+        "fs-seam",
+        """\
+        import os
+
+        class Engine:
+            def _pid_alive(self, pid):
+                try:
+                    os.kill(pid, 0)
+                except ProcessLookupError:
+                    return False
+                return True
+
+            def lock_path(self):
+                return os.path.join(self.path, "LOCK")
+        """,
+        rel_path=FS_SEAM_PATH,
+    )
+    assert findings == []
+
+
+def test_fs_seam_suppression_honored():
+    source = FS_SEAM_BAD.replace(
+        'os.replace(tmp_path, final_path)',
+        'os.replace(tmp_path, final_path)  # staticcheck: ignore[fs-seam] — fixture rationale',
+    )
+    findings, suppressed = run_rule("fs-seam", source, rel_path=FS_SEAM_PATH)
+    assert len(findings) == 2
+    assert len(suppressed) == 1
