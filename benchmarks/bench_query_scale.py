@@ -1,31 +1,41 @@
-"""Query-scale benchmark: ordered indexes, range-scan planning, and
-compiled predicates vs the seed execution paths.
+"""Query-scale benchmark: paged B-trees, cost-based planning, and index
+unions vs the seed execution paths.
 
-Times three agent-shaped query classes at scale (see
+Times six agent-shaped query classes at scale (see
 :mod:`repro.bench.query_scale` for the measurement harness):
 
 * a selective range filter through a ``USING BTREE`` index slice,
 * ``ORDER BY ... LIMIT 10`` through the early-exit ordered index scan,
 * a multi-conjunct sequential-scan WHERE through compiled predicates,
+* a selective 10-member ``IN`` list through an index union scan,
+* incremental B-tree inserts vs the flat-sorted-array algorithm,
+* a skewed conjunction where post-``ANALYZE`` cost-based planning beats
+  the static preference order,
 
-each against its forced baseline (``db.planner_options`` toggles), with
-results asserted byte-identical between the two plans.
+each against its forced baseline (``db.planner_options`` toggles, a
+modelled flat array, or the statistics-free planner), with results
+asserted byte-identical between the two plans.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_query_scale.py           # full (100k rows)
-    PYTHONPATH=src python benchmarks/bench_query_scale.py --smoke   # CI-sized
+    PYTHONPATH=src python benchmarks/bench_query_scale.py               # full (100k rows)
+    PYTHONPATH=src python benchmarks/bench_query_scale.py --rows 1000000
+    PYTHONPATH=src python benchmarks/bench_query_scale.py --smoke       # CI-sized
+
+``REPRO_BENCH_ROWS`` overrides the default row count when ``--rows`` is
+not given (both here and in ``python -m repro.bench query``).
 
 Appends the measured result to ``BENCH_query.json`` (override with
 ``--out``; runs accumulate in a ``history`` list so the perf trajectory
-is tracked across PRs). Exits non-zero if any speedup falls below its
-acceptance threshold, if the fast plans stop appearing in EXPLAIN, or if
-either plan's rows diverge.
+is tracked across PRs, each entry recording its row count). Exits
+non-zero if any speedup falls below its acceptance threshold, if the
+fast plans stop appearing in EXPLAIN, or if either plan's rows diverge.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.bench.query_scale import experiment_query_scale
@@ -33,22 +43,51 @@ from repro.bench.reporting import record_bench_result, render_query_scale
 
 #: acceptance thresholds per query class (full-size run); smoke runs use
 #: laxer floors since tiny tables leave little work to skip
-THRESHOLDS = {"range": 20.0, "topn": 5.0, "predicate": 1.5}
-SMOKE_THRESHOLDS = {"range": 3.0, "topn": 1.5, "predicate": 1.1}
+THRESHOLDS = {
+    "range": 20.0,
+    "topn": 5.0,
+    "predicate": 1.5,
+    "union": 20.0,
+    "btree_write": 4.0,
+    "stats_skew": 5.0,
+}
+SMOKE_THRESHOLDS = {
+    "range": 3.0,
+    "topn": 1.5,
+    "predicate": 1.1,
+    "union": 3.0,
+    "btree_write": 1.5,
+    "stats_skew": 1.5,
+}
+#: at >= 1M rows the asymptotics dominate: the ISSUE gates tighten
+LARGE_THRESHOLDS = dict(THRESHOLDS, btree_write=10.0)
+LARGE_ROWS = 1_000_000
+
+
+def default_rows() -> int:
+    env = os.environ.get("REPRO_BENCH_ROWS")
+    return int(env) if env else 100_000
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--rows", type=int, default=100_000,
-                        help="rows in the events table")
+    parser.add_argument("--rows", type=int, default=None,
+                        help="rows in the events table "
+                             "(default: $REPRO_BENCH_ROWS or 100000)")
     parser.add_argument("--smoke", action="store_true",
                         help="CI-sized run (10k rows, relaxed thresholds)")
     parser.add_argument("--out", default="BENCH_query.json",
                         help="where to append the JSON result")
     args = parser.parse_args(argv)
 
-    rows = 10_000 if args.smoke else args.rows
-    thresholds = SMOKE_THRESHOLDS if args.smoke else THRESHOLDS
+    rows = args.rows if args.rows is not None else default_rows()
+    if args.smoke:
+        rows = min(rows, 10_000)
+        thresholds = SMOKE_THRESHOLDS
+    elif rows >= LARGE_ROWS:
+        thresholds = LARGE_THRESHOLDS
+    else:
+        thresholds = THRESHOLDS
 
     result = experiment_query_scale(rows=rows)
     print(render_query_scale(result))
@@ -58,6 +97,20 @@ def main(argv: list[str] | None = None) -> int:
         and any("Ordered Index Scan" in line for line in result["topn"]["plan"])
         and result["planner_stats"]["ordered_scans"] > 0
         and all("Seq Scan" in line for line in result["predicate"]["plan"])
+        and any("Index Union Scan" in line for line in result["union"]["plan"])
+        and result["planner_stats"]["union_scans"] > 0
+        # the regression pin for cost-based planning: statically the
+        # skewed conjunct picks the 90%-heavy hash probe; with ANALYZE
+        # statistics it must switch to the selective range slice
+        and any(
+            "Index Scan using ix_events_hot" in line
+            for line in result["stats_skew"]["static_plan"]
+        )
+        and any(
+            "Index Range Scan using ix_events_val" in line
+            for line in result["stats_skew"]["plan"]
+        )
+        and any("est. rows" in line for line in result["stats_skew"]["plan"])
     )
     failures = [
         name

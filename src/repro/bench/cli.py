@@ -10,6 +10,7 @@ Regenerate any paper table/figure without pytest::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .concurrency import experiment_concurrency
@@ -52,6 +53,7 @@ def run_experiment(
     scale: float,
     housing_rows: int,
     models: list[str] | None = None,
+    rows_override: int | None = None,
 ) -> str:
     """Run one experiment by name and return its rendered report."""
     if name == "fig5a":
@@ -79,8 +81,16 @@ def run_experiment(
             experiment_join_scale(rows=rows, nl_rows=min(1_000, rows))
         )
     if name == "query":
-        # scale factor reuses the --scale knob: 1.0 -> a 100k-row table
-        rows = max(2_000, int(100_000 * scale))
+        # --rows (or $REPRO_BENCH_ROWS) wins; otherwise the --scale knob
+        # sizes the table (1.0 -> 100k rows)
+        if rows_override is None:
+            env = os.environ.get("REPRO_BENCH_ROWS")
+            rows_override = int(env) if env else None
+        rows = (
+            rows_override
+            if rows_override is not None
+            else max(2_000, int(100_000 * scale))
+        )
         return render_query_scale(experiment_query_scale(rows=rows))
     if name == "retrieval":
         # scale factor: 1.0 -> a 100k-distinct-value column
@@ -133,6 +143,13 @@ def main(argv: list[str] | None = None) -> int:
         "--housing-rows", type=int, default=20_000, help="NL2ML table size"
     )
     parser.add_argument(
+        "--rows",
+        type=int,
+        default=None,
+        help="exact row count for the query experiment (overrides --scale; "
+        "defaults to $REPRO_BENCH_ROWS when set)",
+    )
+    parser.add_argument(
         "--model",
         action="append",
         choices=["gpt-4o", "claude-4"],
@@ -144,7 +161,8 @@ def main(argv: list[str] | None = None) -> int:
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     for name in names:
         report = run_experiment(
-            name, args.tasks, args.scale, args.housing_rows, args.model
+            name, args.tasks, args.scale, args.housing_rows, args.model,
+            rows_override=args.rows,
         )
         print(report)
         print()

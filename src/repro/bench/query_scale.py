@@ -1,10 +1,10 @@
-"""Query-scale experiment: ordered indexes + compiled predicates vs the
-seed execution paths.
+"""Query-scale experiment: paged B-trees, cost-based planning, and index
+unions vs the seed execution paths.
 
 Shared by ``benchmarks/bench_query_scale.py`` (acceptance benchmark) and
 the ``python -m repro.bench query`` CLI. Builds one wide synthetic table
-and times three agent-shaped query classes under the PR-5 fast paths and
-their forced baselines:
+and times six agent-shaped query classes under the fast paths and their
+forced baselines:
 
 * **selective range** — ``WHERE val >= lo AND val < hi`` through a
   ``USING BTREE`` index slice vs the full sequential scan
@@ -14,7 +14,16 @@ their forced baselines:
   (``enable_index_scan`` and ``enable_topn`` both off);
 * **compiled predicate** — a multi-conjunct seq-scan WHERE through the
   closure-compiled evaluator vs the AST-walking interpreter
-  (``enable_compiled_predicates = False``).
+  (``enable_compiled_predicates = False``);
+* **index union** — a selective 10-member ``val IN (...)`` served as a
+  union of B-tree probes vs the forced sequential scan;
+* **B-tree writes** — incremental ``SortedIndex.insert`` into a loaded
+  paged B-tree vs the pre-PR-8 flat-sorted-array algorithm (``insort``
+  into one big list), measured on synthetic entries at the same scale;
+* **stats vs static planning** — a skewed conjunction where the static
+  preference order picks a fully-bound hash probe on a 90%-heavy value
+  and the post-``ANALYZE`` cost model switches to the ~50-row range
+  slice instead.
 
 Every timed pair also asserts byte-identical results, and the returned
 payload records the EXPLAIN plans so the acceptance gate can verify the
@@ -24,16 +33,21 @@ fast paths were actually planned.
 from __future__ import annotations
 
 import time
+from bisect import insort
 from typing import Any
 
 from repro.minidb import Database
 from repro.minidb.database import Session
+from repro.minidb.storage import SortedIndex, ordering_key
 
 TOPN_SQL = "SELECT id, val FROM events ORDER BY val LIMIT 10"
 PREDICATE_SQL = (
     "SELECT COUNT(*) FROM events WHERE grp >= 10 AND grp < 90 "
     "AND flag = 1 AND name LIKE 'n1%'"
 )
+
+#: IN-list width of the index-union query class
+UNION_MEMBERS = 10
 
 
 def range_sql(rows: int) -> str:
@@ -43,11 +57,30 @@ def range_sql(rows: int) -> str:
         f"SELECT COUNT(*) FROM events WHERE val >= {low} AND val < {low + 50}"
     )
 
+
+def union_sql(rows: int) -> str:
+    """A 10-member IN over ``val`` — one matching row per member."""
+    members = ", ".join(
+        str((i * rows) // UNION_MEMBERS + 3) for i in range(UNION_MEMBERS)
+    )
+    return f"SELECT COUNT(*) FROM events WHERE val IN ({members})"
+
+
+def skew_sql(rows: int) -> str:
+    """Skewed conjunction: ``hot = 0`` covers 90% of the table while the
+    ``val`` range keeps ~50 rows — the probe choice decides the cost."""
+    low = rows // 3
+    return (
+        f"SELECT COUNT(*) FROM events WHERE hot = 0 "
+        f"AND val >= {low} AND val < {low + 50}"
+    )
+
 #: planner toggles that force the seed behavior for each query class
 _BASELINES = {
     "range": {"enable_index_scan": False},
     "topn": {"enable_index_scan": False, "enable_topn": False},
     "predicate": {"enable_compiled_predicates": False},
+    "union": {"enable_index_scan": False},
 }
 
 
@@ -57,7 +90,7 @@ def build_session(rows: int) -> Session:
     session = db.connect("bench")
     session.execute(
         "CREATE TABLE events (id INT PRIMARY KEY, grp INT, val INT, "
-        "flag INT, name TEXT)"
+        "flag INT, name TEXT, hot INT)"
     )
     heap = db.heap("events")
     for i in range(rows):
@@ -68,10 +101,13 @@ def build_session(rows: int) -> Session:
                 "val": (i * 7919) % rows,  # full-period permutation of 0..rows
                 "flag": i % 2,
                 "name": f"n{i % 1000}",
+                # 90% of rows share hot=0; the rest are distinct
+                "hot": i if i % 10 == 0 else 0,
             }
         )
     # the ordered index arrives after the data: one bulk-sorted backfill
     session.execute("CREATE INDEX ix_events_val ON events USING BTREE (val)")
+    session.execute("CREATE INDEX ix_events_hot ON events (hot)")
     return session
 
 
@@ -111,22 +147,101 @@ def _measure(
     }
 
 
+def _measure_btree_write(entries: int, inserts: int) -> dict[str, Any]:
+    """Incremental insert cost: paged B-tree vs the flat-sorted-array
+    algorithm the B-tree replaced (``insort`` into one list).
+
+    Both sides start pre-loaded with ``entries`` sorted keys and absorb
+    ``inserts`` interleaved new keys. The flat model times exactly the
+    data movement the old ``SortedIndex.insert`` paid per mutation.
+    """
+    flat = [(ordering_key((i * 2 + 1,)), i) for i in range(entries)]
+    index = SortedIndex("bench_ix", ("val",), unique=False)
+    index.bulk_load((i, {"val": i * 2 + 1}) for i in range(entries))
+    new_rows = [
+        (entries + j, {"val": (j * 7919) % (entries * 2)})
+        for j in range(inserts)
+    ]
+
+    start = time.perf_counter()
+    for rid, row in new_rows:
+        index.insert(rid, row, "events")
+    btree_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for rid, row in new_rows:
+        insort(flat, (ordering_key((row["val"],)), rid))
+    flat_s = time.perf_counter() - start
+
+    assert len(index) == entries + inserts
+    return {
+        "entries": entries,
+        "inserts": inserts,
+        "fast_ms": btree_s * 1000,
+        "baseline_ms": flat_s * 1000,
+        "speedup": (flat_s / btree_s) if btree_s > 0 else float("inf"),
+        "identical": True,  # structural: same entries on both sides
+    }
+
+
+def _measure_stats_skew(
+    session: Session, sql: str, repeats: int
+) -> dict[str, Any]:
+    """The same skewed query planned statically (no statistics) and then
+    cost-based (after ``ANALYZE``). Must run after every other class —
+    the collected statistics stay on the catalog.
+    """
+    explain = lambda: [  # noqa: E731
+        line for (line,) in session.execute(f"EXPLAIN {sql}").rows
+    ]
+    static_plan = explain()
+    static_s, static_rows = _time_query(session, sql, repeats)
+    session.execute("ANALYZE events")
+    stats_plan = explain()
+    stats_s, stats_rows = _time_query(session, sql, repeats)
+    return {
+        "sql": sql,
+        "plan": stats_plan,
+        "static_plan": static_plan,
+        "fast_ms": stats_s * 1000,
+        "baseline_ms": static_s * 1000,
+        "speedup": (static_s / stats_s) if stats_s > 0 else float("inf"),
+        "identical": static_rows == stats_rows,
+    }
+
+
 def experiment_query_scale(rows: int = 100_000, repeats: int = 3) -> dict[str, Any]:
-    """Measure the three query classes; returns one payload per class."""
+    """Measure the six query classes; returns one payload per class."""
     session = build_session(rows)
     result: dict[str, Any] = {"rows": rows}
     for name, sql in (
         ("range", range_sql(rows)),
         ("topn", TOPN_SQL),
         ("predicate", PREDICATE_SQL),
+        ("union", union_sql(rows)),
     ):
         result[name] = _measure(session, name, sql, repeats)
+    # synthetic-entry write bench: small tables leave the flat array's
+    # O(n) memmove too cheap to measure, so keep a meaningful floor
+    entries = max(rows, 200_000)
+    result["btree_write"] = _measure_btree_write(
+        entries, inserts=max(500, min(5_000, entries // 200))
+    )
+    # last: ANALYZE leaves statistics on the catalog
+    result["stats_skew"] = _measure_stats_skew(session, skew_sql(rows), repeats)
     stats = session.db.planner_stats
     result["planner_stats"] = {
         key: stats[key]
-        for key in ("range_scans", "ordered_scans", "topn_limits", "index_scans")
+        for key in (
+            "range_scans",
+            "ordered_scans",
+            "topn_limits",
+            "index_scans",
+            "union_scans",
+        )
     }
     result["identical"] = all(
-        result[name]["identical"] for name in ("range", "topn", "predicate")
+        result[name]["identical"]
+        for name in ("range", "topn", "predicate", "union", "stats_skew")
     )
     return result

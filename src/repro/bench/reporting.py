@@ -275,18 +275,22 @@ def render_query_scale(result: dict[str, Any]) -> str:
         "range": "selective range (btree slice vs seq scan)",
         "topn": "ORDER BY LIMIT 10 (ordered scan vs full sort)",
         "predicate": "seq-scan WHERE (compiled vs interpreted)",
+        "union": "10-member IN (index union vs seq scan)",
+        "btree_write": "index insert (paged B-tree vs flat insort)",
+        "stats_skew": "skewed conjunct (cost-based vs static plan)",
     }
     table = render_table(
         ["query class", "rows", "fast (ms)", "baseline (ms)", "speedup"],
         [
             [
                 label,
-                result["rows"],
+                result[name].get("entries", result["rows"]),
                 result[name]["fast_ms"],
                 result[name]["baseline_ms"],
                 f"{result[name]['speedup']:,.1f}x",
             ]
             for name, label in labels.items()
+            if name in result
         ],
         title="Query scale — indexed/compiled execution vs seed paths (minidb)",
     )
@@ -294,17 +298,26 @@ def render_query_scale(result: dict[str, Any]) -> str:
     plans = "\n".join(
         f"  {line}"
         for name in labels
-        for line in result[name]["plan"]
+        if name in result
+        for line in result[name].get("plan", [])
     )
     equivalence = "identical" if result["identical"] else "MISMATCH"
-    return (
-        f"{table}\n"
-        f"fast vs baseline rows: {equivalence}\n"
+    lines = [
+        table,
+        f"fast vs baseline rows: {equivalence}",
         f"planner stats: {stats['range_scans']} range scans, "
         f"{stats['ordered_scans']} ordered scans, "
-        f"{stats['topn_limits']} top-N limits\n"
-        f"query plans:\n{plans}"
-    )
+        f"{stats['topn_limits']} top-N limits, "
+        f"{stats.get('union_scans', 0)} union scans",
+    ]
+    skew = result.get("stats_skew")
+    if skew is not None:
+        lines.append(
+            "static plan (pre-ANALYZE): "
+            + "; ".join(skew.get("static_plan", []))
+        )
+    lines.append(f"query plans:\n{plans}")
+    return "\n".join(lines)
 
 
 def render_join_scale(result: dict[str, Any]) -> str:

@@ -153,6 +153,15 @@ class _Analyzer:
             result = self._finish("TRANSACTION", read_only=True)
             result.is_transaction_control = True
             return result
+        if isinstance(stmt, ast.AnalyzeStatement):
+            # maintenance runs on the table-owner (ALTER) surface; a bare
+            # ANALYZE targets every table the catalog knows about
+            if stmt.table is not None:
+                self._access("ALTER", stmt.table).whole_object = True
+            elif self.catalog is not None:
+                for schema in self.catalog.tables.values():
+                    self._access("ALTER", schema.name).whole_object = True
+            return self._finish("ALTER", read_only=False)
         if isinstance(stmt, (ast.GrantStatement, ast.RevokeStatement)):
             for obj in stmt.objects:
                 self._access("GRANT", obj).whole_object = True

@@ -291,6 +291,13 @@ class ExplainStatement:
 
 
 @dataclass
+class AnalyzeStatement:
+    """``ANALYZE [table]`` — collect planner statistics (None = all tables)."""
+
+    table: str | None = None
+
+
+@dataclass
 class BeginStatement:
     pass
 
@@ -343,6 +350,7 @@ Statement = (
     | DropIndexStatement
     | CreateViewStatement
     | DropViewStatement
+    | AnalyzeStatement
     | BeginStatement
     | CommitStatement
     | RollbackStatement

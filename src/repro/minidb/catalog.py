@@ -128,6 +128,9 @@ class Catalog:
         self.tables: dict[str, TableSchema] = {}
         self.views: dict[str, ViewSchema] = {}
         self.indexes: dict[str, IndexSchema] = {}
+        #: ANALYZE products by lower table name (statistics.TableStatistics);
+        #: dropped with their table, renamed with it, persisted in snapshots
+        self.statistics: dict[str, Any] = {}
         #: index names are a database-wide namespace, but concurrent
         #: CREATE INDEX statements only hold X locks on their (possibly
         #: different) tables — the name check-then-set must be atomic on
@@ -197,6 +200,7 @@ class Catalog:
         self.tables[self._key(schema.name)] = schema
 
     def remove_table(self, name: str) -> TableSchema:
+        self.statistics.pop(self._key(name), None)
         return self.tables.pop(self._key(name))
 
     def add_view(self, schema: ViewSchema, replace: bool = False) -> None:
@@ -226,9 +230,13 @@ class Catalog:
     def rename_table(self, old: str, new: str) -> None:
         if self.has_object(new):
             raise DuplicateObjectError(f"relation {new!r} already exists")
+        stats = self.statistics.get(self._key(old))
         schema = self.remove_table(old)
         schema.name = new
         self.add_table(schema)
+        if stats is not None:
+            stats.table = new
+            self.statistics[self._key(new)] = stats
         for index in self.indexes.values():
             if self._key(index.table) == self._key(old):
                 index.table = new

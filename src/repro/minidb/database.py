@@ -270,6 +270,7 @@ class Database:
             "seq_scans": 0,
             "index_scans": 0,
             "range_scans": 0,
+            "union_scans": 0,
             "ordered_scans": 0,
             "topn_limits": 0,
             "hash_joins": 0,

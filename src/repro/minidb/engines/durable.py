@@ -41,6 +41,8 @@ op                 fields
 ``grant``          grantee, actions, objects, columns
 ``revoke``         grantee, actions, objects, columns
 ``create_user``    user
+``analyze``        table, stats (computed statistics payload — replay
+                   restores, never recomputes)
 =================  ========================================================
 
 Recovery invariants
@@ -98,12 +100,14 @@ from .serial import (
     dump_index,
     dump_index_schema,
     dump_privileges,
+    dump_statistics,
     dump_table_schema,
     dump_view,
     load_column,
     load_index,
     load_index_schema,
     load_privileges,
+    load_statistics,
     load_table_schema,
     load_view,
 )
@@ -646,6 +650,9 @@ class DurableEngine(StorageEngine):
             "indexes": [
                 dump_index_schema(ix) for ix in db.catalog.indexes.values()
             ],
+            "statistics": [
+                dump_statistics(ts) for ts in db.catalog.statistics.values()
+            ],
         }
 
     # ------------------------------------------------------------- recovery
@@ -681,6 +688,12 @@ class DurableEngine(StorageEngine):
             db.catalog.add_view(load_view(entry))
         for entry in data["indexes"]:
             db.catalog.add_index(load_index_schema(entry))
+        # pre-statistics snapshots carry no "statistics" key; they load
+        # with an empty catalog and the planner falls back to heuristics
+        for entry in data.get("statistics", []):
+            db.catalog.statistics[entry["table"].lower()] = load_statistics(
+                entry
+            )
         self._seq = data["applied_seq"]
         self.stats["snapshot_loaded"] = True
 
@@ -877,5 +890,9 @@ class DurableEngine(StorageEngine):
                     db.privileges.revoke(r["grantee"], action, obj, r["columns"])
         elif op == "create_user":
             db.privileges.create_user(r["user"])
+        elif op == "analyze":
+            # the record carries the *computed* statistics, so replay
+            # restores them exactly without rescanning the heap
+            db.catalog.statistics[r["table"]] = load_statistics(r["stats"])
         else:
             raise PersistenceError(f"unknown WAL op {op!r}")

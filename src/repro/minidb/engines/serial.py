@@ -18,6 +18,7 @@ from ..catalog import Column, ForeignKey, IndexSchema, TableSchema, ViewSchema
 from ..errors import PersistenceError
 from ..parser import parse
 from ..privileges import Grant, PrivilegeManager
+from ..statistics import TableStatistics
 from ..storage import HashIndex, SortedIndex
 from ..types import ColumnType
 
@@ -138,6 +139,17 @@ def load_index_schema(data: dict[str, Any]) -> IndexSchema:
         data["unique"],
         kind=data.get("kind", "hash"),
     )
+
+
+# ---------------------------------------------------------------- statistics
+
+
+def dump_statistics(stats: TableStatistics) -> dict[str, Any]:
+    return stats.to_payload()
+
+
+def load_statistics(data: dict[str, Any]) -> TableStatistics:
+    return TableStatistics.from_payload(data)
 
 
 # --------------------------------------------------------------------- views

@@ -76,6 +76,7 @@ from .planner import (
     extract_equality_bindings,
     extract_pushdown_filter,
     extract_range_bindings,
+    extract_union_bindings,
     plan_join,
     plan_select_joins,
     plan_select_paths,
@@ -83,6 +84,7 @@ from .planner import (
 from .engines.serial import dump_column, dump_index, dump_table_schema
 from .result import ResultSet
 from .sqlgen import expr_to_sql, select_to_sql
+from .statistics import build_table_statistics
 from .storage import (
     HashIndex,
     HeapTable,
@@ -839,6 +841,9 @@ class Executor:
             ranges = extract_range_bindings(
                 where, source.binding, statement_sources
             )
+            unions = extract_union_bindings(
+                where, source.binding, statement_sources
+            )
             path, index, key = choose_access_path(
                 schema.name,
                 heap,
@@ -847,6 +852,8 @@ class Executor:
                 allow_index=self.db.planner_options.get(
                     "enable_index_scan", True
                 ),
+                unions=unions,
+                stats=self._stats_for(schema.name),
             )
             if path.kind == "index":
                 self.db.bump_planner_stat("index_scans")
@@ -861,6 +868,9 @@ class Executor:
                     rng.incl_low,
                     rng.incl_high,
                 )
+            elif path.kind == "union":
+                self.db.bump_planner_stat("union_scans")
+                rids = self._union_rids(index, path.union)
             else:
                 rids = None
             if rids is not None:
@@ -884,6 +894,32 @@ class Executor:
         if statement_sources is not None:
             self._prefilter_source(resolved, where, statement_sources)
         return resolved
+
+    def _stats_for(self, table: str):
+        """ANALYZE product for ``table`` (staleness is checked by the
+        planner against the live heap's uid)."""
+        return self.db.catalog.statistics.get(table.lower())
+
+    @staticmethod
+    def _union_rids(index, union) -> set[int]:
+        """Deduplicated rids of every union member: hash probes for
+        points on a hash index, equality-run / range slices on a btree.
+        Over-approximation (ordering keys coalesce 1/1.0/TRUE) is fine —
+        the full WHERE is re-applied to the candidates."""
+        rids: set[int] = set()
+        if index.kind == "hash":
+            for value in union.points:
+                rids |= index.probe((value,))
+            return rids
+        for value in union.points:
+            rids.update(index.range_rids((value,)))
+        for rng in union.ranges:
+            rids.update(
+                index.range_rids(
+                    (), rng.low, rng.high, rng.incl_low, rng.incl_high
+                )
+            )
+        return rids
 
     def _compile_filter(self, expr: ast.Expr | None, layout: _ScopeLayout):
         """Compile a predicate for direct parts-based evaluation.
@@ -1011,13 +1047,21 @@ class Executor:
         if chosen is None:
             return None
         index, prefix_len = chosen
-        # cost check: a fully equality-bound probe is strictly more
-        # selective than scanning in order, and a range on a column this
-        # index does not cover prunes rows the ordered scan would have to
-        # filter one by one — in both cases the generic path plus the
-        # bounded top-N sort wins
-        path, _, _ = choose_access_path(schema.name, heap, bindings, ranges)
-        if path.kind == "index":
+        # cost check: a fully equality-bound probe (or a disjunctive union
+        # probe set) is strictly more selective than scanning in order,
+        # and a range on a column this index does not cover prunes rows
+        # the ordered scan would have to filter one by one — in these
+        # cases the generic path plus the bounded top-N sort wins
+        unions = extract_union_bindings(stmt.where, binding, sources)
+        path, _, _ = choose_access_path(
+            schema.name,
+            heap,
+            bindings,
+            ranges,
+            unions=unions,
+            stats=self._stats_for(schema.name),
+        )
+        if path.kind in ("index", "union"):
             return None
         if path.kind == "range":
             covered = {c.lower() for c in index.columns}
@@ -1174,6 +1218,7 @@ class Executor:
             self.db.heap,
             columns_of_binding,
             allow_index=self.db.planner_options.get("enable_index_scan", True),
+            stats_of_table=self._stats_for,
         )
         rows = [(path.describe(),) for path in paths]
         ordered_line = self._explain_ordered_scan(select)
@@ -1650,6 +1695,7 @@ class Executor:
             sources = [(binding, schema.column_names())]
             bindings = extract_equality_bindings(where, binding, sources)
             ranges = extract_range_bindings(where, binding, sources)
+            unions = extract_union_bindings(where, binding, sources)
             path, index, key = choose_access_path(
                 schema.name,
                 heap,
@@ -1658,6 +1704,8 @@ class Executor:
                 allow_index=self.db.planner_options.get(
                     "enable_index_scan", True
                 ),
+                unions=unions,
+                stats=self._stats_for(schema.name),
             )
             rids = None
             if path.kind == "index":
@@ -1675,6 +1723,9 @@ class Executor:
                         rng.incl_high,
                     )
                 )
+            elif path.kind == "union":
+                self.db.bump_planner_stat("union_scans")
+                rids = sorted(self._union_rids(index, path.union))
             if rids is not None:
                 candidates = []
                 for rid in rids:
@@ -2109,6 +2160,45 @@ class Executor:
                 }
             )
         return ResultSet(status="DROP INDEX")
+
+    def _exec_AnalyzeStatement(
+        self, stmt: ast.AnalyzeStatement, session: "Session"
+    ) -> ResultSet:
+        catalog = self.db.catalog
+        if stmt.table is not None:
+            # resolve through the lock so the scan sees a settled table
+            names = [self._locked_table(session, stmt.table, "S").name]
+        else:
+            names = sorted(schema.name for schema in catalog.tables.values())
+        analyzed = 0
+        for name in names:
+            try:
+                schema = self._locked_table(session, name, "S")
+            except UnknownTableError:
+                if stmt.table is None:
+                    continue  # dropped while a bare ANALYZE waited; skip
+                raise
+            heap = self.db.heap(schema.name)
+            stats = build_table_statistics(schema, heap)
+            key = schema.name.lower()
+            previous = catalog.statistics.get(key)
+
+            def undo(catalog=catalog, key=key, previous=previous):
+                if previous is None:
+                    catalog.statistics.pop(key, None)
+                else:
+                    catalog.statistics[key] = previous
+
+            catalog.statistics[key] = stats
+            session.tx.log_undo(f"analyze {schema.name}", undo)
+            if session.tx.redo_enabled:
+                # the *computed* payload travels in the WAL, so replay
+                # restores the exact statistics without rescanning heaps
+                session.tx.log_redo(
+                    {"op": "analyze", "table": key, "stats": stats.to_payload()}
+                )
+            analyzed += 1
+        return ResultSet(status=f"ANALYZE {analyzed}")
 
     def _exec_CreateViewStatement(
         self, stmt: ast.CreateViewStatement, session: "Session"

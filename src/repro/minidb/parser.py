@@ -64,6 +64,7 @@ def statement_action(stmt: ast.Statement) -> str:
         ast.DropIndexStatement: "DROP",
         ast.DropViewStatement: "DROP",
         ast.AlterTableStatement: "ALTER",
+        ast.AnalyzeStatement: "ALTER",  # maintenance: table-owner surface
     }
     for klass, action in mapping.items():
         if isinstance(stmt, klass):
@@ -167,6 +168,11 @@ class _Parser:
             return self.parse_drop()
         if self.check_keyword("ALTER"):
             return self.parse_alter()
+        if self.match_keyword("ANALYZE"):
+            table = None
+            if self.peek().kind == IDENT:
+                table = self.expect_identifier("table name")
+            return ast.AnalyzeStatement(table)
         if self.match_keyword("BEGIN") or self.check_keyword("START"):
             if self.match_keyword("START"):
                 self.expect_keyword("TRANSACTION")

@@ -58,11 +58,14 @@ byte-identical.)
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from . import ast_nodes as ast
 from .sqlgen import expr_to_sql
 from .storage import HashIndex, HeapTable, SortedIndex, ordering_key_element
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .statistics import TableStatistics
 
 #: comparison operators that can never be true when an operand is NULL;
 #: only these may be pushed below an outer join's nullable side
@@ -130,11 +133,45 @@ class RangeBinding:
 
 
 @dataclass
+class UnionBinding:
+    """A disjunctive candidate set over one column.
+
+    Harvested from a top-level ``col IN (literal, ...)`` conjunct or an
+    OR-chain whose every disjunct binds the *same* column (equalities,
+    ordering comparisons, BETWEEN). ``points`` are deduplicated non-NULL
+    equality values; ``ranges`` are the OR-ed range disjuncts. An index
+    union scan probes each member and unions the rid sets — a pure
+    candidate-set reduction, since the full WHERE is re-applied.
+    """
+
+    column: str  # lower-cased
+    points: list = field(default_factory=list)
+    ranges: list[RangeBinding] = field(default_factory=list)
+
+    @property
+    def members(self) -> int:
+        return len(self.points) + len(self.ranges)
+
+    def describe(self, column: str | None = None) -> str:
+        name = column or self.column
+        parts = []
+        if self.points:
+            rendered = ", ".join(
+                expr_to_sql(ast.Literal(v)) for v in self.points
+            )
+            parts.append(f"{name} IN ({rendered})")
+        for rng in self.ranges:
+            text = rng.describe(name)
+            parts.append(f"({text})" if " AND " in text else text)
+        return " OR ".join(parts)
+
+
+@dataclass
 class AccessPath:
     """The chosen way to read one table."""
 
     table: str
-    kind: str  # "seq" | "index" | "range"
+    kind: str  # "seq" | "index" | "range" | "union"
     index_name: str | None = None
     key_columns: tuple[str, ...] = ()
     filter_sql: str | None = None  # pushed-down single-source predicate
@@ -143,6 +180,9 @@ class AccessPath:
     prefix_values: tuple = ()
     range_column: str | None = None
     range: "RangeBinding | None" = None
+    union: "UnionBinding | None" = None  # kind == "union"
+    #: cost-model output (only when table statistics informed the choice)
+    estimated_rows: float | None = None
 
     def describe(self) -> str:
         if self.kind == "index":
@@ -159,10 +199,17 @@ class AccessPath:
                 f"Index Range Scan using {self.index_name} on {self.table} "
                 f"({' AND '.join(conditions)})"
             )
+        elif self.kind == "union":
+            base = (
+                f"Index Union Scan using {self.index_name} on {self.table} "
+                f"({self.union.describe() if self.union else ''})"
+            )
         else:
             base = f"Seq Scan on {self.table}"
         if self.filter_sql:
             base += f" (filter: {self.filter_sql})"
+        if self.estimated_rows is not None:
+            base += f" (est. rows={self.estimated_rows:.0f})"
         return base
 
 
@@ -354,6 +401,160 @@ def extract_range_bindings(
             entry.tighten_low(conjunct.low.value, True)
             entry.tighten_high(conjunct.high.value, True)
     return ranges
+
+
+def split_disjuncts(expr: ast.Expr) -> list[ast.Expr]:
+    """Flatten a predicate into its top-level OR-ed disjuncts."""
+    if isinstance(expr, ast.BinaryOp) and expr.op == "OR":
+        return split_disjuncts(expr.left) + split_disjuncts(expr.right)
+    return [expr]
+
+
+def extract_union_bindings(
+    where: ast.Expr | None,
+    binding: str,
+    statement_sources: list[tuple[str, list[str] | None]] | None = None,
+) -> dict[str, UnionBinding]:
+    """Top-level disjunctive conjuncts servable as index unions.
+
+    Two shapes qualify, both over a single column of ``binding``:
+
+    * ``col IN (v1, v2, ...)`` with every member a literal (non-negated;
+      subquery candidates are left to the evaluator). NULL members match
+      nothing under three-valued IN and are dropped; duplicates (by index
+      ordering key, so ``1`` and ``1.0`` coincide) are deduplicated.
+    * An OR-chain whose every disjunct is ``col = literal``, a range
+      comparison, or non-negated BETWEEN on the same column. One failing
+      disjunct disqualifies the whole chain — a union scan must cover
+      *every* way the disjunction can be true, or it would drop rows.
+
+    Name-resolution rules match :func:`extract_equality_bindings`. When
+    several conjuncts bind the same column, the one with the fewest
+    members wins (conjuncts intersect; either set alone is a superset of
+    the answer, and the full WHERE is re-applied regardless).
+    """
+    lowered = binding.lower()
+    unions: dict[str, UnionBinding] = {}
+
+    def usable(column_ref: ast.ColumnRef) -> bool:
+        if column_ref.table is not None:
+            return column_ref.table.lower() == lowered
+        return statement_sources is None or _unqualified_unambiguous(
+            column_ref.name.lower(), statement_sources
+        )
+
+    def from_in(conjunct: ast.InExpr) -> UnionBinding | None:
+        if conjunct.negated or not isinstance(conjunct.candidates, list):
+            return None
+        operand = conjunct.operand
+        if not (isinstance(operand, ast.ColumnRef) and usable(operand)):
+            return None
+        if not all(isinstance(c, ast.Literal) for c in conjunct.candidates):
+            return None
+        entry = UnionBinding(operand.name.lower())
+        seen: set = set()
+        for candidate in conjunct.candidates:
+            if candidate.value is None:
+                continue  # NULL member: three-valued IN matches nothing
+            key = ordering_key_element(candidate.value)
+            if key not in seen:
+                seen.add(key)
+                entry.points.append(candidate.value)
+        return entry
+
+    def from_or(conjunct: ast.Expr) -> UnionBinding | None:
+        disjuncts = split_disjuncts(conjunct)
+        if len(disjuncts) < 2:
+            return None
+        entry: UnionBinding | None = None
+        seen: set = set()
+        for disjunct in disjuncts:
+            column: str | None = None
+            if isinstance(disjunct, ast.BinaryOp) and disjunct.op in (
+                ("=",) + tuple(_RANGE_OPS)
+            ):
+                for column_side, literal_side, flip in (
+                    (disjunct.left, disjunct.right, False),
+                    (disjunct.right, disjunct.left, True),
+                ):
+                    if (
+                        isinstance(column_side, ast.ColumnRef)
+                        and isinstance(literal_side, ast.Literal)
+                        and literal_side.value is not None
+                        and usable(column_side)
+                    ):
+                        column = column_side.name.lower()
+                        value = literal_side.value
+                        if disjunct.op == "=":
+                            member: "RangeBinding | None" = None
+                        else:
+                            is_low, inclusive = _RANGE_OPS[disjunct.op]
+                            if flip:
+                                is_low = not is_low
+                            member = RangeBinding(column)
+                            if is_low:
+                                member.tighten_low(value, inclusive)
+                            else:
+                                member.tighten_high(value, inclusive)
+                        break
+                else:
+                    return None
+            elif (
+                isinstance(disjunct, ast.BetweenExpr)
+                and not disjunct.negated
+                and isinstance(disjunct.operand, ast.ColumnRef)
+                and isinstance(disjunct.low, ast.Literal)
+                and isinstance(disjunct.high, ast.Literal)
+                and disjunct.low.value is not None
+                and disjunct.high.value is not None
+                and usable(disjunct.operand)
+            ):
+                column = disjunct.operand.name.lower()
+                member = RangeBinding(column)
+                member.tighten_low(disjunct.low.value, True)
+                member.tighten_high(disjunct.high.value, True)
+            elif isinstance(disjunct, ast.InExpr):
+                in_entry = from_in(disjunct)
+                if in_entry is None:
+                    return None
+                column = in_entry.column
+                member = None
+                value = None  # points merged below
+            else:
+                return None
+            if entry is None:
+                entry = UnionBinding(column)
+            elif entry.column != column:
+                return None  # disjunction spans columns: not one index
+            if isinstance(disjunct, ast.InExpr):
+                for point in in_entry.points:
+                    key = ordering_key_element(point)
+                    if key not in seen:
+                        seen.add(key)
+                        entry.points.append(point)
+            elif member is None:
+                key = ordering_key_element(value)
+                if key not in seen:
+                    seen.add(key)
+                    entry.points.append(value)
+            else:
+                entry.ranges.append(member)
+        return entry
+
+    for conjunct in split_conjuncts(where):
+        if isinstance(conjunct, ast.InExpr):
+            entry = from_in(conjunct)
+        elif isinstance(conjunct, ast.BinaryOp) and conjunct.op == "OR":
+            entry = from_or(conjunct)
+        else:
+            continue
+        if entry is None:
+            continue
+        existing = unions.get(entry.column)
+        # conjuncts intersect: the smaller candidate set is the better scan
+        if existing is None or entry.members < existing.members:
+            unions[entry.column] = entry
+    return unions
 
 
 def extract_pushdown_filter(
@@ -573,42 +774,48 @@ def choose_access_path(
     bindings: list[EqualityBinding],
     ranges: dict[str, RangeBinding] | None = None,
     allow_index: bool = True,
+    unions: dict[str, UnionBinding] | None = None,
+    stats: "TableStatistics | None" = None,
 ) -> "tuple[AccessPath, HashIndex | SortedIndex | None, tuple | None]":
     """Pick the best access path for one table.
 
-    Candidates, in cost order:
+    Without statistics, candidates rank in a static preference order:
 
     1. an index whose columns are *fully* equality-bound — prefer unique,
        then wider keys, then hash over btree (O(1) probe);
     2. a sorted index with an equality-bound column prefix followed by a
        range-bound column — prefer the longest equality prefix, then
        bounds on both sides over one;
-    3. the sequential scan.
+    3. an index union over a disjunctively-bound column (IN-list /
+       OR-chain) — a single-column hash index serves point-only unions,
+       a btree whose *first* column is the bound one serves points and
+       ranges;
+    4. the sequential scan.
+
+    With table statistics (``ANALYZE``, matching the live heap's ``uid``),
+    every candidate instead gets an estimated row count — equality
+    selectivity from NDV/histogram-boundary multiplicity, range
+    selectivity from equi-depth histogram positions — and the cheapest
+    estimate wins, falling back to the static order only to break ties.
+    A column without statistics contributes no reduction (factor 1.0), so
+    missing information never makes a path look artificially cheap.
 
     Returns ``(path, index, key)``; ``key`` is the probe key for equality
-    paths and ``None`` otherwise (range details live on the path).
+    paths and ``None`` otherwise (range/union details live on the path).
     """
     if not allow_index:
         return AccessPath(table, "seq"), None, None
+    if stats is not None and stats.uid != heap.uid:
+        stats = None  # table was dropped/recreated since ANALYZE: ignore
     by_column = {b.column: b.value for b in bindings}
-    best = None
+    # (static_order, rank, kind, index, extra); lower order preferred,
+    # higher rank preferred within an order class
+    candidates: list[tuple] = []
     for index in heap.indexes.values():
         columns = tuple(c.lower() for c in index.columns)
-        if all(c in by_column for c in columns):
+        if columns and all(c in by_column for c in columns):
             rank = (index.unique, len(columns), index.kind == "hash")
-            if best is None or rank > best[0]:
-                best = (rank, index)
-    if best is not None:
-        index = best[1]
-        key = tuple(by_column[c.lower()] for c in index.columns)
-        path = AccessPath(
-            table,
-            "index",
-            index_name=index.name,
-            key_columns=tuple(index.columns),
-        )
-        return path, index, key
-    best_range = None
+            candidates.append((0, rank, "index", index, None))
     if ranges:
         for index in heap.indexes.values():
             if index.kind != "btree":
@@ -618,15 +825,50 @@ def choose_access_path(
             while prefix_len < len(columns) and columns[prefix_len] in by_column:
                 prefix_len += 1
             if prefix_len >= len(columns):
-                continue  # fully bound would have matched above
+                continue  # fully bound is an equality candidate above
             entry = ranges.get(columns[prefix_len])
             if entry is None:
                 continue
             rank = (prefix_len, entry.bounded_sides)
-            if best_range is None or rank > best_range[0]:
-                best_range = (rank, index, prefix_len, entry)
-    if best_range is not None:
-        _, index, prefix_len, entry = best_range
+            candidates.append((1, rank, "range", index, (prefix_len, entry)))
+    if unions:
+        for index in heap.indexes.values():
+            columns = tuple(c.lower() for c in index.columns)
+            entry = unions.get(columns[0]) if columns else None
+            if entry is None:
+                continue
+            # zero-member unions (e.g. ``x IN (NULL)``) stay eligible:
+            # zero candidate rows is the correct (empty) answer
+            if index.kind == "hash":
+                if len(columns) != 1 or entry.ranges:
+                    continue  # hash can only probe full-key points
+                rank = (index.unique, True)
+            else:
+                rank = (index.unique, False)
+            candidates.append((2, rank, "union", index, entry))
+    candidates.append((3, (), "seq", None, None))
+    candidates.sort(key=lambda c: (c[0], _negated_rank(c[1])))
+    chosen = candidates[0]
+    chosen_estimate: float | None = None
+    if stats is not None:
+        chosen_estimate = _estimate_rows(chosen, stats, by_column)
+        for candidate in candidates[1:]:
+            estimate = _estimate_rows(candidate, stats, by_column)
+            if estimate < chosen_estimate:  # ties keep the static order
+                chosen, chosen_estimate = candidate, estimate
+    _, _, kind, index, extra = chosen
+    if kind == "index":
+        key = tuple(by_column[c.lower()] for c in index.columns)
+        path = AccessPath(
+            table,
+            "index",
+            index_name=index.name,
+            key_columns=tuple(index.columns),
+            estimated_rows=chosen_estimate,
+        )
+        return path, index, key
+    if kind == "range":
+        prefix_len, entry = extra
         path = AccessPath(
             table,
             "range",
@@ -637,9 +879,67 @@ def choose_access_path(
             ),
             range_column=index.columns[prefix_len],
             range=entry,
+            estimated_rows=chosen_estimate,
         )
         return path, index, None
-    return AccessPath(table, "seq"), None, None
+    if kind == "union":
+        path = AccessPath(
+            table,
+            "union",
+            index_name=index.name,
+            key_columns=(index.columns[0],),
+            union=extra,
+            estimated_rows=chosen_estimate,
+        )
+        return path, index, None
+    return AccessPath(table, "seq", estimated_rows=chosen_estimate), None, None
+
+
+def _negated_rank(rank: tuple) -> tuple:
+    """Sort key inverting a preference rank (higher rank sorts first)."""
+    return tuple(-int(part) for part in rank)
+
+
+def _estimate_rows(
+    candidate: tuple, stats: "TableStatistics", by_column: dict[str, Any]
+) -> float:
+    """Cost-model row estimate for one access-path candidate."""
+    _, _, kind, index, extra = candidate
+    row_count = float(stats.row_count)
+    if kind == "seq":
+        return row_count
+    if kind == "index":
+        fraction = 1.0
+        for column in index.columns:
+            column_stats = stats.column(column)
+            if column_stats is not None:
+                fraction *= column_stats.eq_fraction(by_column[column.lower()])
+        estimate = row_count * fraction
+        return min(estimate, 1.0) if index.unique else estimate
+    if kind == "range":
+        prefix_len, entry = extra
+        fraction = 1.0
+        for column in index.columns[:prefix_len]:
+            column_stats = stats.column(column)
+            if column_stats is not None:
+                fraction *= column_stats.eq_fraction(by_column[column.lower()])
+        column_stats = stats.column(index.columns[prefix_len])
+        if column_stats is not None:
+            fraction *= column_stats.range_fraction(
+                entry.low, entry.high, entry.incl_low, entry.incl_high
+            )
+        return row_count * fraction
+    # union: sum of member estimates, capped at the table (members overlap)
+    entry = extra
+    column_stats = stats.column(entry.column)
+    if column_stats is None:
+        return row_count
+    fraction = sum(column_stats.eq_fraction(v) for v in entry.points)
+    fraction += sum(
+        column_stats.range_fraction(r.low, r.high, r.incl_low, r.incl_high)
+        for r in entry.ranges
+    )
+    return min(row_count * fraction, row_count)
 
 
 def _binding_of(source: "ast.TableRef | ast.SubqueryRef") -> str:
@@ -652,8 +952,14 @@ def plan_select_paths(
     heap_of_table,
     columns_of_binding: dict[str, list[str] | None] | None = None,
     allow_index: bool = True,
+    stats_of_table=None,
 ) -> list[AccessPath]:
-    """Access paths for every base-table source of a SELECT (for EXPLAIN)."""
+    """Access paths for every base-table source of a SELECT (for EXPLAIN).
+
+    ``stats_of_table`` (optional callable ``table -> TableStatistics |
+    None``) switches path choice to the cost model and stamps estimated
+    row counts onto the returned paths.
+    """
     paths: list[AccessPath] = []
     multi_source = (len(stmt.from_sources) + len(stmt.joins)) > 1
     statement_sources = (
@@ -665,8 +971,15 @@ def plan_select_paths(
         heap = heap_of_table(table)
         bindings = extract_equality_bindings(stmt.where, binding, statement_sources)
         ranges = extract_range_bindings(stmt.where, binding, statement_sources)
+        unions = extract_union_bindings(stmt.where, binding, statement_sources)
         path, _, _ = choose_access_path(
-            table, heap, bindings, ranges, allow_index=allow_index
+            table,
+            heap,
+            bindings,
+            ranges,
+            allow_index=allow_index,
+            unions=unions,
+            stats=stats_of_table(table) if stats_of_table is not None else None,
         )
         if multi_source and columns_of_binding:
             columns = columns_of_binding.get(binding)

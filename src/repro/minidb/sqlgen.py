@@ -168,3 +168,10 @@ def create_index_to_sql(stmt: ast.CreateIndexStatement) -> str:
         parts.append(f"USING {stmt.using.upper()}")
     parts.append(f"({', '.join(stmt.columns)})")
     return " ".join(parts)
+
+
+def analyze_to_sql(stmt: ast.AnalyzeStatement) -> str:
+    """Serialize ANALYZE back to parseable SQL (same round-trip contract)."""
+    if stmt.table is None:
+        return "ANALYZE"
+    return f"ANALYZE {stmt.table}"

@@ -11,12 +11,12 @@ Two kinds of secondary index attach to a heap:
 * :class:`HashIndex` maps a tuple of column values to the set of rids
   holding it; unique indexes enforce at-most-one rid per key and are the
   enforcement mechanism for PRIMARY KEY and UNIQUE constraints.
-* :class:`SortedIndex` (``CREATE INDEX ... USING BTREE``) keeps a
-  bisect-maintained sorted array of ``(ordering key, rid)`` pairs, adding
-  range probes (``col >= lo AND col < hi``), equality-prefix slices, and
-  ordered forward/reverse iteration — the access paths behind the
-  planner's range scans and the executor's sort-free ``ORDER BY ...
-  LIMIT`` fast path.
+* :class:`SortedIndex` (``CREATE INDEX ... USING BTREE``) keeps
+  ``(ordering key, rid)`` pairs in a counted (order-statistic) B+tree of
+  fixed-fanout nodes, adding range probes (``col >= lo AND col < hi``),
+  equality-prefix slices, and ordered forward/reverse iteration — the
+  access paths behind the planner's range scans and the executor's
+  sort-free ``ORDER BY ... LIMIT`` fast path.
 
 Both index kinds share equality semantics: a key containing NULL is never
 returned by :meth:`probe` and never participates in uniqueness checks
@@ -28,7 +28,7 @@ order — so an ordered scan covers every row of the heap.
 from __future__ import annotations
 
 import threading
-from bisect import bisect_left
+from bisect import bisect_left, bisect_right
 from typing import Any, Iterator
 
 from .errors import UniqueViolation
@@ -210,15 +210,66 @@ class HashIndex:
         return sum(len(b) for b in self._buckets.values())
 
 
+#: B+tree fanout — max entries per leaf and max children per inner node.
+#: Nodes split above it and (except the root) rebalance below half of it.
+BTREE_FANOUT = 64
+_NODE_MIN = BTREE_FANOUT // 2
+
+
+class _Leaf:
+    """B+tree leaf: a sorted run of ``(ordering key, rid)`` entries."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self, entries: "list[tuple[tuple, int]] | None" = None):
+        self.entries: list[tuple[tuple, int]] = (
+            entries if entries is not None else []
+        )
+
+
+class _Inner:
+    """B+tree inner node: separator entries, children, and subtree size.
+
+    ``keys[i]`` is a lower bound for every entry under ``children[i + 1]``
+    and a strict upper bound for everything under ``children[i]`` (a copy
+    of the right subtree's minimum entry at split time; deletions may
+    leave it stale, but it stays a valid partition because entries only
+    ever shrink away from it). ``size`` counts the entries of the whole
+    subtree, which is what makes the tree order-statistic: positional
+    addressing (`slice_bounds` offsets) descends by child sizes.
+    """
+
+    __slots__ = ("keys", "children", "size")
+
+    def __init__(
+        self,
+        keys: "list[tuple]",
+        children: "list[_Leaf | _Inner]",
+        size: int,
+    ):
+        self.keys = keys
+        self.children = children
+        self.size = size
+
+
+def _node_size(node: "_Leaf | _Inner") -> int:
+    return len(node.entries) if type(node) is _Leaf else node.size
+
+
 class SortedIndex:
     """Ordered index over one or more columns (``USING BTREE``).
 
-    Entries are kept as one sorted list of ``(ordering key, rid)`` pairs,
-    maintained by bisection — O(log n) search plus an O(n) memmove per
-    mutation, which beats a tree in constant factors at minidb's scale.
-    Sorting is by :func:`ordering_key` (NULLs last, numbers before text,
-    ties broken by rid), exactly the executor's ORDER BY order, so a scan
-    of the array *is* the sorted result.
+    Entries are ``(ordering key, rid)`` pairs held in a counted
+    (order-statistic) B+tree: fixed-fanout nodes that split when a
+    mutation overfills them and merge/borrow when one drains below half
+    fill, so a point mutation costs O(log n) node searches plus one
+    small-list insert instead of the O(n) memmove of a flat sorted array.
+    Inner nodes carry subtree entry counts, so the *positional* surface of
+    the old array (``slice_bounds`` returning offsets, ``ordered_rids``
+    taking them) is preserved exactly. Ordering is by
+    :func:`ordering_key` (NULLs last, numbers before text, ties broken by
+    rid), exactly the executor's ORDER BY order, so an in-order walk of
+    the leaves *is* the sorted result.
 
     Equality semantics match :class:`HashIndex`: :meth:`probe` never
     returns a NULL-containing key and uniqueness ignores them. Unlike a
@@ -232,8 +283,290 @@ class SortedIndex:
         self.name = name
         self.columns = columns
         self.unique = unique
-        #: sorted list of (ordering_key(values), rid)
-        self._entries: list[tuple[tuple, int]] = []
+        self._root: "_Leaf | _Inner" = _Leaf()
+        self._count = 0
+        #: set False by a leaf-level idempotent re-insert so ancestor
+        #: sizes (maintained on the way back up) stay untouched
+        self._mutated = False
+
+    # ------------------------------------------------------- tree primitives
+
+    def _position(self, search: tuple) -> int:
+        """Global ``bisect_left`` position of ``search`` over all entries.
+
+        ``search`` is a 1-tuple ``(key,)`` or an entry-shaped 2-tuple,
+        compared tuple-wise against entries exactly as the flat-array
+        implementation compared them — shorter tuples sort before their
+        extensions, which is what makes ``(key,)`` the inclusive lower
+        bound of ``key``'s equal run.
+        """
+        node = self._root
+        pos = 0
+        while type(node) is _Inner:
+            child_idx = bisect_left(node.keys, search)
+            for child in node.children[:child_idx]:
+                pos += _node_size(child)
+            node = node.children[child_idx]
+        return pos + bisect_left(node.entries, search)
+
+    def _entry_at(self, pos: int) -> tuple[tuple, int]:
+        node = self._root
+        while type(node) is _Inner:
+            for child in node.children:
+                size = _node_size(child)
+                if pos < size:
+                    node = child
+                    break
+                pos -= size
+        return node.entries[pos]
+
+    def _iter_entries(
+        self, start: int, end: int
+    ) -> Iterator[tuple[tuple, int]]:
+        """Yield entries[start:end] in order (lazy leaf walk)."""
+        if start >= end:
+            return
+        yield from self._iter_node(self._root, start, end)
+
+    def _iter_node(
+        self, node: "_Leaf | _Inner", lo: int, hi: int
+    ) -> Iterator[tuple[tuple, int]]:
+        if type(node) is _Leaf:
+            yield from node.entries[lo:hi]
+            return
+        offset = 0
+        for child in node.children:
+            if offset >= hi:
+                return
+            size = _node_size(child)
+            if offset + size > lo:
+                yield from self._iter_node(
+                    child, max(0, lo - offset), min(size, hi - offset)
+                )
+            offset += size
+
+    def _tree_insert(
+        self, node: "_Leaf | _Inner", entry: tuple[tuple, int]
+    ) -> "tuple[tuple, _Leaf | _Inner] | None":
+        """Insert ``entry`` under ``node``; returns a (separator, new
+        right sibling) pair when the node split, for the parent to graft."""
+        if type(node) is _Leaf:
+            entries = node.entries
+            pos = bisect_left(entries, entry)
+            if pos < len(entries) and entries[pos] == entry:
+                self._mutated = False  # idempotent re-insert
+                return None
+            entries.insert(pos, entry)
+            if len(entries) > BTREE_FANOUT:
+                mid = len(entries) // 2
+                right = _Leaf(entries[mid:])
+                del entries[mid:]
+                return right.entries[0], right
+            return None
+        # bisect_right: an entry equal to a separator lives in (and an
+        # idempotent duplicate must be *found* in) the right subtree
+        child_idx = bisect_right(node.keys, entry)
+        split = self._tree_insert(node.children[child_idx], entry)
+        if self._mutated:
+            node.size += 1
+        if split is not None:
+            separator, right = split
+            node.keys.insert(child_idx, separator)
+            node.children.insert(child_idx + 1, right)
+            if len(node.children) > BTREE_FANOUT:
+                return self._split_inner(node)
+        return None
+
+    def _split_inner(
+        self, node: _Inner
+    ) -> "tuple[tuple, _Inner]":
+        mid = len(node.keys) // 2
+        separator = node.keys[mid]
+        right = _Inner(node.keys[mid + 1 :], node.children[mid + 1 :], 0)
+        del node.keys[mid:]
+        del node.children[mid + 1 :]
+        right.size = sum(_node_size(c) for c in right.children)
+        node.size -= right.size
+        return separator, right
+
+    def _tree_remove(
+        self, node: "_Leaf | _Inner", entry: tuple[tuple, int]
+    ) -> bool:
+        if type(node) is _Leaf:
+            entries = node.entries
+            pos = bisect_left(entries, entry)
+            if pos < len(entries) and entries[pos] == entry:
+                del entries[pos]
+                return True
+            return False
+        child_idx = bisect_right(node.keys, entry)
+        removed = self._tree_remove(node.children[child_idx], entry)
+        if removed:
+            node.size -= 1
+            self._rebalance(node, child_idx)
+        return removed
+
+    def _rebalance(self, parent: _Inner, child_idx: int) -> None:
+        """Restore half-fill of ``parent.children[child_idx]`` by borrowing
+        from an adjacent sibling (which has spare entries) or merging with
+        one (when neither sibling does); the root is exempt."""
+        child = parent.children[child_idx]
+        if type(child) is _Leaf:
+            if len(child.entries) >= _NODE_MIN:
+                return
+            if child_idx > 0:
+                left = parent.children[child_idx - 1]
+                if len(left.entries) > _NODE_MIN:
+                    child.entries.insert(0, left.entries.pop())
+                    parent.keys[child_idx - 1] = child.entries[0]
+                    return
+            if child_idx + 1 < len(parent.children):
+                right = parent.children[child_idx + 1]
+                if len(right.entries) > _NODE_MIN:
+                    child.entries.append(right.entries.pop(0))
+                    parent.keys[child_idx] = right.entries[0]
+                    return
+            if child_idx > 0:
+                left = parent.children[child_idx - 1]
+                left.entries.extend(child.entries)
+                del parent.children[child_idx]
+                del parent.keys[child_idx - 1]
+            else:
+                right = parent.children[child_idx + 1]
+                child.entries.extend(right.entries)
+                del parent.children[child_idx + 1]
+                del parent.keys[child_idx]
+            return
+        if len(child.children) >= _NODE_MIN:
+            return
+        if child_idx > 0:
+            left = parent.children[child_idx - 1]
+            if len(left.children) > _NODE_MIN:
+                moved = left.children.pop()
+                moved_size = _node_size(moved)
+                child.children.insert(0, moved)
+                child.keys.insert(0, parent.keys[child_idx - 1])
+                parent.keys[child_idx - 1] = left.keys.pop()
+                left.size -= moved_size
+                child.size += moved_size
+                return
+        if child_idx + 1 < len(parent.children):
+            right = parent.children[child_idx + 1]
+            if len(right.children) > _NODE_MIN:
+                moved = right.children.pop(0)
+                moved_size = _node_size(moved)
+                child.children.append(moved)
+                child.keys.append(parent.keys[child_idx])
+                parent.keys[child_idx] = right.keys.pop(0)
+                right.size -= moved_size
+                child.size += moved_size
+                return
+        if child_idx > 0:
+            left = parent.children[child_idx - 1]
+            left.keys.append(parent.keys[child_idx - 1])
+            left.keys.extend(child.keys)
+            left.children.extend(child.children)
+            left.size += child.size
+            del parent.children[child_idx]
+            del parent.keys[child_idx - 1]
+        else:
+            right = parent.children[child_idx + 1]
+            child.keys.append(parent.keys[child_idx])
+            child.keys.extend(right.keys)
+            child.children.extend(right.children)
+            child.size += right.size
+            del parent.children[child_idx + 1]
+            del parent.keys[child_idx]
+
+    @staticmethod
+    def _fanout_groups(count: int) -> int:
+        """Number of nodes to spread ``count`` children/entries over.
+
+        Aims for ~3/4 fill — freshly bulk-loaded trees keep insert
+        headroom instead of splitting on the first mutation — but never
+        drops a node below half fill (small counts fall back to fewer,
+        fuller nodes).
+        """
+        target = BTREE_FANOUT * 3 // 4
+        groups = (count + target - 1) // target
+        if groups > 1 and count // groups < _NODE_MIN:
+            groups = (count + BTREE_FANOUT - 1) // BTREE_FANOUT
+        return groups
+
+    def _build(self, entries: "list[tuple[tuple, int]]") -> None:
+        """Rebuild the whole tree bottom-up from sorted entries (O(n))."""
+        self._count = len(entries)
+        if len(entries) <= BTREE_FANOUT:
+            self._root = _Leaf(entries)
+            return
+        leaf_count = self._fanout_groups(len(entries))
+        base, extra = divmod(len(entries), leaf_count)
+        level: "list[_Leaf | _Inner]" = []
+        offset = 0
+        for i in range(leaf_count):
+            take = base + (1 if i < extra else 0)
+            level.append(_Leaf(entries[offset : offset + take]))
+            offset += take
+        while len(level) > 1:
+            parent_count = self._fanout_groups(len(level))
+            base, extra = divmod(len(level), parent_count)
+            parents: "list[_Leaf | _Inner]" = []
+            offset = 0
+            for i in range(parent_count):
+                take = base + (1 if i < extra else 0)
+                children = level[offset : offset + take]
+                offset += take
+                keys = [self._min_entry(c) for c in children[1:]]
+                size = sum(_node_size(c) for c in children)
+                parents.append(_Inner(keys, children, size))
+            level = parents
+        self._root = level[0]
+
+    @staticmethod
+    def _min_entry(node: "_Leaf | _Inner") -> tuple[tuple, int]:
+        while type(node) is _Inner:
+            node = node.children[0]
+        return node.entries[0]
+
+    def check_invariants(self) -> None:
+        """Assert the full B+tree shape (tests and debugging only)."""
+        entries = list(self._iter_entries(0, self._count))
+        assert entries == sorted(entries), "entries out of order"
+        assert len(entries) == self._count, "count drifted from contents"
+
+        def walk(node: "_Leaf | _Inner", is_root: bool) -> tuple[int, int]:
+            """Returns (subtree entry count, leaf depth)."""
+            if type(node) is _Leaf:
+                assert len(node.entries) <= BTREE_FANOUT, "overfull leaf"
+                if not is_root:
+                    assert len(node.entries) >= _NODE_MIN, "underfull leaf"
+                return len(node.entries), 0
+            assert len(node.children) == len(node.keys) + 1, "key/child drift"
+            assert len(node.children) <= BTREE_FANOUT, "overfull inner node"
+            minimum = 2 if is_root else _NODE_MIN
+            assert len(node.children) >= minimum, "underfull inner node"
+            total = 0
+            depths = set()
+            for i, child in enumerate(node.children):
+                size, depth = walk(child, False)
+                total += size
+                depths.add(depth)
+                if i > 0:
+                    assert self._min_entry(child) >= node.keys[i - 1], (
+                        "separator above right subtree"
+                    )
+                if i < len(node.keys):
+                    last = child
+                    while type(last) is _Inner:
+                        last = last.children[-1]
+                    assert last.entries[-1] < node.keys[i], (
+                        "separator below left subtree"
+                    )
+            assert len(depths) == 1, "leaves at unequal depths"
+            assert total == node.size, "subtree size drifted"
+            return total, depths.pop() + 1
+
+        walk(self._root, True)
 
     # ------------------------------------------------------ HashIndex surface
 
@@ -245,8 +578,8 @@ class SortedIndex:
 
     def _equal_run(self, ok: tuple) -> tuple[int, int]:
         """[start, end) of entries whose full ordering key equals ``ok``."""
-        start = bisect_left(self._entries, (ok,))
-        end = bisect_left(self._entries, (ok + (_AFTER,),))
+        start = self._position((ok,))
+        end = self._position((ok + (_AFTER,),))
         return start, end
 
     def insert(self, rid: int, row: Row, owner: str = "?") -> None:
@@ -254,56 +587,66 @@ class SortedIndex:
         ok = ordering_key(key)
         if self.unique and not self._has_null(key):
             start, end = self._equal_run(ok)
-            if any(r != rid for _, r in self._entries[start:end]):
+            if any(r != rid for _, r in self._iter_entries(start, end)):
                 raise UniqueViolation(
                     f"duplicate key value violates unique constraint "
                     f"{self.name!r} on {owner}({', '.join(self.columns)}): "
                     f"{key!r}"
                 )
-        entry = (ok, rid)
-        pos = bisect_left(self._entries, entry)
-        if pos < len(self._entries) and self._entries[pos] == entry:
-            return  # idempotent re-insert of the same (key, rid)
-        self._entries.insert(pos, entry)
+        self._mutated = True
+        split = self._tree_insert(self._root, (ok, rid))
+        if self._mutated:
+            self._count += 1
+        if split is not None:
+            separator, right = split
+            self._root = _Inner([separator], [self._root, right], self._count)
 
     def remove(self, rid: int, row: Row) -> None:
         entry = (ordering_key(self.key_for(row)), rid)
-        pos = bisect_left(self._entries, entry)
-        if pos < len(self._entries) and self._entries[pos] == entry:
-            del self._entries[pos]
+        if self._tree_remove(self._root, entry):
+            self._count -= 1
+            root = self._root
+            while type(root) is _Inner and len(root.children) == 1:
+                root = root.children[0]
+            self._root = root
 
     def bulk_load(
         self, rows: "Iterator[tuple[int, Row]] | list[tuple[int, Row]]"
     ) -> None:
-        """Sort known-consistent rows in one pass (snapshot recovery)."""
+        """Sort known-consistent rows and build the tree in one pass
+        (snapshot recovery)."""
         columns = self.columns
-        self._entries = sorted(
-            (ordering_key(tuple(row.get(c) for c in columns)), rid)
-            for rid, row in rows
+        self._build(
+            sorted(
+                (ordering_key(tuple(row.get(c) for c in columns)), rid)
+                for rid, row in rows
+            )
         )
 
     def backfill(self, rows: "Iterator[tuple[int, Row]]", owner: str = "?") -> None:
         """Fill a detached index from live rows (CREATE INDEX backfill).
 
-        One sort instead of n insorts; uniqueness falls out of adjacency —
-        duplicate non-NULL keys end up next to each other.
+        One sort instead of n tree inserts; uniqueness falls out of
+        adjacency — duplicate non-NULL keys end up next to each other.
         """
         self.bulk_load(rows)
         if self.unique:
-            for (ok, _), (next_ok, _) in zip(self._entries, self._entries[1:]):
-                if ok == next_ok and not any(e[0] == 2 for e in ok):
-                    self._entries = []
+            previous_ok = None
+            for ok, _ in self._iter_entries(0, self._count):
+                if ok == previous_ok and not any(e[0] == 2 for e in ok):
+                    self._build([])
                     raise UniqueViolation(
                         f"duplicate key value violates unique constraint "
                         f"{self.name!r} on {owner}({', '.join(self.columns)})"
                     )
+                previous_ok = ok
 
     def probe(self, key: tuple) -> set[int]:
         """rids whose indexed columns equal ``key`` exactly (NULL-free)."""
         if self._has_null(key):
             return set()
         start, end = self._equal_run(ordering_key(key))
-        return {rid for _, rid in self._entries[start:end]}
+        return {rid for _, rid in self._iter_entries(start, end)}
 
     def would_violate(self, row: Row, ignore_rid: int | None = None) -> bool:
         if not self.unique:
@@ -312,13 +655,13 @@ class SortedIndex:
         if self._has_null(key):
             return False
         start, end = self._equal_run(ordering_key(key))
-        return any(r != ignore_rid for _, r in self._entries[start:end])
+        return any(r != ignore_rid for _, r in self._iter_entries(start, end))
 
     def rename_column(self, old: str, new: str) -> None:
         self.columns = tuple(new if c == old else c for c in self.columns)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return self._count
 
     # -------------------------------------------------------- ordered access
 
@@ -349,8 +692,8 @@ class SortedIndex:
         else:
             element = ordering_key_element(high)
             hi_key = pre + ((element, _AFTER) if incl_high else (element,))
-        start = bisect_left(self._entries, (lo_key,))
-        end = bisect_left(self._entries, (hi_key,))
+        start = self._position((lo_key,))
+        end = self._position((hi_key,))
         return start, end
 
     def range_rids(
@@ -363,7 +706,7 @@ class SortedIndex:
     ) -> list[int]:
         """rids in key order for an equality-prefix + range probe."""
         start, end = self.slice_bounds(prefix, low, high, incl_low, incl_high)
-        return [rid for _, rid in self._entries[start:end]]
+        return [rid for _, rid in self._iter_entries(start, end)]
 
     def ordered_rids(
         self,
@@ -385,23 +728,28 @@ class SortedIndex:
         ``prefix`` carries the equality-bound leading values so rank
         boundaries bisect at the right key depth.
         """
-        entries = self._entries
         if end is None:
-            end = len(entries)
+            end = self._count
         if not reverse:
-            for i in range(start, end):
-                yield entries[i][1]
+            for _, rid in self._iter_entries(start, end):
+                yield rid
             return
+
+        def bounded_position(search: tuple) -> int:
+            # bisect within [start, end) of a sorted sequence == the
+            # global bisect clamped into the window
+            return min(max(self._position(search), start), end)
+
         pre = ordering_key(prefix)
         for rank in (0, 1, 2):
-            lo = bisect_left(entries, (pre + ((rank,),),), start, end)
-            hi = bisect_left(entries, (pre + ((rank + 1,),),), start, end)
+            lo = bounded_position((pre + ((rank,),),))
+            hi = bounded_position((pre + ((rank + 1,),),))
             run_end = hi
             while run_end > lo:
-                key = entries[run_end - 1][0]
-                run_start = bisect_left(entries, (key,), lo, run_end)
-                for i in range(run_start, run_end):
-                    yield entries[i][1]
+                key = self._entry_at(run_end - 1)[0]
+                run_start = min(max(self._position((key,)), lo), run_end)
+                for _, rid in self._iter_entries(run_start, run_end):
+                    yield rid
                 run_end = run_start
 
 

@@ -5,7 +5,9 @@ the snapshot and ``create_index`` WAL records; recovery rebuilds the
 sorted arrays from rows via the bulk loader. These tests pin the whole
 contract: a recovered database plans and executes the same range/ordered
 scans as the one that crashed, and a torn ``create_index`` record is
-discarded whole.
+discarded whole. ``ANALYZE`` statistics ride the same machinery — the
+snapshot carries their computed payloads, ``analyze`` WAL records replay
+without rescanning, and pre-statistics snapshots still open.
 """
 
 from __future__ import annotations
@@ -94,6 +96,101 @@ class TestSnapshotRoundTrip:
         db2.close()
 
 
+class TestStatisticsDurability:
+    SKEWED_ROWS = 400
+
+    def skewed(self, path: str) -> Database:
+        """90% of ``hot`` is 0 while ``val`` stays ~unique: statically the
+        hash probe on hot wins, with statistics the range slice must."""
+        db = Database.open(path)
+        session = db.connect("admin")
+        session.execute("CREATE TABLE k (id INT PRIMARY KEY, hot INT, val INT)")
+        heap = db.heap("k")
+        for i in range(self.SKEWED_ROWS):
+            heap.insert(
+                {
+                    "id": i,
+                    "hot": i if i % 10 == 0 else 0,
+                    "val": (i * 7919) % self.SKEWED_ROWS,
+                }
+            )
+        session.execute("CREATE INDEX ix_hot ON k (hot)")
+        session.execute("CREATE INDEX ix_kval ON k USING BTREE (val)")
+        return db
+
+    SKEW_SQL = "SELECT COUNT(*) FROM k WHERE hot = 0 AND val >= 100 AND val < 120"
+
+    def assert_cost_based(self, db: Database) -> None:
+        plan = db.connect("admin").execute(
+            f"EXPLAIN {self.SKEW_SQL}"
+        ).rows[0][0]
+        assert "Index Range Scan using ix_kval" in plan
+        assert "est. rows" in plan
+
+    def test_analyze_survives_checkpointed_reopen(self, dbdir):
+        db = self.skewed(dbdir)
+        db.connect("admin").execute("ANALYZE k")
+        db.checkpoint()
+        db.close()
+        db2 = reopen(dbdir)
+        stats = db2.catalog.statistics["k"]
+        assert stats.row_count == self.SKEWED_ROWS
+        # the snapshot restores the exact payload, uid stamp included, so
+        # recovered statistics still drive cost-based planning
+        assert stats.uid == db2.heap("k").uid
+        self.assert_cost_based(db2)
+        db2.close()
+
+    def test_analyze_replays_from_wal_after_crash(self, dbdir):
+        db = self.skewed(dbdir)
+        db.checkpoint()
+        db.connect("admin").execute("ANALYZE k")
+        del db  # simulated crash: the analyze record only lives in the WAL
+        gc.collect()
+        db2 = reopen(dbdir)
+        # replay restores the *computed* statistics payload — never rescans
+        assert db2.catalog.statistics["k"].row_count == self.SKEWED_ROWS
+        self.assert_cost_based(db2)
+        db2.close()
+
+    def test_rolled_back_analyze_not_durable(self, dbdir):
+        db = self.skewed(dbdir)
+        session = db.connect("admin")
+        session.execute("BEGIN")
+        session.execute("ANALYZE k")
+        session.execute("ROLLBACK")
+        db.close()
+        db2 = reopen(dbdir)
+        assert "k" not in db2.catalog.statistics
+        db2.close()
+
+    def test_pre_statistics_snapshot_opens_and_replans(self, dbdir):
+        # PR-7-and-earlier snapshots have no "statistics" key: they must
+        # open cleanly and plan by static preference until ANALYZE runs
+        import json
+
+        db = self.skewed(dbdir)
+        db.connect("admin").execute("ANALYZE k")
+        db.checkpoint()
+        db.close()
+        snapshot_path = os.path.join(dbdir, "snapshot.json")
+        with open(snapshot_path) as fh:
+            data = json.load(fh)
+        del data["statistics"]
+        with open(snapshot_path, "w") as fh:
+            json.dump(data, fh)
+        db2 = reopen(dbdir)
+        assert db2.catalog.statistics == {}
+        session = db2.connect("admin")
+        plan = session.execute(f"EXPLAIN {self.SKEW_SQL}").rows[0][0]
+        assert "Index Scan using ix_hot" in plan
+        assert "est. rows" not in plan
+        # a fresh ANALYZE restores cost-based planning
+        session.execute("ANALYZE k")
+        self.assert_cost_based(db2)
+        db2.close()
+
+
 class TestWalReplay:
     def test_create_index_after_checkpoint_survives_crash(self, dbdir):
         db = Database.open(dbdir)
@@ -172,6 +269,20 @@ class TestTornTail:
         assert db2.heap("t").indexes["ix_val"].range_rids(low=10, high=30) == [
             2, 4, 1,
         ]
+        db2.close()
+
+    def test_torn_analyze_discarded_whole(self, dbdir):
+        db = seeded(dbdir)
+        db.checkpoint()
+        db.connect("admin").execute("ANALYZE t")
+        db.close()
+        wal_path = os.path.join(dbdir, "wal.jsonl")
+        with open(wal_path, "rb") as fh:
+            data = fh.read()
+        with open(wal_path, "wb") as fh:
+            fh.write(data[:-3])
+        db2 = reopen(dbdir)
+        assert "t" not in db2.catalog.statistics
         db2.close()
 
     def test_garbage_tail_after_create_index(self, dbdir):

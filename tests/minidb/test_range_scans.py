@@ -19,6 +19,7 @@ from repro.minidb.planner import (
     choose_access_path,
     extract_equality_bindings,
     extract_range_bindings,
+    extract_union_bindings,
 )
 
 BASELINE = {
@@ -405,6 +406,256 @@ class TestDMLAccessPaths:
         assert s.execute("SELECT COUNT(*) FROM t WHERE val > 90").scalar() == 0
 
 
+class TestUnionExtraction:
+    def where(self, sql):
+        return parse(f"SELECT * FROM t WHERE {sql}").where
+
+    def test_in_list_collects_points(self):
+        unions = extract_union_bindings(self.where("a IN (1, 2, 3)"), "t")
+        assert unions["a"].points == [1, 2, 3]
+        assert unions["a"].ranges == []
+
+    def test_in_list_drops_nulls_and_duplicates(self):
+        unions = extract_union_bindings(
+            self.where("a IN (5, NULL, 5, 2, 2)"), "t"
+        )
+        assert unions["a"].points == [5, 2]
+
+    def test_negated_and_subquery_in_ignored(self):
+        assert extract_union_bindings(self.where("a NOT IN (1, 2)"), "t") == {}
+        assert (
+            extract_union_bindings(
+                self.where("a IN (SELECT a FROM t)"), "t"
+            )
+            == {}
+        )
+
+    def test_or_chain_of_ranges_and_points(self):
+        unions = extract_union_bindings(
+            self.where("a < 2 OR a BETWEEN 5 AND 7 OR a = 11"), "t"
+        )
+        entry = unions["a"]
+        assert entry.points == [11]
+        assert len(entry.ranges) == 2
+        assert (entry.ranges[0].high, entry.ranges[0].incl_high) == (2, False)
+        assert (entry.ranges[1].low, entry.ranges[1].high) == (5, 7)
+
+    def test_or_across_columns_rejected(self):
+        assert extract_union_bindings(self.where("a = 1 OR b = 2"), "t") == {}
+
+    def test_one_bad_disjunct_disqualifies_the_chain(self):
+        assert (
+            extract_union_bindings(
+                self.where("a = 1 OR a = 2 OR a LIKE 'x'"), "t"
+            )
+            == {}
+        )
+
+    def test_tighter_conjunct_wins(self):
+        unions = extract_union_bindings(
+            self.where("a IN (1, 2, 3) AND a IN (2, 3)"), "t"
+        )
+        assert unions["a"].points == [2, 3]
+
+    def test_other_binding_qualifier_ignored(self):
+        assert extract_union_bindings(self.where("u.a IN (1, 2)"), "t") == {}
+
+
+class TestUnionExecution:
+    def test_in_list_uses_union_scan(self, s):
+        before = dict(s.db.planner_stats)
+        rows = both_plans(s, "SELECT id FROM t WHERE val IN (10, 20, 30)")
+        assert rows
+        assert s.db.planner_stats["union_scans"] == before["union_scans"] + 1
+        # exactly one seq scan: the forced-baseline leg of both_plans
+        assert s.db.planner_stats["seq_scans"] == before["seq_scans"] + 1
+
+    def test_or_of_ranges_uses_union_scan(self, s):
+        before = s.db.planner_stats["union_scans"]
+        both_plans(
+            s, "SELECT id FROM t WHERE val < 5 OR val BETWEEN 90 AND 95"
+        )
+        assert s.db.planner_stats["union_scans"] == before + 1
+
+    def test_union_with_nulls_and_duplicates_identical(self, s):
+        both_plans(s, "SELECT id FROM t WHERE val IN (1, NULL, 1, 99, 99)")
+        both_plans(s, "SELECT id FROM t WHERE val IN (NULL)")
+
+    def test_residual_predicate_still_applied(self, s):
+        rows = both_plans(
+            s, "SELECT id, name FROM t WHERE val IN (10, 20) AND name = 'n1'"
+        )
+        assert all(name == "n1" for _, name in rows)
+
+    def test_hash_index_serves_point_only_union(self, s):
+        s.execute("CREATE TABLE h (x INT, y INT)")
+        s.execute("CREATE INDEX ix_h ON h (x)")  # hash
+        for i in range(50):
+            s.execute(f"INSERT INTO h VALUES ({i % 5}, {i})")
+        before = s.db.planner_stats["union_scans"]
+        rows = both_plans(s, "SELECT y FROM h WHERE x IN (1, 3)")
+        assert len(rows) == 20
+        assert s.db.planner_stats["union_scans"] == before + 1
+        # ranges disqualify the hash index: no btree on x -> seq scan
+        unions = extract_union_bindings(
+            parse("SELECT * FROM h WHERE x = 1 OR x > 3").where, "h"
+        )
+        path, _, _ = choose_access_path("h", s.db.heap("h"), [], unions=unions)
+        assert path.kind == "seq"
+
+    def test_explain_shows_union_plan(self, s):
+        result = s.execute("EXPLAIN SELECT * FROM t WHERE val IN (1, 2)")
+        assert "Index Union Scan using ix_val on t (val IN (1, 2))" in (
+            result.rows[0][0]
+        )
+
+    def test_full_equality_probe_beats_union(self, s):
+        before = dict(s.db.planner_stats)
+        both_plans(s, "SELECT id FROM t WHERE id = 7 AND val IN (1, 2)")
+        assert s.db.planner_stats["index_scans"] > before["index_scans"]
+        assert s.db.planner_stats["union_scans"] == before["union_scans"]
+
+    def test_union_respects_disabled_index_scans(self, s):
+        s.db.planner_options["enable_index_scan"] = False
+        try:
+            before = dict(s.db.planner_stats)
+            s.execute("SELECT id FROM t WHERE val IN (1, 2)")
+            assert s.db.planner_stats["seq_scans"] == before["seq_scans"] + 1
+            assert s.db.planner_stats["union_scans"] == before["union_scans"]
+        finally:
+            s.db.planner_options["enable_index_scan"] = True
+
+
+class TestDMLUnionAndCounterParity:
+    """DML target resolution must bump the same planner_stats counters as
+    the equivalent SELECT — the regression this PR pins."""
+
+    def test_update_through_union_scan(self, s):
+        before = dict(s.db.planner_stats)
+        s.execute("UPDATE t SET name = 'u' WHERE val IN (10, 20, 30)")
+        assert s.db.planner_stats["union_scans"] == before["union_scans"] + 1
+        assert s.db.planner_stats["seq_scans"] == before["seq_scans"]
+
+    def test_delete_through_union_scan(self, s):
+        count = s.execute(
+            "SELECT COUNT(*) FROM t WHERE val IN (97, 98, 99)"
+        ).scalar()
+        before = dict(s.db.planner_stats)
+        result = s.execute("DELETE FROM t WHERE val IN (97, 98, 99)")
+        assert result.rowcount == count > 0
+        assert s.db.planner_stats["union_scans"] == before["union_scans"] + 1
+        assert s.db.planner_stats["seq_scans"] == before["seq_scans"]
+
+    def test_select_and_dml_bump_same_counters(self, s):
+        for sql_select, sql_dml, counter in (
+            (
+                "SELECT id FROM t WHERE val >= 10 AND val < 20",
+                "UPDATE t SET name = 'x' WHERE val >= 10 AND val < 20",
+                "range_scans",
+            ),
+            (
+                "SELECT id FROM t WHERE id = 3",
+                "UPDATE t SET name = 'x' WHERE id = 3",
+                "index_scans",
+            ),
+            (
+                "SELECT id FROM t WHERE val IN (1, 2)",
+                "DELETE FROM t WHERE val IN (1, 2)",
+                "union_scans",
+            ),
+        ):
+            before = dict(s.db.planner_stats)
+            s.execute(sql_select)
+            mid = dict(s.db.planner_stats)
+            assert mid[counter] == before[counter] + 1, counter
+            s.execute(sql_dml)
+            after = dict(s.db.planner_stats)
+            assert after[counter] == mid[counter] + 1, counter
+            assert after["seq_scans"] == before["seq_scans"], counter
+
+    def test_union_dml_undo_through_rollback(self, s):
+        before = s.db.snapshot()
+        s.execute("BEGIN")
+        s.execute("UPDATE t SET name = 'tmp' WHERE val IN (10, 20)")
+        s.execute("DELETE FROM t WHERE val IN (30, 40)")
+        s.execute("ROLLBACK")
+        assert s.db.snapshot() == before
+
+
+class TestCostBasedPlanning:
+    @pytest.fixture
+    def skewed(self):
+        db = Database(owner="a")
+        session = db.connect("a")
+        session.execute(
+            "CREATE TABLE k (id INT PRIMARY KEY, hot INT, val INT)"
+        )
+        heap = db.heap("k")
+        for i in range(1000):
+            heap.insert(
+                {
+                    "id": i,
+                    # 90% of rows share hot=0, the rest are distinct
+                    "hot": i if i % 10 == 0 else 0,
+                    "val": (i * 7919) % 1000,
+                }
+            )
+        session.execute("CREATE INDEX ix_hot ON k (hot)")  # hash
+        session.execute("CREATE INDEX ix_kval ON k USING BTREE (val)")
+        return session
+
+    SKEW_SQL = "SELECT COUNT(*) FROM k WHERE hot = 0 AND val >= 100 AND val < 120"
+
+    def test_static_order_picks_the_heavy_probe(self, skewed):
+        plan = skewed.execute(f"EXPLAIN {self.SKEW_SQL}").rows[0][0]
+        assert "Index Scan using ix_hot" in plan
+        assert "est. rows" not in plan  # no statistics yet
+
+    def test_stats_switch_to_the_cheaper_range(self, skewed):
+        """The regression pin: with ANALYZE statistics the cost model must
+        override the static preference for the fully-bound hash probe."""
+        without = skewed.execute(self.SKEW_SQL).scalar()
+        skewed.execute("ANALYZE k")
+        plan = skewed.execute(f"EXPLAIN {self.SKEW_SQL}").rows[0][0]
+        assert "Index Range Scan using ix_kval" in plan
+        assert "est. rows" in plan
+        assert skewed.execute(self.SKEW_SQL).scalar() == without
+
+    def test_stale_uid_statistics_are_ignored(self, skewed):
+        skewed.execute("ANALYZE k")
+        skewed.execute("DROP TABLE k")
+        skewed.execute("CREATE TABLE k (id INT PRIMARY KEY, hot INT, val INT)")
+        skewed.execute("CREATE INDEX ix_hot ON k (hot)")
+        skewed.execute("CREATE INDEX ix_kval ON k USING BTREE (val)")
+        # recreation dropped the stats with the table; but even a manually
+        # restored entry with the old uid must not influence planning
+        plan = skewed.execute(f"EXPLAIN {self.SKEW_SQL}").rows[0][0]
+        assert "est. rows" not in plan
+
+    def test_unanalyzed_plans_match_static_order(self, skewed):
+        # no ANALYZE anywhere: the static preference order is untouched
+        for sql, expected in (
+            (self.SKEW_SQL, "Index Scan using ix_hot"),
+            ("SELECT * FROM k WHERE val > 5", "Index Range Scan"),
+            ("SELECT * FROM k WHERE val IN (1, 2)", "Index Union Scan"),
+        ):
+            assert expected in skewed.execute(f"EXPLAIN {sql}").rows[0][0]
+
+    def test_estimates_appear_after_analyze(self, skewed):
+        skewed.execute("ANALYZE")
+        for sql in (
+            "SELECT * FROM k WHERE id = 5",
+            "SELECT * FROM k WHERE val IN (1, 2, 3)",
+            "SELECT * FROM k",
+        ):
+            assert "est. rows" in skewed.execute(f"EXPLAIN {sql}").rows[0][0]
+
+    def test_unique_probe_estimate_clamps_to_one(self, skewed):
+        skewed.execute("ANALYZE k")
+        plan = skewed.execute("EXPLAIN SELECT * FROM k WHERE id = 5").rows[0][0]
+        assert "est. rows=1" in plan
+
+
 class TestCompiledPredicates:
     def test_seq_scan_where_equivalence(self, s):
         both_plans(
@@ -471,7 +722,33 @@ comparison = st.tuples(
     st.integers(0, 12),
 )
 
-where_strategy = st.lists(comparison, min_size=0, max_size=3)
+# IN-lists keep NULL members and duplicates on purpose: the union path
+# must drop/dedup them while staying byte-identical to the seq scan
+in_conjunct = st.tuples(
+    st.just("IN"),
+    st.sampled_from(COLUMNS),
+    st.lists(st.one_of(st.none(), st.integers(0, 12)), min_size=1, max_size=6),
+)
+
+# OR-of-ranges over one column — eligible for the union path when every
+# disjunct qualifies, a plain filter otherwise
+or_conjunct = st.tuples(
+    st.just("OR"),
+    st.sampled_from(COLUMNS),
+    st.lists(
+        st.tuples(
+            st.sampled_from([">", ">=", "<", "<=", "=", "BETWEEN"]),
+            st.integers(0, 12),
+            st.integers(0, 12),
+        ),
+        min_size=2,
+        max_size=3,
+    ),
+)
+
+where_strategy = st.lists(
+    st.one_of(comparison, in_conjunct, or_conjunct), min_size=0, max_size=3
+)
 
 order_strategy = st.one_of(
     st.none(),
@@ -486,16 +763,36 @@ limit_strategy = st.one_of(
 )
 
 
-def build_statement(conjuncts, order, limit):
-    sql = "SELECT id, a, b, c FROM t"
-    if conjuncts:
+def conjunct_column(entry):
+    return entry[1] if entry[0] in ("IN", "OR") else entry[0]
+
+
+def render_conjunct(entry):
+    if entry[0] == "IN":
+        _, column, members = entry
+        body = ", ".join("NULL" if m is None else str(m) for m in members)
+        return f"{column} IN ({body})"
+    if entry[0] == "OR":
+        _, column, disjuncts = entry
         parts = []
-        for column, op, lo, hi in conjuncts:
+        for op, lo, hi in disjuncts:
             if op == "BETWEEN":
                 parts.append(f"{column} BETWEEN {min(lo, hi)} AND {max(lo, hi)}")
             else:
                 parts.append(f"{column} {op} {lo}")
-        sql += " WHERE " + " AND ".join(parts)
+        return "(" + " OR ".join(parts) + ")"
+    column, op, lo, hi = entry
+    if op == "BETWEEN":
+        return f"{column} BETWEEN {min(lo, hi)} AND {max(lo, hi)}"
+    return f"{column} {op} {lo}"
+
+
+def build_statement(conjuncts, order, limit):
+    sql = "SELECT id, a, b, c FROM t"
+    if conjuncts:
+        sql += " WHERE " + " AND ".join(
+            render_conjunct(entry) for entry in conjuncts
+        )
     if order is not None:
         columns, descending = order
         suffix = " DESC" if descending else ""
@@ -515,9 +812,10 @@ def build_statement(conjuncts, order, limit):
 ))
 def test_indexed_execution_equivalent_to_seq_scan(rows, statements):
     """Random data + random statements: fast paths vs forced seq scans
-    must match byte for byte — NULL ordering, duplicate keys, and
-    LIMIT-straddling ties included. Text columns use integer-free values
-    so both plans stay inside comparable-type territory."""
+    must match byte for byte — NULL ordering, duplicate keys,
+    LIMIT-straddling ties, IN-lists with NULL/duplicate members, and
+    OR-of-ranges included. Text columns use integer-free values so both
+    plans stay inside comparable-type territory."""
     db = Database(owner="a")
     session = db.connect("a")
     session.execute("CREATE TABLE t (id INT PRIMARY KEY, a INT, b INT, c TEXT)")
@@ -531,7 +829,9 @@ def test_indexed_execution_equivalent_to_seq_scan(rows, statements):
         # c is TEXT: integer comparisons against it would raise (a
         # data-dependent error the access-path contract lets plans skip);
         # it still participates via ORDER BY c and the ix_c ordered scan
-        text_free = [entry for entry in conjuncts if entry[0] != "c"]
+        text_free = [
+            entry for entry in conjuncts if conjunct_column(entry) != "c"
+        ]
         sql = build_statement(text_free, order, limit)
         fast = session.execute(sql).rows
         db.planner_options.update(BASELINE)

@@ -8,12 +8,15 @@ adding the ordered-access contract the executor's fast paths rely on:
 order (rank classes forward, values backward, ties in rid order).
 """
 
+import random
+
 import pytest
 
 from repro.minidb import Database, UniqueViolation, parse
 from repro.minidb import ast_nodes as ast
 from repro.minidb.sqlgen import create_index_to_sql
 from repro.minidb.storage import (
+    BTREE_FANOUT,
     HashIndex,
     HeapTable,
     SortedIndex,
@@ -185,6 +188,107 @@ class TestHeapIntegration:
         assert heap.find_index(("a",)).name == "h"
         heap.drop_index("h")
         assert heap.find_index(("a",)).name == "s"
+
+
+class TestNodeSplitsAndMerges:
+    """The B+tree shape under mutation: every scenario drives the index
+    through enough entries to force multi-level splits (several times the
+    fanout), checks the full structural invariant set (`check_invariants`:
+    fill bounds, equal leaf depth, subtree sizes, separator partitions),
+    and confirms the logical contents stayed a sorted array."""
+
+    N = BTREE_FANOUT * 6 + 17  # three levels deep, with a ragged tail
+
+    def expected(self, rows):
+        return sorted((ordering_key((row["a"],)), rid) for rid, row in rows)
+
+    def contents(self, index):
+        return list(index._iter_entries(0, len(index)))
+
+    def fill(self, order):
+        index = SortedIndex("ix", ("a",))
+        rows = [(rid, {"a": value}) for rid, value in order]
+        for rid, row in rows:
+            index.insert(rid, row)
+            index.check_invariants()
+        assert self.contents(index) == self.expected(rows)
+        return index, rows
+
+    def test_ascending_insertion_splits(self):
+        index, _ = self.fill((i, i) for i in range(self.N))
+        assert len(index) == self.N
+
+    def test_descending_insertion_splits(self):
+        index, _ = self.fill((i, self.N - i) for i in range(self.N))
+        assert len(index) == self.N
+
+    def test_random_insertion_splits(self):
+        rng = random.Random(8)
+        values = list(range(self.N))
+        rng.shuffle(values)
+        index, _ = self.fill(enumerate(values))
+        assert len(index) == self.N
+
+    def test_duplicate_heavy_insertion(self):
+        # dozens of rids per key: equal runs span node boundaries
+        index, rows = self.fill((i, i % 5) for i in range(self.N))
+        assert index.probe((3,)) == {
+            rid for rid, row in rows if row["a"] == 3
+        }
+
+    def test_deletion_down_to_empty_ascending(self):
+        index, rows = self.fill((i, i) for i in range(self.N))
+        for rid, row in rows:
+            index.remove(rid, row)
+            index.check_invariants()
+        assert len(index) == 0
+        assert self.contents(index) == []
+        # an emptied tree accepts inserts again
+        index.insert(1, {"a": 9})
+        assert index.probe((9,)) == {1}
+
+    def test_deletion_down_to_empty_descending(self):
+        index, rows = self.fill((i, i) for i in range(self.N))
+        for rid, row in reversed(rows):
+            index.remove(rid, row)
+            index.check_invariants()
+        assert len(index) == 0
+
+    def test_deletion_down_to_empty_random(self):
+        rng = random.Random(15)
+        index, rows = self.fill((i, i % 7) for i in range(self.N))
+        shuffled = list(rows)
+        rng.shuffle(shuffled)
+        for rid, row in shuffled:
+            index.remove(rid, row)
+            index.check_invariants()
+        assert len(index) == 0
+
+    def test_mixed_churn_matches_flat_model(self):
+        rng = random.Random(77)
+        index = SortedIndex("ix", ("a",))
+        live = {}
+        for step in range(self.N * 2):
+            if rng.random() < 0.6 or not live:
+                value = rng.choice([None, rng.randint(0, 40), "s%d" % (step % 9)])
+                index.insert(step, {"a": value})
+                live[step] = {"a": value}
+            else:
+                rid = rng.choice(list(live))
+                index.remove(rid, live.pop(rid))
+        index.check_invariants()
+        assert self.contents(index) == self.expected(live.items())
+
+    def test_bulk_load_shape_and_idempotent_reinsert(self):
+        rows = [(i, {"a": (i * 13) % 101}) for i in range(self.N)]
+        index = SortedIndex("ix", ("a",))
+        index.bulk_load(rows)
+        index.check_invariants()
+        assert self.contents(index) == self.expected(rows)
+        before = self.contents(index)
+        index.insert(5, dict(rows[5][1]))  # same (key, rid): a no-op
+        assert self.contents(index) == before
+        assert len(index) == self.N
 
 
 class TestBtreeDDL:
