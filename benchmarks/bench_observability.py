@@ -1,0 +1,118 @@
+"""Observability benchmark: zero-cost-when-dark gate + feature sanity.
+
+Runs :mod:`repro.bench.observability`:
+
+* the statement hot path with every ``observability_options`` switch dark
+  must cost at most a few percent over a build with no observability
+  dispatch at all (the PR-9 zero-cost-when-dark contract, gated like the
+  PR-7 seam overhead), and
+* a lit-up feature probe (tracing + slow log + EXPLAIN ANALYZE + system
+  views) whose surfaces must all be populated — the traced overhead is
+  reported but not gated.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_observability.py           # full
+    PYTHONPATH=src python benchmarks/bench_observability.py --smoke   # CI
+
+Appends the measured result to ``BENCH_obs.json`` (override with
+``--out``; runs accumulate in a ``history`` list so the trajectory is
+tracked across PRs). Exits non-zero if the dark-overhead gate or the
+feature sanity checks fail.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.observability import (
+    experiment_observability,
+    measure_dark_overhead,
+)
+from repro.bench.reporting import record_bench_result, render_observability
+
+DARK_OVERHEAD_PCT = 5.0
+#: a one-shot timing burst must not fail CI: the overhead gate re-measures
+#: (each measurement is already best-of-N) and takes the minimum
+DARK_REMEASURES = 3
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--statements", type=int, default=600,
+                        help="point lookups per variant round")
+    parser.add_argument("--rows", type=int, default=2_000,
+                        help="rows in the benchmark table")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="interleaved rounds per measurement")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (smaller sizes)")
+    parser.add_argument("--out", default="BENCH_obs.json",
+                        help="where to append the JSON result")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        sizes = dict(statements=300, rows=1_000, repeats=4)
+    else:
+        sizes = dict(
+            statements=args.statements, rows=args.rows, repeats=args.repeats
+        )
+
+    result = experiment_observability(**sizes)
+    # the gate is a few-percent threshold on a noisy host: on a miss,
+    # re-measure and keep the best reading before concluding the dark
+    # dispatch itself (rather than a scheduler burst) costs too much
+    attempts = 1
+    while (
+        result["overhead"]["dark_overhead_pct"] > DARK_OVERHEAD_PCT
+        and attempts < DARK_REMEASURES
+    ):
+        attempts += 1
+        remeasured = measure_dark_overhead(**sizes)
+        if remeasured["dark_overhead_pct"] < result["overhead"]["dark_overhead_pct"]:
+            result["overhead"] = remeasured
+    result["overhead"]["measurements"] = attempts
+
+    print(render_observability(result))
+
+    overhead = result["overhead"]
+    features = result["features"]
+    features_ok = (
+        features["system_statements_rows"] > 0
+        and features["system_metrics_rows"] > 0
+        and features["slow_entries"] > 0
+        and features["explain_analyze_lines"] >= 3
+        and features["spans_last_statement"] > 0
+    )
+    passed = overhead["dark_overhead_pct"] <= DARK_OVERHEAD_PCT and features_ok
+    payload = dict(
+        result,
+        smoke=args.smoke,
+        dark_threshold_pct=DARK_OVERHEAD_PCT,
+        passed=passed,
+    )
+    record_bench_result(args.out, payload)
+    print(f"recorded run in {args.out}")
+
+    if not features_ok:
+        print("FAIL: observability feature probe came back empty: "
+              f"{features['system_statements_rows']} statement rows, "
+              f"{features['system_metrics_rows']} metric rows, "
+              f"{features['slow_entries']} slow entries, "
+              f"{features['explain_analyze_lines']} EXPLAIN ANALYZE lines, "
+              f"{features['spans_last_statement']} spans")
+        return 1
+    if overhead["dark_overhead_pct"] > DARK_OVERHEAD_PCT:
+        print(f"FAIL: dark-mode overhead {overhead['dark_overhead_pct']:.2f}% "
+              f"exceeds {DARK_OVERHEAD_PCT:.1f}% "
+              f"(after {overhead['measurements']} measurements)")
+        return 1
+    print(f"OK: dark overhead {overhead['dark_overhead_pct']:+.2f}% "
+          f"(threshold {DARK_OVERHEAD_PCT:.1f}%), traced "
+          f"{overhead['traced_overhead_pct']:+.2f}%, feature probe populated")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""Observability tour: tracing, system views, EXPLAIN ANALYZE, metrics.
+
+Lights up the PR-9 observability layer on an in-memory database, runs a
+small workload, and then answers the operator questions the layer exists
+for: what ran, what was slowest, where did the time go, and what do the
+counters say.
+
+Run with: ``PYTHONPATH=src python examples/observability.py``
+"""
+
+from repro.minidb import Database
+
+
+def main() -> None:
+    # 1. a database with tracing + a zero-threshold slow-query log --------
+    db = Database(owner="admin")
+    db.observability_options["tracing"] = True
+    db.observability_options["slow_statement_s"] = 0.0
+    session = db.connect("admin")
+
+    session.execute(
+        "CREATE TABLE orders (id INT PRIMARY KEY, customer TEXT, total FLOAT)"
+    )
+    session.execute("CREATE INDEX ix_orders_customer ON orders USING BTREE (customer)")
+    for n in range(500):
+        session.execute(
+            f"INSERT INTO orders VALUES ({n}, 'customer{n % 40}', {n * 1.5})"
+        )
+    session.execute("SELECT total FROM orders WHERE id = 123")
+    session.execute("SELECT id FROM orders WHERE customer = 'customer7'")
+    session.execute("SELECT customer FROM orders ORDER BY total DESC LIMIT 5")
+
+    # 2. the slowest statements, straight from SQL ------------------------
+    print("--- system.statements: slowest queries ---")
+    for sql, duration_ms, rows, path in session.execute(
+        "SELECT sql, duration_ms, rows_returned, access_path "
+        "FROM system.statements ORDER BY duration_ms DESC LIMIT 3"
+    ).rows:
+        print(f"{duration_ms:8.3f} ms  rows={rows:<4} {path or '-':<12} {sql[:60]}")
+    print()
+
+    # 3. where did the time go? EXPLAIN ANALYZE ---------------------------
+    print("--- EXPLAIN ANALYZE ---")
+    for (line,) in session.execute(
+        "EXPLAIN ANALYZE SELECT id FROM orders WHERE customer = 'customer7'"
+    ).rows:
+        print(line)
+    print()
+
+    # 4. the slow-query log keeps SQL + span tree + plan ------------------
+    entry = next(
+        e for e in reversed(db.tracer.slow_statements()) if e["plan"]
+    )
+    print("--- slow-query log (latest entry) ---")
+    print("sql: ", entry["sql"])
+    print("plan:", entry["plan"])
+    spans = [span["name"] for span in entry["trace"]["spans"]]
+    print("spans:", " -> ".join(spans))
+    print()
+
+    # 5. counters and latency percentiles ---------------------------------
+    print("--- system.metrics (selected) ---")
+    for name, value in session.execute(
+        "SELECT name, value FROM system.metrics "
+        "WHERE name = 'minidb_statements_total' "
+        "OR name = 'minidb_statement_seconds_p95' "
+        "OR name = 'minidb_planner_index_scans_total'"
+    ).rows:
+        print(f"{name:<36} {value}")
+    print()
+    print("Prometheus exposition is db.metrics.render_text() — or run")
+    print("`PYTHONPATH=src python -m repro.obs` for a self-contained demo.")
+
+
+if __name__ == "__main__":
+    main()

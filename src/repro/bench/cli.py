@@ -16,6 +16,7 @@ import sys
 from .concurrency import experiment_concurrency
 from .fault_recovery import experiment_fault_recovery
 from .join_scale import experiment_join_scale
+from .observability import experiment_observability
 from .reporting import (
     render_concurrency,
     render_faults,
@@ -24,6 +25,7 @@ from .reporting import (
     render_fig5c,
     render_fig6,
     render_join_scale,
+    render_observability,
     render_query_scale,
     render_retrieval_scale,
     render_storage_durability,
@@ -43,7 +45,7 @@ from .storage_durability import experiment_storage_durability
 
 EXPERIMENTS = (
     "fig5a", "fig5b", "fig5c", "fig6", "table1", "table2", "joins",
-    "retrieval", "storage", "concurrency", "query", "faults",
+    "retrieval", "storage", "concurrency", "query", "faults", "obs",
 )
 
 
@@ -125,6 +127,14 @@ def run_experiment(
                 torture_rows=max(8, int(20 * scale)),
                 writer_sessions=4,
                 increments_per_session=max(4, int(8 * scale)),
+            )
+        )
+    if name == "obs":
+        # scale factor: 1.0 -> 600 statements over a 2k-row table
+        return render_observability(
+            experiment_observability(
+                statements=max(100, int(600 * scale)),
+                rows=max(500, int(2_000 * scale)),
             )
         )
     raise ValueError(f"unknown experiment {name!r}; choose from {EXPERIMENTS}")

@@ -383,3 +383,44 @@ def render_faults(result: dict[str, Any]) -> str:
         f"{litmus['immediate']['retries']}"
     )
     return f"{seam_table}\n{torture_line}\n{litmus_line}"
+
+
+def render_observability(result: dict[str, Any]) -> str:
+    overhead = result["overhead"]
+    features = result["features"]
+    table = render_table(
+        ["variant", "statements", "time (s)", "overhead"],
+        [
+            [
+                "no-dispatch baseline",
+                overhead["statements"],
+                overhead["baseline_s"],
+                "-",
+            ],
+            [
+                "dark (defaults, production)",
+                overhead["statements"],
+                overhead["dark_s"],
+                f"{overhead['dark_overhead_pct']:+.2f}%",
+            ],
+            [
+                "traced (ring + spans)",
+                overhead["statements"],
+                overhead["traced_s"],
+                f"{overhead['traced_overhead_pct']:+.2f}%",
+            ],
+        ],
+        title="Observability — statement-path overhead (point lookups)",
+    )
+    feature_line = (
+        f"features: {features['system_statements_rows']} system.statements rows, "
+        f"{features['system_metrics_rows']} system.metrics rows, "
+        f"{features['slow_entries']} slow-log entries, "
+        f"{features['explain_analyze_lines']} EXPLAIN ANALYZE lines, "
+        f"{features['render_text_bytes']}B exposition"
+    )
+    ring_line = (
+        f"ring buffer: {overhead['ring_entries']} traces retained "
+        "(bounded) after the traced runs"
+    )
+    return f"{table}\n{feature_line}\n{ring_line}"

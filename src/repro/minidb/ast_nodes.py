@@ -288,6 +288,9 @@ class DropViewStatement:
 @dataclass
 class ExplainStatement:
     select: SelectStatement
+    #: EXPLAIN ANALYZE: execute the statement and annotate the plan lines
+    #: with actual row counts and per-node timings
+    analyze: bool = False
 
 
 @dataclass

@@ -19,8 +19,10 @@ from __future__ import annotations
 
 import itertools
 import threading
+import weakref
 from typing import Any, Callable
 
+from ..obs import CounterMapView, MetricsRegistry, StatementTracer
 from . import ast_nodes as ast
 from .analysis import StatementAnalysis, analyze
 from .catalog import Catalog, IndexSchema, TableSchema
@@ -70,6 +72,7 @@ class Session:
         self.statement_log: list[str] = []
         #: stable human-readable lock-owner label for diagnostics
         self.label = f"{user}#{next(_session_ids)}"
+        db.live_sessions.add(self)
 
     def __repr__(self) -> str:  # pragma: no cover - diagnostics only
         return f"<Session {self.label}>"
@@ -81,7 +84,13 @@ class Session:
         manager). Called by the executor: ``S`` per table read, ``X`` per
         table mutated; held until transaction end."""
         manager = self.db.lock_manager
-        if manager is not None:
+        if manager is None:
+            return
+        trace = self.db.tracer.current()
+        if trace is None:
+            manager.acquire(self, table, mode)
+            return
+        with trace.span("lock-wait", table=table, mode=mode):
             manager.acquire(self, table, mode)
 
     def release_locks(self) -> None:
@@ -93,9 +102,68 @@ class Session:
 
     def execute(self, sql: str, _skip_privileges: bool = False) -> ResultSet:
         """Parse, authorize, and execute a single SQL statement."""
+        opts = self.db.observability_options
+        if opts["tracing"] or opts["slow_statement_s"] is not None:
+            return self._execute_traced(sql, _skip_privileges)
         self.statement_log.append(sql)
         stmt = parse(sql)
         return self.execute_statement(stmt, _skip_privileges=_skip_privileges)
+
+    def _execute_traced(self, sql: str, _skip_privileges: bool) -> ResultSet:
+        """Tracing-enabled twin of :meth:`execute`.
+
+        Builds a :class:`~repro.obs.tracing.StatementTrace` around the
+        statement; the inner hooks (plan/lock-wait/execute/wal-flush/
+        checkpoint spans, executor scan/join events) find the trace through
+        the tracer's thread-local slot.
+        """
+        self.statement_log.append(sql)
+        db = self.db
+        trace = db.tracer.start(sql, user=self.user, session=self.label)
+        status = "ERROR"
+        error: BaseException | None = None
+        stmt: ast.Statement | None = None
+        try:
+            with trace.span("parse"):
+                stmt = parse(sql)
+            result = self.execute_statement(stmt, _skip_privileges=_skip_privileges)
+            status = result.status or "OK"
+            trace.rows_returned = (
+                len(result.rows) if result.rows else (result.rowcount or 0)
+            )
+            return result
+        except MiniDBError as exc:
+            error = exc
+            raise
+        finally:
+            db.tracer.finish(trace, status=status, error=error)
+            slow_s = db.observability_options["slow_statement_s"]
+            if slow_s is not None and trace.duration_s >= slow_s:
+                self._record_slow_statement(trace, stmt)
+
+    def _record_slow_statement(
+        self, trace: Any, stmt: ast.Statement | None
+    ) -> None:
+        """Capture SQL + trace + EXPLAIN plan for a threshold-crossing
+        statement. Runs after the trace is finished (so the EXPLAIN below
+        records no events of its own) and must never raise."""
+        plan: list[str] = []
+        if isinstance(stmt, ast.SelectStatement):
+            try:
+                explain = self.db.executor.execute(ast.ExplainStatement(stmt), self)
+                plan = [row[0] for row in explain.rows]
+            except (MiniDBError, KeyError):
+                # a concurrent DROP can invalidate the plan between
+                # execution and capture; the slow entry is still useful
+                plan = []
+        self.db.tracer.record_slow(
+            {
+                "sql": trace.sql,
+                "duration_s": round(trace.duration_s, 9),
+                "trace": trace.to_dict(),
+                "plan": plan,
+            }
+        )
 
     def execute_script(self, sql: str) -> list[ResultSet]:
         """Execute a ``;``-separated script, stopping at the first error."""
@@ -107,21 +175,32 @@ class Session:
     def execute_statement(
         self, stmt: ast.Statement, _skip_privileges: bool = False
     ) -> ResultSet:
-        analysis = analyze(stmt, self.db.catalog)
+        trace = self.db.tracer.current()
+        if trace is None:
+            analysis = analyze(stmt, self.db.catalog)
+        else:
+            with trace.span("plan"):
+                analysis = analyze(stmt, self.db.catalog)
         if not _skip_privileges:
             self.db.authorize(self.user, stmt, analysis)
         self.db.ensure_writable(analysis)
         try:
             return self._dispatch_statement(stmt)
-        except (DeadlockError, LockTimeoutError):
+        except (DeadlockError, LockTimeoutError) as exc:
             # deadlock victim or lock-wait timeout: abort the whole
             # transaction so every lock this session holds releases (the
             # cycle's survivors / the blocked peers can proceed). Both
             # errors are retryable by contract, and retryable means the
             # client may simply re-issue BEGIN — which only works if the
             # old transaction is gone and its locks are free
+            if trace is not None:
+                trace.annotate("concurrency_abort", type(exc).__name__)
             if self.tx.in_transaction:
-                self.tx.rollback()
+                if trace is None:
+                    self.tx.rollback()
+                else:
+                    with trace.span("rollback", reason=type(exc).__name__):
+                        self.tx.rollback()
             raise
         finally:
             if self.db.lock_manager is not None and not self.tx.in_transaction:
@@ -173,8 +252,13 @@ class Session:
 
         self.db.statement_started()
         try:
-            with StatementGuard(self.tx):
-                return self.db.executor.execute(stmt, self)
+            trace = self.db.tracer.current()
+            if trace is None:
+                with StatementGuard(self.tx):
+                    return self.db.executor.execute(stmt, self)
+            with trace.span("execute"):
+                with StatementGuard(self.tx):
+                    return self.db.executor.execute(stmt, self)
         finally:
             self.db.statement_finished()
 
@@ -246,8 +330,8 @@ class Database:
         #: :class:`repro.service.LockManager` here
         self.lock_manager: Any | None = None
         #: guards the cross-session counters below (open-transaction and
-        #: in-flight-statement counts, planner stats) against concurrent
-        #: sessions; never held while executing statements
+        #: in-flight-statement counts) against concurrent sessions; never
+        #: held while executing statements
         self._mutex = threading.Lock()
         #: condition on the same mutex coordinating statement admission
         #: with checkpoint quiescence (see :meth:`quiesced`)
@@ -263,19 +347,31 @@ class Database:
         #: taken mid-statement would capture half-applied mutations
         #: guarded by self._mutex
         self._inflight = 0
+        #: unified metrics registry (PR 9): every counter the engine keeps
+        #: is either a registry instrument or re-exported through an
+        #: attached collector source (engine stats, lock stats, retrieval
+        #: cache stats, service metrics)
+        self.metrics = MetricsRegistry()
         #: access-path and join-strategy counters maintained by the
-        #: executor (observability)
-        #: guarded by self._mutex
-        self.planner_stats = {
-            "seq_scans": 0,
-            "index_scans": 0,
-            "range_scans": 0,
-            "union_scans": 0,
-            "ordered_scans": 0,
-            "topn_limits": 0,
-            "hash_joins": 0,
-            "nested_loop_joins": 0,
+        #: executor, backed by registry counters (atomic increments — the
+        #: old plain-dict bumps could lose updates across executor
+        #: threads); ``planner_stats`` stays the compatible read view
+        self._planner_counters = {
+            name: self.metrics.counter(
+                f"minidb_planner_{name}_total", f"planner access-path count: {name}"
+            )
+            for name in (
+                "seq_scans",
+                "index_scans",
+                "range_scans",
+                "union_scans",
+                "ordered_scans",
+                "topn_limits",
+                "hash_joins",
+                "nested_loop_joins",
+            )
         }
+        self.planner_stats = CounterMapView(self._planner_counters)
         #: planner toggles (benchmark baselines / debugging):
         #: ``enable_hash_join=False`` forces the nested-loop fallback;
         #: ``enable_index_scan=False`` forces sequential scans (disables
@@ -293,6 +389,33 @@ class Database:
         #: ``repro.core.minidb_binding`` (kept as a plain slot so minidb
         #: has no dependency on the retrieval layer)
         self.retrieval_cache: Any | None = None
+        #: observability switches (all default to the dark, zero-cost
+        #: configuration): ``tracing`` records finished statements into the
+        #: tracer ring (and the optional ``trace_sink`` JSONL path);
+        #: ``slow_statement_s`` captures SQL + trace + EXPLAIN plan for
+        #: statements at or above the threshold; ``redact_literals``
+        #: strips literal values from captured SQL
+        self.observability_options: dict[str, Any] = {
+            "tracing": False,
+            "slow_statement_s": None,
+            "redact_literals": False,
+            "trace_sink": None,
+        }
+        #: per-statement structured tracing (ring buffer + thread-local
+        #: current-trace slot); shares the engine's Filesystem seam so a
+        #: JSONL trace sink is fault-injectable like the WAL
+        self.tracer = StatementTracer(
+            self.observability_options,
+            registry=self.metrics,
+            filesystem=getattr(self.engine, "fs", None),
+        )
+        #: live sessions (weak — sessions die with their owners) feeding
+        #: the ``system.sessions`` view
+        self.live_sessions: "weakref.WeakSet[Session]" = weakref.WeakSet()
+        self.metrics.attach_source("engine", self._engine_metric_samples)
+        self.metrics.attach_source("locks", self._lock_metric_samples)
+        self.metrics.attach_source("retrieval", self._retrieval_metric_samples)
+        self.metrics.attach_source("sessions", self._session_metric_samples)
         # recover persistent state (no-op for the in-memory engine); note
         # a recovered snapshot replaces the owner/privileges constructed
         # above — the directory's persisted identity wins
@@ -361,6 +484,22 @@ class Database:
         """
         if analysis.is_read_only or analysis.is_transaction_control:
             return
+        for access in analysis.accesses:
+            # the system.* namespace is reserved for the read-only
+            # observability views (covers quoted identifiers like
+            # CREATE TABLE "system.statements" that would shadow them)
+            if access.obj.startswith("system.") and access.action in (
+                "INSERT",
+                "UPDATE",
+                "DELETE",
+                "CREATE",
+                "DROP",
+                "ALTER",
+                "GRANT",
+            ):
+                raise PermissionDenied(
+                    f"system catalog {access.obj!r} is read-only"
+                )
         if self.engine.panicked:
             raise StorageFailedError(
                 "storage engine is in fail-stop mode: the database is "
@@ -379,8 +518,15 @@ class Database:
         if not self.engine.durable:
             return
         with self._quiesce:
-            while self._checkpointing:
-                self._quiesce.wait()
+            if self._checkpointing:
+                trace = self.tracer.current()
+                if trace is None:
+                    while self._checkpointing:
+                        self._quiesce.wait()
+                else:
+                    with trace.span("checkpoint-stall"):
+                        while self._checkpointing:
+                            self._quiesce.wait()
             self._inflight += 1
 
     def statement_finished(self) -> None:
@@ -404,7 +550,12 @@ class Database:
         with self._quiesce:
             quiesced = self._inflight == 0 and self._open_explicit == 0
         if quiesced:
-            self.engine.run_pending_checkpoint()
+            trace = self.tracer.current()
+            if trace is None:
+                self.engine.run_pending_checkpoint()
+            else:
+                with trace.span("checkpoint"):
+                    self.engine.run_pending_checkpoint()
 
     def quiesced(self) -> "_QuiesceGuard":
         """Context manager giving the caller (a checkpoint) a window with
@@ -413,8 +564,51 @@ class Database:
 
     def bump_planner_stat(self, name: str) -> None:
         """Thread-safe increment of one access-path/join-strategy counter."""
-        with self._mutex:
-            self.planner_stats[name] += 1
+        self._planner_counters[name].inc()
+
+    # -------------------------------------------------- metric collectors
+
+    def _engine_metric_samples(self) -> dict[str, Any]:
+        if not self.engine.durable:
+            return {}
+        samples = {
+            f"minidb_engine_{key}": value
+            for key, value in self.engine.stats.items()
+            if isinstance(value, (int, float))
+        }
+        samples["minidb_engine_panicked"] = 1 if self.engine.panicked else 0
+        return samples
+
+    def _lock_metric_samples(self) -> dict[str, Any]:
+        manager = self.lock_manager
+        if manager is None:
+            return {}
+        samples = {
+            f"minidb_lock_{key}": value
+            for key, value in manager.stats.items()
+            if isinstance(value, (int, float))
+        }
+        samples["minidb_lock_waiting"] = manager.waiting_count()
+        return samples
+
+    def _retrieval_metric_samples(self) -> dict[str, Any]:
+        cache = self.retrieval_cache
+        if cache is None:
+            return {}
+        samples = {
+            f"minidb_retrieval_cache_{key}": value
+            for key, value in getattr(cache, "stats", {}).items()
+            if isinstance(value, (int, float))
+        }
+        store = getattr(cache, "store", None)
+        if store is not None:
+            for key, value in getattr(store, "stats", {}).items():
+                if isinstance(value, (int, float)):
+                    samples[f"minidb_retrieval_store_{key}"] = value
+        return samples
+
+    def _session_metric_samples(self) -> dict[str, Any]:
+        return {"minidb_sessions_live": len(self.live_sessions)}
 
     def ensure_retrieval_cache(self, factory: Callable[[], Any]) -> Any:
         """Lazily attach the shared retrieval cache exactly once.
@@ -431,7 +625,12 @@ class Database:
     # -------------------------------------------- TransactionHooks protocol
 
     def commit_redo(self, records: list[dict[str, Any]]) -> None:
-        self.engine.append_commit(records)
+        trace = self.tracer.current()
+        if trace is None:
+            self.engine.append_commit(records)
+            return
+        with trace.span("wal-flush", records=len(records)):
+            self.engine.append_commit(records)
 
     def explicit_began(self) -> None:
         with self._mutex:
@@ -488,6 +687,10 @@ class Database:
                 f"user {user!r} may not GRANT or REVOKE privileges"
             )
         for access in analysis.accesses:
+            if access.action == "SELECT" and access.obj.startswith("system."):
+                # system views are world-readable, pg_catalog-style: every
+                # authenticated session may introspect the service
+                continue
             if access.action == "CREATE" and not self.catalog.has_object(access.obj):
                 # creating a new object: CREATE is a database-wide privilege
                 self.privileges.check(user, "CREATE", "*")

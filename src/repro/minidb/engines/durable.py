@@ -185,6 +185,9 @@ class DurableEngine(StorageEngine):
             "wal_truncated_bytes": 0,
             "commits": 0,
             "records": 0,
+            "wal_appends": 0,
+            "wal_bytes": 0,
+            "wal_fsyncs": 0,
             "checkpoints": 0,
             "checkpoint_failures": 0,
             "storage_failures": 0,
@@ -488,8 +491,9 @@ class DurableEngine(StorageEngine):
                     # a crash can never half-apply a multi-record transaction
                     payload["commit"] = True
                 lines.append(json.dumps(payload, separators=(",", ":")))
+            data = "\n".join(lines) + "\n"
             try:
-                self._wal.write("\n".join(lines) + "\n")
+                self._wal.write(data)
                 self._wal.flush()
                 if self.fsync_commits:
                     self.fs.fsync(self._wal)
@@ -508,6 +512,10 @@ class DurableEngine(StorageEngine):
             self._records_since_snapshot += len(records)
             self.stats["commits"] += 1
             self.stats["records"] += len(records)
+            self.stats["wal_appends"] += 1
+            self.stats["wal_bytes"] += len(data)
+            if self.fsync_commits:
+                self.stats["wal_fsyncs"] += 1
             if (
                 self.auto_checkpoint_records
                 and self._records_since_snapshot >= self.auto_checkpoint_records

@@ -49,8 +49,10 @@ The chosen strategies are observable via ``EXPLAIN`` and
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import TYPE_CHECKING, Any
 
+from ..obs.views import is_system_relation, system_view_rows
 from . import ast_nodes as ast
 from .catalog import Column, ForeignKey, IndexSchema, TableSchema, ViewSchema
 from .errors import (
@@ -667,6 +669,8 @@ class Executor:
         evaluator, outer, statement_sources=None,
     ) -> list[_JoinedRow]:
         """Fold ``right`` onto the joined relation using the planned strategy."""
+        trace = self.db.tracer.current()
+        started = perf_counter() if trace is not None else 0.0
         plan = plan_join(
             kind,
             condition,
@@ -679,19 +683,25 @@ class Executor:
         )
         if plan.strategy == "hash":
             self.db.bump_planner_stat("hash_joins")
-            return self._hash_join(
+            result = self._hash_join(
                 left_rows, left_sources, right, plan, evaluator, outer
             )
-        if plan.strategy == "cross":
-            return [
+        elif plan.strategy == "cross":
+            result = [
                 jr.extended(right.binding, row)
                 for jr in left_rows
                 for row in right.rows
             ]
-        self.db.bump_planner_stat("nested_loop_joins")
-        return self._nested_loop_join(
-            left_rows, left_sources, right, kind, condition, evaluator, outer
-        )
+        else:
+            self.db.bump_planner_stat("nested_loop_joins")
+            result = self._nested_loop_join(
+                left_rows, left_sources, right, kind, condition, evaluator, outer
+            )
+        if trace is not None:
+            trace.record_join(
+                right.binding, plan.strategy, len(result), perf_counter() - started
+            )
+        return result
 
     @staticmethod
     def _join_key_valid(key: tuple) -> bool:
@@ -813,15 +823,28 @@ class Executor:
         statement_sources: list[tuple[str, list[str] | None]] | None = None,
         order_insensitive: bool = False,
     ) -> _Source:
+        trace = self.db.tracer.current()
+        started = perf_counter() if trace is not None else 0.0
+        scan_kind = "seq"
+        examined = 0
         if isinstance(source, ast.SubqueryRef):
             columns, rows = self._run_select(source.subquery, session, outer)
             dict_rows = [dict(zip(columns, row)) for row in rows]
             resolved = _Source(source.alias, columns, dict_rows)
+            scan_kind, examined = "subquery", len(dict_rows)
+        elif is_system_relation(source.name):
+            # observability system views: virtual read-only relations
+            # served from already-synchronized snapshots, so no table lock
+            # is taken — introspection never blocks the system
+            columns, dict_rows = system_view_rows(self.db, source.name)
+            resolved = _Source(source.binding, columns, dict_rows)
+            scan_kind, examined = "system", len(dict_rows)
         elif self.db.catalog.has_view(source.name):
             view = self.db.catalog.view(source.name)
             columns, rows = self._run_select(view.select, session, outer)
             dict_rows = [dict(zip(columns, row)) for row in rows]
             resolved = _Source(source.binding, columns, dict_rows)
+            scan_kind, examined = "view", len(dict_rows)
         else:
             # reads take a shared table lock, held to transaction end
             # (no-op without a lock manager); views never reach this
@@ -891,8 +914,17 @@ class Executor:
                 # schema changes and must not alias an in-flight scan
                 rows = [dict(row) for _, row in heap.rows()]
             resolved = _Source(source.binding, schema.column_names(), rows)
+            scan_kind, examined = path.kind, len(rows)
         if statement_sources is not None:
             self._prefilter_source(resolved, where, statement_sources)
+        if trace is not None:
+            trace.record_scan(
+                resolved.binding,
+                scan_kind,
+                len(resolved.rows),
+                examined,
+                perf_counter() - started,
+            )
         return resolved
 
     def _stats_for(self, table: str):
@@ -1120,6 +1152,8 @@ class Executor:
                 prefix_values, rng.low, rng.high, rng.incl_low, rng.incl_high
             )
         db.bump_planner_stat("ordered_scans")
+        trace = db.tracer.current()
+        started = perf_counter() if trace is not None else 0.0
         source = _Source(src.binding, schema.column_names(), [])
         layout = _ScopeLayout([source], outer)
         where = stmt.where
@@ -1129,9 +1163,11 @@ class Executor:
         )
         binding = source.binding
         rows = source.rows
+        examined = 0
         for rid in index.ordered_rids(reverse, start, end, prefix_values):
             if needed is not None and len(rows) >= needed:
                 break
+            examined += 1
             row = heap.get(rid)
             if row is None:
                 continue
@@ -1146,6 +1182,10 @@ class Executor:
                 if not keep:
                     continue
             rows.append(row)
+        if trace is not None:
+            trace.record_scan(
+                binding, "ordered", len(rows), examined, perf_counter() - started
+            )
         return source
 
     def _statement_sources(
@@ -1208,7 +1248,7 @@ class Executor:
                     schema = self.db.catalog.table(source.name)
                     table_of_binding[source.binding] = schema.name
                     columns_of_binding[source.binding] = schema.column_names()
-                else:  # view: column set unknown without executing it
+                else:  # view / system view: column set unknown statically
                     columns_of_binding[source.binding] = None
             else:
                 columns_of_binding[source.alias] = None
@@ -1220,17 +1260,98 @@ class Executor:
             allow_index=self.db.planner_options.get("enable_index_scan", True),
             stats_of_table=self._stats_for,
         )
-        rows = [(path.describe(),) for path in paths]
+        # plan lines paired with the source binding each describes, so the
+        # ANALYZE branch can attach that binding's actual scan events
+        path_of_binding = dict(zip(table_of_binding.keys(), paths))
+        lines: list[tuple[str, str | None]] = []
+        described: set[str] = set()
+        for source in sources:
+            if not isinstance(source, ast.TableRef) or source.binding in described:
+                continue
+            described.add(source.binding)
+            if source.binding in path_of_binding:
+                lines.append(
+                    (path_of_binding[source.binding].describe(), source.binding)
+                )
+            elif is_system_relation(source.name):
+                lines.append(
+                    (f"System View Scan on {source.name.lower()}", source.binding)
+                )
         ordered_line = self._explain_ordered_scan(select)
         if ordered_line is not None:
             # the ordered scan replaces the source's generic access path
-            rows = [(ordered_line,)] if len(rows) == 1 else rows + [(ordered_line,)]
+            # (the ordered-scan gate admits exactly one plain table source)
+            ordered_entry = (ordered_line, select.from_sources[0].binding)
+            lines = [ordered_entry] if len(lines) == 1 else lines + [ordered_entry]
         allow_hash = self.db.planner_options.get("enable_hash_join", True)
-        for plan in plan_select_joins(select, columns_of_binding, allow_hash):
-            rows.append((plan.describe(),))
+        join_lines = [
+            plan.describe()
+            for plan in plan_select_joins(select, columns_of_binding, allow_hash)
+        ]
+        if not stmt.analyze:
+            rows = [(text,) for text, _ in lines]
+            rows.extend((text,) for text in join_lines)
+            if not rows:
+                rows = [("Result (no base tables)",)]
+            return ResultSet(columns=["QUERY PLAN"], rows=rows, status="EXPLAIN")
+        return self._explain_analyze(select, session, lines, join_lines)
+
+    def _explain_analyze(
+        self,
+        select: ast.SelectStatement,
+        session: "Session",
+        lines: list[tuple[str, str | None]],
+        join_lines: list[str],
+    ) -> ResultSet:
+        """Execute ``select`` under a probe trace and annotate the plan
+        lines with actual rows and per-node timings."""
+        tracer = self.db.tracer
+        probe = tracer.probe()
+        started = perf_counter()
+        try:
+            _, result_rows = self._run_select(select, session, None)
+        finally:
+            total_s = perf_counter() - started
+            tracer.release(probe)
+        scans_of_binding: dict[str, list[dict]] = {}
+        for event in probe.scans:
+            scans_of_binding.setdefault(event["binding"], []).append(event)
+        rows: list[tuple[str, ...]] = []
+        for text, binding in lines:
+            events = scans_of_binding.get(binding or "", [])
+            rows.append((text + self._actuals_suffix(events),))
+        # join events arrive in fold order (comma-folds then JOINs), the
+        # same order plan_select_joins describes them in
+        for index, text in enumerate(join_lines):
+            if index < len(probe.joins):
+                event = probe.joins[index]
+                rows.append(
+                    (
+                        text
+                        + f" (actual rows={event['rows']},"
+                        f" time={event['duration_s'] * 1000.0:.3f} ms)",
+                    )
+                )
+            else:
+                rows.append((text,))
         if not rows:
             rows = [("Result (no base tables)",)]
+        rows.append((f"Result rows: {len(result_rows)}",))
+        rows.append((f"Execution time: {total_s * 1000.0:.3f} ms",))
         return ResultSet(columns=["QUERY PLAN"], rows=rows, status="EXPLAIN")
+
+    @staticmethod
+    def _actuals_suffix(events: list[dict]) -> str:
+        if not events:
+            return " (never executed)"
+        loops = len(events)
+        actual_rows = sum(event["rows"] for event in events)
+        time_ms = sum(event["duration_s"] for event in events) * 1000.0
+        if loops == 1:
+            return f" (actual rows={actual_rows}, time={time_ms:.3f} ms)"
+        return (
+            f" (actual rows={actual_rows}, loops={loops}, time={time_ms:.3f} ms)"
+        )
 
     @staticmethod
     def _expand_items(

@@ -153,7 +153,8 @@ class _Parser:
 
     def parse_statement(self) -> ast.Statement:
         if self.match_keyword("EXPLAIN"):
-            return ast.ExplainStatement(self.parse_select())
+            analyze = self.match_keyword("ANALYZE")
+            return ast.ExplainStatement(self.parse_select(), analyze=analyze)
         if self.check_keyword("SELECT"):
             return self.parse_select()
         if self.check_keyword("INSERT"):
@@ -359,6 +360,12 @@ class _Parser:
             alias = self.expect_identifier("subquery alias")
             return ast.SubqueryRef(subquery, alias)
         name = self.expect_identifier("table name")
+        if self.match_punct("."):
+            # dotted relations name the observability system views
+            # (system.statements etc.); user tables cannot contain a dot
+            # unless quoted, in which case the lexer already produced a
+            # single IDENT token and no '.' punct follows
+            name = f"{name}.{self.expect_identifier('table name')}"
         alias = None
         if self.match_keyword("AS"):
             alias = self.expect_identifier("alias")

@@ -1,0 +1,61 @@
+"""``python -m repro.obs`` — Prometheus-style metrics exposition.
+
+With no arguments, runs a small traced demo workload against an in-memory
+database and prints its metrics text plus the ``system.statements`` tail.
+With a path argument, opens the durable database at that path and prints
+its registry exposition (engine WAL/checkpoint counters included).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+
+def _demo_text() -> str:
+    from ..minidb import Database
+
+    db = Database(owner="admin")
+    db.observability_options["tracing"] = True
+    session = db.connect("admin")
+    session.execute("CREATE TABLE demo (id INT PRIMARY KEY, v INT)")
+    for n in range(50):
+        session.execute(f"INSERT INTO demo VALUES ({n}, {n % 7})")
+    session.execute("SELECT COUNT(*) FROM demo WHERE v = 3")
+    session.execute("SELECT v FROM demo WHERE id = 17")
+    tail = session.execute(
+        "SELECT sql, duration_ms, rows_returned FROM system.statements "
+        "ORDER BY duration_ms DESC LIMIT 3"
+    )
+    lines = [db.metrics.render_text(), "# slowest statements (system.statements):"]
+    for sql, duration_ms, rows_returned in tail.rows:
+        lines.append(f"#   {duration_ms} ms rows={rows_returned} {sql}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "path",
+        nargs="?",
+        help="durable database directory to open (default: traced demo workload)",
+    )
+    args = parser.parse_args(argv)
+    if args.path is None:
+        print(_demo_text())
+        return 0
+    from ..minidb import Database
+
+    db = Database.open(args.path, owner="admin")
+    try:
+        print(db.metrics.render_text(), end="")
+    finally:
+        db.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -130,6 +130,9 @@ class Dispatcher:
         self.metrics.attach_sessions(manager)
         self.metrics.attach_locks(manager.lock_manager)
         self.metrics.attach_engine(manager.db.engine)
+        # re-export the service surface through the database's unified
+        # registry (idempotent per prefix; last dispatcher wins)
+        manager.db.metrics.attach_source("service", self.metrics.metric_samples)
 
         self._mutex = threading.Lock()
         self._space = threading.Condition(self._mutex)
@@ -306,6 +309,7 @@ class SerialDispatcher:
         self.metrics.attach_sessions(manager)
         self.metrics.attach_locks(manager.lock_manager)
         self.metrics.attach_engine(manager.db.engine)
+        manager.db.metrics.attach_source("service", self.metrics.metric_samples)
 
     def submit(self, token: str, call: ToolCall) -> PendingResult:
         session = self.manager.authenticate(token)

@@ -1,10 +1,13 @@
 """Service observability: counters, gauges, and latency percentiles.
 
 One :class:`ServiceMetrics` instance is shared by the dispatcher, the
-session manager, and (read-only) the lock manager. Everything is guarded
-by a single mutex; latency percentiles come from a bounded ring of recent
-samples, so memory stays constant under sustained traffic and the
-reported p50/p95 track current behavior rather than all-time history.
+session manager, and (read-only) the lock manager. Counters and gauges sit
+behind a single mutex; latencies go into a shared
+:class:`repro.obs.metrics.Histogram` (fixed log-scale buckets), so service
+and engine latencies use one quantile implementation, memory stays constant
+under sustained traffic, and the ``snapshot()`` keys stay flat and
+backward-compatible (``p50_latency_s``/``p95_latency_s`` now read bucket
+upper bounds instead of exact windowed samples).
 """
 
 from __future__ import annotations
@@ -12,17 +15,26 @@ from __future__ import annotations
 import threading
 from typing import Any
 
+from ..obs.metrics import MetricsRegistry
+
 
 class ServiceMetrics:
     """Thread-safe metrics surface for the multi-session service layer."""
 
-    def __init__(self, latency_window: int = 2048):
+    def __init__(
+        self, latency_window: int = 2048, registry: MetricsRegistry | None = None
+    ):
         self._mutex = threading.Lock()
+        #: kept for backward API compatibility; quantiles now come from the
+        #: histogram's fixed buckets rather than a sample window
         self.latency_window = latency_window
-        #: bounded ring of recent latency samples
-        #: guarded by self._mutex
-        self._latencies: list[float] = []
-        self._latency_pos = 0  #: guarded by self._mutex
+        #: instrument registry; callers may pass a shared one (e.g. the
+        #: database's) so service latencies appear in its text exposition
+        self.registry = registry or MetricsRegistry()
+        self._latency = self.registry.histogram(
+            "service_request_latency_seconds",
+            "end-to-end request latency (submit to completion)",
+        )
         #: guarded by self._mutex
         self.counters = {
             "submitted": 0,
@@ -81,11 +93,7 @@ class ServiceMetrics:
             if retryable:
                 self.counters["retryable_errors"] += 1
             self.queue_depth = queue_depth
-            if len(self._latencies) < self.latency_window:
-                self._latencies.append(latency_s)
-            else:  # ring buffer: overwrite oldest
-                self._latencies[self._latency_pos] = latency_s
-                self._latency_pos = (self._latency_pos + 1) % self.latency_window
+        self._latency.observe(latency_s)  # histogram has its own lock
 
     def record_rejected(self) -> None:
         with self._mutex:
@@ -100,27 +108,18 @@ class ServiceMetrics:
 
     # ------------------------------------------------------------- reading
 
-    @staticmethod
-    def _percentile(samples: list[float], fraction: float) -> float:
-        if not samples:
-            return 0.0
-        ordered = sorted(samples)
-        index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
-        return ordered[index]
-
     def snapshot(self) -> dict[str, Any]:
         """One coherent reading of every gauge/counter the service exposes."""
         with self._mutex:
-            samples = list(self._latencies)
             degraded = self._degraded
             data: dict[str, Any] = {
                 **self.counters,
                 "queue_depth": self.queue_depth,
                 "max_queue_depth": self.max_queue_depth,
-                "latency_samples": len(samples),
-                "p50_latency_s": self._percentile(samples, 0.50),
-                "p95_latency_s": self._percentile(samples, 0.95),
             }
+        data["latency_samples"] = self._latency.count
+        data["p50_latency_s"] = self._latency.quantile(0.50)
+        data["p95_latency_s"] = self._latency.quantile(0.95)
         if self._engine_source is not None:
             degraded = degraded or bool(
                 getattr(self._engine_source, "panicked", False)
@@ -134,3 +133,14 @@ class ServiceMetrics:
             data["lock_timeouts"] = stats["timeouts"]
             data["deadlocks"] = stats["deadlocks"]
         return data
+
+    def metric_samples(self) -> dict[str, float]:
+        """Flat ``service_``-prefixed numeric samples for a database
+        registry's collector-source interface."""
+        samples: dict[str, float] = {}
+        for key, value in self.snapshot().items():
+            if isinstance(value, bool):
+                samples[f"service_{key}"] = 1.0 if value else 0.0
+            elif isinstance(value, (int, float)):
+                samples[f"service_{key}"] = value
+        return samples

@@ -7,5 +7,6 @@ from . import (  # noqa: F401  — import-for-registration
     error_taxonomy,
     fs_seam,
     guarded_by,
+    metric_registration,
     wal_pairing,
 )

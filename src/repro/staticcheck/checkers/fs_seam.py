@@ -25,6 +25,7 @@ from ..core import Checker, Finding, ModuleSource, register
 SEAMED_PATHS = frozenset(
     {
         "src/repro/minidb/engines/durable.py",
+        "src/repro/obs/tracing.py",
         "src/repro/retrieval/engine.py",
     }
 )

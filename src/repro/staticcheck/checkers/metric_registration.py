@@ -1,0 +1,112 @@
+"""Rule ``metric-registration``: instruments must live in a registry.
+
+An orphan ``Counter()``/``Gauge()``/``Histogram()`` constructed directly is
+a metric that silently never appears in ``registry.render_text()`` or
+``system.metrics`` — the whole point of the unified registry (PR 9) is that
+there are no such invisible instruments. Production code must obtain
+instruments through the get-or-create factories (``registry.counter(...)``,
+``registry.gauge(...)``, ``registry.histogram(...)``) or hand a constructed
+instance straight to ``registry.register(...)``.
+
+The rule is import-aware: only names actually imported from
+``repro.obs.metrics`` (directly, via the ``repro.obs`` package, or through
+a ``metrics`` module alias) are flagged, so unrelated classes that happen
+to be called ``Counter`` — e.g. ``collections.Counter`` — never
+false-positive. ``repro/obs/metrics.py`` itself is exempt: the factories
+have to construct the instruments somewhere.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Checker, Finding, ModuleSource, register
+
+#: instrument classes the registry must own
+INSTRUMENT_CLASSES = frozenset({"Counter", "Gauge", "Histogram"})
+
+#: the one module allowed to construct instruments directly
+FACTORY_PATH = "src/repro/obs/metrics.py"
+
+
+def _obs_metrics_bindings(
+    module: ModuleSource,
+) -> tuple[dict[str, str], set[str]]:
+    """Local names bound to instrument classes, and module aliases through
+    which ``<alias>.Counter(...)`` reaches them."""
+    direct: dict[str, str] = {}
+    module_aliases: set[str] = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ImportFrom):
+            source = node.module or ""
+            if source.endswith("obs.metrics") or source == "obs" or source.endswith(
+                ".obs"
+            ):
+                for alias in node.names:
+                    if alias.name in INSTRUMENT_CLASSES:
+                        direct[alias.asname or alias.name] = alias.name
+                    if alias.name == "metrics" and not source.endswith("obs.metrics"):
+                        module_aliases.add(alias.asname or "metrics")
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.endswith("obs.metrics"):
+                    module_aliases.add(alias.asname or alias.name)
+    return direct, module_aliases
+
+
+def _is_register_argument(module: ModuleSource, node: ast.Call) -> bool:
+    """True when the constructor call is passed straight to ``.register``
+    (``registry.register(Counter("x"))`` keeps the instrument visible)."""
+    parent = module.parent(node)
+    return (
+        isinstance(parent, ast.Call)
+        and node in parent.args
+        and isinstance(parent.func, ast.Attribute)
+        and parent.func.attr == "register"
+    )
+
+
+@register
+class MetricRegistrationChecker(Checker):
+    name = "metric-registration"
+    description = (
+        "Counter/Gauge/Histogram instances must come from a MetricsRegistry "
+        "factory or be passed to registry.register(...) — orphan instruments "
+        "never show up in the exposition or system.metrics"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if module.rel_path == FACTORY_PATH:
+            return
+        direct, module_aliases = _obs_metrics_bindings(module)
+        if not direct and not module_aliases:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                kind = direct.get(func.id)
+            elif (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in module_aliases
+                and func.attr in INSTRUMENT_CLASSES
+            ):
+                kind = func.attr
+            else:
+                kind = None
+            if kind is None or self._suppressed_ok(module, node):
+                continue
+            yield module.finding(
+                self.name,
+                node,
+                f"orphan {kind}() — use registry.{kind.lower()}(...) "
+                "(get-or-create) or wrap the call in registry.register(...) "
+                "so the instrument is exported",
+            )
+
+    @staticmethod
+    def _suppressed_ok(module: ModuleSource, node: ast.Call) -> bool:
+        return _is_register_argument(module, node)

@@ -38,7 +38,7 @@ class TestBenchCLI:
     def test_experiments_registry_complete(self):
         assert set(EXPERIMENTS) == {
             "fig5a", "fig5b", "fig5c", "fig6", "table1", "table2", "joins",
-            "retrieval", "storage", "concurrency", "query", "faults",
+            "retrieval", "storage", "concurrency", "query", "faults", "obs",
         }
 
     def test_run_experiment_query(self):

@@ -527,3 +527,83 @@ def test_fs_seam_suppression_honored():
     findings, suppressed = run_rule("fs-seam", source, rel_path=FS_SEAM_PATH)
     assert len(findings) == 2
     assert len(suppressed) == 1
+
+
+# ----------------------------------------------------- metric-registration
+
+
+METRIC_BAD = """\
+    from repro.obs.metrics import Counter, Histogram
+
+    class Stats:
+        def __init__(self):
+            self.hits = Counter("hits_total")
+            self.latency = Histogram("latency_seconds")
+"""
+
+METRIC_GOOD = """\
+    from repro.obs.metrics import Gauge, MetricsRegistry
+
+    class Stats:
+        def __init__(self, registry: MetricsRegistry):
+            self.hits = registry.counter("hits_total")
+            self.latency = registry.histogram("latency_seconds")
+            self.depth = registry.register(Gauge("queue_depth"))
+"""
+
+
+def test_metric_registration_flags_orphan_instruments():
+    findings, _ = run_rule("metric-registration", METRIC_BAD)
+    assert len(findings) == 2
+    messages = " ".join(f.message for f in findings)
+    assert "orphan Counter()" in messages
+    assert "orphan Histogram()" in messages
+    assert "registry.counter(...)" in messages
+
+
+def test_metric_registration_clean_through_registry():
+    findings, _ = run_rule("metric-registration", METRIC_GOOD)
+    assert findings == []
+
+
+def test_metric_registration_sees_through_module_alias():
+    findings, _ = run_rule(
+        "metric-registration",
+        """\
+        from repro.obs import metrics
+
+        counter = metrics.Counter("loose_total")
+        """,
+    )
+    assert len(findings) == 1
+    assert "orphan Counter()" in findings[0].message
+
+
+def test_metric_registration_ignores_unrelated_counters():
+    # collections.Counter is not an instrument; import-awareness keeps it out
+    findings, _ = run_rule(
+        "metric-registration",
+        """\
+        from collections import Counter
+
+        tally = Counter("aabbcc")
+        """,
+    )
+    assert findings == []
+
+
+def test_metric_registration_exempts_the_factory_module():
+    findings, _ = run_rule(
+        "metric-registration", METRIC_BAD, rel_path="src/repro/obs/metrics.py"
+    )
+    assert findings == []
+
+
+def test_metric_registration_suppression_honored():
+    source = METRIC_BAD.replace(
+        'Counter("hits_total")',
+        'Counter("hits_total")  # staticcheck: ignore[metric-registration] — fixture rationale',
+    )
+    findings, suppressed = run_rule("metric-registration", source)
+    assert len(findings) == 1  # the Histogram orphan still fires
+    assert len(suppressed) == 1
