@@ -1,13 +1,15 @@
 """Query-scale benchmark: paged B-trees, cost-based planning, and index
 unions vs the seed execution paths.
 
-Times six agent-shaped query classes at scale (see
+Times eight agent-shaped query classes at scale (see
 :mod:`repro.bench.query_scale` for the measurement harness):
 
 * a selective range filter through a ``USING BTREE`` index slice,
 * ``ORDER BY ... LIMIT 10`` through the early-exit ordered index scan,
 * a multi-conjunct sequential-scan WHERE through compiled predicates,
 * a selective 10-member ``IN`` list through an index union scan,
+* a wide low-selectivity filter through the column-batch pipeline,
+* a full-table five-aggregate ``GROUP BY`` over column slices,
 * incremental B-tree inserts vs the flat-sorted-array algorithm,
 * a skewed conjunction where post-``ANALYZE`` cost-based planning beats
   the static preference order,
@@ -48,6 +50,8 @@ THRESHOLDS = {
     "topn": 5.0,
     "predicate": 1.5,
     "union": 20.0,
+    "batch_filter": 2.0,
+    "batch_aggregate": 2.0,
     "btree_write": 4.0,
     "stats_skew": 5.0,
 }
@@ -56,6 +60,8 @@ SMOKE_THRESHOLDS = {
     "topn": 1.5,
     "predicate": 1.1,
     "union": 3.0,
+    "batch_filter": 1.1,
+    "batch_aggregate": 1.1,
     "btree_write": 1.5,
     "stats_skew": 1.5,
 }
@@ -99,6 +105,14 @@ def main(argv: list[str] | None = None) -> int:
         and all("Seq Scan" in line for line in result["predicate"]["plan"])
         and any("Index Union Scan" in line for line in result["union"]["plan"])
         and result["planner_stats"]["union_scans"] > 0
+        # the batch classes must actually plan (and execute) vectorized
+        and any(
+            "(batched)" in line for line in result["batch_filter"]["plan"]
+        )
+        and any(
+            "(batched)" in line for line in result["batch_aggregate"]["plan"]
+        )
+        and result["planner_stats"]["batch_scans"] > 0
         # the regression pin for cost-based planning: statically the
         # skewed conjunct picks the 90%-heavy hash probe; with ANALYZE
         # statistics it must switch to the selective range slice

@@ -3,8 +3,8 @@ unions vs the seed execution paths.
 
 Shared by ``benchmarks/bench_query_scale.py`` (acceptance benchmark) and
 the ``python -m repro.bench query`` CLI. Builds one wide synthetic table
-and times six agent-shaped query classes under the fast paths and their
-forced baselines:
+and times eight agent-shaped query classes under the fast paths and
+their forced baselines:
 
 * **selective range** — ``WHERE val >= lo AND val < hi`` through a
   ``USING BTREE`` index slice vs the full sequential scan
@@ -23,7 +23,12 @@ forced baselines:
 * **stats vs static planning** — a skewed conjunction where the static
   preference order picks a fully-bound hash probe on a 90%-heavy value
   and the post-``ANALYZE`` cost model switches to the ~50-row range
-  slice instead.
+  slice instead;
+* **batch filter** — a low-selectivity multi-conjunct seq-scan filter
+  with a wide projection through the column-batch (vectorized) pipeline
+  vs the row-at-a-time plan (``enable_batch_execution = False``);
+* **batch aggregate** — a full-table ``GROUP BY`` folding five
+  aggregates over column slices vs per-row accumulation.
 
 Every timed pair also asserts byte-identical results, and the returned
 payload records the EXPLAIN plans so the acceptance gate can verify the
@@ -44,6 +49,14 @@ TOPN_SQL = "SELECT id, val FROM events ORDER BY val LIMIT 10"
 PREDICATE_SQL = (
     "SELECT COUNT(*) FROM events WHERE grp >= 10 AND grp < 90 "
     "AND flag = 1 AND name LIKE 'n1%'"
+)
+BATCH_FILTER_SQL = (
+    "SELECT id, val, name FROM events "
+    "WHERE grp >= 10 AND grp < 90 AND flag = 1"
+)
+BATCH_AGGREGATE_SQL = (
+    "SELECT grp, COUNT(*), SUM(val), MIN(val), MAX(val), AVG(flag) "
+    "FROM events GROUP BY grp"
 )
 
 #: IN-list width of the index-union query class
@@ -81,6 +94,8 @@ _BASELINES = {
     "topn": {"enable_index_scan": False, "enable_topn": False},
     "predicate": {"enable_compiled_predicates": False},
     "union": {"enable_index_scan": False},
+    "batch_filter": {"enable_batch_execution": False},
+    "batch_aggregate": {"enable_batch_execution": False},
 }
 
 
@@ -211,7 +226,7 @@ def _measure_stats_skew(
 
 
 def experiment_query_scale(rows: int = 100_000, repeats: int = 3) -> dict[str, Any]:
-    """Measure the six query classes; returns one payload per class."""
+    """Measure the eight query classes; returns one payload per class."""
     session = build_session(rows)
     result: dict[str, Any] = {"rows": rows}
     for name, sql in (
@@ -219,6 +234,8 @@ def experiment_query_scale(rows: int = 100_000, repeats: int = 3) -> dict[str, A
         ("topn", TOPN_SQL),
         ("predicate", PREDICATE_SQL),
         ("union", union_sql(rows)),
+        ("batch_filter", BATCH_FILTER_SQL),
+        ("batch_aggregate", BATCH_AGGREGATE_SQL),
     ):
         result[name] = _measure(session, name, sql, repeats)
     # synthetic-entry write bench: small tables leave the flat array's
@@ -238,10 +255,20 @@ def experiment_query_scale(rows: int = 100_000, repeats: int = 3) -> dict[str, A
             "topn_limits",
             "index_scans",
             "union_scans",
+            "seq_scans",
+            "batch_scans",
         )
     }
     result["identical"] = all(
         result[name]["identical"]
-        for name in ("range", "topn", "predicate", "union", "stats_skew")
+        for name in (
+            "range",
+            "topn",
+            "predicate",
+            "union",
+            "batch_filter",
+            "batch_aggregate",
+            "stats_skew",
+        )
     )
     return result

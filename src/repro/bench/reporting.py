@@ -276,6 +276,8 @@ def render_query_scale(result: dict[str, Any]) -> str:
         "topn": "ORDER BY LIMIT 10 (ordered scan vs full sort)",
         "predicate": "seq-scan WHERE (compiled vs interpreted)",
         "union": "10-member IN (index union vs seq scan)",
+        "batch_filter": "wide filter (column-batch vs row-at-a-time)",
+        "batch_aggregate": "GROUP BY fold (column-batch vs row-at-a-time)",
         "btree_write": "index insert (paged B-tree vs flat insort)",
         "stats_skew": "skewed conjunct (cost-based vs static plan)",
     }
@@ -308,7 +310,8 @@ def render_query_scale(result: dict[str, Any]) -> str:
         f"planner stats: {stats['range_scans']} range scans, "
         f"{stats['ordered_scans']} ordered scans, "
         f"{stats['topn_limits']} top-N limits, "
-        f"{stats.get('union_scans', 0)} union scans",
+        f"{stats.get('union_scans', 0)} union scans, "
+        f"{stats.get('batch_scans', 0)} batch scans",
     ]
     skew = result.get("stats_skew")
     if skew is not None:

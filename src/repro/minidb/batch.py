@@ -1,0 +1,72 @@
+"""Column-batch (vectorized) execution primitives.
+
+:class:`RowBatch` is the columnar intermediate representation of the
+batch execution path (PR 10): a slice of a relation held as parallel
+per-column value lists plus the rid vector, built batch-at-a-time from
+heap scans. Processing whole batches through precompiled kernels
+(:func:`repro.minidb.expressions.compile_batch_expr`) amortizes the
+Python interpreter's per-row overhead — the MonetDB/X100 move — which
+matters doubly under the GIL, where the dispatcher cannot parallelize
+CPU-bound statements.
+
+:class:`BatchError` is the deferred-error sentinel those kernels emit in
+place of raising: SQL short-circuit semantics mean a row-at-a-time plan
+may never evaluate the erroring operand for a given row (``FALSE AND
+1/0``), so vectorized kernels must not raise eagerly either. An element
+that errors carries its exception through the batch; it only surfaces if
+the consuming operator actually needs that element's value — the same
+moment the row-at-a-time plan would have raised.
+
+This module is dependency-free within minidb so both the storage layer
+(batch producers) and the expression compiler (batch consumers) can use
+it without layering cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: default number of rows per batch: large enough to amortize per-batch
+#: dispatch, small enough that in-flight column copies stay cache-friendly
+DEFAULT_BATCH_SIZE = 1024
+
+
+class BatchError:
+    """Per-element deferred evaluation error inside a column batch.
+
+    Stored *as a value* in kernel output lists (checked via
+    ``type(v) is BatchError`` on the hot path). The wrapped exception is
+    always a :class:`repro.minidb.errors.MiniDBError` — mirroring the
+    compile-time constant folding in :func:`expressions._fold`, which
+    defers exactly that hierarchy.
+    """
+
+    __slots__ = ("exc",)
+
+    def __init__(self, exc: Exception):
+        self.exc = exc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BatchError({self.exc!r})"
+
+
+class RowBatch:
+    """One columnar slice of a relation.
+
+    ``columns`` maps column name -> list of values, all lists parallel and
+    ``length`` long; ``rids`` is the matching rid vector (``None`` for
+    derived relations that no longer track heap identity, e.g. the
+    survivor set after filtering). Value lists are fresh copies made at
+    batch-build time, so an in-flight scan never aliases live heap row
+    dicts — the columnar analogue of the row path's per-row ``dict(row)``
+    snapshot copies.
+    """
+
+    __slots__ = ("rids", "columns", "length")
+
+    def __init__(
+        self, rids: list[int] | None, columns: dict[str, list], length: int
+    ):
+        self.rids = rids
+        self.columns = columns
+        self.length = length

@@ -369,6 +369,7 @@ class Database:
                 "topn_limits",
                 "hash_joins",
                 "nested_loop_joins",
+                "batch_scans",
             )
         }
         self.planner_stats = CounterMapView(self._planner_counters)
@@ -378,12 +379,17 @@ class Database:
         #: equality probes, range scans, and ordered index scans);
         #: ``enable_topn=False`` forces full sorts under ORDER BY+LIMIT;
         #: ``enable_compiled_predicates=False`` forces the AST-walking
-        #: expression interpreter
+        #: expression interpreter; ``enable_batch_execution=False`` forces
+        #: row-at-a-time execution for single-table statements that would
+        #: otherwise run on the column-batch path (``batch_size`` rows per
+        #: :class:`repro.minidb.batch.RowBatch`)
         self.planner_options = {
             "enable_hash_join": True,
             "enable_index_scan": True,
             "enable_topn": True,
             "enable_compiled_predicates": True,
+            "enable_batch_execution": True,
+            "batch_size": 1024,
         }
         #: shared column-exemplar catalog cache, lazily attached by
         #: ``repro.core.minidb_binding`` (kept as a plain slot so minidb

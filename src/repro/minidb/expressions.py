@@ -16,6 +16,20 @@ Two evaluation strategies live here:
   return ``None`` and the caller falls back to the interpreter; both
   paths share the same arithmetic/comparison kernels, so results and
   errors are identical.
+* :func:`compile_batch_expr` / :func:`compile_batch_predicate` lift the
+  compiled closure chain to whole column batches
+  (:class:`repro.minidb.batch.RowBatch`): each compiled node maps a batch
+  to a list of per-row values, wrapping the *same* scalar kernels in
+  element-wise loops so one Python-level dispatch covers ~batch_size
+  rows. Because SQL short-circuiting means a row-at-a-time plan may
+  never evaluate an erroring operand for a given row, batch kernels
+  never raise eagerly: an element that errors becomes a
+  :class:`repro.minidb.batch.BatchError` sentinel that AND/OR/CASE
+  kernels discard for short-circuited elements and that consumers raise
+  only when the element's value is actually needed — the deferred-error
+  contract shared with :func:`_fold`'s constant folding. Anything the
+  row compiler punts on (:class:`CannotCompile`) the batch compiler
+  punts on identically.
 
 Aggregate functions are *not* evaluated here — the executor rewrites
 aggregate calls into pre-computed literals before projection; this module
@@ -26,9 +40,11 @@ queries.
 from __future__ import annotations
 
 import re
+from itertools import repeat
 from typing import Any, Callable, Mapping
 
 from . import ast_nodes as ast
+from .batch import BatchError, RowBatch
 from .errors import (
     DivisionByZeroError,
     ExecutionError,
@@ -480,30 +496,25 @@ def _compile(expr: ast.Expr, resolve: ColumnResolver):
     if isinstance(expr, ast.LikeExpr):
         return _compile_like(expr, resolve)
     if isinstance(expr, ast.IsNullExpr):
-        negated = expr.negated
-
-        def compute(value, negated=negated):
-            is_null = value is None
-            return (not is_null) if negated else is_null
-
-        return _fold([_compile(expr.operand, resolve)], compute)
+        return _fold(
+            [_compile(expr.operand, resolve)], _is_null_compute(expr.negated)
+        )
     if isinstance(expr, ast.CastExpr):
         try:
             ctype = ColumnType.parse(expr.target_type)
         except MiniDBError as exc:
             return _thunk(_raiser(exc))
-
-        def compute(value, ctype=ctype):
-            return coerce(value, ctype, column="<cast>")
-
-        return _fold([_compile(expr.operand, resolve)], compute)
+        return _fold([_compile(expr.operand, resolve)], _cast_compute(ctype))
     # subqueries (ExistsExpr, ScalarSubquery, IN (SELECT ...)) and anything
     # unrecognized: the interpreter owns it
     raise CannotCompile
 
 
-def _compile_unary(expr: ast.UnaryOp, resolve: ColumnResolver):
-    op = expr.op
+# -- shared per-element kernels: the row and batch compilers combine the
+# -- same ``compute`` closures, so their results and errors are identical
+
+
+def _unary_compute(op: str):
     if op == "NOT":
 
         def compute(value):
@@ -522,7 +533,105 @@ def _compile_unary(expr: ast.UnaryOp, resolve: ColumnResolver):
 
     else:
         raise CannotCompile
-    return _fold([_compile(expr.operand, resolve)], compute)
+    return compute
+
+
+def _binary_compute(op: str):
+    """Eagerly-evaluated binary operators (AND/OR are lazy, not here)."""
+    if op == "||":
+
+        def compute(l, r):
+            if l is None or r is None:
+                return None
+            return _to_text(l) + _to_text(r)
+
+    elif op in ("+", "-", "*", "/", "%"):
+
+        def compute(l, r, op=op):
+            if l is None or r is None:
+                return None
+            return _arith(op, l, r)
+
+    elif op in ("=", "<>", "<", "<=", ">", ">="):
+
+        def compute(l, r, op=op):
+            if l is None or r is None:
+                return None
+            return _compare(op, l, r)
+
+    else:
+        raise CannotCompile
+    return compute
+
+
+def _is_null_compute(negated: bool):
+    def compute(value, negated=negated):
+        is_null = value is None
+        return (not is_null) if negated else is_null
+
+    return compute
+
+
+def _cast_compute(ctype: ColumnType):
+    def compute(value, ctype=ctype):
+        return coerce(value, ctype, column="<cast>")
+
+    return compute
+
+
+def _in_compute(negated: bool):
+    def compute(operand, *values, negated=negated):
+        if operand is None:
+            return None
+        saw_null = False
+        for value in values:
+            if value is None:
+                saw_null = True
+                continue
+            if _compare("=", operand, value) is True:
+                return not negated
+        if saw_null:
+            return None
+        return negated
+
+    return compute
+
+
+def _between_compute(negated: bool):
+    def compute(operand, low, high, negated=negated):
+        if operand is None or low is None or high is None:
+            return None
+        result = (
+            _compare(">=", operand, low) is True
+            and _compare("<=", operand, high) is True
+        )
+        return (not result) if negated else result
+
+    return compute
+
+
+def _like_const_compute(regex: "re.Pattern[str]", negated: bool):
+    def compute(value, regex=regex, negated=negated):
+        if value is None:
+            return None
+        result = regex.match(_to_text(value)) is not None
+        return (not result) if negated else result
+
+    return compute
+
+
+def _like_dynamic_compute(negated: bool, case_insensitive: bool):
+    def compute(value, pattern_value, negated=negated, ci=case_insensitive):
+        if value is None or pattern_value is None:
+            return None
+        result = _like_match(_to_text(value), _to_text(pattern_value), ci)
+        return (not result) if negated else result
+
+    return compute
+
+
+def _compile_unary(expr: ast.UnaryOp, resolve: ColumnResolver):
+    return _fold([_compile(expr.operand, resolve)], _unary_compute(expr.op))
 
 
 def _compile_binary(expr: ast.BinaryOp, resolve: ColumnResolver):
@@ -563,31 +672,9 @@ def _compile_binary(expr: ast.BinaryOp, resolve: ColumnResolver):
             except MiniDBError as exc:
                 return _thunk(_raiser(exc))
         return _thunk(fn)
-    if op == "||":
-
-        def compute(l, r):
-            if l is None or r is None:
-                return None
-            return _to_text(l) + _to_text(r)
-
-    elif op in ("+", "-", "*", "/", "%"):
-
-        def compute(l, r, op=op):
-            if l is None or r is None:
-                return None
-            return _arith(op, l, r)
-
-    elif op in ("=", "<>", "<", "<=", ">", ">="):
-
-        def compute(l, r, op=op):
-            if l is None or r is None:
-                return None
-            return _compare(op, l, r)
-
-    else:
-        raise CannotCompile
     return _fold(
-        [_compile(expr.left, resolve), _compile(expr.right, resolve)], compute
+        [_compile(expr.left, resolve), _compile(expr.right, resolve)],
+        _binary_compute(op),
     )
 
 
@@ -648,74 +735,34 @@ def _compile_case(expr: ast.CaseExpr, resolve: ColumnResolver):
 def _compile_in(expr: ast.InExpr, resolve: ColumnResolver):
     if isinstance(expr.candidates, ast.SelectStatement):
         raise CannotCompile
-    negated = expr.negated
-
-    def compute(operand, *values, negated=negated):
-        if operand is None:
-            return None
-        saw_null = False
-        for value in values:
-            if value is None:
-                saw_null = True
-                continue
-            if _compare("=", operand, value) is True:
-                return not negated
-        if saw_null:
-            return None
-        return negated
-
     operands = [_compile(expr.operand, resolve)]
     operands.extend(_compile(c, resolve) for c in expr.candidates)
-    return _fold(operands, compute)
+    return _fold(operands, _in_compute(expr.negated))
 
 
 def _compile_between(expr: ast.BetweenExpr, resolve: ColumnResolver):
-    negated = expr.negated
-
-    def compute(operand, low, high, negated=negated):
-        if operand is None or low is None or high is None:
-            return None
-        result = (
-            _compare(">=", operand, low) is True
-            and _compare("<=", operand, high) is True
-        )
-        return (not result) if negated else result
-
     return _fold(
         [
             _compile(expr.operand, resolve),
             _compile(expr.low, resolve),
             _compile(expr.high, resolve),
         ],
-        compute,
+        _between_compute(expr.negated),
     )
 
 
 def _compile_like(expr: ast.LikeExpr, resolve: ColumnResolver):
-    negated = expr.negated
-    case_insensitive = expr.case_insensitive
     operand = _compile(expr.operand, resolve)
     pattern = _compile(expr.pattern, resolve)
     if pattern[0] and pattern[1] is not None:
         # constant pattern (the overwhelmingly common case): compile the
         # regex once per statement instead of once per row
-        regex = _like_regex(_to_text(pattern[1]), case_insensitive)
-
-        def compute(value, regex=regex, negated=negated):
-            if value is None:
-                return None
-            result = regex.match(_to_text(value)) is not None
-            return (not result) if negated else result
-
-        return _fold([operand], compute)
-
-    def compute(value, pattern_value, negated=negated, ci=case_insensitive):
-        if value is None or pattern_value is None:
-            return None
-        result = _like_match(_to_text(value), _to_text(pattern_value), ci)
-        return (not result) if negated else result
-
-    return _fold([operand, pattern], compute)
+        regex = _like_regex(_to_text(pattern[1]), expr.case_insensitive)
+        return _fold([operand], _like_const_compute(regex, expr.negated))
+    return _fold(
+        [operand, pattern],
+        _like_dynamic_compute(expr.negated, expr.case_insensitive),
+    )
 
 
 def _like_regex(pattern: str, case_insensitive: bool) -> "re.Pattern[str]":
@@ -734,3 +781,449 @@ def _like_regex(pattern: str, case_insensitive: bool) -> "re.Pattern[str]":
 
 def _like_match(text: str, pattern: str, case_insensitive: bool) -> bool:
     return _like_regex(pattern, case_insensitive).match(text) is not None
+
+
+# --------------------------------------------------------------------------
+# batch (vectorized) compilation
+# --------------------------------------------------------------------------
+
+#: a compiled batch evaluator: maps a RowBatch to a list of ``length``
+#: per-row values, each a plain value or a deferred :class:`BatchError`
+BatchFn = Callable[[RowBatch], list]
+
+#: resolves one column reference to a batch accessor (``fn(batch) ->
+#: column list``) at compile time; raises :class:`CannotCompile` when the
+#: name might belong to an outer scope
+BatchColumnResolver = Callable[[ast.ColumnRef], BatchFn]
+
+#: CASE kernels need "no branch matched" distinct from a matched branch
+#: that produced None
+_UNMATCHED = object()
+
+
+def batch_raiser(exc: Exception) -> BatchFn:
+    """A batch accessor whose every element is the deferred ``exc`` —
+    the vectorized analogue of :func:`_raiser` (used for statically
+    unresolvable column references, unknown functions, bad casts)."""
+    err = BatchError(exc)
+
+    def fn(batch, err=err):
+        return [err] * batch.length
+
+    return fn
+
+
+def _as_batch_fn(node):
+    """Node -> per-batch iterable producer (constants broadcast lazily)."""
+    is_const, value, fn = node
+    if is_const:
+        return lambda batch, value=value: repeat(value, batch.length)
+    return fn
+
+
+def _as_batch_list_fn(node) -> BatchFn:
+    """Node -> per-batch *list* producer (for kernels that index)."""
+    is_const, value, fn = node
+    if is_const:
+        return lambda batch, value=value: [value] * batch.length
+    return fn
+
+
+def _deferred_const(exc: Exception):
+    return _thunk(batch_raiser(exc))
+
+
+def _fold_batch(operands: list, compute: Callable[..., Any]):
+    """Vectorized :func:`_fold`: element-wise ``compute`` over operand
+    vectors. All-constant operands still fold once at compile time; a
+    per-element evaluation error is deferred into a :class:`BatchError`
+    sentinel rather than raised — only :class:`MiniDBError` is deferred,
+    exactly the hierarchy :func:`_fold` defers at compile time. An
+    operand element that is already an error propagates (leftmost operand
+    wins, matching the row path's left-to-right operand evaluation).
+    """
+    if all(node[0] for node in operands):
+        values = [node[1] for node in operands]
+        try:
+            return _const(compute(*values))
+        except MiniDBError as exc:
+            return _deferred_const(exc)
+    fns = [_as_batch_fn(node) for node in operands]
+    if len(fns) == 1:
+        f0 = fns[0]
+
+        def fn1(batch, f0=f0, compute=compute):
+            out = []
+            append = out.append
+            for v in f0(batch):
+                if type(v) is BatchError:
+                    append(v)
+                    continue
+                try:
+                    append(compute(v))
+                except MiniDBError as exc:
+                    append(BatchError(exc))
+            return out
+
+        return _thunk(fn1)
+    if len(fns) == 2:
+        f0, f1 = fns
+
+        def fn2(batch, f0=f0, f1=f1, compute=compute):
+            out = []
+            append = out.append
+            for l, r in zip(f0(batch), f1(batch)):
+                if type(l) is BatchError:
+                    append(l)
+                    continue
+                if type(r) is BatchError:
+                    append(r)
+                    continue
+                try:
+                    append(compute(l, r))
+                except MiniDBError as exc:
+                    append(BatchError(exc))
+            return out
+
+        return _thunk(fn2)
+
+    def fnN(batch, fns=fns, compute=compute):
+        out = []
+        append = out.append
+        for args in zip(*[f(batch) for f in fns]):
+            err = None
+            for a in args:
+                if type(a) is BatchError:
+                    err = a
+                    break
+            if err is not None:
+                append(err)
+                continue
+            try:
+                append(compute(*args))
+            except MiniDBError as exc:
+                append(BatchError(exc))
+        return out
+
+    return _thunk(fnN)
+
+
+def compile_batch_expr(
+    expr: ast.Expr, resolve: BatchColumnResolver
+) -> BatchFn | None:
+    """Compile an expression to a batch evaluator, or ``None``.
+
+    The returned ``fn(batch)`` yields one value per row; elements whose
+    evaluation errored are :class:`BatchError` sentinels the caller must
+    raise when (and only when) the element's value is consumed. Returns
+    ``None`` exactly when :func:`compile_predicate` would (subqueries,
+    aggregates, possibly-correlated names): callers fall back to per-row
+    evaluation inside the batch.
+    """
+    try:
+        node = _compile_batch(expr, resolve)
+    except CannotCompile:
+        return None
+    return _as_batch_list_fn(node)
+
+
+def compile_batch_predicate(
+    expr: ast.Expr, resolve: BatchColumnResolver
+) -> BatchFn | None:
+    """Compile a WHERE-style predicate to a batch mask evaluator.
+
+    Same contract as :func:`compile_batch_expr`; the caller applies the
+    NULL-counts-as-false rule by keeping only elements that are ``True``
+    (mirroring :func:`compile_predicate`'s ``is True`` wrapper, inlined
+    into the consumer's selection loop) and raising the first
+    :class:`BatchError` in row order — the moment the row-at-a-time
+    filter would have raised it.
+    """
+    return compile_batch_expr(expr, resolve)
+
+
+def _compile_batch(expr: ast.Expr, resolve: BatchColumnResolver):
+    if isinstance(expr, ast.Literal):
+        return _const(expr.value)
+    if isinstance(expr, ast.ColumnRef):
+        return _thunk(resolve(expr))
+    if isinstance(expr, ast.Star):
+        return _deferred_const(
+            ExecutionError("'*' is only valid in a select list or COUNT(*)")
+        )
+    if isinstance(expr, ast.UnaryOp):
+        return _fold_batch(
+            [_compile_batch(expr.operand, resolve)], _unary_compute(expr.op)
+        )
+    if isinstance(expr, ast.BinaryOp):
+        return _compile_batch_binary(expr, resolve)
+    if isinstance(expr, ast.FunctionCall):
+        return _compile_batch_function(expr, resolve)
+    if isinstance(expr, ast.CaseExpr):
+        return _compile_batch_case(expr, resolve)
+    if isinstance(expr, ast.InExpr):
+        if isinstance(expr.candidates, ast.SelectStatement):
+            raise CannotCompile
+        operands = [_compile_batch(expr.operand, resolve)]
+        operands.extend(_compile_batch(c, resolve) for c in expr.candidates)
+        return _fold_batch(operands, _in_compute(expr.negated))
+    if isinstance(expr, ast.BetweenExpr):
+        return _fold_batch(
+            [
+                _compile_batch(expr.operand, resolve),
+                _compile_batch(expr.low, resolve),
+                _compile_batch(expr.high, resolve),
+            ],
+            _between_compute(expr.negated),
+        )
+    if isinstance(expr, ast.LikeExpr):
+        return _compile_batch_like(expr, resolve)
+    if isinstance(expr, ast.IsNullExpr):
+        return _fold_batch(
+            [_compile_batch(expr.operand, resolve)],
+            _is_null_compute(expr.negated),
+        )
+    if isinstance(expr, ast.CastExpr):
+        try:
+            ctype = ColumnType.parse(expr.target_type)
+        except MiniDBError as exc:
+            return _deferred_const(exc)
+        return _fold_batch(
+            [_compile_batch(expr.operand, resolve)], _cast_compute(ctype)
+        )
+    # subqueries (ExistsExpr, ScalarSubquery, IN (SELECT ...)) and anything
+    # unrecognized: the interpreter owns it — same bail set as _compile
+    raise CannotCompile
+
+
+def _compile_batch_binary(expr: ast.BinaryOp, resolve: BatchColumnResolver):
+    op = expr.op
+    if op in ("AND", "OR"):
+        left = _compile_batch(expr.left, resolve)
+        right = _compile_batch(expr.right, resolve)
+        if left[0] and right[0]:
+            lv, rv = left[1], right[1]
+            combine = _three_valued_and if op == "AND" else _three_valued_or
+            try:
+                return _const(combine(lambda: lv, lambda: rv))
+            except MiniDBError as exc:
+                return _deferred_const(exc)
+        lf, rf = _as_batch_fn(left), _as_batch_fn(right)
+        kernel = _batch_and if op == "AND" else _batch_or
+        return _thunk(kernel(lf, rf))
+    return _fold_batch(
+        [_compile_batch(expr.left, resolve), _compile_batch(expr.right, resolve)],
+        _binary_compute(op),
+    )
+
+
+def _batch_and(lf, rf):
+    """Vectorized 3VL AND with per-element short-circuit.
+
+    The right operand vector is computed for the whole batch (kernels are
+    pure, so that is unobservable), but its *errors* are discarded for
+    elements the row-at-a-time AND would never have evaluated the right
+    side for — the deferred-error contract that keeps batch plans from
+    raising on rows a short-circuit would have skipped.
+    """
+
+    def fn(batch, lf=lf, rf=rf):
+        out = []
+        append = out.append
+        for l, r in zip(lf(batch), rf(batch)):
+            if l is False:
+                append(False)
+                continue
+            if l is not True and l is not None:
+                if type(l) is BatchError:
+                    append(l)
+                    continue
+                try:
+                    if not _truthy(l):
+                        append(False)
+                        continue
+                except MiniDBError as exc:
+                    append(BatchError(exc))
+                    continue
+            # left passed (True, truthy non-bool, or NULL): right decides
+            if r is False:
+                append(False)
+                continue
+            if r is not True and r is not None:
+                if type(r) is BatchError:
+                    append(r)
+                    continue
+                try:
+                    if not _truthy(r):
+                        append(False)
+                        continue
+                except MiniDBError as exc:
+                    append(BatchError(exc))
+                    continue
+            append(True if (l is not None and r is not None) else None)
+        return out
+
+    return fn
+
+
+def _batch_or(lf, rf):
+    """Vectorized 3VL OR; see :func:`_batch_and` for the error contract."""
+
+    def fn(batch, lf=lf, rf=rf):
+        out = []
+        append = out.append
+        for l, r in zip(lf(batch), rf(batch)):
+            if l is True:
+                append(True)
+                continue
+            if l is not False and l is not None:
+                if type(l) is BatchError:
+                    append(l)
+                    continue
+                try:
+                    if _truthy(l):
+                        append(True)
+                        continue
+                except MiniDBError as exc:
+                    append(BatchError(exc))
+                    continue
+            if r is True:
+                append(True)
+                continue
+            if r is not False and r is not None:
+                if type(r) is BatchError:
+                    append(r)
+                    continue
+                try:
+                    if _truthy(r):
+                        append(True)
+                        continue
+                except MiniDBError as exc:
+                    append(BatchError(exc))
+                    continue
+            append(False if (l is not None and r is not None) else None)
+        return out
+
+    return fn
+
+
+def _compile_batch_function(expr: ast.FunctionCall, resolve: BatchColumnResolver):
+    if expr.name in AGGREGATE_NAMES:
+        raise CannotCompile  # the interpreter raises the contextual error
+    fn = SCALAR_FUNCTIONS.get(expr.name)
+    if fn is None:
+        return _deferred_const(ExecutionError(f"unknown function {expr.name}()"))
+    arg_fns = [_as_batch_list_fn(_compile_batch(a, resolve)) for a in expr.args]
+
+    # never folded (matching _compile_function): the implementation is
+    # still called once per row, in row order
+    def call(batch, fn=fn, arg_fns=arg_fns):
+        cols = [f(batch) for f in arg_fns]
+        out = []
+        append = out.append
+        for i in range(batch.length):
+            args = [col[i] for col in cols]
+            err = None
+            for a in args:
+                if type(a) is BatchError:
+                    err = a
+                    break
+            if err is not None:
+                append(err)
+                continue
+            try:
+                append(fn(args))
+            except MiniDBError as exc:
+                append(BatchError(exc))
+        return out
+
+    return _thunk(call)
+
+
+def _compile_batch_case(expr: ast.CaseExpr, resolve: BatchColumnResolver):
+    # the row path is lazy (branches after the first match are never
+    # evaluated); the batch kernel evaluates every branch vector but
+    # defers errors, then per element walks the branches in order and
+    # discards whatever a lazy evaluation would not have touched
+    whens = [
+        (
+            _as_batch_list_fn(_compile_batch(when, resolve)),
+            _as_batch_list_fn(_compile_batch(then, resolve)),
+        )
+        for when, then in expr.whens
+    ]
+    default = (
+        _as_batch_list_fn(_compile_batch(expr.default, resolve))
+        if expr.default is not None
+        else None
+    )
+    if expr.operand is not None:
+        operand_fn = _as_batch_list_fn(_compile_batch(expr.operand, resolve))
+
+        def fn(batch, operand_fn=operand_fn, whens=whens, default=default):
+            subjects = operand_fn(batch)
+            when_cols = [(wf(batch), tf(batch)) for wf, tf in whens]
+            dflt = default(batch) if default is not None else None
+            out = []
+            append = out.append
+            for i in range(batch.length):
+                subject = subjects[i]
+                if type(subject) is BatchError:
+                    append(subject)
+                    continue
+                chosen = _UNMATCHED
+                for wcol, tcol in when_cols:
+                    candidate = wcol[i]
+                    if type(candidate) is BatchError:
+                        chosen = candidate
+                        break
+                    if subject is not None and candidate is not None:
+                        try:
+                            matched = _compare("=", subject, candidate) is True
+                        except MiniDBError as exc:
+                            chosen = BatchError(exc)
+                            break
+                        if matched:
+                            chosen = tcol[i]
+                            break
+                if chosen is _UNMATCHED:
+                    chosen = dflt[i] if dflt is not None else None
+                append(chosen)
+            return out
+
+    else:
+
+        def fn(batch, whens=whens, default=default):
+            when_cols = [(wf(batch), tf(batch)) for wf, tf in whens]
+            dflt = default(batch) if default is not None else None
+            out = []
+            append = out.append
+            for i in range(batch.length):
+                chosen = _UNMATCHED
+                for wcol, tcol in when_cols:
+                    when_value = wcol[i]
+                    if type(when_value) is BatchError:
+                        chosen = when_value
+                        break
+                    if when_value is True:
+                        chosen = tcol[i]
+                        break
+                if chosen is _UNMATCHED:
+                    chosen = dflt[i] if dflt is not None else None
+                append(chosen)
+            return out
+
+    return _thunk(fn)
+
+
+def _compile_batch_like(expr: ast.LikeExpr, resolve: BatchColumnResolver):
+    operand = _compile_batch(expr.operand, resolve)
+    pattern = _compile_batch(expr.pattern, resolve)
+    if pattern[0] and pattern[1] is not None:
+        # constant pattern: one regex per statement, shared by the batch
+        regex = _like_regex(_to_text(pattern[1]), expr.case_insensitive)
+        return _fold_batch([operand], _like_const_compute(regex, expr.negated))
+    return _fold_batch(
+        [operand, pattern],
+        _like_dynamic_compute(expr.negated, expr.case_insensitive),
+    )

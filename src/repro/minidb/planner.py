@@ -183,6 +183,9 @@ class AccessPath:
     union: "UnionBinding | None" = None  # kind == "union"
     #: cost-model output (only when table statistics informed the choice)
     estimated_rows: float | None = None
+    #: the executor will run this scan on the column-batch (vectorized)
+    #: pipeline; set by EXPLAIN's shape gate, purely an annotation
+    batched: bool = False
 
     def describe(self) -> str:
         if self.kind == "index":
@@ -210,6 +213,8 @@ class AccessPath:
             base += f" (filter: {self.filter_sql})"
         if self.estimated_rows is not None:
             base += f" (est. rows={self.estimated_rows:.0f})"
+        if self.batched:
+            base += " (batched)"
         return base
 
 
